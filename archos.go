@@ -1,0 +1,157 @@
+package archos
+
+import (
+	"archos/internal/arch"
+	"archos/internal/core"
+	"archos/internal/ipc"
+	"archos/internal/kernel"
+	"archos/internal/mach"
+	"archos/internal/threads"
+	"archos/internal/trace"
+	"archos/internal/vm"
+	"archos/internal/workload"
+)
+
+// The top-level package is the library facade: the types and entry
+// points a downstream user needs, re-exported from the internal
+// implementation packages. The command-line tools under cmd/ and the
+// programs under examples/ are written against the same surface.
+
+// Architecture is a simulated processor/system specification.
+type Architecture = arch.Spec
+
+// Primitive identifies one of the paper's four primitive OS functions.
+type Primitive = kernel.Primitive
+
+// The four primitives, in the paper's table order.
+const (
+	NullSyscall   = kernel.NullSyscall
+	Trap          = kernel.Trap
+	PTEChange     = kernel.PTEChange
+	ContextSwitch = kernel.ContextSwitch
+)
+
+// The studied architectures.
+var (
+	CVAX   = arch.CVAX
+	M88000 = arch.M88000
+	R2000  = arch.R2000
+	R3000  = arch.R3000
+	SPARC  = arch.SPARC
+	I860   = arch.I860
+	RS6000 = arch.RS6000
+)
+
+// Architectures returns every registered architecture, sorted by name.
+func Architectures() []*Architecture { return arch.All() }
+
+// ArchitectureByName looks an architecture up by its table name (e.g.
+// "MIPS R3000").
+func ArchitectureByName(name string) (*Architecture, bool) { return arch.ByName(name) }
+
+// Cost is a measured primitive cost: microseconds, cycles, and the
+// instruction count along the handler's path.
+type Cost = kernel.Cost
+
+// Measure runs primitive p's handler program on architecture a's
+// machine model and returns its cost (a Table 1 / Table 2 cell).
+func Measure(a *Architecture, p Primitive) Cost { return kernel.Measure(a, p) }
+
+// CostModel caches all four primitive costs for an architecture; the
+// IPC, VM, thread, and OS-structure layers price their operations
+// against it.
+type CostModel = kernel.CostModel
+
+// NewCostModel measures every primitive on a.
+func NewCostModel(a *Architecture) *CostModel { return kernel.NewCostModel(a) }
+
+// Ethernet10 is the paper's 10 Mb/s Ethernet.
+var Ethernet10 = ipc.Ethernet10
+
+// RPCBreakdown decomposes a round-trip communication time by component.
+type RPCBreakdown = ipc.Breakdown
+
+// NullRPC returns the SRC-RPC-style cross-machine null call breakdown
+// on architecture a over net (Table 3).
+func NullRPC(a *Architecture, net ipc.NetworkConfig) RPCBreakdown {
+	return ipc.NewRPC(a, net).NullRPC()
+}
+
+// NullLRPC returns the LRPC-style local cross-address-space null call
+// breakdown on architecture a (Table 4).
+func NullLRPC(a *Architecture) RPCBreakdown {
+	return ipc.NewLRPC(a).NullCall()
+}
+
+// ThreadCosts carries an architecture's thread-operation costs
+// (procedure call, user-level switch, creation, three lock kinds).
+type ThreadCosts = threads.Costs
+
+// NewThreadCosts measures thread operations on a.
+func NewThreadCosts(a *Architecture) *ThreadCosts { return threads.NewCosts(a) }
+
+// ThreadSystem is the runnable user-level thread package with
+// virtual-time accounting; Thread is one of its threads.
+type (
+	ThreadSystem = threads.System
+	Thread       = threads.Thread
+)
+
+// NewThreadSystem creates a thread system over architecture a.
+func NewThreadSystem(a *Architecture) *ThreadSystem { return threads.New(a) }
+
+// FaultCosts prices page-fault delivery (in-kernel vs reflected to a
+// user-level handler) on an architecture.
+type FaultCosts = vm.FaultCosts
+
+// NewFaultCosts builds the fault-cost model for a.
+func NewFaultCosts(a *Architecture) *FaultCosts { return vm.NewFaultCosts(a) }
+
+// OSStructure selects the operating-system organisation of the Table 7
+// experiment.
+type OSStructure = mach.Structure
+
+// The two structures.
+const (
+	Monolithic  = mach.Monolithic
+	Microkernel = mach.Microkernel
+)
+
+// WorkloadResult is one Table 7 row.
+type WorkloadResult = mach.Result
+
+// Workload is one application demand stream.
+type Workload = workload.Spec
+
+// Workloads returns the paper's seven Table 7 workloads.
+func Workloads() []Workload { return workload.All() }
+
+// RunWorkload executes w under the given OS structure on the paper's
+// measurement platform (a simulated DECstation 5000/200) and returns
+// its primitive-operation counts.
+func RunWorkload(structure OSStructure, w Workload) WorkloadResult {
+	return mach.New(mach.DefaultConfig(structure)).Run(w)
+}
+
+// Table regenerates one of the paper's tables (1–6) rendered beside the
+// published values; Table7 takes the structure explicitly.
+func Table(n int) *trace.Table {
+	switch n {
+	case 1:
+		return core.Table1()
+	case 2:
+		return core.Table2()
+	case 3:
+		return core.Table3()
+	case 4:
+		return core.Table4()
+	case 5:
+		return core.Table5()
+	case 6:
+		return core.Table6()
+	}
+	return nil
+}
+
+// Table7 regenerates the Table 7 half for the given structure.
+func Table7(structure OSStructure) *trace.Table { return core.Table7(structure) }

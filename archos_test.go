@@ -1,0 +1,81 @@
+package archos_test
+
+import (
+	"testing"
+
+	"archos"
+)
+
+// Facade tests: the top-level API must expose the whole study without
+// reaching into internal packages.
+
+func TestFacadeMeasure(t *testing.T) {
+	c := archos.Measure(archos.R3000, archos.ContextSwitch)
+	if c.Micros <= 0 || c.Instructions != 135 {
+		t.Errorf("Measure(R3000, ContextSwitch) = %+v", c)
+	}
+	if got := len(archos.Architectures()); got != 7 {
+		t.Errorf("Architectures() = %d, want 7", got)
+	}
+	if _, ok := archos.ArchitectureByName("Sun SPARC"); !ok {
+		t.Error("ArchitectureByName failed")
+	}
+}
+
+func TestFacadeCommunication(t *testing.T) {
+	rpc := archos.NullRPC(archos.CVAX, archos.Ethernet10)
+	if rpc.Total < 2000 || rpc.Total > 3000 {
+		t.Errorf("NullRPC total %.0f µs, want ≈2660", rpc.Total)
+	}
+	lrpc := archos.NullLRPC(archos.CVAX)
+	if lrpc.Total < 130 || lrpc.Total > 180 {
+		t.Errorf("NullLRPC total %.0f µs, want ≈157", lrpc.Total)
+	}
+}
+
+func TestFacadeThreadsAndFaults(t *testing.T) {
+	tc := archos.NewThreadCosts(archos.SPARC)
+	if r := tc.SwitchOverCall(); r < 30 || r > 80 {
+		t.Errorf("SPARC switch/call = %.0f", r)
+	}
+	sys := archos.NewThreadSystem(archos.R3000)
+	done := false
+	sys.Spawn("t", func(th *archos.Thread) {
+		th.Compute(10)
+		done = true
+	})
+	sys.Run()
+	if !done {
+		t.Error("facade thread never ran")
+	}
+	fc := archos.NewFaultCosts(archos.R3000)
+	if fc.UserReflectedMicros() <= fc.KernelHandledMicros() {
+		t.Error("fault-cost ordering wrong through the facade")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	ws := archos.Workloads()
+	if len(ws) != 7 {
+		t.Fatalf("Workloads() = %d", len(ws))
+	}
+	mono := archos.RunWorkload(archos.Monolithic, ws[0])
+	micro := archos.RunWorkload(archos.Microkernel, ws[0])
+	if micro.Syscalls <= mono.Syscalls {
+		t.Error("decomposition did not multiply syscalls through the facade")
+	}
+}
+
+func TestFacadeTables(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		if tb := archos.Table(n); tb == nil || len(tb.String()) < 80 {
+			t.Errorf("Table(%d) empty", n)
+		}
+	}
+	if archos.Table(9) != nil {
+		t.Error("Table(9) should be nil")
+	}
+	if tb := archos.Table7(archos.Microkernel); len(tb.String()) < 100 {
+		t.Error("Table7 empty")
+	}
+}

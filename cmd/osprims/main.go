@@ -1,0 +1,128 @@
+// Command osprims regenerates the paper's micro-measurement tables:
+// Table 1 (primitive OS function times and relative speeds), Table 2
+// (instruction counts), and Table 5 (null system call decomposition),
+// each printed beside the paper's published values.
+//
+// Usage:
+//
+//	osprims            # all three tables
+//	osprims -table 1   # one table
+//	osprims -causes    # per-architecture cycle-cause accounting
+//	osprims -tlbstudy  # Clark & Emer-style trace-driven TLB study
+//	osprims -listing "Sun SPARC"  # annotated handler listings
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"archos/internal/arch"
+	"archos/internal/core"
+	"archos/internal/kernel"
+	"archos/internal/memstudy"
+	"archos/internal/sim"
+	"archos/internal/trace"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only table 1, 2 or 5 (0 = all)")
+	causes := flag.Bool("causes", false, "print cycle-cause accounting per architecture")
+	tlbStudy := flag.Bool("tlbstudy", false, "run the Clark & Emer-style TLB trace study")
+	listing := flag.String("listing", "", "print the annotated handler listings for one architecture (e.g. \"Sun SPARC\")")
+	flag.Parse()
+
+	if *listing != "" {
+		s, ok := arch.ByName(*listing)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "osprims: unknown architecture %q\n", *listing)
+			os.Exit(2)
+		}
+		for _, p := range kernel.Primitives() {
+			prog := kernel.Program(s, p)
+			fmt.Println(sim.Describe(prog, s.Sim.WindowInstrs()))
+			fmt.Println(sim.Summarize(s.Machine().Run(prog)))
+			fmt.Println()
+		}
+		return
+	}
+
+	switch *table {
+	case 0:
+		fmt.Println(core.Table1())
+		fmt.Println(core.Table2())
+		fmt.Println(core.Table5())
+	case 1:
+		fmt.Println(core.Table1())
+	case 2:
+		fmt.Println(core.Table2())
+	case 5:
+		fmt.Println(core.Table5())
+	default:
+		fmt.Fprintf(os.Stderr, "osprims: no table %d (have 1, 2, 5)\n", *table)
+		os.Exit(2)
+	}
+
+	if *causes {
+		printCauses()
+	}
+	if *tlbStudy {
+		printTLBStudy()
+	}
+	fmt.Printf("Table 1 geometric-mean |error| vs paper: %.1f%%\n", 100*core.GeoMeanAbsErrTable1())
+}
+
+// printTLBStudy reproduces the Clark & Emer observation (§3.2) across
+// the architectures, plus the unmapped-kernel-region variant.
+func printTLBStudy() {
+	cfg := memstudy.DefaultTrace()
+	t := trace.NewTable("Trace-driven TLB study (OS share of references vs misses; Clark & Emer: 20% of refs, >2/3 of misses)",
+		"Architecture", "OS ref share", "OS miss share", "OS refill-cycle share")
+	for _, s := range arch.Table1Set() {
+		r := memstudy.Run(s, cfg)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.0f%%", 100*r.SystemRefShare),
+			fmt.Sprintf("%.0f%%", 100*r.SystemMissShare),
+			fmt.Sprintf("%.0f%%", 100*r.SystemMissCycleShare))
+	}
+	fmt.Println(t)
+	m := memstudy.Run(arch.R3000, cfg)
+	u := memstudy.UnmappedSystemVariant(arch.R3000, cfg, 0.85)
+	fmt.Printf("R3000 with 85%% of system references through the unmapped k0seg: system misses %d → %d, total refill cycles %.0f → %.0f.\n\n",
+		m.SystemMisses, u.SystemMisses, m.MissCycles, u.MissCycles)
+
+	ct := trace.NewTable("Cache study (Agarwal-style): miss rates, app-only vs multiprogrammed app+OS vs untagged virtual cache",
+		"Architecture", "App only", "App+OS (physical)", "App+OS (virtual, no tags)")
+	for _, s := range arch.Table1Set() {
+		r := memstudy.RunCacheStudy(s, memstudy.DefaultCacheStudy())
+		ct.AddRow(s.Name,
+			fmt.Sprintf("%.3f", r.AppOnlyMissRate),
+			fmt.Sprintf("%.3f", r.MixedMissRate),
+			fmt.Sprintf("%.3f", r.MixedVirtualNoTagsMissRate))
+	}
+	fmt.Println(ct)
+}
+
+func printCauses() {
+	fmt.Println("Cycle-cause accounting (per primitive):")
+	for _, s := range arch.Table1Set() {
+		fmt.Printf("\n%s\n", s)
+		for _, p := range kernel.Primitives() {
+			m := kernel.Measure(s, p)
+			r := m.Result
+			fmt.Printf("  %-26s %6.0f cycles: wb-stall %5.1f%%  cache-miss %5.1f%%  nops %4.1f%%  microcode %5.1f%%  windows %5.1f%%  ctrl-regs %5.1f%%\n",
+				p, m.Cycles,
+				pct(r.WBStallCycles, m.Cycles), pct(r.CacheMissCycles, m.Cycles),
+				pct(r.NopCycles, m.Cycles), pct(r.MicrocodeCycles, m.Cycles),
+				pct(r.WindowCycles, m.Cycles), pct(r.CtrlCycles, m.Cycles))
+		}
+	}
+	fmt.Println()
+}
+
+func pct(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

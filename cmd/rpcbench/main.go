@@ -1,0 +1,79 @@
+// Command rpcbench regenerates the paper's communication tables: Table 3
+// (SRC RPC time distribution), Table 4 (LRPC time distribution), plus
+// the in-text experiments — RPC time versus packet size, the Sprite
+// "5× integer speed bought only 2× RPC" datapoint, and LRPC across
+// architectures.
+//
+// Usage:
+//
+//	rpcbench                 # tables 3 and 4
+//	rpcbench -scaling        # cross-architecture RPC/LRPC scaling
+//	rpcbench -sizes          # packet-size sweep (wire share growth)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/core"
+	"archos/internal/ipc"
+	"archos/internal/paper"
+	"archos/internal/trace"
+)
+
+func main() {
+	scaling := flag.Bool("scaling", false, "cross-architecture RPC and LRPC scaling")
+	sizes := flag.Bool("sizes", false, "packet-size sweep")
+	flag.Parse()
+
+	fmt.Println(core.Table3())
+	fmt.Println(core.Table4())
+
+	if *sizes {
+		printSizes()
+	}
+	if *scaling {
+		printScaling()
+	}
+}
+
+func printSizes() {
+	r := ipc.NewRPC(arch.CVAX, ipc.Ethernet10)
+	t := trace.NewTable("RPC round trip vs result-packet size (CVAX, 10 Mb Ethernet)",
+		"Result bytes", "Total µs", "Wire %", "Checksum+transport %", "Stub/copy %")
+	for _, n := range []int{74, 256, 512, 1024, 1500, 4096} {
+		b := r.RoundTrip(74, n)
+		t.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", b.Total),
+			fmt.Sprintf("%.0f%%", b.Share(ipc.CompWire)),
+			fmt.Sprintf("%.0f%%", b.Share(ipc.CompTransport)),
+			fmt.Sprintf("%.0f%%", b.Share(ipc.CompStubs)))
+	}
+	fmt.Println(t)
+	fmt.Printf("Paper: \"only 17%% of the time for a small packet is spent on the wire\"; \"nearly 50%% for SRC RPC with a 1500-byte result packet\" (elapsed-time share; the Firefly overlapped sender-side work with the wire).\n\n")
+}
+
+func printScaling() {
+	base := ipc.NewRPC(arch.CVAX, ipc.Ethernet10).NullRPC()
+	baseL := ipc.NewLRPC(arch.CVAX).NullCall()
+	baseCopy := ipc.CopyMicros(arch.CVAX, 16<<10)
+	t := trace.NewTable("Null RPC, LRPC and 16KB copy across architectures (vs CVAX), against application speedup",
+		"Architecture", "App speedup", "RPC µs", "RPC speedup", "LRPC µs", "LRPC speedup", "Copy speedup")
+	for _, s := range arch.Table1Set() {
+		b := ipc.NewRPC(s, ipc.Ethernet10).NullRPC()
+		l := ipc.NewLRPC(s).NullCall()
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.1f", s.SPECRelativeTo(arch.CVAX)),
+			fmt.Sprintf("%.0f", b.Total),
+			fmt.Sprintf("%.1f", base.Total/b.Total),
+			fmt.Sprintf("%.0f", l.Total),
+			fmt.Sprintf("%.1f", baseL.Total/l.Total),
+			fmt.Sprintf("%.1f", baseCopy/ipc.CopyMicros(s, 16<<10)))
+	}
+	fmt.Println(t)
+	fmt.Println("Memory copy (§2.4, after Ousterhout): \"the relative performance of memory copying drops almost monotonically with faster processors.\"")
+	fmt.Printf("Sprite datapoint (paper §2.1): %gx integer performance bought only ~%gx on kernel-to-kernel null RPC.\n",
+		paper.SpriteIntegerSpeedup, paper.SpriteRPCSpeedup)
+	fmt.Println("The simulated RPC column shows the same sublinear scaling: OS primitives and memory-bound work do not ride the integer curve.")
+}

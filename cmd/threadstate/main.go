@@ -1,0 +1,144 @@
+// Command threadstate regenerates Table 6 (processor thread state) and
+// the paper's Section 4 thread experiments: per-architecture thread
+// operation costs, the Synapse call:switch analysis, and the lock-cost
+// comparison behind parthenon's kernel-synchronization overhead.
+//
+// Usage:
+//
+//	threadstate            # table 6 + thread operation costs
+//	threadstate -synapse   # Synapse parallel-simulation analysis
+//	threadstate -locks     # synchronization cost comparison
+//	threadstate -affinity  # kernel-thread scheduling vs TLB effectiveness
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/core"
+	"archos/internal/paper"
+	"archos/internal/threads"
+	"archos/internal/trace"
+)
+
+func main() {
+	synapse := flag.Bool("synapse", false, "run the Synapse call:switch analysis")
+	locks := flag.Bool("locks", false, "compare synchronization mechanisms")
+	affinity := flag.Bool("affinity", false, "kernel-thread scheduling vs TLB effectiveness")
+	activations := flag.Bool("activations", false, "scheduler activations vs kernel threads")
+	flag.Parse()
+
+	fmt.Println(core.Table6())
+	printCosts()
+	if *synapse {
+		printSynapse()
+	}
+	if *locks {
+		printLocks()
+	}
+	if *affinity {
+		printAffinity()
+	}
+	if *activations {
+		printActivations()
+	}
+}
+
+// printActivations runs the scheduler-activations comparison the paper
+// cites as [Anderson et al. 90]: "through careful kernel-to-user
+// interface design, user-level threads can provide all of the function
+// of kernel-level threads without sacrificing performance."
+func printActivations() {
+	wl := threads.UniformWorkload(8, 5, 200, 500)
+	t := trace.NewTable("Scheduler activations vs user threads over kernel threads (8 threads, 200 µs compute / 500 µs I/O x5, 2 processors)",
+		"Architecture", "KT makespan", "SA makespan", "Speedup", "KT util", "SA util", "Upcalls")
+	for _, s := range []*arch.Spec{arch.R3000, arch.SPARC, arch.CVAX} {
+		kt, act, _ := threads.CompareActivations(s, 2, wl)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.0f µs", kt.MakespanMicros),
+			fmt.Sprintf("%.0f µs", act.MakespanMicros),
+			fmt.Sprintf("%.2fx", kt.MakespanMicros/act.MakespanMicros),
+			fmt.Sprintf("%.0f%%", 100*kt.Utilization),
+			fmt.Sprintf("%.0f%%", 100*act.Utilization),
+			fmt.Sprintf("%d", act.Upcalls))
+	}
+	fmt.Println(t)
+	fmt.Println("When a user-level thread blocks in the kernel, a plain kernel thread takes its processor with it;")
+	fmt.Println("activations upcall into the user scheduler so the processor keeps running ready threads.")
+}
+
+// printAffinity quantifies §4.1's warning about kernel threads
+// "scheduled independently of the address space with which they are
+// associated".
+func printAffinity() {
+	t := trace.NewTable("Kernel-thread scheduling vs TLB effectiveness (6 spaces x 4 threads, 12 pages/quantum)",
+		"Architecture", "Blind miss rate", "Affine miss rate", "Inflation", "Cross-AS switches")
+	for _, s := range []*arch.Spec{arch.R3000, arch.SPARC, arch.CVAX} {
+		r := threads.RunAffinity(s, 6, 4, 20, 12)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.3f", r.BlindMissRate),
+			fmt.Sprintf("%.3f", r.AffineMissRate),
+			fmt.Sprintf("%.1fx", r.MissInflation),
+			fmt.Sprintf("%d", r.CrossASSwitches))
+	}
+	fmt.Println(t)
+	fmt.Println("Scheduling threads without regard to their address space multiplies TLB misses (paper §4.1);")
+	fmt.Println("address-space-affine batching keeps each space's working set resident.")
+}
+
+func printCosts() {
+	t := trace.NewTable("Thread operation costs (µs)",
+		"Architecture", "Proc call", "User switch", "Switch/call", "Create", "Kernel switch")
+	for _, s := range arch.Table6Set() {
+		c := threads.NewCosts(s)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.2f", c.ProcedureCall),
+			fmt.Sprintf("%.2f", c.UserSwitch),
+			fmt.Sprintf("%.0fx", c.SwitchOverCall()),
+			fmt.Sprintf("%.2f", c.Create),
+			fmt.Sprintf("%.2f", c.KernelSwitch))
+	}
+	fmt.Println(t)
+	fmt.Printf("Paper: on SPARC \"the cost of a thread context switch is 50 times that of a procedure call\"; and a completely user-level switch is impossible (privileged window pointer).\n\n")
+}
+
+func printSynapse() {
+	t := trace.NewTable("Synapse-style parallel simulation (fork-join events, ~30 calls per event)",
+		"Architecture", "Calls:switch", "Cost ratio", "Time in calls (µs)", "Time in switches (µs)", "Switches dominate?")
+	for _, s := range []*arch.Spec{arch.SPARC, arch.R3000, arch.M88000, arch.CVAX} {
+		r := threads.RunSynapse(s, 4, 200, 30)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.0f:1", r.CallSwitchRatio),
+			fmt.Sprintf("%.0fx", r.SwitchOverCall),
+			fmt.Sprintf("%.0f", r.TimeInCalls),
+			fmt.Sprintf("%.0f", r.TimeInSwitches),
+			fmt.Sprintf("%v", r.SwitchTimeDominates))
+	}
+	fmt.Println(t)
+	fmt.Printf("Paper: measured call:switch ratios of %d:1 to %d:1; \"on a SPARC Synapse would spend more of its time doing context switches than procedure calls.\"\n\n",
+		paper.SynapseCallSwitchRatioLow, paper.SynapseCallSwitchRatioHigh)
+}
+
+func printLocks() {
+	t := trace.NewTable("Uncontended lock acquire+release (µs)",
+		"Architecture", "Test-and-set", "Kernel trap", "Lamport fast mutex", "ISA has atomic op?")
+	for _, s := range arch.Table6Set() {
+		c := threads.NewCosts(s)
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.2f", c.LockTestAndSet),
+			fmt.Sprintf("%.2f", c.LockKernel),
+			fmt.Sprintf("%.2f", c.LockLamport),
+			fmt.Sprintf("%v", s.AtomicTestAndSet))
+	}
+	fmt.Println(t)
+
+	// parthenon's bill on the MIPS: every sync op traps.
+	c := threads.NewCosts(arch.R3000)
+	syncs := float64(1_395_000)
+	secs := syncs * c.LockKernel / 1e6
+	fmt.Printf("parthenon (1 thread) on the R3000: %.0f kernel-trap synchronizations x %.2f µs = %.1f s of a ~23 s run (paper: \"roughly 1/5 of its time synchronizing through the kernel\").\n",
+		syncs, c.LockKernel, secs)
+	fmt.Printf("With an atomic test-and-set the same traffic would cost %.1f s; with Lamport's algorithm %.1f s.\n",
+		syncs*c.LockTestAndSet/1e6, syncs*c.LockLamport/1e6)
+}

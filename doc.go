@@ -1,0 +1,24 @@
+// Package archos is a simulation-based reproduction of Anderson, Levy,
+// Bershad & Lazowska, "The Interaction of Architecture and Operating
+// System Design" (ASPLOS 1991).
+//
+// The repository builds, from scratch on the Go standard library, every
+// system the paper's measurements rest on: cycle-accounting models of
+// the DEC CVAX, Motorola 88000, MIPS R2000/R3000, Sun SPARC, Intel
+// i860, and IBM RS6000 (internal/arch, internal/sim); write-buffer,
+// cache, and TLB hardware models (internal/cache, internal/tlb); four
+// page-table organisations (internal/mmu); per-architecture kernel
+// handlers for the paper's four primitive operations (internal/kernel);
+// SRC-RPC-style cross-machine RPC and LRPC (internal/ipc); a user-level
+// thread system with three synchronization regimes (internal/threads);
+// copy-on-write and Ivy-style distributed shared virtual memory
+// (internal/vm); and monolithic versus microkernel operating-system
+// structures running the paper's seven workloads (internal/mach,
+// internal/workload).
+//
+// internal/core regenerates each of the paper's seven tables beside the
+// published values; cmd/osprims, cmd/rpcbench, cmd/threadstate,
+// cmd/machbench and cmd/sweep are the command-line front ends; and the
+// benchmarks in bench_test.go time one regeneration per table plus the
+// ablation studies listed in DESIGN.md.
+package archos

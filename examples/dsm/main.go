@@ -1,0 +1,66 @@
+// DSM example: Ivy-style distributed shared virtual memory (paper
+// §3) across four simulated workstations. Three access patterns show
+// how the write-invalidate protocol — built entirely on page-protection
+// faults — behaves: mostly-read sharing is nearly free after the first
+// replication, write sharing ping-pongs pages across the network, and
+// user-level fault reflection prices every protocol event with the trap
+// and system-call costs of Table 1.
+package main
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/ipc"
+	"archos/internal/vm"
+)
+
+func main() {
+	costs := vm.NewFaultCosts(arch.R3000)
+	fmt.Printf("Machine: %s; fault reflected to user level costs %.1f µs (in-kernel: %.1f µs)\n\n",
+		arch.R3000, costs.UserReflectedMicros(), costs.KernelHandledMicros())
+
+	// Pattern 1: read-mostly sharing (a lookup table).
+	d := vm.NewDSM(costs, ipc.Ethernet10, 4)
+	nodes := d.Nodes()
+	nodes[0].Write(100) // initialise the page
+	for round := 0; round < 50; round++ {
+		for _, n := range nodes {
+			n.Read(100)
+		}
+	}
+	report(d, "read-mostly sharing (1 write, 200 reads)")
+
+	// Pattern 2: write ping-pong (two nodes alternately update one
+	// page — false sharing's worst case).
+	d = vm.NewDSM(costs, ipc.Ethernet10, 4)
+	for round := 0; round < 50; round++ {
+		nodes = d.Nodes()
+		nodes[0].Write(7)
+		nodes[1].Write(7)
+	}
+	report(d, "write ping-pong (100 alternating writes)")
+
+	// Pattern 3: partitioned writes (each node owns its own pages) —
+	// the pattern DSM programs are restructured toward.
+	d = vm.NewDSM(costs, ipc.Ethernet10, 4)
+	for round := 0; round < 50; round++ {
+		for i, n := range d.Nodes() {
+			n.Write(uint64(1000 + i))
+		}
+	}
+	report(d, "partitioned writes (200 writes, no sharing)")
+}
+
+func report(d *vm.DSM, label string) {
+	rf, wf, tr, inv := d.Stats()
+	fmt.Printf("%s:\n", label)
+	fmt.Printf("  read faults %d, write faults %d, page transfers %d, invalidations %d\n", rf, wf, tr, inv)
+	fmt.Printf("  protocol time %.1f ms\n", d.Clock()/1000)
+	if err := d.CheckCoherence(); err != nil {
+		fmt.Printf("  COHERENCE VIOLATION: %v\n", err)
+	} else {
+		fmt.Printf("  coherence invariant holds (single writer / many readers)\n")
+	}
+	fmt.Println()
+}

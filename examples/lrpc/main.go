@@ -1,0 +1,39 @@
+// LRPC example: decompose a local cross-address-space call into the
+// paper's Table 4 components on several architectures, and contrast it
+// with full cross-machine RPC. Shows the paper's Section 2.2 point:
+// once software overhead is engineered away, the kernel-transfer
+// hardware path (traps + address-space switches + TLB purges) is the
+// floor — and that floor has *risen* relative to application speed on
+// the newer machines.
+package main
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/ipc"
+)
+
+func main() {
+	for _, s := range []*arch.Spec{arch.CVAX, arch.R3000, arch.SPARC} {
+		l := ipc.NewLRPC(s)
+		b := l.NullCall()
+		fmt.Printf("%s — null LRPC %.1f µs (hardware minimum %.1f µs)\n",
+			s, b.Total, l.HardwareMinimumMicros())
+		for _, name := range b.Names() {
+			fmt.Printf("  %-44s %6.1f µs  %4.1f%%\n", name, b.Components[name], b.Share(name))
+		}
+		r := ipc.NewRPC(s, ipc.Ethernet10)
+		rb := r.NullRPC()
+		fmt.Printf("  (cross-machine null RPC on the same machine: %.0f µs, %.0fx the local call)\n\n",
+			rb.Total, rb.Total/b.Total)
+	}
+
+	cvax := ipc.NewLRPC(arch.CVAX).NullCall().Total
+	fmt.Println("LRPC speedup vs application speedup (the kernel bottleneck, Table 1's lesson):")
+	for _, s := range []*arch.Spec{arch.R3000, arch.SPARC} {
+		b := ipc.NewLRPC(s).NullCall()
+		fmt.Printf("  %-14s LRPC %4.1fx faster than CVAX, applications %.1fx faster\n",
+			s.Name, cvax/b.Total, s.SPECRelativeTo(arch.CVAX))
+	}
+}

@@ -1,0 +1,36 @@
+// Quickstart: measure the paper's four primitive operating-system
+// functions on two simulated architectures and compare them with the
+// integer-performance ratio — the paper's core observation in a dozen
+// lines of API.
+package main
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/kernel"
+)
+
+func main() {
+	cvax := arch.CVAX
+	r3000 := arch.R3000
+
+	fmt.Printf("%s vs %s\n\n", cvax, r3000)
+	fmt.Printf("%-26s %10s %10s %8s\n", "Primitive", "CVAX µs", "R3000 µs", "speedup")
+	for _, p := range kernel.Primitives() {
+		a := kernel.Measure(cvax, p)
+		b := kernel.Measure(r3000, p)
+		fmt.Printf("%-26s %10.1f %10.1f %7.1fx\n", p, a.Micros, b.Micros, a.Micros/b.Micros)
+	}
+	fmt.Printf("\nInteger application performance: %.1fx\n", r3000.SPECRelativeTo(cvax))
+	fmt.Println("\nEvery primitive scales below the application ratio — the paper's thesis:")
+	fmt.Println("\"operating system performance is well below application code performance on contemporary RISCs.\"")
+
+	// Dig into one number: where do the cycles of an R3000 context
+	// switch go?
+	m := kernel.Measure(r3000, kernel.ContextSwitch)
+	fmt.Printf("\nR3000 context switch: %.0f cycles over %d instructions\n", m.Cycles, m.Instructions)
+	for _, ph := range m.Result.Phases {
+		fmt.Printf("  %-22s %6.0f cycles\n", ph.Name, ph.Cycles)
+	}
+}

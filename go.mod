@@ -1,0 +1,3 @@
+module archos
+
+go 1.22

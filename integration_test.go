@@ -1,0 +1,139 @@
+package archos_test
+
+import (
+	"strings"
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/core"
+	"archos/internal/fs"
+	"archos/internal/fsserver"
+	"archos/internal/ipc"
+	"archos/internal/kernel"
+	"archos/internal/mach"
+	"archos/internal/paper"
+	"archos/internal/threads"
+	"archos/internal/vm"
+	"archos/internal/workload"
+)
+
+// Cross-package integration tests: the repository's headline claims,
+// checked end to end through the public surfaces the binaries use.
+
+func TestHeadlineThesisAcrossTheStack(t *testing.T) {
+	// The paper's thesis at every level of the stack, on the R3000 vs
+	// the CVAX: applications speed up ~6.7x, but primitives, RPC, and
+	// whole-workload OS shares lag far behind.
+	app := arch.R3000.SPECRelativeTo(arch.CVAX)
+
+	cvax := kernel.NewCostModel(arch.CVAX)
+	r3 := kernel.NewCostModel(arch.R3000)
+	prims := cvax.SyscallMicros() / r3.SyscallMicros()
+
+	rpc := ipc.NewRPC(arch.CVAX, ipc.Ethernet10).NullRPC().Total /
+		ipc.NewRPC(arch.R3000, ipc.Ethernet10).NullRPC().Total
+
+	if !(app > prims && app > rpc) {
+		t.Errorf("thesis violated: app %.1fx, syscall %.1fx, rpc %.1fx", app, prims, rpc)
+	}
+}
+
+func TestEveryTableRendersEveryPaperNumberSomewhere(t *testing.T) {
+	// Smoke-level completeness: the rendered tables must mention the
+	// paper's most recognisable figures.
+	all := strings.Join([]string{
+		core.Table1().String(), core.Table2().String(), core.Table3().String(),
+		core.Table4().String(), core.Table5().String(), core.Table6().String(),
+		core.Table7(mach.Monolithic).String(), core.Table7(mach.Microkernel).String(),
+	}, "\n")
+	for _, marker := range []string{
+		"15.8",    // CVAX null syscall µs
+		"53.9",    // SPARC context switch µs
+		"326",     // SPARC context switch instructions
+		"559",     // i860 PTE change instructions
+		"136",     // SPARC registers
+		"1395555", // parthenon emulated instructions (Mach 2.5)
+		"13.1",    // SPARC call preparation µs
+		"157",     // LRPC null call µs
+	} {
+		if !strings.Contains(all, marker) {
+			t.Errorf("paper figure %q absent from the rendered tables", marker)
+		}
+	}
+}
+
+func TestWorkloadDemandIsStructureIndependent(t *testing.T) {
+	// The same workload.Spec feeds both OS structures; its demand
+	// (Unix calls) must be consumed identically — the difference is in
+	// how the structure multiplies it.
+	mono := mach.New(mach.DefaultConfig(mach.Monolithic))
+	micro := mach.New(mach.DefaultConfig(mach.Microkernel))
+	for _, w := range workload.All() {
+		a, b := mono.Run(w), micro.Run(w)
+		if a.Workload != b.Workload {
+			t.Fatalf("workload identity diverged: %q vs %q", a.Workload, b.Workload)
+		}
+		// The monolithic syscall count IS the Unix-call demand.
+		if a.Syscalls != int64(w.UnixCalls()) {
+			t.Errorf("%s: monolithic syscalls %d ≠ demand %d", w.Name, a.Syscalls, w.UnixCalls())
+		}
+	}
+}
+
+func TestFunctionalAndCountedDecompositionAgree(t *testing.T) {
+	// The counter-based mach model and the functional fsserver model
+	// implement the same structural rule: 2 syscalls per service op.
+	cm := kernel.NewCostModel(arch.R3000)
+	remote := fsserver.NewRemote(fs.New(128), cm)
+	if _, err := fsserver.DefaultAndrewMini().Run(remote); err != nil {
+		t.Fatal(err)
+	}
+	st := remote.Stats()
+	if st.Syscalls != 2*st.Ops || st.ASSwitches != 2*st.Ops {
+		t.Errorf("functional model: %d ops → %d syscalls, %d AS switches; want exactly 2x",
+			st.Ops, st.Syscalls, st.ASSwitches)
+	}
+}
+
+func TestFaultCostsConsistentAcrossSubsystems(t *testing.T) {
+	// vm's fault pricing must agree with the kernel cost model it is
+	// built on, on every architecture.
+	for _, s := range arch.Table1Set() {
+		f := vm.NewFaultCosts(s)
+		cm := kernel.NewCostModel(s)
+		if got, want := f.KernelHandledMicros(), cm.TrapMicros()+cm.PTEChangeMicros(); got != want {
+			t.Errorf("%s: kernel-handled fault %.2f ≠ trap+pte %.2f", s.Name, got, want)
+		}
+	}
+}
+
+func TestThreadCostsOrderedByPaperNarrative(t *testing.T) {
+	// §4's cost hierarchy on every architecture: procedure call <
+	// user-level switch < kernel context switch; and on window
+	// machines the user switch carries the window bill.
+	for _, s := range arch.Table6Set() {
+		c := threads.NewCosts(s)
+		if !(c.ProcedureCall < c.UserSwitch) {
+			t.Errorf("%s: call (%.2f) not cheaper than user switch (%.2f)", s.Name, c.ProcedureCall, c.UserSwitch)
+		}
+		if s.RegisterWindows == 0 && !(c.UserSwitch < c.KernelSwitch) {
+			t.Errorf("%s: user switch (%.2f) not cheaper than kernel switch (%.2f)", s.Name, c.UserSwitch, c.KernelSwitch)
+		}
+	}
+}
+
+func TestPaperDataSelfConsistency(t *testing.T) {
+	// The published Table 5 buckets must sum to the published Table 1
+	// null-syscall times (they do in the paper, within rounding).
+	for name, buckets := range paper.Table5 {
+		sum := buckets[0] + buckets[1] + buckets[2]
+		want := paper.Table1[name]["Null system call"]
+		if diff := sum - want; diff > 0.35 || diff < -0.35 {
+			t.Errorf("%s: Table 5 sums to %.1f µs, Table 1 says %.1f", name, sum, want)
+		}
+	}
+	// Table 2's R2000 column serves both MIPS machines.
+	if paper.Table2["MIPS R2000"]["Null system call"] != 84 {
+		t.Error("paper data drifted")
+	}
+}

@@ -1,0 +1,213 @@
+package arch
+
+import (
+	"testing"
+
+	"archos/internal/paper"
+)
+
+func TestTable6ThreadState(t *testing.T) {
+	// Table 6 is definitional: the specs must carry exactly the paper's
+	// processor thread state.
+	for name, want := range paper.Table6 {
+		// The paper's "VAX" column is our CVAX spec.
+		lookup := name
+		if name == "CVAX" {
+			lookup = "CVAX"
+		}
+		s, ok := ByName(lookup)
+		if !ok {
+			t.Fatalf("no spec for %q", name)
+		}
+		if s.IntRegisters != want[0] {
+			t.Errorf("%s: %d registers, paper says %d", name, s.IntRegisters, want[0])
+		}
+		if s.FPStateWords != want[1] {
+			t.Errorf("%s: %d FP words, paper says %d", name, s.FPStateWords, want[1])
+		}
+		if s.MiscStateWords != want[2] {
+			t.Errorf("%s: %d misc words, paper says %d", name, s.MiscStateWords, want[2])
+		}
+		if got := s.ThreadStateWords(); got != want[0]+want[1]+want[2] {
+			t.Errorf("%s: total %d, want %d", name, got, want[0]+want[1]+want[2])
+		}
+	}
+}
+
+func TestSPARCRegisterGeometry(t *testing.T) {
+	// 8 windows × 16 registers + 8 globals = 136 (Table 6).
+	if got := SPARC.RegisterWindows*16 + 8; got != SPARC.IntRegisters {
+		t.Errorf("window geometry gives %d registers, spec says %d", got, SPARC.IntRegisters)
+	}
+	if SPARC.WindowsSavedPerSwitch != 3 {
+		t.Errorf("windows per switch = %d, Kleiman & Williams measured 3", SPARC.WindowsSavedPerSwitch)
+	}
+}
+
+func TestOnlySPARCHasWindows(t *testing.T) {
+	for _, s := range All() {
+		hasWindows := s.RegisterWindows > 0
+		if hasWindows != (s.Name == SPARC.Name) {
+			t.Errorf("%s: RegisterWindows = %d", s.Name, s.RegisterWindows)
+		}
+	}
+}
+
+func TestMIPSLacksAtomicOp(t *testing.T) {
+	// §4.1: "The MIPS R2000/R3000 has no atomic semaphore instruction."
+	if R2000.AtomicTestAndSet || R3000.AtomicTestAndSet {
+		t.Error("MIPS specs claim an atomic test-and-set")
+	}
+	for _, s := range []*Spec{CVAX, SPARC, M88000, I860, RS6000} {
+		if !s.AtomicTestAndSet {
+			t.Errorf("%s should have an atomic operation", s.Name)
+		}
+	}
+}
+
+func TestI860ProvidesNoFaultAddress(t *testing.T) {
+	if I860.FaultAddressProvided {
+		t.Error("the i860 'provides no information on the faulting address'")
+	}
+	for _, s := range []*Spec{CVAX, R2000, R3000, SPARC, M88000} {
+		if !s.FaultAddressProvided {
+			t.Errorf("%s provides the fault address", s.Name)
+		}
+	}
+}
+
+func TestImpreciseInterruptMachines(t *testing.T) {
+	// §3.1: the 88000 and i860 expose pipelines; "the IBM RS6000, the
+	// SPARC, and the R2/3000 ... implement precise interrupts".
+	for _, s := range []*Spec{M88000, I860} {
+		if s.PreciseInterrupts {
+			t.Errorf("%s should have imprecise interrupts", s.Name)
+		}
+		if s.ExposedPipelines == 0 || s.PipelineStateRegs == 0 {
+			t.Errorf("%s should expose pipeline state", s.Name)
+		}
+	}
+	for _, s := range []*Spec{CVAX, R2000, R3000, SPARC, RS6000} {
+		if !s.PreciseInterrupts {
+			t.Errorf("%s should have precise interrupts", s.Name)
+		}
+	}
+}
+
+func TestM88000PipelineState(t *testing.T) {
+	if M88000.ExposedPipelines != 5 {
+		t.Errorf("88000 has %d exposed pipelines, paper says 5", M88000.ExposedPipelines)
+	}
+	if M88000.PipelineStateRegs < 25 || M88000.PipelineStateRegs > 30 {
+		t.Errorf("88000 pipeline state regs = %d, paper says 'nearly 30'", M88000.PipelineStateRegs)
+	}
+	// The misc thread state of Table 6 is these registers.
+	if M88000.MiscStateWords != M88000.PipelineStateRegs {
+		t.Errorf("88000 misc state (%d) should equal its pipeline state (%d)",
+			M88000.MiscStateWords, M88000.PipelineStateRegs)
+	}
+}
+
+func TestSoftwareTLBOnlyOnMIPS(t *testing.T) {
+	for _, s := range All() {
+		isMIPS := s.Name == R2000.Name || s.Name == R3000.Name
+		if (s.TLB.Refill.String() == "software") != isMIPS {
+			t.Errorf("%s: refill = %v", s.Name, s.TLB.Refill)
+		}
+	}
+	if R3000.PageTable != SoftwareDefined {
+		t.Error("MIPS page table should be software-defined")
+	}
+	if SPARC.PageTable != ThreeLevel {
+		t.Error("SPARC page table should be 3-level")
+	}
+	if CVAX.PageTable != LinearPageTable {
+		t.Error("VAX page table should be linear")
+	}
+}
+
+func TestUntaggedTLBs(t *testing.T) {
+	// The CVAX purges on every AS switch (§3.2); the i860 flushes via
+	// dirbase. The newer RISCs carry PID tags.
+	if CVAX.TLB.Tagged || I860.TLB.Tagged {
+		t.Error("CVAX and i860 TLBs should be untagged")
+	}
+	for _, s := range []*Spec{R2000, R3000, SPARC, M88000, RS6000} {
+		if !s.TLB.Tagged {
+			t.Errorf("%s TLB should be tagged", s.Name)
+		}
+	}
+}
+
+func TestVirtuallyAddressedCaches(t *testing.T) {
+	if I860.DCache.Indexing.String() != "virtual" || I860.DCache.ProcessTags {
+		t.Error("i860 cache should be virtual without process tags (flush on switch)")
+	}
+	if SPARC.DCache.Indexing.String() != "virtual" || !SPARC.DCache.ProcessTags {
+		t.Error("SS1+ cache should be virtual with context tags")
+	}
+}
+
+func TestApplicationPerformanceDerivation(t *testing.T) {
+	for name, want := range paper.Table1AppPerf {
+		s, _ := ByName(name)
+		got := s.SPECRelativeTo(CVAX)
+		if got < want*0.95 || got > want*1.05 {
+			t.Errorf("%s: derived app performance %.2f, paper %.1f", name, got, want)
+		}
+	}
+	if CVAX.SPECRelativeTo(CVAX) != 1 {
+		t.Error("self-relative performance must be 1")
+	}
+}
+
+func TestRegistryAndSets(t *testing.T) {
+	if len(All()) != 7 {
+		t.Errorf("registry holds %d specs, want 7", len(All()))
+	}
+	if _, ok := ByName("nonesuch"); ok {
+		t.Error("ByName found a nonexistent spec")
+	}
+	if got := len(Table1Set()); got != 5 {
+		t.Errorf("Table1Set has %d specs, want 5", got)
+	}
+	if got := len(Table2Set()); got != 5 {
+		t.Errorf("Table2Set has %d specs, want 5", got)
+	}
+	if got := len(Table6Set()); got != 6 {
+		t.Errorf("Table6Set has %d specs, want 6", got)
+	}
+	for _, s := range All() {
+		if s.ClockMHz <= 0 || s.AppCPI <= 0 || s.PageBytes <= 0 {
+			t.Errorf("%s: incomplete spec", s.Name)
+		}
+		if s.Sim.ClockMHz != s.ClockMHz {
+			t.Errorf("%s: sim clock %.1f ≠ spec clock %.1f", s.Name, s.Sim.ClockMHz, s.ClockMHz)
+		}
+		if s.String() == "" {
+			t.Errorf("%s: empty String()", s.Name)
+		}
+	}
+}
+
+func TestFactoriesReturnFreshInstances(t *testing.T) {
+	if R3000.Machine() == R3000.Machine() {
+		t.Error("Machine() should return fresh instances")
+	}
+	tl := R3000.NewTLB()
+	tl.Lookup(0, 1, false)
+	if R3000.NewTLB().Valid() != 0 {
+		t.Error("NewTLB() returned shared state")
+	}
+	if R3000.NewDCache() == nil || CVAX.NewDCache() == nil {
+		t.Error("NewDCache() failed")
+	}
+}
+
+func TestIntegerThreadState(t *testing.T) {
+	for _, s := range All() {
+		if s.IntegerThreadStateWords() != s.ThreadStateWords()-s.FPStateWords {
+			t.Errorf("%s: integer state inconsistent", s.Name)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package arch
+
+import (
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// CVAX models the DEC CVAX chip as measured on a VAXstation 3200 at
+// 11.1 MHz — the paper's CISC baseline. Its defining property for this
+// study is microcode: system call entry (CHMK), return (REI), procedure
+// call (CALLS/RET), context switch (SVPCTX/LDPCTX), and TLB maintenance
+// (TBIS/TBIA) are single instructions doing large amounts of microcoded
+// work, which is why the VAX needs an order of magnitude fewer
+// instructions for the primitives of Table 2.
+var CVAX = register(&Spec{
+	Name:     "CVAX",
+	System:   "VAXstation 3200",
+	RISC:     false,
+	ClockMHz: 11.1,
+
+	// Table 6: 16 registers, no separate FP state (F/D-floating uses
+	// the general registers), 1 word of misc state (the PSL).
+	IntRegisters:   16,
+	FPStateWords:   0,
+	MiscStateWords: 1,
+
+	PreciseInterrupts:    true,
+	VectoredTraps:        true, // SCB: a vector per exception class
+	FaultAddressProvided: true,
+	AtomicTestAndSet:     true, // BBSSI/BBCCI interlocked instructions
+
+	PageTable: LinearPageTable,
+	PageBytes: 512,
+
+	// The CVAX translation buffer is untagged: every address-space
+	// change purges it. Section 3.2: in a null LRPC "an estimated 25%
+	// of the time is lost to TLB misses on the CVAX, because the entire
+	// TLB must be purged twice".
+	TLB: tlb.Config{
+		Name:             "CVAX TB",
+		Entries:          28, // 28 process-space entries (mini-TB style model)
+		Tagged:           false,
+		Refill:           tlb.HardwareRefill,
+		UserMissCycles:   22, // microcoded linear page-table fetch
+		KernelMissCycles: 22,
+		PurgeCycles:      24, // TBIA
+	},
+	DCache: cache.Config{
+		Name:              "CVAX cache",
+		SizeBytes:         64 << 10,
+		LineBytes:         32,
+		Assoc:             1,
+		Indexing:          cache.PhysicalIndexed,
+		WritePolicy:       cache.WriteThrough,
+		MissPenaltyCycles: 10,
+	},
+
+	// The CVAX averages roughly 3.9 cycles per instruction on integer
+	// application code; with the RISC AppCPIs below this reproduces the
+	// paper's Table 1 application-performance row (relative SPECmarks).
+	AppCPI: 3.9,
+
+	Sim: sim.Params{
+		Name:     "CVAX",
+		ClockMHz: 11.1,
+		CPI: sim.MakeCPI(map[sim.Class]float64{
+			sim.ALU:            3,
+			sim.Load:           5,
+			sim.Store:          5,
+			sim.Branch:         4,
+			sim.Nop:            1,
+			sim.Mul:            12,
+			sim.FPOp:           12,
+			sim.TrapEnter:      27, // CHMK microcode: mode change, stack switch, PSL
+			sim.TrapReturn:     23, // REI microcode
+			sim.TLBWrite:       8,
+			sim.TLBProbe:       10,
+			sim.TLBPurge:       24, // TBIA
+			sim.CacheFlushLine: 4,
+			sim.CtrlRead:       6, // MFPR
+			sim.CtrlWrite:      8,
+		}),
+		// Writes go through a small buffer; the CVAX memory system is
+		// matched to its modest clock so stalls are rare.
+		WriteBuffer:     cache.WriteBufferConfig{Depth: 4, DrainCycles: 4},
+		LoadMissPenalty: 10,
+		LoadMissRatio: [5]float64{
+			sim.AddrSeqSamePage: 0.03,
+			sim.AddrKernelData:  0.10,
+			sim.AddrUserData:    0.20,
+			sim.AddrNewPage:     0.60,
+		},
+		UncachedAccessCycles: 10,
+	},
+})

@@ -1,0 +1,108 @@
+package arch
+
+import (
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// I860 models the Intel i860. The paper includes it in the instruction-
+// count study (Table 2) but not the timing study; its properties are the
+// extreme points of the paper's argument:
+//
+//   - All exceptions vector through one handler.
+//   - "the processor provides no information on the faulting address;
+//     in fact, it provides little information about why the fault
+//     occurred ... The fault handler must then interpret the faulting
+//     instruction to determine the type of fault and the offending
+//     address. This requirement adds 26 instructions to our trap
+//     handler."
+//   - Imprecise interrupts: "on an interrupt the Intel i860 must save
+//     the current state of its pipelines and restore them when the
+//     interrupted process is continued. If the floating point pipeline
+//     could be in use, the save/restore process adds 60 or more
+//     instructions."
+//   - A virtually addressed cache without process tags: context
+//     switches flush the cache (the 618-instruction context switch of
+//     Table 2), and "on the i860 ... 536 out of the 559 instructions
+//     required to change a PTE are concerned with flushing the virtual
+//     cache."
+//   - Critical sections built on its lock protocol cannot fault midway,
+//     so lock code must pre-touch store targets (Section 4.1).
+var I860 = register(&Spec{
+	Name:     "Intel i860",
+	System:   "i860 reference platform",
+	RISC:     true,
+	ClockMHz: 33.3,
+
+	// Table 6: 32 integer registers, 32 FP words, 9 misc words
+	// (psr, epsr, db, dirbase, fir, fsr, KR, KI, T special registers).
+	IntRegisters:   32,
+	FPStateWords:   32,
+	MiscStateWords: 9,
+
+	ExposedPipelines:  3, // FP adder, FP multiplier, load pipe
+	PipelineStateRegs: 9,
+	PreciseInterrupts: false,
+
+	VectoredTraps:        false,
+	FaultAddressProvided: false,
+	AtomicTestAndSet:     true, // lock/unlock protocol, but fragile under faults
+
+	DelaySlotUnfilledRate: 0.3,
+
+	PageTable: LinearPageTable, // i386-style 2-level hardware walk
+	PageBytes: 4096,
+
+	TLB: tlb.Config{
+		Name:             "i860 TLB",
+		Entries:          64,
+		Tagged:           false, // flushed via dirbase writes on AS change
+		Refill:           tlb.HardwareRefill,
+		UserMissCycles:   20,
+		KernelMissCycles: 20,
+		PurgeCycles:      40,
+	},
+	// 8KB two-way virtually addressed write-back data cache, 32-byte
+	// lines → 256 lines to flush at a PTE change or context switch.
+	DCache: cache.Config{
+		Name:              "i860 D-cache",
+		SizeBytes:         8 << 10,
+		LineBytes:         32,
+		Assoc:             2,
+		Indexing:          cache.VirtualIndexed,
+		ProcessTags:       false,
+		WritePolicy:       cache.WriteBack,
+		MissPenaltyCycles: 12,
+	},
+
+	AppCPI: 1.5, // ≈22.2 native MIPS
+
+	Sim: sim.Params{
+		Name:     "Intel i860",
+		ClockMHz: 33.3,
+		CPI: sim.MakeCPI(map[sim.Class]float64{
+			sim.Mul:        5,
+			sim.FPOp:       2,
+			sim.TrapEnter:  12,
+			sim.TrapReturn: 8,
+			sim.TLBWrite:   4,
+			sim.TLBProbe:   4,
+			sim.TLBPurge:   40,
+			// Flushing one line of the virtually addressed write-back
+			// cache: a flush instruction plus its memory write-back.
+			sim.CacheFlushLine: 3,
+			sim.CtrlRead:       3,
+			sim.CtrlWrite:      4,
+		}),
+		WriteBuffer:     cache.WriteBufferConfig{Depth: 2, DrainCycles: 6},
+		LoadMissPenalty: 12,
+		LoadMissRatio: [5]float64{
+			sim.AddrSeqSamePage: 0.06,
+			sim.AddrKernelData:  0.15,
+			sim.AddrUserData:    0.30,
+			sim.AddrNewPage:     0.60,
+		},
+		UncachedAccessCycles: 12,
+	},
+})

@@ -1,0 +1,102 @@
+package arch
+
+import (
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// M88000 models the Motorola 88000 (88100 CPU + 88200 CMMUs) as
+// measured on a Tektronix XD88/01 at 20 MHz. Its defining features for
+// the paper:
+//
+//   - Exposed pipelines: "the Motorola 88000 has 5 internal pipelines,
+//     including an instruction fetch pipeline, each of which must be
+//     restarted after a fault. Associated with these pipelined execution
+//     units are nearly 30 internal registers" that the OS must read,
+//     save, and restore on every exception — the paper's explanation for
+//     the 88000 losing "much of its performance advantage".
+//   - Imprecise faults: instructions after the faulting one may have
+//     completed, so the OS must emulate the faulting access from saved
+//     pipeline state.
+//   - Integer multiply executes in the FP unit, so the FPU must be
+//     unfrozen and drained before a fault handler can safely proceed.
+//   - The MMU and caches live in external 88200 CMMU chips reached over
+//     the memory bus, so address-space changes and PTE maintenance are
+//     sequences of uncached control-register accesses.
+var M88000 = register(&Spec{
+	Name:     "Motorola 88000",
+	System:   "Tektronix XD88/01",
+	RISC:     true,
+	ClockMHz: 20,
+
+	// Table 6: 32 registers, FP shares the general file (0 words), and
+	// 27 words of misc state — the pipeline/shadow registers.
+	IntRegisters:   32,
+	FPStateWords:   0,
+	MiscStateWords: 27,
+
+	ExposedPipelines:  5,
+	PipelineStateRegs: 27,
+	PreciseInterrupts: false,
+
+	VectoredTraps:        true,
+	FaultAddressProvided: true,
+	AtomicTestAndSet:     true, // XMEM
+
+	// The 88000 has delayed branches the handler code can often fill.
+	DelaySlotUnfilledRate: 0.3,
+
+	PageTable: LinearPageTable, // 88200 table-walk hardware (2-level)
+	PageBytes: 4096,
+
+	TLB: tlb.Config{
+		Name:             "88200 ATC",
+		Entries:          56,
+		Tagged:           true,
+		Refill:           tlb.HardwareRefill,
+		UserMissCycles:   25,
+		KernelMissCycles: 25,
+		PurgeCycles:      48,
+	},
+	DCache: cache.Config{
+		Name:              "88200 D-cache",
+		SizeBytes:         16 << 10,
+		LineBytes:         16,
+		Assoc:             4,
+		Indexing:          cache.PhysicalIndexed,
+		WritePolicy:       cache.WriteThrough,
+		MissPenaltyCycles: 10,
+	},
+
+	AppCPI: 2.0, // ≈10.0 native MIPS → 3.5× CVAX
+
+	Sim: sim.Params{
+		Name:     "Motorola 88000",
+		ClockMHz: 20,
+		CPI: sim.MakeCPI(map[sim.Class]float64{
+			sim.Mul:        4, // in the FP unit
+			sim.FPOp:       3,
+			sim.TrapEnter:  10, // shadow registers freeze, vector fetch
+			sim.TrapReturn: 6,  // rte, pipeline refill
+			sim.TLBWrite:   6,
+			sim.TLBProbe:   6,
+			sim.TLBPurge:   48,
+			sim.CtrlRead:   2.6, // internal control registers (fcr/fpsr/pipeline regs)
+			sim.CtrlWrite:  4,
+		}),
+		WriteBuffer: cache.WriteBufferConfig{
+			Depth: 4, DrainCycles: 4,
+			PageMode: true, PageModeDrainCycles: 2,
+		},
+		LoadMissPenalty: 10,
+		LoadMissRatio: [5]float64{
+			sim.AddrSeqSamePage: 0.06,
+			sim.AddrKernelData:  0.15,
+			sim.AddrUserData:    0.30,
+			sim.AddrNewPage:     0.60,
+		},
+		// CMMU control registers over the external bus.
+		UncachedAccessCycles: 17,
+	},
+})

@@ -1,0 +1,98 @@
+package arch
+
+import (
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// R2000 models the MIPS R2000 as measured on a DECstation 3100 at
+// 16.67 MHz. Its properties the paper turns on:
+//
+//   - software-refilled 64-entry tagged TLB with a separate user-miss
+//     vector (about a dozen cycles) and a slow kernel-miss path (a few
+//     hundred cycles);
+//   - a single common exception vector for everything else (DeMoney et
+//     al.'s argument that separate vectoring is unnecessary);
+//   - no atomic test-and-set: threads synchronize by trapping into the
+//     kernel;
+//   - a 4-deep write-through buffer that "will stall for 5 cycles on
+//     every successive write once the buffer is full" — the paper
+//     estimates write-buffer stalls at 30% of interrupt overhead;
+//   - handler code leaves ~50% of delay slots unfilled, ≈13% of the
+//     null system call time.
+var R2000 = register(&Spec{
+	Name:     "MIPS R2000",
+	System:   "DECstation 3100",
+	RISC:     true,
+	ClockMHz: 16.67,
+
+	// Table 6: 32 registers, 32 words FP state, 5 misc (HI, LO, SR,
+	// CAUSE, EPC).
+	IntRegisters:   32,
+	FPStateWords:   32,
+	MiscStateWords: 5,
+
+	PreciseInterrupts:     true,
+	VectoredTraps:         false,
+	SeparateTLBMissVector: true,
+	FaultAddressProvided:  true, // BadVAddr register
+	AtomicTestAndSet:      false,
+
+	DelaySlotUnfilledRate: 0.5,
+
+	PageTable: SoftwareDefined,
+	PageBytes: 4096,
+
+	TLB: tlb.Config{
+		Name:             "R2000 TLB",
+		Entries:          64,
+		Tagged:           true, // 6-bit PID field
+		Refill:           tlb.SoftwareRefill,
+		UserMissCycles:   12,  // dedicated uTLB-miss handler: "about a dozen cycles"
+		KernelMissCycles: 300, // common vector: "a few hundred cycles"
+		PurgeCycles:      64,
+	},
+	DCache: cache.Config{
+		Name:              "DS3100 D-cache",
+		SizeBytes:         64 << 10,
+		LineBytes:         4, // one-word lines on the DS3100
+		Assoc:             1,
+		Indexing:          cache.PhysicalIndexed,
+		WritePolicy:       cache.WriteThrough,
+		MissPenaltyCycles: 6,
+	},
+
+	AppCPI: 1.4, // ≈11.9 native MIPS → 4.2× CVAX (Table 1 bottom row)
+
+	Sim: sim.Params{
+		Name:     "MIPS R2000",
+		ClockMHz: 16.67,
+		CPI: sim.MakeCPI(map[sim.Class]float64{
+			sim.Mul:        12,
+			sim.FPOp:       2,
+			sim.TrapEnter:  8, // exception latch, mode switch, fetch from vector
+			sim.TrapReturn: 3, // rfe + jump
+			sim.TLBWrite:   4, // tlbwi (+ coprocessor hazard slots)
+			sim.TLBProbe:   6, // tlbp (+ result hazard)
+			sim.TLBPurge:   64,
+			sim.CtrlRead:   2, // mfc0
+			sim.CtrlWrite:  2, // mtc0
+		}),
+		// DECstation 3100: 4-deep write buffer, 5-cycle retire, no
+		// page-mode fast path.
+		WriteBuffer:     cache.WriteBufferConfig{Depth: 4, DrainCycles: 5},
+		LoadMissPenalty: 6,
+		LoadMissRatio: [5]float64{
+			sim.AddrSeqSamePage: 0.15,
+			sim.AddrKernelData:  0.12,
+			sim.AddrUserData:    0.35,
+			sim.AddrNewPage:     0.80,
+		},
+		UncachedAccessCycles: 6,
+		// DS3100 fault entry: drain the 4-deep buffer at 5 cycles per
+		// entry, fetch the vector and replay the faulting reference
+		// from no-page-mode memory.
+		FaultEntryExtraCycles: 48,
+	},
+})

@@ -1,0 +1,111 @@
+package arch
+
+import (
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// SPARC models the Sun SPARC (Cypress-class implementation) as measured
+// on a SPARCstation 1+ at 25 MHz. The SPARC's defining features for the
+// paper:
+//
+//   - Register windows: 8 windows × 16 registers + 8 globals = 136
+//     integer registers (Table 6). "We estimate that 30% of the null
+//     system call time on the SPARC is associated with register window
+//     processing." A context switch spills/refills on average 3 windows
+//     (Sun Unix measurement), and the paper's context-switch driver
+//     "spends 70% of its time saving and restoring windows (12.8
+//     µseconds per window)". The current window pointer is privileged,
+//     so a purely user-level thread switch is impossible — a kernel
+//     trap is required.
+//   - A trap handler frame is interposed between user caller and the
+//     system routine, so "parameters and results must be copied an
+//     extra time".
+//   - The SPARC/Cypress MMU has a 3-level page table whose entries can
+//     terminate early (one TLB entry maps a 256KB or 16MB region) and a
+//     64-entry TLB with a lockable portion (Section 3.2).
+//   - The SS1-class memory system has a shallow write buffer in front
+//     of a write-through cache, making the long store runs of window
+//     spills expensive.
+var SPARC = register(&Spec{
+	Name:     "Sun SPARC",
+	System:   "SPARCstation 1+",
+	RISC:     true,
+	ClockMHz: 25,
+
+	// Table 6: 136 integer registers (8 windows + globals), 32 FP
+	// words, 6 misc (PSR, WIM, TBR, Y, PC, nPC).
+	IntRegisters:   136,
+	FPStateWords:   32,
+	MiscStateWords: 6,
+
+	RegisterWindows:       8,
+	WindowsSavedPerSwitch: 3, // [Kleiman & Williams 88]
+
+	PreciseInterrupts:    true,
+	VectoredTraps:        true,
+	FaultAddressProvided: true,
+	AtomicTestAndSet:     true, // LDSTUB
+
+	DelaySlotUnfilledRate: 0.3,
+
+	PageTable: ThreeLevel,
+	PageBytes: 4096,
+
+	TLB: tlb.Config{
+		Name:             "Cypress TLB",
+		Entries:          64,
+		Tagged:           true,
+		Refill:           tlb.HardwareRefill,
+		UserMissCycles:   30, // hardware 3-level walk
+		KernelMissCycles: 30,
+		PurgeCycles:      64,
+		Lockable:         16, // "an operating system specified portion ... can be locked"
+	},
+	DCache: cache.Config{
+		Name:              "SS1+ cache",
+		SizeBytes:         64 << 10,
+		LineBytes:         16,
+		Assoc:             1,
+		Indexing:          cache.VirtualIndexed,
+		ProcessTags:       true, // context IDs in the Sun MMU tags
+		WritePolicy:       cache.WriteThrough,
+		MissPenaltyCycles: 12,
+	},
+
+	AppCPI: 2.04, // ≈12.3 native MIPS → 4.3× CVAX
+
+	Sim: sim.Params{
+		Name:     "Sun SPARC",
+		ClockMHz: 25,
+		CPI: sim.MakeCPI(map[sim.Class]float64{
+			sim.Mul:        14, // no integer multiply instruction (MULScc steps)
+			sim.FPOp:       2,
+			sim.TrapEnter:  8, // trap: decrement CWP, vector through TBR
+			sim.TrapReturn: 5, // rett + restore
+			sim.TLBWrite:   4,
+			sim.TLBProbe:   4,
+			sim.TLBPurge:   64,
+			sim.CtrlRead:   3, // rd psr/wim
+			sim.CtrlWrite:  4, // wr psr/wim (plus settle cycles)
+		}),
+		// SS1-class store path: shallow buffer, slow write-through
+		// memory. Long register-save runs stall hard.
+		WriteBuffer:     cache.WriteBufferConfig{Depth: 1, DrainCycles: 9},
+		LoadMissPenalty: 12,
+		LoadMissRatio: [5]float64{
+			sim.AddrSeqSamePage: 0.06,
+			sim.AddrKernelData:  0.15,
+			sim.AddrUserData:    0.30,
+			sim.AddrNewPage:     0.60,
+		},
+		UncachedAccessCycles: 10,
+
+		// One register window: 16 registers spilled/refilled plus the
+		// WIM/PSR bookkeeping around each.
+		WindowStores:   16,
+		WindowLoads:    16,
+		WindowOverhead: 7,
+	},
+})

@@ -1,0 +1,203 @@
+// Package arch describes the processor architectures the paper studies:
+// the DEC CVAX (the CISC baseline) and the RISCs — Motorola 88000, MIPS
+// R2000 and R3000, Sun SPARC (Cypress/SS1+ class), Intel i860, and IBM
+// RS6000. A Spec gathers the properties the paper's analysis turns on:
+// processor state that must be saved (Table 6), register windows,
+// exposed pipelines, precise/imprecise interrupts, trap vectoring, TLB
+// and cache organisation, write-buffer behaviour, atomic-instruction
+// support, and the timing parameters the simulator uses.
+package arch
+
+import (
+	"fmt"
+	"sort"
+
+	"archos/internal/cache"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// PageTableStyle enumerates the page-table organisations the paper
+// contrasts in Section 3.2.
+type PageTableStyle int
+
+const (
+	// LinearPageTable is the VAX organisation: a linear table per
+	// region, itself mapped in system space; sparse address spaces are
+	// problematic.
+	LinearPageTable PageTableStyle = iota
+	// SoftwareDefined means the architecture does not dictate the page
+	// table: TLB misses trap to software (MIPS). "The operating system
+	// is free to choose whatever page table structure it likes."
+	SoftwareDefined
+	// ThreeLevel is the SPARC/Cypress organisation: a 3-level tree in
+	// which an entry at any level may be a terminal PTE mapping a
+	// contiguous region with a single TLB entry.
+	ThreeLevel
+	// InvertedHash approximates the RS6000's inverted page table.
+	InvertedHash
+)
+
+func (s PageTableStyle) String() string {
+	switch s {
+	case LinearPageTable:
+		return "linear"
+	case SoftwareDefined:
+		return "software-defined"
+	case ThreeLevel:
+		return "3-level"
+	case InvertedHash:
+		return "inverted"
+	}
+	return "unknown"
+}
+
+// Spec describes one architecture/system pair. The paper notes that
+// performance is affected "not only by instruction set architecture and
+// processor technology, but by attributes specific to particular
+// system-level implementation choices, such as cache size and
+// organization" — so a Spec describes a concrete system (VAXstation
+// 3200, DECstation 3100, ...), named by its processor as the paper's
+// tables are.
+type Spec struct {
+	Name   string // processor name used in the paper's tables
+	System string // the measured system
+	RISC   bool
+
+	ClockMHz float64
+
+	// Thread state, in 32-bit words (the paper's Table 6).
+	IntRegisters   int
+	FPStateWords   int
+	MiscStateWords int
+
+	// Register windows (SPARC). WindowsSavedPerSwitch is the measured
+	// average number of windows spilled+refilled per context switch
+	// (3 for Sun Unix on 8-window SPARCs [Kleiman & Williams 88]).
+	RegisterWindows       int
+	WindowsSavedPerSwitch int
+
+	// Pipeline visibility (Section 3.1). ExposedPipelines counts
+	// pipelines the OS must manage on a fault; PipelineStateRegs the
+	// internal registers that must be read/saved/restored then.
+	ExposedPipelines  int
+	PipelineStateRegs int
+	PreciseInterrupts bool
+
+	// Trap architecture (Section 2.3).
+	VectoredTraps         bool // dedicated vectors vs one common handler
+	FaultAddressProvided  bool // i860: false — handler must decode the instruction
+	SeparateTLBMissVector bool
+
+	// AtomicTestAndSet reports whether the ISA has an atomic memory
+	// lock instruction. The MIPS R2000/R3000 does not; threads must
+	// trap into the kernel to synchronize (Section 4.1, Table 7's
+	// emulated-instruction counts).
+	AtomicTestAndSet bool
+
+	// IntegerMulInFPU marks the 88000's placement of integer multiply
+	// in the FP unit, which forces the FPU restart dance in fault
+	// handlers.
+	IntegerMulInFPU bool
+
+	// DelaySlotUnfilledRate is the fraction of delay slots the handler
+	// code cannot fill (≈50% on the R2000 per the paper); 0 for
+	// architectures without visible delay slots.
+	DelaySlotUnfilledRate float64
+
+	PageTable PageTableStyle
+	PageBytes int
+
+	TLB    tlb.Config
+	DCache cache.Config
+
+	// AppCPI is the average cycles-per-instruction this system achieves
+	// on integer application code; SPECmark-class relative performance
+	// is derived from it (see SPECRelativeTo).
+	AppCPI float64
+
+	// Sim carries the micro-op timing parameters.
+	Sim sim.Params
+}
+
+// MIPSNative returns the system's native integer instruction rate in
+// millions of instructions per second on application code.
+func (s *Spec) MIPSNative() float64 { return s.ClockMHz / s.AppCPI }
+
+// SPECRelativeTo returns this system's integer application performance
+// relative to base (the paper's Table 1 bottom row uses the CVAX as
+// base).
+func (s *Spec) SPECRelativeTo(base *Spec) float64 {
+	return s.MIPSNative() / base.MIPSNative()
+}
+
+// ThreadStateWords returns the total words of processor state a thread
+// context switch must move when FP state is live (Table 6 totals).
+func (s *Spec) ThreadStateWords() int {
+	return s.IntRegisters + s.FPStateWords + s.MiscStateWords
+}
+
+// IntegerThreadStateWords returns the state moved for a purely integer
+// thread (the paper's measurements let the OS assume integer-only
+// applications, skipping FP state).
+func (s *Spec) IntegerThreadStateWords() int {
+	return s.IntRegisters + s.MiscStateWords
+}
+
+// Machine builds a fresh simulator machine for this architecture.
+func (s *Spec) Machine() *sim.Machine { return sim.NewMachine(s.Sim) }
+
+// NewTLB builds a fresh TLB model for this architecture.
+func (s *Spec) NewTLB() *tlb.TLB { return tlb.New(s.TLB) }
+
+// NewDCache builds a fresh data-cache model for this architecture.
+func (s *Spec) NewDCache() *cache.Cache { return cache.New(s.DCache) }
+
+// String identifies the spec.
+func (s *Spec) String() string { return fmt.Sprintf("%s (%s, %.1f MHz)", s.Name, s.System, s.ClockMHz) }
+
+// registry
+
+var registry = map[string]*Spec{}
+
+func register(s *Spec) *Spec {
+	if _, dup := registry[s.Name]; dup {
+		panic("arch: duplicate spec " + s.Name)
+	}
+	registry[s.Name] = s
+	return s
+}
+
+// ByName returns the spec with the given table name (e.g. "MIPS R2000")
+// and whether it exists.
+func ByName(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// All returns every registered spec sorted by name.
+func All() []*Spec {
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Table1Set returns the specs measured in the paper's Table 1, in the
+// paper's column order: CVAX, 88000, R2000, R3000, SPARC.
+func Table1Set() []*Spec {
+	return []*Spec{CVAX, M88000, R2000, R3000, SPARC}
+}
+
+// Table2Set returns the specs of Table 2: CVAX, 88000, R2000 (the
+// R2/3000 share an instruction set), SPARC, i860.
+func Table2Set() []*Spec {
+	return []*Spec{CVAX, M88000, R2000, SPARC, I860}
+}
+
+// Table6Set returns the specs of Table 6, in the paper's column order.
+func Table6Set() []*Spec {
+	return []*Spec{CVAX, M88000, R2000, SPARC, I860, RS6000}
+}

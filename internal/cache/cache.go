@@ -1,0 +1,244 @@
+package cache
+
+import "fmt"
+
+// Indexing selects how a cache is addressed. The paper's Section 3.2
+// discusses virtually addressed caches: they avoid translation before
+// lookup but their tags are context dependent, so they must be flushed on
+// context switch (absent process-ID tags) and searched/invalidated when a
+// page's protection changes — the dominant cost of the i860's 559
+// instruction PTE change.
+type Indexing int
+
+const (
+	// PhysicalIndexed caches are addressed after translation; entries
+	// survive context switches and PTE changes.
+	PhysicalIndexed Indexing = iota
+	// VirtualIndexed caches are addressed by virtual address with
+	// context-dependent tags.
+	VirtualIndexed
+)
+
+func (i Indexing) String() string {
+	if i == VirtualIndexed {
+		return "virtual"
+	}
+	return "physical"
+}
+
+// WritePolicy selects write-through or write-back behaviour.
+type WritePolicy int
+
+const (
+	WriteThrough WritePolicy = iota
+	WriteBack
+)
+
+func (w WritePolicy) String() string {
+	if w == WriteBack {
+		return "write-back"
+	}
+	return "write-through"
+}
+
+// Config describes a cache.
+type Config struct {
+	Name        string
+	SizeBytes   int
+	LineBytes   int
+	Assoc       int // ways; 1 = direct mapped
+	Indexing    Indexing
+	WritePolicy WritePolicy
+	// MissPenaltyCycles is the time to fill a line from memory.
+	MissPenaltyCycles float64
+	// ProcessTags, if true, gives a virtually addressed cache per-
+	// process tags so it need not be flushed on context switch.
+	ProcessTags bool
+}
+
+// Lines returns the number of cache lines.
+func (c Config) Lines() int {
+	if c.LineBytes == 0 {
+		return 0
+	}
+	return c.SizeBytes / c.LineBytes
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int {
+	if c.Assoc == 0 {
+		return 0
+	}
+	return c.Lines() / c.Assoc
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+	pid   int
+	dirty bool
+	lru   uint64 // last-touch stamp
+}
+
+// Cache is a set-associative cache simulator. Addresses are abstract
+// uint64 byte addresses; a process ID accompanies each access so that
+// virtually addressed caches can model context-dependence.
+//
+// The simulator is deterministic: replacement is true LRU by access
+// stamp.
+type Cache struct {
+	cfg    Config
+	sets   [][]line
+	stamp  uint64
+	hits   int64
+	misses int64
+	// writebacks counts dirty-line evictions under WriteBack policy.
+	writebacks int64
+	flushes    int64
+}
+
+// New creates a cache from cfg. It panics if the geometry is
+// inconsistent (size not divisible into sets) because configurations are
+// static architecture descriptions, not runtime inputs.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 || cfg.LineBytes <= 0 || cfg.Assoc <= 0 {
+		panic(fmt.Sprintf("cache %q: size, line, assoc must be positive", cfg.Name))
+	}
+	if cfg.SizeBytes%cfg.LineBytes != 0 || cfg.Lines()%cfg.Assoc != 0 {
+		panic(fmt.Sprintf("cache %q: inconsistent geometry", cfg.Name))
+	}
+	c := &Cache{cfg: cfg}
+	c.sets = make([][]line, cfg.Sets())
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
+	lineIdx := addr / uint64(c.cfg.LineBytes)
+	setIdx = int(lineIdx % uint64(len(c.sets)))
+	tag = lineIdx / uint64(len(c.sets))
+	return
+}
+
+// Access performs a read (write=false) or write (write=true) by process
+// pid at address addr. It returns whether the access hit and the cycle
+// penalty beyond the base access time (0 on hit; the miss penalty, plus
+// a write-back penalty when a dirty victim is evicted, on miss).
+func (c *Cache) Access(pid int, addr uint64, write bool) (hit bool, penalty float64) {
+	c.stamp++
+	setIdx, tag := c.locate(addr)
+	set := c.sets[setIdx]
+	for i := range set {
+		l := &set[i]
+		if l.valid && l.tag == tag && (c.cfg.Indexing == PhysicalIndexed || !c.tagsByPID() || l.pid == pid) {
+			l.lru = c.stamp
+			if write && c.cfg.WritePolicy == WriteBack {
+				l.dirty = true
+			}
+			c.hits++
+			return true, 0
+		}
+	}
+	c.misses++
+	// Choose victim: invalid first, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	penalty = c.cfg.MissPenaltyCycles
+	if set[victim].valid && set[victim].dirty {
+		c.writebacks++
+		penalty += c.cfg.MissPenaltyCycles
+	}
+	set[victim] = line{valid: true, tag: tag, pid: pid, lru: c.stamp, dirty: write && c.cfg.WritePolicy == WriteBack}
+	return false, penalty
+}
+
+func (c *Cache) tagsByPID() bool {
+	return c.cfg.Indexing == VirtualIndexed && c.cfg.ProcessTags
+}
+
+// FlushAll invalidates the entire cache and returns the number of lines
+// that were valid (the work a software flush loop must do). A context
+// switch on a virtually addressed cache without process tags must do
+// this; the i860's high context-switch instruction count in the paper's
+// Table 2 is exactly this flush.
+func (c *Cache) FlushAll() (flushed int) {
+	for si := range c.sets {
+		for li := range c.sets[si] {
+			if c.sets[si][li].valid {
+				flushed++
+				c.sets[si][li] = line{}
+			}
+		}
+	}
+	c.flushes++
+	return flushed
+}
+
+// FlushPage invalidates every line belonging to the page containing
+// addr, returning the number invalidated. Changing a PTE under a
+// virtually addressed cache requires this search-and-invalidate pass;
+// on the i860 "536 out of the 559 instructions required to change a PTE
+// are concerned with flushing the virtual cache".
+func (c *Cache) FlushPage(addr uint64, pageBytes int) (flushed int) {
+	pageStart := addr - addr%uint64(pageBytes)
+	for off := 0; off < pageBytes; off += c.cfg.LineBytes {
+		setIdx, tag := c.locate(pageStart + uint64(off))
+		set := c.sets[setIdx]
+		for i := range set {
+			if set[i].valid && set[i].tag == tag {
+				set[i] = line{}
+				flushed++
+			}
+		}
+	}
+	return flushed
+}
+
+// ContextSwitch tells the cache the processor switched to process pid.
+// For a virtually addressed cache without process tags this flushes
+// everything; otherwise it is free. It returns the number of lines
+// invalidated.
+func (c *Cache) ContextSwitch(pid int) int {
+	if c.cfg.Indexing == VirtualIndexed && !c.cfg.ProcessTags {
+		return c.FlushAll()
+	}
+	return 0
+}
+
+// Hits, Misses, Writebacks and Flushes report access statistics.
+func (c *Cache) Hits() int64       { return c.hits }
+func (c *Cache) Misses() int64     { return c.misses }
+func (c *Cache) Writebacks() int64 { return c.writebacks }
+func (c *Cache) Flushes() int64    { return c.flushes }
+
+// HitRatio returns hits/(hits+misses), or 0 with no accesses.
+func (c *Cache) HitRatio() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for si := range c.sets {
+		for li := range c.sets[si] {
+			c.sets[si][li] = line{}
+		}
+	}
+	c.stamp, c.hits, c.misses, c.writebacks, c.flushes = 0, 0, 0, 0, 0
+}

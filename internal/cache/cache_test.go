@@ -1,0 +1,200 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func physCfg() Config {
+	return Config{
+		Name: "test", SizeBytes: 4096, LineBytes: 32, Assoc: 2,
+		Indexing: PhysicalIndexed, WritePolicy: WriteThrough, MissPenaltyCycles: 10,
+	}
+}
+
+func TestCacheGeometry(t *testing.T) {
+	c := New(physCfg())
+	if got := c.Config().Lines(); got != 128 {
+		t.Errorf("lines = %d, want 128", got)
+	}
+	if got := c.Config().Sets(); got != 64 {
+		t.Errorf("sets = %d, want 64", got)
+	}
+}
+
+func TestCacheBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inconsistent geometry did not panic")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 100, LineBytes: 32, Assoc: 2})
+}
+
+func TestCacheMissThenHit(t *testing.T) {
+	c := New(physCfg())
+	hit, pen := c.Access(0, 0x1000, false)
+	if hit || pen != 10 {
+		t.Errorf("first access: hit=%v pen=%.0f, want miss with penalty 10", hit, pen)
+	}
+	hit, pen = c.Access(0, 0x1008, false) // same line
+	if !hit || pen != 0 {
+		t.Errorf("same-line access: hit=%v pen=%.0f, want free hit", hit, pen)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(physCfg())
+	// Three lines mapping to the same set of a 2-way cache: the least
+	// recently used must be evicted.
+	setStride := uint64(64 * 32) // sets * lineBytes
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Access(0, a, false)
+	c.Access(0, b, false)
+	c.Access(0, a, false) // refresh a
+	c.Access(0, d, false) // evicts b
+	if hit, _ := c.Access(0, a, false); !hit {
+		t.Error("recently used line was evicted")
+	}
+	if hit, _ := c.Access(0, b, false); hit {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestVirtualCacheContextSwitchFlush(t *testing.T) {
+	cfg := physCfg()
+	cfg.Indexing = VirtualIndexed
+	c := New(cfg)
+	c.Access(1, 0x2000, false)
+	c.Access(1, 0x3000, false)
+	flushed := c.ContextSwitch(2)
+	if flushed != 2 {
+		t.Errorf("context switch flushed %d lines, want 2", flushed)
+	}
+	if hit, _ := c.Access(1, 0x2000, false); hit {
+		t.Error("entry survived a virtual-cache flush")
+	}
+}
+
+func TestVirtualCacheWithProcessTagsKeepsEntries(t *testing.T) {
+	cfg := physCfg()
+	cfg.Indexing = VirtualIndexed
+	cfg.ProcessTags = true
+	c := New(cfg)
+	c.Access(1, 0x2000, false)
+	if flushed := c.ContextSwitch(2); flushed != 0 {
+		t.Errorf("tagged virtual cache flushed %d lines on switch", flushed)
+	}
+	// But process 2 must not hit process 1's line at the same address.
+	if hit, _ := c.Access(2, 0x2000, false); hit {
+		t.Error("cross-process hit in a process-tagged virtual cache")
+	}
+	if hit, _ := c.Access(1, 0x2000, false); !hit {
+		t.Error("original process lost its line")
+	}
+}
+
+func TestPhysicalCacheIgnoresContextSwitch(t *testing.T) {
+	c := New(physCfg())
+	c.Access(1, 0x2000, false)
+	if flushed := c.ContextSwitch(2); flushed != 0 {
+		t.Errorf("physical cache flushed %d lines on context switch", flushed)
+	}
+	if hit, _ := c.Access(2, 0x2000, false); !hit {
+		t.Error("physical cache is not context dependent; access should hit")
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	c := New(physCfg())
+	pageBytes := 1024
+	for off := 0; off < pageBytes; off += 32 {
+		c.Access(0, uint64(0x4000+off), false)
+	}
+	c.Access(0, 0x8000, false) // outside the page
+	flushed := c.FlushPage(0x4100, pageBytes)
+	if flushed != pageBytes/32 {
+		t.Errorf("flushed %d lines, want %d", flushed, pageBytes/32)
+	}
+	if hit, _ := c.Access(0, 0x8000, false); !hit {
+		t.Error("FlushPage invalidated a line outside the page")
+	}
+}
+
+func TestWriteBackDirtyEviction(t *testing.T) {
+	cfg := physCfg()
+	cfg.WritePolicy = WriteBack
+	cfg.Assoc = 1
+	c := New(cfg)
+	setStride := uint64(128 * 32)
+	c.Access(0, 0, true) // dirty
+	_, pen := c.Access(0, setStride, false)
+	if pen != 20 {
+		t.Errorf("evicting a dirty line cost %.0f, want miss+writeback = 20", pen)
+	}
+	if c.Writebacks() != 1 {
+		t.Errorf("writebacks = %d, want 1", c.Writebacks())
+	}
+}
+
+func TestCacheHitRatioAndReset(t *testing.T) {
+	c := New(physCfg())
+	c.Access(0, 0, false)
+	c.Access(0, 0, false)
+	if r := c.HitRatio(); r != 0.5 {
+		t.Errorf("hit ratio %.2f, want 0.5", r)
+	}
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 || c.HitRatio() != 0 {
+		t.Error("reset did not clear statistics")
+	}
+	if hit, _ := c.Access(0, 0, false); hit {
+		t.Error("reset did not invalidate lines")
+	}
+}
+
+// TestCacheMatchesReferenceModel cross-checks hit/miss decisions against
+// a brute-force reference implementation on random access streams.
+func TestCacheMatchesReferenceModel(t *testing.T) {
+	type ref struct{ lines map[uint64]uint64 } // lineIdx → stamp
+	f := func(addrs []uint16) bool {
+		cfg := Config{Name: "q", SizeBytes: 1024, LineBytes: 32, Assoc: 2,
+			Indexing: PhysicalIndexed, WritePolicy: WriteThrough, MissPenaltyCycles: 1}
+		c := New(cfg)
+		r := ref{lines: map[uint64]uint64{}}
+		stamp := uint64(0)
+		sets := uint64(cfg.Sets())
+		for _, a16 := range addrs {
+			addr := uint64(a16)
+			stamp++
+			line := addr / 32
+			_, inRef := r.lines[line]
+			hit, _ := c.Access(0, addr, false)
+			if hit != inRef {
+				return false
+			}
+			r.lines[line] = stamp
+			// Enforce the reference set capacity with LRU.
+			set := line % sets
+			var members []uint64
+			for l := range r.lines {
+				if l%sets == set {
+					members = append(members, l)
+				}
+			}
+			if len(members) > cfg.Assoc {
+				victim := members[0]
+				for _, m := range members {
+					if r.lines[m] < r.lines[victim] {
+						victim = m
+					}
+				}
+				delete(r.lines, victim)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

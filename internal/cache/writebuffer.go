@@ -1,0 +1,126 @@
+// Package cache models the memory-side hardware the paper identifies as
+// critical for operating-system code: write buffers in front of
+// write-through caches, and physically or virtually addressed caches.
+//
+// The write buffer is the star of the paper's Section 2.3: the
+// DECstation 3100 (MIPS R2000) has a 4-deep write-through buffer that
+// "will stall for 5 cycles on every successive write once the buffer is
+// full", while the DECstation 5000 (R3000) has a 6-deep buffer that "can
+// retire a write every cycle if successive writes are to the same page,
+// as they typically are in trap handling". Register save/restore
+// sequences in trap and context-switch handlers are long runs of
+// successive stores, so these two designs produce very different
+// operating-system primitive times from the same instruction sequence.
+package cache
+
+// WriteBufferConfig describes a write buffer in front of a write-through
+// cache or memory system.
+type WriteBufferConfig struct {
+	// Depth is the number of pending writes the buffer holds. Zero
+	// means no buffer: every store pays DrainCycles directly.
+	Depth int
+	// DrainCycles is the time for the memory system to retire one
+	// buffered write.
+	DrainCycles float64
+	// PageMode, if true, retires a write in PageModeDrainCycles when it
+	// targets the same memory page as the previous write (the
+	// DECstation 5000 behaviour).
+	PageMode            bool
+	PageModeDrainCycles float64
+}
+
+// WriteBuffer simulates a FIFO write buffer. Time is a float64 cycle
+// count owned by the caller (the machine clock); the buffer tracks the
+// absolute cycle at which each pending entry will retire.
+type WriteBuffer struct {
+	cfg        WriteBufferConfig
+	retireAt   []float64 // completion times of pending writes, oldest first
+	lastRetire float64   // completion time of the most recently queued write
+	stalls     float64   // total stall cycles charged so far
+	pushes     int64
+}
+
+// NewWriteBuffer creates a write buffer with the given configuration.
+func NewWriteBuffer(cfg WriteBufferConfig) *WriteBuffer {
+	return &WriteBuffer{cfg: cfg}
+}
+
+// Config returns the buffer's configuration.
+func (wb *WriteBuffer) Config() WriteBufferConfig { return wb.cfg }
+
+// Push records a store issued at absolute cycle now. samePage reports
+// whether the store targets the same page as the previous store (register
+// save areas do). It returns the stall in cycles the processor incurs:
+// zero when a buffer slot is free, otherwise the wait until the oldest
+// pending write retires. Unbuffered configurations stall for the full
+// drain time of every store.
+func (wb *WriteBuffer) Push(now float64, samePage bool) (stall float64) {
+	wb.pushes++
+	drain := wb.cfg.DrainCycles
+	if wb.cfg.PageMode && samePage {
+		drain = wb.cfg.PageModeDrainCycles
+	}
+	if wb.cfg.Depth <= 0 {
+		wb.stalls += drain
+		return drain
+	}
+	// Retire completed writes.
+	i := 0
+	for i < len(wb.retireAt) && wb.retireAt[i] <= now {
+		i++
+	}
+	wb.retireAt = wb.retireAt[i:]
+	if len(wb.retireAt) >= wb.cfg.Depth {
+		stall = wb.retireAt[0] - now
+		now = wb.retireAt[0]
+		wb.retireAt = wb.retireAt[1:]
+	}
+	start := now
+	if wb.lastRetire > start {
+		start = wb.lastRetire
+	}
+	wb.lastRetire = start + drain
+	wb.retireAt = append(wb.retireAt, wb.lastRetire)
+	wb.stalls += stall
+	return stall
+}
+
+// Drain returns the absolute cycle at which the buffer becomes empty,
+// given the current cycle. Context switches and uncached I/O on several
+// of the paper's machines must wait for the buffer to drain.
+func (wb *WriteBuffer) Drain(now float64) float64 {
+	if len(wb.retireAt) == 0 {
+		return now
+	}
+	last := wb.retireAt[len(wb.retireAt)-1]
+	wb.retireAt = wb.retireAt[:0]
+	if last < now {
+		return now
+	}
+	return last
+}
+
+// Pending returns the number of writes currently buffered at cycle now.
+func (wb *WriteBuffer) Pending(now float64) int {
+	n := 0
+	for _, t := range wb.retireAt {
+		if t > now {
+			n++
+		}
+	}
+	return n
+}
+
+// Stalls returns the cumulative stall cycles charged by Push.
+func (wb *WriteBuffer) Stalls() float64 { return wb.stalls }
+
+// Pushes returns the number of stores pushed.
+func (wb *WriteBuffer) Pushes() int64 { return wb.pushes }
+
+// Reset empties the buffer and clears statistics.
+func (wb *WriteBuffer) Reset() {
+	wb.retireAt = wb.retireAt[:0]
+	wb.lastRetire = 0
+	wb.stalls = 0
+	wb.pushes = 0
+}

@@ -1,0 +1,154 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteBufferNoStallWhileNotFull(t *testing.T) {
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 4, DrainCycles: 5})
+	for i := 0; i < 4; i++ {
+		if stall := wb.Push(float64(i), true); stall != 0 {
+			t.Fatalf("store %d stalled %.1f cycles with free slots", i, stall)
+		}
+	}
+}
+
+func TestWriteBufferStallsWhenFull(t *testing.T) {
+	// The paper's DS3100: "will stall for 5 cycles on every successive
+	// write once the buffer is full". Issue stores every cycle into a
+	// 4-deep buffer with a 5-cycle drain; steady state must stall ≈4
+	// cycles per store (5-cycle retire minus the 1-cycle issue gap).
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 4, DrainCycles: 5})
+	now := 0.0
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = wb.Push(now, true)
+		now += 1 + last
+	}
+	if last < 3.5 || last > 5 {
+		t.Errorf("steady-state stall %.2f cycles, want ≈4", last)
+	}
+}
+
+func TestWriteBufferPageModeRetiresFast(t *testing.T) {
+	// DS5000 behaviour: same-page writes retire every cycle — no
+	// stalls even for long runs.
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 6, DrainCycles: 5, PageMode: true, PageModeDrainCycles: 1})
+	now := 0.0
+	for i := 0; i < 100; i++ {
+		if stall := wb.Push(now, true); stall != 0 {
+			t.Fatalf("same-page store %d stalled %.1f cycles under page mode", i, stall)
+		}
+		now++
+	}
+	// Different-page writes still pay.
+	wb.Reset()
+	now = 0
+	total := 0.0
+	for i := 0; i < 40; i++ {
+		s := wb.Push(now, false)
+		total += s
+		now += 1 + s
+	}
+	if total == 0 {
+		t.Error("scattered stores never stalled a page-mode buffer with 5-cycle drain")
+	}
+}
+
+func TestWriteBufferUnbuffered(t *testing.T) {
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 0, DrainCycles: 7})
+	if stall := wb.Push(0, true); stall != 7 {
+		t.Errorf("unbuffered store stalled %.1f, want the full 7-cycle drain", stall)
+	}
+}
+
+func TestWriteBufferDrain(t *testing.T) {
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 4, DrainCycles: 5})
+	for i := 0; i < 3; i++ {
+		wb.Push(float64(i), false)
+	}
+	done := wb.Drain(3)
+	if done < 3 {
+		t.Errorf("drain completed at %.1f, before current time", done)
+	}
+	if got := wb.Pending(done); got != 0 {
+		t.Errorf("%d writes pending after drain", got)
+	}
+	// Draining an empty buffer is free.
+	if d := wb.Drain(100); d != 100 {
+		t.Errorf("empty drain returned %.1f, want 100", d)
+	}
+}
+
+func TestWriteBufferIdlePeriodsEmptyIt(t *testing.T) {
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 2, DrainCycles: 5})
+	wb.Push(0, true)
+	wb.Push(1, true)
+	// After a long gap, both writes have retired; no stall.
+	if stall := wb.Push(100, true); stall != 0 {
+		t.Errorf("store after idle gap stalled %.1f cycles", stall)
+	}
+}
+
+func TestWriteBufferStatsAndReset(t *testing.T) {
+	wb := NewWriteBuffer(WriteBufferConfig{Depth: 1, DrainCycles: 5})
+	now := 0.0
+	for i := 0; i < 10; i++ {
+		now += 1 + wb.Push(now, true)
+	}
+	if wb.Pushes() != 10 {
+		t.Errorf("pushes = %d, want 10", wb.Pushes())
+	}
+	if wb.Stalls() <= 0 {
+		t.Error("expected stalls through a 1-deep buffer")
+	}
+	wb.Reset()
+	if wb.Pushes() != 0 || wb.Stalls() != 0 || wb.Pending(0) != 0 {
+		t.Error("reset did not clear state")
+	}
+}
+
+func TestWriteBufferDeeperNeverSlower(t *testing.T) {
+	// Property: for the same store stream, a deeper buffer never
+	// produces more total stall.
+	f := func(gaps []uint8) bool {
+		if len(gaps) > 200 {
+			gaps = gaps[:200]
+		}
+		run := func(depth int) float64 {
+			wb := NewWriteBuffer(WriteBufferConfig{Depth: depth, DrainCycles: 5})
+			now, total := 0.0, 0.0
+			for _, g := range gaps {
+				s := wb.Push(now, true)
+				total += s
+				now += s + 1 + float64(g%4)
+			}
+			return total
+		}
+		shallow, deep := run(2), run(8)
+		return deep <= shallow+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteBufferStallNonNegativeAndFinite(t *testing.T) {
+	f := func(samePage []bool) bool {
+		wb := NewWriteBuffer(WriteBufferConfig{Depth: 3, DrainCycles: 4, PageMode: true, PageModeDrainCycles: 1})
+		now := 0.0
+		for _, sp := range samePage {
+			s := wb.Push(now, sp)
+			if s < 0 || math.IsNaN(s) || math.IsInf(s, 0) {
+				return false
+			}
+			now += 1 + s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+// Package core is the experiment framework of the reproduction: it
+// regenerates every table of Anderson, Levy, Bershad & Lazowska, "The
+// Interaction of Architecture and Operating System Design" (ASPLOS
+// 1991), from the simulation substrates, and renders each next to the
+// paper's published numbers.
+//
+// The correspondence:
+//
+//	Table 1 — primitive OS function times      → Table1, CompareTable1
+//	Table 2 — instruction counts               → Table2, CompareTable2
+//	Table 3 — SRC RPC time distribution        → Table3
+//	Table 4 — LRPC time distribution           → Table4
+//	Table 5 — null system call decomposition   → Table5
+//	Table 6 — processor thread state           → Table6
+//	Table 7 — OS-primitive reliance under
+//	          Mach 2.5 / Mach 3.0              → Table7
+//
+// Each generator is deterministic; repeated calls return identical
+// results.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"archos/internal/arch"
+	"archos/internal/ipc"
+	"archos/internal/kernel"
+	"archos/internal/mach"
+	"archos/internal/paper"
+	"archos/internal/trace"
+	"archos/internal/workload"
+)
+
+// Cell is one measured-vs-paper comparison.
+type Cell struct {
+	Arch      string
+	Row       string
+	Measured  float64
+	Paper     float64
+	RelErrPct float64
+}
+
+func cell(archName, row string, measured, published float64) Cell {
+	c := Cell{Arch: archName, Row: row, Measured: measured, Paper: published}
+	if published != 0 {
+		c.RelErrPct = 100 * (measured - published) / published
+	}
+	return c
+}
+
+// Table1 renders the primitive-function times with relative speeds and
+// the application-performance row, in the paper's layout.
+func Table1() *trace.Table {
+	specs := arch.Table1Set()
+	t := trace.NewTable("Table 1: Relative Performance of Primitive OS Functions (µs; simulated | paper)",
+		"Operation", "CVAX", "88000", "R2000", "R3000", "SPARC")
+	for _, p := range kernel.Primitives() {
+		row := []string{p.String()}
+		for _, s := range specs {
+			m := kernel.Measure(s, p)
+			row = append(row, fmt.Sprintf("%.1f|%.1f", m.Micros, paper.Table1[s.Name][p.String()]))
+		}
+		t.AddRow(row...)
+	}
+	// Relative speed rows (RISC/CVAX).
+	base := kernel.NewCostModel(arch.CVAX)
+	for _, p := range kernel.Primitives() {
+		row := []string{p.String() + " (rel CVAX)"}
+		for _, s := range specs {
+			m := kernel.Measure(s, p)
+			row = append(row, fmt.Sprintf("%.1f", base.Cost(p).Micros/m.Micros))
+		}
+		t.AddRow(row...)
+	}
+	appRow := []string{"Application Performance"}
+	for _, s := range specs {
+		appRow = append(appRow, fmt.Sprintf("%.1f", s.SPECRelativeTo(arch.CVAX)))
+	}
+	t.AddRow(appRow...)
+	return t
+}
+
+// CompareTable1 returns every Table 1 time cell as a comparison.
+func CompareTable1() []Cell {
+	var out []Cell
+	for _, s := range arch.Table1Set() {
+		for _, p := range kernel.Primitives() {
+			m := kernel.Measure(s, p)
+			out = append(out, cell(s.Name, p.String(), m.Micros, paper.Table1[s.Name][p.String()]))
+		}
+	}
+	return out
+}
+
+// Table2 renders the instruction counts (simulated | paper).
+func Table2() *trace.Table {
+	specs := arch.Table2Set()
+	t := trace.NewTable("Table 2: Instructions Executed for Primitive OS Functions (simulated | paper)",
+		"Operation", "CVAX", "88000", "R2/3000", "SPARC", "i860")
+	for _, p := range kernel.Primitives() {
+		row := []string{p.String()}
+		for _, s := range specs {
+			m := kernel.Measure(s, p)
+			row = append(row, fmt.Sprintf("%d|%d", m.Instructions, paper.Table2[s.Name][p.String()]))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// CompareTable2 returns every instruction-count cell.
+func CompareTable2() []Cell {
+	var out []Cell
+	for _, s := range arch.Table2Set() {
+		for _, p := range kernel.Primitives() {
+			m := kernel.Measure(s, p)
+			out = append(out, cell(s.Name, p.String(), float64(m.Instructions), float64(paper.Table2[s.Name][p.String()])))
+		}
+	}
+	return out
+}
+
+// Table3 renders the SRC RPC breakdown on the CVAX over 10 Mb Ethernet.
+func Table3() *trace.Table {
+	r := ipc.NewRPC(arch.CVAX, ipc.Ethernet10)
+	b := r.NullRPC()
+	t := trace.NewTable(
+		fmt.Sprintf("Table 3: RPC Processing Time in SRC RPC (null RPC, 74-byte packet; total %.0f µs, paper ≈%.0f µs)",
+			b.Total, paper.SRCRPCSmallMicros),
+		"Component", "µs", "% (simulated)", "% (paper)")
+	for _, n := range b.Names() {
+		t.AddRow(n,
+			fmt.Sprintf("%.0f", b.Components[n]),
+			fmt.Sprintf("%.0f%%", b.Share(n)),
+			fmt.Sprintf("%.0f%%", paper.Table3[n]))
+	}
+	return t
+}
+
+// Table4 renders the LRPC breakdown on the CVAX.
+func Table4() *trace.Table {
+	l := ipc.NewLRPC(arch.CVAX)
+	b := l.NullCall()
+	t := trace.NewTable(
+		fmt.Sprintf("Table 4: LRPC Processing Time (null LRPC; total %.0f µs, paper %.0f µs; hardware minimum %.0f µs, paper %.0f µs)",
+			b.Total, paper.LRPCNullMicros, l.HardwareMinimumMicros(), paper.LRPCHardwareMinMicros),
+		"Component", "µs", "% (simulated)", "% (paper)")
+	for _, n := range b.Names() {
+		t.AddRow(n,
+			fmt.Sprintf("%.0f", b.Components[n]),
+			fmt.Sprintf("%.0f%%", b.Share(n)),
+			fmt.Sprintf("%.0f%%", paper.Table4[n]))
+	}
+	return t
+}
+
+// Table5 renders the null-system-call decomposition (simulated | paper).
+func Table5() *trace.Table {
+	t := trace.NewTable("Table 5: Time in Null System Call (µs; simulated | paper)",
+		"Function", "CVAX", "R2000", "SPARC")
+	rows := make([][]string, 4)
+	for i := range rows {
+		rows[i] = make([]string, 4)
+	}
+	rows[0][0], rows[1][0], rows[2][0], rows[3][0] =
+		paper.Table5Rows[0], paper.Table5Rows[1], paper.Table5Rows[2], "Total"
+	for col, name := range []string{"CVAX", "MIPS R2000", "Sun SPARC"} {
+		s, _ := arch.ByName(name)
+		m := kernel.Measure(s, kernel.NullSyscall)
+		vals := [3]float64{
+			kernel.EntryExitMicros(m.Result, s.ClockMHz),
+			kernel.PrepMicros(m.Result, s.ClockMHz),
+			kernel.CCallMicros(m.Result, s.ClockMHz),
+		}
+		want := paper.Table5[name]
+		for i := 0; i < 3; i++ {
+			rows[i][col+1] = fmt.Sprintf("%.1f|%.1f", vals[i], want[i])
+		}
+		rows[3][col+1] = fmt.Sprintf("%.1f|%.1f", m.Micros, want[0]+want[1]+want[2])
+	}
+	for _, r := range rows {
+		t.AddRow(r...)
+	}
+	return t
+}
+
+// Table6 renders the processor thread state, straight from the
+// architecture specs (32-bit words).
+func Table6() *trace.Table {
+	specs := arch.Table6Set()
+	t := trace.NewTable("Table 6: Processor Thread State (32-bit words)",
+		"", "VAX", "88000", "R2/3000", "SPARC", "i860", "RS6000")
+	rows := []struct {
+		name string
+		get  func(*arch.Spec) int
+	}{
+		{"Registers", func(s *arch.Spec) int { return s.IntRegisters }},
+		{"F.P. State", func(s *arch.Spec) int { return s.FPStateWords }},
+		{"Misc. State", func(s *arch.Spec) int { return s.MiscStateWords }},
+		{"Total", func(s *arch.Spec) int { return s.ThreadStateWords() }},
+	}
+	for _, r := range rows {
+		row := []string{r.name}
+		for _, s := range specs {
+			row = append(row, fmt.Sprintf("%d", r.get(s)))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Table7 renders the OS-primitive reliance table for one structure,
+// with the paper's counts in parentheses.
+func Table7(structure mach.Structure) *trace.Table {
+	os := mach.New(mach.DefaultConfig(structure))
+	rows := paper.Table7Mach25
+	if structure == mach.Microkernel {
+		rows = paper.Table7Mach30
+	}
+	t := trace.NewTable("Table 7: Application Reliance on Operating System Primitives — "+structure.String()+" (simulated (paper))",
+		"Workload", "Time(s)", "AS Switch", "Thr Switch", "Syscalls", "Emul Instr", "kTLB Miss", "Other Exc", "%OS Prims")
+	for i, w := range workload.All() {
+		r := os.Run(w)
+		p := rows[i]
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.1f (%.1f)", r.ElapsedSec, p.Seconds),
+			fmt.Sprintf("%d (%d)", r.ASSwitches, p.ASSwitches),
+			fmt.Sprintf("%d (%d)", r.ThreadSwitches, p.ThreadSwitch),
+			fmt.Sprintf("%d (%d)", r.Syscalls, p.Syscalls),
+			fmt.Sprintf("%d (%d)", r.EmulInstrs, p.EmulInstrs),
+			fmt.Sprintf("%d (%d)", r.KTLBMisses, p.KTLBMisses),
+			fmt.Sprintf("%d (%d)", r.OtherExcept, p.OtherExcept),
+			fmt.Sprintf("%.0f%% (%.0f%%)", r.PctInPrims, p.PctTimeInOS))
+	}
+	return t
+}
+
+// GeoMeanAbsErrTable1 returns the geometric mean of |relative error|
+// across Table 1's time cells — the repository's single-number accuracy
+// summary.
+func GeoMeanAbsErrTable1() float64 {
+	cells := CompareTable1()
+	logSum := 0.0
+	n := 0
+	for _, c := range cells {
+		e := math.Abs(c.RelErrPct) / 100
+		if e < 1e-6 {
+			e = 1e-6
+		}
+		logSum += math.Log(e)
+		n++
+	}
+	return math.Exp(logSum / float64(n))
+}

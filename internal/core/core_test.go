@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"archos/internal/mach"
+)
+
+func TestTablesRender(t *testing.T) {
+	for name, tb := range map[string]string{
+		"table1":       Table1().String(),
+		"table2":       Table2().String(),
+		"table3":       Table3().String(),
+		"table4":       Table4().String(),
+		"table5":       Table5().String(),
+		"table6":       Table6().String(),
+		"table7-mono":  Table7(mach.Monolithic).String(),
+		"table7-micro": Table7(mach.Microkernel).String(),
+	} {
+		if len(tb) < 100 {
+			t.Errorf("%s suspiciously short:\n%s", name, tb)
+		}
+	}
+}
+
+func TestTable1CellsWithinTolerance(t *testing.T) {
+	for _, c := range CompareTable1() {
+		if math.Abs(c.RelErrPct) > 12 {
+			t.Errorf("%s/%s: %.2f vs paper %.2f (%.1f%%)", c.Arch, c.Row, c.Measured, c.Paper, c.RelErrPct)
+		}
+	}
+}
+
+func TestTable2CellsExact(t *testing.T) {
+	for _, c := range CompareTable2() {
+		if c.Measured != c.Paper {
+			t.Errorf("%s/%s: %v instructions vs paper %v", c.Arch, c.Row, c.Measured, c.Paper)
+		}
+	}
+}
+
+func TestGeoMeanAccuracy(t *testing.T) {
+	g := GeoMeanAbsErrTable1()
+	if g <= 0 || g > 0.10 {
+		t.Errorf("geometric mean |error| = %.1f%%, want (0, 10%%]", 100*g)
+	}
+}
+
+func TestTable7ContainsAllWorkloads(t *testing.T) {
+	out := Table7(mach.Microkernel).String()
+	for _, w := range []string{"spellcheck-1", "latex-150", "andrew-local", "andrew-remote", "link-vmunix", "parthenon"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("table 7 missing %s", w)
+		}
+	}
+}
+
+func TestTable6MatchesPaperExactly(t *testing.T) {
+	out := Table6().String()
+	// Spot-check the famous numbers: SPARC's 136 registers, the
+	// 88000's 27 words of pipeline state, the RS6000's 64 FP words.
+	for _, cell := range []string{"136", "27", "64"} {
+		if !strings.Contains(out, cell) {
+			t.Errorf("table 6 missing value %s:\n%s", cell, out)
+		}
+	}
+}
+
+func TestCellRelErr(t *testing.T) {
+	c := cell("a", "r", 110, 100)
+	if c.RelErrPct != 10 {
+		t.Errorf("RelErrPct = %.1f, want 10", c.RelErrPct)
+	}
+	z := cell("a", "r", 5, 0)
+	if z.RelErrPct != 0 {
+		t.Errorf("zero-paper cell RelErrPct = %.1f, want 0", z.RelErrPct)
+	}
+}
+
+func TestDeterministicTables(t *testing.T) {
+	if Table1().String() != Table1().String() {
+		t.Error("Table1 not deterministic")
+	}
+	if Table7(mach.Microkernel).String() != Table7(mach.Microkernel).String() {
+		t.Error("Table7 not deterministic")
+	}
+}

@@ -1,0 +1,50 @@
+package fs
+
+// blockCache is an LRU cache of (inode, block) pairs standing in for
+// the buffer cache; misses are "disk" accesses. The andrew-style
+// workloads' blocking behaviour (workload.Spec.Blocks) corresponds to
+// these misses.
+type blockCache struct {
+	capacity int
+	stamp    uint64
+	blocks   map[blockKey]uint64 // key → last-touch stamp
+
+	hits, misses int64
+}
+
+type blockKey struct {
+	ino   uint64
+	block int
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{capacity: capacity, blocks: map[blockKey]uint64{}}
+}
+
+// access touches a block, returning whether it hit.
+func (c *blockCache) access(ino uint64, block int) bool {
+	c.stamp++
+	k := blockKey{ino, block}
+	if _, ok := c.blocks[k]; ok {
+		c.blocks[k] = c.stamp
+		c.hits++
+		return true
+	}
+	c.misses++
+	if c.capacity <= 0 {
+		return false // uncached configuration: every access is a miss
+	}
+	if len(c.blocks) >= c.capacity {
+		// Evict the LRU entry.
+		var victim blockKey
+		first := true
+		for kk, s := range c.blocks {
+			if first || s < c.blocks[victim] {
+				victim, first = kk, false
+			}
+		}
+		delete(c.blocks, victim)
+	}
+	c.blocks[k] = c.stamp
+	return false
+}

@@ -1,0 +1,407 @@
+// Package fs is an in-memory hierarchical file system in the shape of
+// the Unix services the paper's Section 5 workloads pound on: inodes,
+// directories, file descriptors, a block cache with hit statistics,
+// and per-operation cost accounting on a simulated architecture. It is
+// the substrate a "Unix server" serves — directly (the monolithic
+// arrangement) or across address spaces over RPC (the Mach 3.0
+// arrangement); package fsserver wires it to the ipc/wire transport so
+// both arrangements can run the same workload for real.
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Errors mirror the Unix ones the paper's scripts would see.
+var (
+	ErrNotExist   = errors.New("fs: no such file or directory")
+	ErrExist      = errors.New("fs: file exists")
+	ErrNotDir     = errors.New("fs: not a directory")
+	ErrIsDir      = errors.New("fs: is a directory")
+	ErrBadFD      = errors.New("fs: bad file descriptor")
+	ErrNotEmpty   = errors.New("fs: directory not empty")
+	ErrNameTooBig = errors.New("fs: name too long")
+)
+
+// BlockBytes is the file-system block size (the paper's machines use
+// 4KB pages; 4KB blocks keep the cache arithmetic aligned).
+const BlockBytes = 4096
+
+// maxName bounds a single path component.
+const maxName = 255
+
+// FileKind distinguishes inode types.
+type FileKind int
+
+const (
+	// KindFile is a regular file; KindDir a directory.
+	KindFile FileKind = iota
+	KindDir
+)
+
+func (k FileKind) String() string {
+	if k == KindDir {
+		return "dir"
+	}
+	return "file"
+}
+
+// Stat describes an inode.
+type Stat struct {
+	Ino    uint64
+	Kind   FileKind
+	Size   int
+	Blocks int
+	Nlink  int
+}
+
+type inode struct {
+	ino      uint64
+	kind     FileKind
+	data     []byte            // regular files
+	children map[string]uint64 // directories
+	nlink    int
+}
+
+// FS is the file system. It is not safe for concurrent use; the
+// simulated servers serialise access as the real single-threaded
+// servers of the era did.
+type FS struct {
+	inodes  map[uint64]*inode
+	nextIno uint64
+
+	fds    map[int]*fd
+	nextFD int
+
+	cache *blockCache
+
+	// Counters for the workload studies.
+	ops map[string]int64
+}
+
+type fd struct {
+	ino    uint64
+	offset int
+}
+
+// New creates an empty file system with a block cache of cacheBlocks
+// blocks (0 disables caching: every block access is a "disk" access).
+func New(cacheBlocks int) *FS {
+	f := &FS{
+		inodes: map[uint64]*inode{},
+		fds:    map[int]*fd{},
+		cache:  newBlockCache(cacheBlocks),
+		ops:    map[string]int64{},
+	}
+	root := &inode{ino: 1, kind: KindDir, children: map[string]uint64{}, nlink: 2}
+	f.inodes[1] = root
+	f.nextIno = 1
+	return f
+}
+
+// split breaks an absolute path into components.
+func split(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q (need absolute path)", ErrNotExist, path)
+	}
+	var parts []string
+	for _, c := range strings.Split(path, "/") {
+		switch c {
+		case "", ".":
+		case "..":
+			if len(parts) > 0 {
+				parts = parts[:len(parts)-1]
+			}
+		default:
+			if len(c) > maxName {
+				return nil, ErrNameTooBig
+			}
+			parts = append(parts, c)
+		}
+	}
+	return parts, nil
+}
+
+// walk resolves a path to its inode, charging cache accesses for each
+// directory it reads.
+func (f *FS) walk(path string) (*inode, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	cur := f.inodes[1]
+	for _, p := range parts {
+		if cur.kind != KindDir {
+			return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		f.cache.access(cur.ino, 0) // directory block read
+		ino, ok := cur.children[p]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = f.inodes[ino]
+	}
+	return cur, nil
+}
+
+// walkParent resolves the directory containing path and the final name.
+func (f *FS) walkParent(path string) (*inode, string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if len(parts) == 0 {
+		return nil, "", fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	dirParts, name := parts[:len(parts)-1], parts[len(parts)-1]
+	cur := f.inodes[1]
+	for _, p := range dirParts {
+		if cur.kind != KindDir {
+			return nil, "", fmt.Errorf("%w: %s", ErrNotDir, path)
+		}
+		f.cache.access(cur.ino, 0)
+		ino, ok := cur.children[p]
+		if !ok {
+			return nil, "", fmt.Errorf("%w: %s", ErrNotExist, path)
+		}
+		cur = f.inodes[ino]
+	}
+	if cur.kind != KindDir {
+		return nil, "", fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	return cur, name, nil
+}
+
+// Mkdir creates a directory.
+func (f *FS) Mkdir(path string) error {
+	f.ops["mkdir"]++
+	dir, name, err := f.walkParent(path)
+	if err != nil {
+		return err
+	}
+	if _, exists := dir.children[name]; exists {
+		return fmt.Errorf("%w: %s", ErrExist, path)
+	}
+	f.nextIno++
+	n := &inode{ino: f.nextIno, kind: KindDir, children: map[string]uint64{}, nlink: 2}
+	f.inodes[n.ino] = n
+	dir.children[name] = n.ino
+	dir.nlink++
+	return nil
+}
+
+// Create makes (or truncates) a regular file and opens it.
+func (f *FS) Create(path string) (int, error) {
+	f.ops["create"]++
+	dir, name, err := f.walkParent(path)
+	if err != nil {
+		return -1, err
+	}
+	var n *inode
+	if ino, exists := dir.children[name]; exists {
+		n = f.inodes[ino]
+		if n.kind == KindDir {
+			return -1, fmt.Errorf("%w: %s", ErrIsDir, path)
+		}
+		n.data = n.data[:0]
+	} else {
+		f.nextIno++
+		n = &inode{ino: f.nextIno, kind: KindFile, nlink: 1}
+		f.inodes[n.ino] = n
+		dir.children[name] = n.ino
+	}
+	return f.allocFD(n), nil
+}
+
+// Open opens an existing regular file.
+func (f *FS) Open(path string) (int, error) {
+	f.ops["open"]++
+	n, err := f.walk(path)
+	if err != nil {
+		return -1, err
+	}
+	if n.kind == KindDir {
+		return -1, fmt.Errorf("%w: %s", ErrIsDir, path)
+	}
+	return f.allocFD(n), nil
+}
+
+func (f *FS) allocFD(n *inode) int {
+	f.nextFD++
+	f.fds[f.nextFD] = &fd{ino: n.ino}
+	return f.nextFD
+}
+
+// Close releases a descriptor.
+func (f *FS) Close(fdno int) error {
+	f.ops["close"]++
+	if _, ok := f.fds[fdno]; !ok {
+		return ErrBadFD
+	}
+	delete(f.fds, fdno)
+	return nil
+}
+
+// Read reads up to len(buf) bytes at the descriptor's offset, advancing
+// it. Each touched block goes through the block cache.
+func (f *FS) Read(fdno int, buf []byte) (int, error) {
+	f.ops["read"]++
+	d, ok := f.fds[fdno]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	n := f.inodes[d.ino]
+	if d.offset >= len(n.data) {
+		return 0, nil // EOF
+	}
+	c := copy(buf, n.data[d.offset:])
+	f.touchBlocks(n, d.offset, c)
+	d.offset += c
+	return c, nil
+}
+
+// Write writes buf at the descriptor's offset, extending the file.
+func (f *FS) Write(fdno int, buf []byte) (int, error) {
+	f.ops["write"]++
+	d, ok := f.fds[fdno]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	n := f.inodes[d.ino]
+	end := d.offset + len(buf)
+	if end > len(n.data) {
+		n.data = append(n.data, make([]byte, end-len(n.data))...)
+	}
+	copy(n.data[d.offset:end], buf)
+	f.touchBlocks(n, d.offset, len(buf))
+	d.offset = end
+	return len(buf), nil
+}
+
+// Seek sets the descriptor's absolute offset.
+func (f *FS) Seek(fdno, offset int) error {
+	d, ok := f.fds[fdno]
+	if !ok {
+		return ErrBadFD
+	}
+	if offset < 0 {
+		return fmt.Errorf("fs: negative offset %d", offset)
+	}
+	d.offset = offset
+	return nil
+}
+
+func (f *FS) touchBlocks(n *inode, off, length int) {
+	if length <= 0 {
+		return
+	}
+	first := off / BlockBytes
+	last := (off + length - 1) / BlockBytes
+	for b := first; b <= last; b++ {
+		f.cache.access(n.ino, b)
+	}
+}
+
+// Unlink removes a file (or an empty directory via Rmdir semantics
+// when kind is a directory with no children).
+func (f *FS) Unlink(path string) error {
+	f.ops["unlink"]++
+	dir, name, err := f.walkParent(path)
+	if err != nil {
+		return err
+	}
+	ino, ok := dir.children[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	n := f.inodes[ino]
+	if n.kind == KindDir {
+		if len(n.children) > 0 {
+			return fmt.Errorf("%w: %s", ErrNotEmpty, path)
+		}
+		dir.nlink--
+	}
+	delete(dir.children, name)
+	n.nlink--
+	if n.nlink <= 0 || n.kind == KindDir {
+		delete(f.inodes, ino)
+	}
+	return nil
+}
+
+// Stat describes a path.
+func (f *FS) Stat(path string) (Stat, error) {
+	f.ops["stat"]++
+	n, err := f.walk(path)
+	if err != nil {
+		return Stat{}, err
+	}
+	return Stat{
+		Ino:    n.ino,
+		Kind:   n.kind,
+		Size:   len(n.data),
+		Blocks: (len(n.data) + BlockBytes - 1) / BlockBytes,
+		Nlink:  n.nlink,
+	}, nil
+}
+
+// ReadDir lists a directory's entries, sorted.
+func (f *FS) ReadDir(path string) ([]string, error) {
+	f.ops["readdir"]++
+	n, err := f.walk(path)
+	if err != nil {
+		return nil, err
+	}
+	if n.kind != KindDir {
+		return nil, fmt.Errorf("%w: %s", ErrNotDir, path)
+	}
+	f.cache.access(n.ino, 0)
+	out := make([]string, 0, len(n.children))
+	for name := range n.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadFile and WriteFile are whole-file conveniences used by the
+// workload scripts.
+func (f *FS) ReadFile(path string) ([]byte, error) {
+	fdno, err := f.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close(fdno)
+	st, _ := f.Stat(path)
+	buf := make([]byte, st.Size)
+	n, err := f.Read(fdno, buf)
+	return buf[:n], err
+}
+
+func (f *FS) WriteFile(path string, data []byte) error {
+	fdno, err := f.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close(fdno)
+	_, err = f.Write(fdno, data)
+	return err
+}
+
+// OpenFDs returns the number of live descriptors.
+func (f *FS) OpenFDs() int { return len(f.fds) }
+
+// OpCounts returns a copy of the per-operation counters.
+func (f *FS) OpCounts() map[string]int64 {
+	out := make(map[string]int64, len(f.ops))
+	for k, v := range f.ops {
+		out[k] = v
+	}
+	return out
+}
+
+// CacheStats reports block-cache hits and misses ("disk" reads).
+func (f *FS) CacheStats() (hits, misses int64) { return f.cache.hits, f.cache.misses }

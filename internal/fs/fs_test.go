@@ -1,0 +1,262 @@
+package fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestMkdirCreateWalk(t *testing.T) {
+	f := New(64)
+	if err := f.Mkdir("/usr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir("/usr/dict"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WriteFile("/usr/dict/words", []byte("architecture\noperating\nsystem\n")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := f.ReadFile("/usr/dict/words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("operating")) {
+		t.Errorf("read back %q", data)
+	}
+	st, err := f.Stat("/usr/dict/words")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kind != KindFile || st.Size != len(data) || st.Blocks != 1 {
+		t.Errorf("stat = %+v", st)
+	}
+}
+
+func TestPathErrors(t *testing.T) {
+	f := New(64)
+	if _, err := f.Open("/missing"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("open missing: %v", err)
+	}
+	if err := f.Mkdir("relative/path"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("relative path: %v", err)
+	}
+	if err := f.Mkdir("/usr"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Mkdir("/usr"); !errors.Is(err, ErrExist) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	f.WriteFile("/file", []byte("x"))
+	if err := f.Mkdir("/file/sub"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("mkdir under file: %v", err)
+	}
+	if _, err := f.Open("/usr"); !errors.Is(err, ErrIsDir) {
+		t.Errorf("open dir: %v", err)
+	}
+	long := "/" + string(make([]byte, 300))
+	if err := f.Mkdir(long); !errors.Is(err, ErrNameTooBig) {
+		t.Errorf("long name: %v", err)
+	}
+}
+
+func TestReadWriteSeek(t *testing.T) {
+	f := New(64)
+	fd, err := f.Create("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f.Write(fd, []byte("hello world")); err != nil || n != 11 {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	if err := f.Seek(fd, 6); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	if n, err := f.Read(fd, buf); err != nil || string(buf[:n]) != "world" {
+		t.Fatalf("read after seek: %q %v", buf[:n], err)
+	}
+	// Read at EOF returns 0.
+	if n, err := f.Read(fd, buf); err != nil || n != 0 {
+		t.Fatalf("EOF read: %d %v", n, err)
+	}
+	// Overwrite in the middle.
+	f.Seek(fd, 0)
+	f.Write(fd, []byte("HELLO"))
+	data, _ := f.ReadFile("/data")
+	if string(data) != "HELLO world" {
+		t.Errorf("after overwrite: %q", data)
+	}
+	// Sparse extension via seek beyond EOF.
+	f.Seek(fd, 20)
+	f.Write(fd, []byte("!"))
+	st, _ := f.Stat("/data")
+	if st.Size != 21 {
+		t.Errorf("size after sparse write = %d, want 21", st.Size)
+	}
+	if err := f.Seek(fd, -1); err == nil {
+		t.Error("negative seek accepted")
+	}
+	if err := f.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(fd, buf); !errors.Is(err, ErrBadFD) {
+		t.Errorf("read after close: %v", err)
+	}
+	if err := f.Close(fd); !errors.Is(err, ErrBadFD) {
+		t.Errorf("double close: %v", err)
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	f := New(64)
+	f.WriteFile("/f", []byte("long original content"))
+	f.WriteFile("/f", []byte("new"))
+	data, _ := f.ReadFile("/f")
+	if string(data) != "new" {
+		t.Errorf("after truncate: %q", data)
+	}
+}
+
+func TestUnlinkAndRmdirSemantics(t *testing.T) {
+	f := New(64)
+	f.Mkdir("/d")
+	f.WriteFile("/d/f", []byte("x"))
+	if err := f.Unlink("/d"); !errors.Is(err, ErrNotEmpty) {
+		t.Errorf("unlink non-empty dir: %v", err)
+	}
+	if err := f.Unlink("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Stat("/d/f"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("stat after unlink: %v", err)
+	}
+	if err := f.Unlink("/d"); err != nil {
+		t.Fatalf("unlink empty dir: %v", err)
+	}
+	if err := f.Unlink("/d"); !errors.Is(err, ErrNotExist) {
+		t.Errorf("double unlink: %v", err)
+	}
+}
+
+func TestReadDirSorted(t *testing.T) {
+	f := New(64)
+	f.Mkdir("/d")
+	for _, name := range []string{"/d/c", "/d/a", "/d/b"} {
+		f.WriteFile(name, nil)
+	}
+	names, err := f.ReadDir("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Errorf("readdir = %v", names)
+	}
+	if _, err := f.ReadDir("/d/a"); !errors.Is(err, ErrNotDir) {
+		t.Errorf("readdir on file: %v", err)
+	}
+}
+
+func TestDotAndDotDotResolution(t *testing.T) {
+	f := New(64)
+	f.Mkdir("/a")
+	f.Mkdir("/a/b")
+	f.WriteFile("/a/b/f", []byte("x"))
+	for _, p := range []string{"/a/./b/f", "/a/b/../b/f", "/../a/b/f", "//a//b//f"} {
+		if _, err := f.Stat(p); err != nil {
+			t.Errorf("stat(%q): %v", p, err)
+		}
+	}
+}
+
+func TestBlockCacheBehaviour(t *testing.T) {
+	f := New(4)
+	big := make([]byte, 3*BlockBytes)
+	f.WriteFile("/big", big)
+	h0, _ := f.CacheStats()
+	// Re-reading the same blocks should mostly hit.
+	f.ReadFile("/big")
+	h1, m1 := f.CacheStats()
+	if h1-h0 < 2 {
+		t.Errorf("re-read hit only %d blocks", h1-h0)
+	}
+	// A scan over many files blows the 4-block cache: misses grow.
+	for i := 0; i < 8; i++ {
+		f.WriteFile("/f"+string(rune('a'+i)), make([]byte, BlockBytes))
+	}
+	for i := 0; i < 8; i++ {
+		f.ReadFile("/f" + string(rune('a'+i)))
+	}
+	_, m2 := f.CacheStats()
+	if m2 <= m1 {
+		t.Error("working set beyond the cache produced no new misses")
+	}
+	// Uncached configuration: everything misses.
+	u := New(0)
+	u.WriteFile("/x", []byte("y"))
+	u.ReadFile("/x")
+	if h, _ := u.CacheStats(); h != 0 {
+		t.Errorf("uncached fs recorded %d hits", h)
+	}
+}
+
+func TestOpCounts(t *testing.T) {
+	f := New(16)
+	f.Mkdir("/d")
+	fd, _ := f.Create("/d/f")
+	f.Write(fd, []byte("x"))
+	f.Close(fd)
+	f.Open("/d/f")
+	f.Stat("/d/f")
+	ops := f.OpCounts()
+	for _, k := range []string{"mkdir", "create", "write", "close", "open", "stat"} {
+		if ops[k] != 1 {
+			t.Errorf("ops[%s] = %d, want 1", k, ops[k])
+		}
+	}
+	if f.OpenFDs() != 1 {
+		t.Errorf("open fds = %d, want 1", f.OpenFDs())
+	}
+}
+
+// TestFSMatchesMapModel replays random whole-file writes/reads/unlinks
+// against a map reference.
+func TestFSMatchesMapModel(t *testing.T) {
+	f := func(ops []uint16) bool {
+		fsys := New(32)
+		ref := map[string][]byte{}
+		names := []string{"/a", "/b", "/c", "/d"}
+		for _, op := range ops {
+			name := names[int(op)%len(names)]
+			switch (op >> 8) % 3 {
+			case 0: // write
+				data := []byte{byte(op), byte(op >> 4)}
+				if err := fsys.WriteFile(name, data); err != nil {
+					return false
+				}
+				ref[name] = data
+			case 1: // read
+				data, err := fsys.ReadFile(name)
+				want, ok := ref[name]
+				if ok != (err == nil) {
+					return false
+				}
+				if ok && !bytes.Equal(data, want) {
+					return false
+				}
+			case 2: // unlink
+				err := fsys.Unlink(name)
+				_, ok := ref[name]
+				if ok != (err == nil) {
+					return false
+				}
+				delete(ref, name)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

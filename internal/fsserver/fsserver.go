@@ -1,0 +1,312 @@
+// Package fsserver runs the fs file system as an operating-system
+// service under the paper's two structures, for real: the monolithic
+// arrangement invokes it directly (one system call per operation), and
+// the decomposed arrangement marshals every operation through the
+// ipc/wire transport to a user-level server (one RPC = two system calls
+// + two address-space switches per operation, plus stub and transport
+// work on actual bytes). Replaying the same file script against both
+// produces, mechanically, the cost multiplication that Table 7 counts.
+package fsserver
+
+import (
+	"errors"
+	"fmt"
+
+	"archos/internal/fs"
+	"archos/internal/ipc"
+	"archos/internal/ipc/wire"
+	"archos/internal/kernel"
+)
+
+// Procedure numbers of the file service.
+const (
+	ProcOpen uint32 = iota + 1
+	ProcCreate
+	ProcClose
+	ProcRead
+	ProcWrite
+	ProcStat
+	ProcMkdir
+	ProcUnlink
+	ProcReadDir
+)
+
+// Service is the client-facing file interface; both arrangements
+// implement it.
+type Service interface {
+	Open(path string) (int, error)
+	Create(path string) (int, error)
+	Close(fd int) error
+	Read(fd, n int) ([]byte, error)
+	Write(fd int, data []byte) (int, error)
+	Stat(path string) (fs.Stat, error)
+	Mkdir(path string) error
+	Unlink(path string) error
+	ReadDir(path string) ([]string, error)
+
+	// Stats reports operations performed and the virtual time charged.
+	Stats() Stats
+}
+
+// Stats accumulates a client's costs.
+type Stats struct {
+	Ops            int64
+	Syscalls       int64
+	ASSwitches     int64
+	VirtualMicros  float64 // OS-primitive + transport time
+	WireMicros     float64 // portion on the (local) wire, remote case
+	PayloadBytes   int64   // marshalled bytes, remote case
+	ServerRejected int     // frames the server's checksum rejected
+}
+
+// ---- Monolithic arrangement ----
+
+// Direct invokes the file system in the kernel: one system call per
+// operation.
+type Direct struct {
+	FS *fs.FS
+	cm *kernel.CostModel
+
+	stats Stats
+}
+
+// NewDirect builds the monolithic arrangement over fsys, pricing each
+// operation with cm's system-call cost.
+func NewDirect(fsys *fs.FS, cm *kernel.CostModel) *Direct {
+	return &Direct{FS: fsys, cm: cm}
+}
+
+func (d *Direct) charge() {
+	d.stats.Ops++
+	d.stats.Syscalls++
+	d.stats.VirtualMicros += d.cm.SyscallMicros()
+}
+
+func (d *Direct) Open(path string) (int, error)   { d.charge(); return d.FS.Open(path) }
+func (d *Direct) Create(path string) (int, error) { d.charge(); return d.FS.Create(path) }
+func (d *Direct) Close(fd int) error              { d.charge(); return d.FS.Close(fd) }
+func (d *Direct) Mkdir(path string) error         { d.charge(); return d.FS.Mkdir(path) }
+func (d *Direct) Unlink(path string) error        { d.charge(); return d.FS.Unlink(path) }
+func (d *Direct) Stat(path string) (fs.Stat, error) {
+	d.charge()
+	return d.FS.Stat(path)
+}
+func (d *Direct) ReadDir(path string) ([]string, error) { d.charge(); return d.FS.ReadDir(path) }
+
+func (d *Direct) Read(fd, n int) ([]byte, error) {
+	d.charge()
+	buf := make([]byte, n)
+	c, err := d.FS.Read(fd, buf)
+	return buf[:c], err
+}
+
+func (d *Direct) Write(fd int, data []byte) (int, error) {
+	d.charge()
+	return d.FS.Write(fd, data)
+}
+
+// Stats reports the accumulated costs.
+func (d *Direct) Stats() Stats { return d.stats }
+
+// ---- Decomposed arrangement ----
+
+// Server wraps a file system behind wire RPC handlers.
+type Server struct {
+	FS   *fs.FS
+	Wire *wire.Server
+}
+
+// NewServer registers the file service on side of link.
+func NewServer(fsys *fs.FS, link *wire.Link, side wire.Endpoint) *Server {
+	s := &Server{FS: fsys, Wire: wire.NewServer(link, side)}
+	s.register()
+	return s
+}
+
+func (s *Server) register() {
+	f := s.FS
+	s.Wire.Register(ProcOpen, func(a []interface{}) ([]interface{}, error) {
+		fd, err := f.Open(a[0].(string))
+		return []interface{}{int64(fd)}, err
+	})
+	s.Wire.Register(ProcCreate, func(a []interface{}) ([]interface{}, error) {
+		fd, err := f.Create(a[0].(string))
+		return []interface{}{int64(fd)}, err
+	})
+	s.Wire.Register(ProcClose, func(a []interface{}) ([]interface{}, error) {
+		return nil, f.Close(int(a[0].(int64)))
+	})
+	s.Wire.Register(ProcRead, func(a []interface{}) ([]interface{}, error) {
+		buf := make([]byte, int(a[1].(int64)))
+		n, err := f.Read(int(a[0].(int64)), buf)
+		return []interface{}{buf[:n]}, err
+	})
+	s.Wire.Register(ProcWrite, func(a []interface{}) ([]interface{}, error) {
+		n, err := f.Write(int(a[0].(int64)), a[1].([]byte))
+		return []interface{}{int64(n)}, err
+	})
+	s.Wire.Register(ProcStat, func(a []interface{}) ([]interface{}, error) {
+		st, err := f.Stat(a[0].(string))
+		if err != nil {
+			return nil, err
+		}
+		return []interface{}{st.Ino, int64(st.Kind), int64(st.Size), int64(st.Blocks), int64(st.Nlink)}, nil
+	})
+	s.Wire.Register(ProcMkdir, func(a []interface{}) ([]interface{}, error) {
+		return nil, f.Mkdir(a[0].(string))
+	})
+	s.Wire.Register(ProcUnlink, func(a []interface{}) ([]interface{}, error) {
+		return nil, f.Unlink(a[0].(string))
+	})
+	s.Wire.Register(ProcReadDir, func(a []interface{}) ([]interface{}, error) {
+		names, err := f.ReadDir(a[0].(string))
+		if err != nil {
+			return nil, err
+		}
+		out := make([]interface{}, len(names))
+		for i, n := range names {
+			out[i] = n
+		}
+		return out, nil
+	})
+}
+
+// Remote is the decomposed arrangement's client: every operation is an
+// RPC to the user-level server.
+type Remote struct {
+	client *wire.Client
+	server *Server
+	link   *wire.Link
+	cm     *kernel.CostModel
+
+	stats Stats
+}
+
+// NewRemote builds the decomposed arrangement: a server on one end of a
+// fresh link, a client on the other, costs priced by cm.
+func NewRemote(fsys *fs.FS, cm *kernel.CostModel) *Remote {
+	// A local cross-address-space link: latency is the kernel path, not
+	// an Ethernet, so the wire itself is free; the transfer costs are
+	// charged explicitly below.
+	link := wire.NewLink(ipc.NetworkConfig{Name: "local", BandwidthMbps: 1e6, PerPacketLatencyMicros: 0})
+	return NewRemoteOnLink(fsys, cm, link)
+}
+
+// NewRemoteOnLink builds the decomposed arrangement over a caller-
+// provided link (tests inject faults through it; a cross-machine
+// arrangement passes an Ethernet-class link).
+func NewRemoteOnLink(fsys *fs.FS, cm *kernel.CostModel, link *wire.Link) *Remote {
+	return &Remote{
+		client: wire.NewClient(link, wire.A),
+		server: NewServer(fsys, link, wire.B),
+		link:   link,
+		cm:     cm,
+	}
+}
+
+// ErrRemote adapts remote failures.
+var ErrRemote = errors.New("fsserver: remote error")
+
+func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
+	r.stats.Ops++
+	// "Each invocation of an operating system service via an RPC
+	// requires at least two system calls and two context switches."
+	r.stats.Syscalls += 2
+	r.stats.ASSwitches += 2
+	r.stats.VirtualMicros += 2*r.cm.SyscallMicros() + 2*r.cm.AddressSpaceSwitchMicros()
+	before := r.link.Clock()
+	out, err := r.client.Call(r.server.Wire, proc, args...)
+	r.stats.WireMicros += r.link.Clock() - before
+	r.stats.VirtualMicros += r.link.Clock() - before
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return nil, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
+		}
+		return nil, err
+	}
+	return out, nil
+}
+
+func (r *Remote) Open(path string) (int, error) {
+	out, err := r.call(ProcOpen, path)
+	if err != nil {
+		return -1, err
+	}
+	return int(out[0].(int64)), nil
+}
+
+func (r *Remote) Create(path string) (int, error) {
+	out, err := r.call(ProcCreate, path)
+	if err != nil {
+		return -1, err
+	}
+	return int(out[0].(int64)), nil
+}
+
+func (r *Remote) Close(fd int) error {
+	_, err := r.call(ProcClose, int64(fd))
+	return err
+}
+
+func (r *Remote) Read(fd, n int) ([]byte, error) {
+	out, err := r.call(ProcRead, int64(fd), int64(n))
+	if err != nil {
+		return nil, err
+	}
+	data := out[0].([]byte)
+	r.stats.PayloadBytes += int64(len(data))
+	return data, nil
+}
+
+func (r *Remote) Write(fd int, data []byte) (int, error) {
+	r.stats.PayloadBytes += int64(len(data))
+	out, err := r.call(ProcWrite, int64(fd), data)
+	if err != nil {
+		return 0, err
+	}
+	return int(out[0].(int64)), nil
+}
+
+func (r *Remote) Stat(path string) (fs.Stat, error) {
+	out, err := r.call(ProcStat, path)
+	if err != nil {
+		return fs.Stat{}, err
+	}
+	return fs.Stat{
+		Ino:    out[0].(uint64),
+		Kind:   fs.FileKind(out[1].(int64)),
+		Size:   int(out[2].(int64)),
+		Blocks: int(out[3].(int64)),
+		Nlink:  int(out[4].(int64)),
+	}, nil
+}
+
+func (r *Remote) Mkdir(path string) error {
+	_, err := r.call(ProcMkdir, path)
+	return err
+}
+
+func (r *Remote) Unlink(path string) error {
+	_, err := r.call(ProcUnlink, path)
+	return err
+}
+
+func (r *Remote) ReadDir(path string) ([]string, error) {
+	out, err := r.call(ProcReadDir, path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(out))
+	for i, v := range out {
+		names[i] = v.(string)
+	}
+	return names, nil
+}
+
+// Stats reports the accumulated costs.
+func (r *Remote) Stats() Stats {
+	s := r.stats
+	s.ServerRejected = r.server.Wire.BadFrames
+	return s
+}

@@ -1,0 +1,209 @@
+package fsserver
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/fs"
+	"archos/internal/ipc"
+	"archos/internal/ipc/wire"
+	"archos/internal/kernel"
+)
+
+func arrangements(t *testing.T) map[string]Service {
+	t.Helper()
+	cm := kernel.NewCostModel(arch.R3000)
+	return map[string]Service{
+		"direct": NewDirect(fs.New(256), cm),
+		"remote": NewRemote(fs.New(256), cm),
+	}
+}
+
+func TestServiceConformance(t *testing.T) {
+	for name, svc := range arrangements(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := svc.Mkdir("/d"); err != nil {
+				t.Fatal(err)
+			}
+			fd, err := svc.Create("/d/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n, err := svc.Write(fd, []byte("decomposed")); err != nil || n != 10 {
+				t.Fatalf("write: %d %v", n, err)
+			}
+			if err := svc.Close(fd); err != nil {
+				t.Fatal(err)
+			}
+			fd, err = svc.Open("/d/f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := svc.Read(fd, 64)
+			if err != nil || !bytes.Equal(data, []byte("decomposed")) {
+				t.Fatalf("read: %q %v", data, err)
+			}
+			if err := svc.Close(fd); err != nil {
+				t.Fatal(err)
+			}
+			st, err := svc.Stat("/d/f")
+			if err != nil || st.Size != 10 || st.Kind != fs.KindFile {
+				t.Fatalf("stat: %+v %v", st, err)
+			}
+			names, err := svc.ReadDir("/d")
+			if err != nil || len(names) != 1 || names[0] != "f" {
+				t.Fatalf("readdir: %v %v", names, err)
+			}
+			if err := svc.Unlink("/d/f"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := svc.Open("/d/f"); err == nil {
+				t.Fatal("open after unlink succeeded")
+			}
+		})
+	}
+}
+
+func TestRemoteErrorsCrossTheWire(t *testing.T) {
+	cm := kernel.NewCostModel(arch.R3000)
+	r := NewRemote(fs.New(64), cm)
+	if _, err := r.Open("/nope"); !errors.Is(err, ErrRemote) {
+		t.Errorf("open(/nope) = %v, want a remote error", err)
+	}
+}
+
+func TestAndrewMiniSameResultBothArrangements(t *testing.T) {
+	cm := kernel.NewCostModel(arch.R3000)
+	dfs, rfs := fs.New(256), fs.New(256)
+	direct := NewDirect(dfs, cm)
+	remote := NewRemote(rfs, cm)
+	script := DefaultAndrewMini()
+
+	opsD, err := script.Run(direct)
+	if err != nil {
+		t.Fatalf("direct: %v", err)
+	}
+	opsR, err := script.Run(remote)
+	if err != nil {
+		t.Fatalf("remote: %v", err)
+	}
+	// The script issues the same logical operations under both
+	// arrangements, and the file systems end in identical states.
+	if opsD != opsR {
+		t.Errorf("op counts differ: direct %d, remote %d", opsD, opsR)
+	}
+	for _, fsys := range []*fs.FS{dfs, rfs} {
+		if fsys.OpenFDs() != 0 {
+			t.Errorf("leaked %d descriptors", fsys.OpenFDs())
+		}
+	}
+	da, _ := dfs.ReadFile("/src/d00/f00.c")
+	ra, _ := rfs.ReadFile("/src/d00/f00.c")
+	if !bytes.Equal(da, ra) {
+		t.Error("file contents diverge between arrangements")
+	}
+	if _, err := dfs.Stat("/copy/d00_f00.c"); !errors.Is(err, fs.ErrNotExist) {
+		t.Error("cleanup phase left copies behind")
+	}
+}
+
+func TestDecompositionCostsMoreMechanically(t *testing.T) {
+	// The Table 7 effect, produced by running real operations: the
+	// decomposed arrangement issues 2 syscalls + 2 AS switches per op
+	// and pays marshalling, so its primitive time multiplies.
+	cm := kernel.NewCostModel(arch.R3000)
+	direct := NewDirect(fs.New(256), cm)
+	remote := NewRemote(fs.New(256), cm)
+	script := DefaultAndrewMini()
+	if _, err := script.Run(direct); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := script.Run(remote); err != nil {
+		t.Fatal(err)
+	}
+	d, r := direct.Stats(), remote.Stats()
+	if r.Syscalls != 2*d.Syscalls {
+		t.Errorf("remote syscalls %d, want exactly 2x direct's %d", r.Syscalls, d.Syscalls)
+	}
+	if r.ASSwitches != 2*d.Ops {
+		t.Errorf("remote AS switches %d, want 2 per op (%d ops)", r.ASSwitches, d.Ops)
+	}
+	if d.ASSwitches != 0 {
+		t.Errorf("direct arrangement switched address spaces %d times", d.ASSwitches)
+	}
+	if r.VirtualMicros < 3*d.VirtualMicros {
+		t.Errorf("remote primitive time %.0f µs not ≥3x direct's %.0f µs", r.VirtualMicros, d.VirtualMicros)
+	}
+	if r.PayloadBytes == 0 {
+		t.Error("remote arrangement marshalled no payload")
+	}
+	if r.ServerRejected != 0 {
+		t.Errorf("clean link rejected %d frames", r.ServerRejected)
+	}
+}
+
+func TestScriptIsDeterministic(t *testing.T) {
+	cm := kernel.NewCostModel(arch.R3000)
+	run := func() Stats {
+		svc := NewRemote(fs.New(256), cm)
+		if _, err := DefaultAndrewMini().Run(svc); err != nil {
+			t.Fatal(err)
+		}
+		return svc.Stats()
+	}
+	if run() != run() {
+		t.Error("script replay not deterministic")
+	}
+}
+
+func TestBlockCacheVisibleThroughService(t *testing.T) {
+	// Re-running the scan phase against a warm cache produces hits —
+	// the mechanism behind workload.Spec.Blocks.
+	cm := kernel.NewCostModel(arch.R3000)
+	fsys := fs.New(1024)
+	direct := NewDirect(fsys, cm)
+	if _, err := DefaultAndrewMini().Run(direct); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := fsys.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache stats hits=%d misses=%d; expected both nonzero", hits, misses)
+	}
+	if hits < misses {
+		t.Errorf("copy+scan phases should mostly hit a big cache (hits %d < misses %d)", hits, misses)
+	}
+}
+
+func TestScriptSurvivesWireFaults(t *testing.T) {
+	// Corrupt and drop frames mid-script: the transport's checksums and
+	// retransmission make the file service come out identical anyway.
+	cm := kernel.NewCostModel(arch.R3000)
+	link := wire.NewLink(ipc.NetworkConfig{Name: "flaky", BandwidthMbps: 1e6, PerPacketLatencyMicros: 0})
+	for _, n := range []int{5, 50, 500, 1500} {
+		link.CorruptFrame(n)
+	}
+	for _, n := range []int{20, 200, 2000} {
+		link.DropFrame(n)
+	}
+	fsys := fs.New(256)
+	remote := NewRemoteOnLink(fsys, cm, link)
+	if _, err := DefaultAndrewMini().Run(remote); err != nil {
+		t.Fatalf("script failed over a flaky link: %v", err)
+	}
+	st := remote.Stats()
+	if st.ServerRejected == 0 {
+		t.Error("no frames were rejected — fault injection did not engage")
+	}
+	// Final state matches a clean run.
+	clean := fs.New(256)
+	if _, err := DefaultAndrewMini().Run(NewDirect(clean, cm)); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fsys.ReadFile("/src/d05/f07.c")
+	b, _ := clean.ReadFile("/src/d05/f07.c")
+	if !bytes.Equal(a, b) {
+		t.Error("flaky-link run diverged from the clean run")
+	}
+}

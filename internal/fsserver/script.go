@@ -1,0 +1,138 @@
+package fsserver
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AndrewMini is a deterministic miniature of the paper's andrew script
+// — "a script of file system intensive programs such as copy, compile
+// and search" — expressed against the Service interface so the same
+// workload runs under both OS arrangements:
+//
+//	mkdir phase   — build a source tree
+//	write phase   — populate files
+//	scan phase    — stat + read everything (the "search")
+//	copy phase    — read each file, write a copy
+//	cleanup phase — unlink the copies
+type AndrewMini struct {
+	Dirs        int
+	FilesPerDir int
+	FileBytes   int
+	Seed        int64
+}
+
+// DefaultAndrewMini is sized to run in milliseconds while exercising
+// hundreds of service operations.
+func DefaultAndrewMini() AndrewMini {
+	return AndrewMini{Dirs: 6, FilesPerDir: 8, FileBytes: 2300, Seed: 1991}
+}
+
+// Run replays the script against svc. It returns the number of
+// operations issued and fails fast on any service error.
+func (a AndrewMini) Run(svc Service) (int64, error) {
+	rng := rand.New(rand.NewSource(a.Seed))
+	content := make([]byte, a.FileBytes)
+	rng.Read(content)
+
+	// mkdir phase.
+	if err := svc.Mkdir("/src"); err != nil {
+		return 0, err
+	}
+	for d := 0; d < a.Dirs; d++ {
+		if err := svc.Mkdir(dirName(d)); err != nil {
+			return 0, err
+		}
+	}
+	// write phase.
+	for d := 0; d < a.Dirs; d++ {
+		for f := 0; f < a.FilesPerDir; f++ {
+			fd, err := svc.Create(fileName(d, f))
+			if err != nil {
+				return 0, err
+			}
+			if _, err := svc.Write(fd, content); err != nil {
+				return 0, err
+			}
+			if err := svc.Close(fd); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// scan phase: stat and read every file (grep-like pass).
+	for d := 0; d < a.Dirs; d++ {
+		names, err := svc.ReadDir(dirName(d))
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range names {
+			path := dirName(d) + "/" + n
+			if _, err := svc.Stat(path); err != nil {
+				return 0, err
+			}
+			fd, err := svc.Open(path)
+			if err != nil {
+				return 0, err
+			}
+			for {
+				chunk, err := svc.Read(fd, 1024)
+				if err != nil {
+					return 0, err
+				}
+				if len(chunk) == 0 {
+					break
+				}
+			}
+			if err := svc.Close(fd); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// copy phase.
+	if err := svc.Mkdir("/copy"); err != nil {
+		return 0, err
+	}
+	for d := 0; d < a.Dirs; d++ {
+		for f := 0; f < a.FilesPerDir; f++ {
+			src, err := svc.Open(fileName(d, f))
+			if err != nil {
+				return 0, err
+			}
+			dst, err := svc.Create(copyName(d, f))
+			if err != nil {
+				return 0, err
+			}
+			for {
+				chunk, err := svc.Read(src, 4096)
+				if err != nil {
+					return 0, err
+				}
+				if len(chunk) == 0 {
+					break
+				}
+				if _, err := svc.Write(dst, chunk); err != nil {
+					return 0, err
+				}
+			}
+			if err := svc.Close(src); err != nil {
+				return 0, err
+			}
+			if err := svc.Close(dst); err != nil {
+				return 0, err
+			}
+		}
+	}
+	// cleanup phase.
+	for d := 0; d < a.Dirs; d++ {
+		for f := 0; f < a.FilesPerDir; f++ {
+			if err := svc.Unlink(copyName(d, f)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return svc.Stats().Ops, nil
+}
+
+func dirName(d int) string     { return fmt.Sprintf("/src/d%02d", d) }
+func fileName(d, f int) string { return fmt.Sprintf("%s/f%02d.c", dirName(d), f) }
+func copyName(d, f int) string { return fmt.Sprintf("/copy/d%02d_f%02d.c", d, f) }

@@ -1,0 +1,260 @@
+package ipc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"archos/internal/arch"
+	"archos/internal/paper"
+)
+
+func TestNetworkPacketMicros(t *testing.T) {
+	net := NetworkConfig{BandwidthMbps: 10, PerPacketLatencyMicros: 100}
+	if got := net.PacketMicros(1250); got != 100+1000 {
+		t.Errorf("1250 bytes at 10 Mb/s = %.1f µs, want 1100", got)
+	}
+}
+
+func TestNetworkScaled(t *testing.T) {
+	net := Ethernet10.Scaled(10, 10)
+	if net.BandwidthMbps != 100 {
+		t.Errorf("scaled bandwidth %.0f, want 100", net.BandwidthMbps)
+	}
+	if net.PerPacketLatencyMicros >= Ethernet10.PerPacketLatencyMicros {
+		t.Error("latency did not shrink")
+	}
+	same := Ethernet10.Scaled(2, 0)
+	if same.PerPacketLatencyMicros != Ethernet10.PerPacketLatencyMicros {
+		t.Error("latencyDiv=0 should keep latency")
+	}
+}
+
+func TestCopyAndChecksumScaleWithSize(t *testing.T) {
+	for _, s := range []*arch.Spec{arch.CVAX, arch.R3000} {
+		small, large := CopyMicros(s, 64), CopyMicros(s, 4096)
+		if small <= 0 || large <= small {
+			t.Errorf("%s: copy costs %.2f/%.2f µs not increasing", s.Name, small, large)
+		}
+		cs, cl := ChecksumMicros(s, 64, false), ChecksumMicros(s, 4096, false)
+		if cs <= 0 || cl <= cs {
+			t.Errorf("%s: checksum costs %.2f/%.2f µs not increasing", s.Name, cs, cl)
+		}
+	}
+	if CopyMicros(arch.R3000, 0) != 0 || ChecksumMicros(arch.R3000, 0, true) != 0 {
+		t.Error("zero bytes should cost zero")
+	}
+}
+
+func TestChecksumIOBufferDearer(t *testing.T) {
+	// "each checksum addition is paired with a load (which on some
+	// RISCs will likely fetch from a non-cached I/O buffer)".
+	cached := ChecksumMicros(arch.R3000, 1500, false)
+	io := ChecksumMicros(arch.R3000, 1500, true)
+	if io <= cached {
+		t.Errorf("I/O-buffer checksum (%.1f µs) not dearer than cached (%.1f µs)", io, cached)
+	}
+}
+
+func TestMemoryCopyDoesNotScaleWithIntegerSpeed(t *testing.T) {
+	// Ousterhout via §2.4: "the relative performance of memory copying
+	// drops almost monotonically with faster processors."
+	n := 4096
+	cvax := CopyMicros(arch.CVAX, n)
+	r3000 := CopyMicros(arch.R3000, n)
+	copySpeedup := cvax / r3000
+	appSpeedup := arch.R3000.SPECRelativeTo(arch.CVAX)
+	if copySpeedup >= appSpeedup {
+		t.Errorf("copy speedup %.1fx ≥ application speedup %.1fx — contradicts §2.4", copySpeedup, appSpeedup)
+	}
+}
+
+func TestRPCBreakdownSumsToTotal(t *testing.T) {
+	for _, s := range arch.Table1Set() {
+		b := NewRPC(s, Ethernet10).NullRPC()
+		sum := 0.0
+		for _, v := range b.Components {
+			sum += v
+		}
+		if math.Abs(sum-b.Total) > 1e-6 {
+			t.Errorf("%s: components sum %.2f ≠ total %.2f", s.Name, sum, b.Total)
+		}
+		shares := 0.0
+		for _, n := range b.Names() {
+			shares += b.Share(n)
+		}
+		if math.Abs(shares-100) > 1e-6 {
+			t.Errorf("%s: shares sum to %.2f%%", s.Name, shares)
+		}
+	}
+}
+
+func TestSRCRPCCalibration(t *testing.T) {
+	b := NewRPC(arch.CVAX, Ethernet10).NullRPC()
+	if rel := math.Abs(b.Total-paper.SRCRPCSmallMicros) / paper.SRCRPCSmallMicros; rel > 0.10 {
+		t.Errorf("CVAX null RPC %.0f µs, paper %.0f µs (%.0f%% off)", b.Total, paper.SRCRPCSmallMicros, rel*100)
+	}
+	wire := b.Share(CompWire)
+	if wire < 14 || wire > 20 {
+		t.Errorf("small-packet wire share %.1f%%, paper says 17%%", wire)
+	}
+}
+
+func TestLargeResultWireShareGrows(t *testing.T) {
+	r := NewRPC(arch.CVAX, Ethernet10)
+	small := r.NullRPC()
+	large := r.RoundTrip(74, 1500)
+	ws, wl := small.Share(CompWire), large.Share(CompWire)
+	if wl < 1.7*ws {
+		t.Errorf("1500-byte wire share %.1f%% not ≥1.7x small share %.1f%%", wl, ws)
+	}
+	if wl < 28 {
+		t.Errorf("1500-byte wire share %.1f%%, want ≥28%% (paper: approaching 50%%)", wl)
+	}
+	// The checksum component's share roughly doubles too (§2.1).
+	cs, cl := small.Share(CompTransport), large.Share(CompTransport)
+	if cl < 1.3*cs {
+		t.Errorf("transport+checksum share grew %.1f%%→%.1f%%, want ≥1.3x", cs, cl)
+	}
+}
+
+func TestRPCDoesNotScaleWithIntegerPerformance(t *testing.T) {
+	// The Sprite observation: 5x integer speed bought only ~2x on null
+	// RPC. Between CVAX and R3000 (6.7x integer) the RPC speedup must
+	// stay well under half the integer ratio.
+	base := NewRPC(arch.CVAX, Ethernet10).NullRPC()
+	for _, s := range []*arch.Spec{arch.R2000, arch.R3000, arch.SPARC} {
+		b := NewRPC(s, Ethernet10).NullRPC()
+		rpcSpeedup := base.Total / b.Total
+		appSpeedup := s.SPECRelativeTo(arch.CVAX)
+		if rpcSpeedup >= 0.75*appSpeedup {
+			t.Errorf("%s: RPC speedup %.1fx vs app %.1fx — RPC should lag application performance",
+				s.Name, rpcSpeedup, appSpeedup)
+		}
+	}
+}
+
+func TestFasterNetworkMakesRPCCPUBound(t *testing.T) {
+	// §2.1: with 10–100x faster networks, "the lower bound on RPC
+	// performance will be due to the cost of operating system
+	// primitives".
+	slow := NewRPC(arch.R3000, Ethernet10).NullRPC()
+	fast := NewRPC(arch.R3000, Ethernet10.Scaled(100, 100)).NullRPC()
+	if fast.Total >= slow.Total {
+		t.Error("faster network did not reduce RPC time")
+	}
+	if fast.Share(CompWire) > 10 {
+		t.Errorf("wire share %.1f%% on a 100x network; should be marginal", fast.Share(CompWire))
+	}
+	cpu := CPUMicros(fast)
+	if cpu < 0.85*fast.Total {
+		t.Errorf("CPU share %.1f%% on a fast network; RPC should be CPU-bound", 100*cpu/fast.Total)
+	}
+}
+
+func TestLRPCCalibration(t *testing.T) {
+	l := NewLRPC(arch.CVAX)
+	b := l.NullCall()
+	if rel := math.Abs(b.Total-paper.LRPCNullMicros) / paper.LRPCNullMicros; rel > 0.10 {
+		t.Errorf("CVAX null LRPC %.1f µs, paper %.0f (%.0f%% off)", b.Total, paper.LRPCNullMicros, rel*100)
+	}
+	hw := l.HardwareMinimumMicros()
+	if rel := math.Abs(hw-paper.LRPCHardwareMinMicros) / paper.LRPCHardwareMinMicros; rel > 0.15 {
+		t.Errorf("hardware minimum %.1f µs, paper %.0f", hw, paper.LRPCHardwareMinMicros)
+	}
+	if hw >= b.Total {
+		t.Error("hardware minimum must be below the full call")
+	}
+	// "an estimated 25% of the time is lost to TLB misses on the CVAX".
+	share := b.Share(CompTLBMisses)
+	if share < 18 || share > 32 {
+		t.Errorf("TLB-miss share %.1f%%, paper says ≈25%%", share)
+	}
+}
+
+func TestLRPCTaggedTLBHasNoPurgeComponent(t *testing.T) {
+	b := NewLRPC(arch.R3000).NullCall()
+	if b.Components[CompTLBMisses] != 0 {
+		t.Errorf("tagged-TLB LRPC has %.1f µs of purge misses, want 0", b.Components[CompTLBMisses])
+	}
+	// And flipping the CVAX to a hypothetical tagged TLB removes the
+	// component.
+	spec := *arch.CVAX
+	spec.TLB.Tagged = true
+	if got := NewLRPC(&spec).NullCall().Components[CompTLBMisses]; got != 0 {
+		t.Errorf("tagged CVAX still pays %.1f µs of purge misses", got)
+	}
+}
+
+func TestLRPCKernelTransferDominates(t *testing.T) {
+	// Table 4's conclusion: "the real factor limiting performance is
+	// the hardware cost of communicating through the kernel."
+	for _, s := range arch.Table1Set() {
+		b := NewLRPC(s).NullCall()
+		kt := b.Components[CompKernelTransfer]
+		for name, v := range b.Components {
+			if name != CompKernelTransfer && v > kt {
+				t.Errorf("%s: component %q (%.1f µs) exceeds kernel transfer (%.1f µs)", s.Name, name, v, kt)
+			}
+		}
+	}
+}
+
+func TestLRPCWorseRelativeScalingOnSPARC(t *testing.T) {
+	// §2.2: "this kernel bottleneck is even worse on newer
+	// architectures". The SPARC's LRPC speedup over the CVAX must fall
+	// far below its application speedup.
+	base := NewLRPC(arch.CVAX).NullCall()
+	b := NewLRPC(arch.SPARC).NullCall()
+	speedup := base.Total / b.Total
+	if speedup > 0.6*arch.SPARC.SPECRelativeTo(arch.CVAX) {
+		t.Errorf("SPARC LRPC speedup %.1fx too close to app speedup %.1fx", speedup, arch.SPARC.SPECRelativeTo(arch.CVAX))
+	}
+}
+
+func TestRoundTripMonotoneInPayload(t *testing.T) {
+	r := NewRPC(arch.R3000, Ethernet10)
+	f := func(a, b uint16) bool {
+		x, y := int(a)%8192, int(b)%8192
+		if x > y {
+			x, y = y, x
+		}
+		return r.RoundTrip(74, x).Total <= r.RoundTrip(74, y).Total+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodeMicrosProperties(t *testing.T) {
+	if CodeMicros(arch.R3000, 0) != 0 {
+		t.Error("zero instructions should cost zero")
+	}
+	small, large := CodeMicros(arch.R3000, 100), CodeMicros(arch.R3000, 1000)
+	if large <= small {
+		t.Error("more code should cost more")
+	}
+	// Code runs faster on faster machines.
+	if CodeMicros(arch.R3000, 1000) >= CodeMicros(arch.CVAX, 1000) {
+		t.Error("the R3000 should run protocol code faster than the CVAX")
+	}
+}
+
+func TestDeviceInterruptIncludesTrap(t *testing.T) {
+	trap := 10.0
+	got := DeviceInterruptMicros(arch.R3000, trap)
+	if got <= trap {
+		t.Errorf("interrupt cost %.1f µs should exceed the bare trap %.1f µs", got, trap)
+	}
+}
+
+func TestBreakdownNamesSortedByShare(t *testing.T) {
+	b := NewRPC(arch.CVAX, Ethernet10).NullRPC()
+	names := b.Names()
+	for i := 1; i < len(names); i++ {
+		if b.Components[names[i-1]] < b.Components[names[i]] {
+			t.Errorf("names not sorted: %q (%f) before %q (%f)",
+				names[i-1], b.Components[names[i-1]], names[i], b.Components[names[i]])
+		}
+	}
+}

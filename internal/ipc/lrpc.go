@@ -1,0 +1,115 @@
+package ipc
+
+import (
+	"archos/internal/arch"
+	"archos/internal/kernel"
+	"archos/internal/tlb"
+)
+
+// Component names of the LRPC breakdown (Table 4).
+const (
+	CompKernelTransfer = "Kernel transfer (traps + context switches)"
+	CompTLBMisses      = "TLB misses from double purge"
+	CompLRPCStubs      = "Stubs & argument copy"
+	CompBinding        = "Binding/validation & dispatch"
+)
+
+// LRPC models lightweight remote procedure call [Bershad et al. 90a]:
+// cross-address-space calls on one machine using shared, statically
+// mapped argument buffers (A-stacks) and direct execution of the
+// client's thread in the server's address space. "With LRPC, the real
+// factor limiting performance is the hardware cost of communicating
+// through the kernel. Each LRPC must enter the kernel twice ... Once
+// inside the kernel, the kernel must perform a context switch, changing
+// the hardware address mapping context from the client to the server
+// address space."
+type LRPC struct {
+	Spec *arch.Spec
+
+	cm *kernel.CostModel
+
+	// Path lengths in instructions, from the LRPC design: stubs are
+	// "simple enough to be generated in assembler"; binding validation
+	// and linkage-record handling are short kernel paths.
+	StubInstrs    int
+	BindingInstrs int
+
+	// WorkingSetPages is the number of pages the client+server touch
+	// per call whose translations are lost when an untagged TLB is
+	// purged at each of the two address-space switches.
+	WorkingSetPages int
+}
+
+// NewLRPC builds the LRPC system for architecture s.
+func NewLRPC(s *arch.Spec) *LRPC {
+	return &LRPC{
+		Spec:            s,
+		cm:              kernel.NewCostModel(s),
+		StubInstrs:      30, // LRPC stubs are "generated in assembler"
+		BindingInstrs:   35,
+		WorkingSetPages: 10,
+	}
+}
+
+// CostModel exposes the underlying kernel cost model.
+func (l *LRPC) CostModel() *kernel.CostModel { return l.cm }
+
+// Call returns the breakdown of one null LRPC (argBytes of arguments
+// copied once onto the shared A-stack on call, and resultBytes once on
+// return — "even in LRPC which uses a shared client/server buffer, two
+// copies are necessary").
+func (l *LRPC) Call(argBytes, resultBytes int) Breakdown {
+	s := l.Spec
+	comps := map[string]float64{}
+
+	// Kernel transfer: trap in + address-space switch on call; trap in
+	// + switch back on return. The thread does not change, so only the
+	// address-space portion of the context switch is paid.
+	comps[CompKernelTransfer] = 2*l.cm.SyscallMicros() + 2*l.cm.AddressSpaceSwitchMicros()
+
+	// TLB refill misses after the purges, on untagged TLBs only: "an
+	// estimated 25% of the time is lost to TLB misses on the CVAX,
+	// because the entire TLB must be purged twice". Tagged TLBs (with
+	// process IDs) keep their entries — "many of the newer RISCs have
+	// process ID tags in their TLB entries, which allows the entries to
+	// live across context switches."
+	cfg := s.TLB
+	if !cfg.Tagged {
+		missCycles := float64(2*l.WorkingSetPages) * avgMissCycles(cfg)
+		comps[CompTLBMisses] = missCycles / s.ClockMHz
+	} else {
+		comps[CompTLBMisses] = 0
+	}
+
+	// Stubs and the two argument copies through the A-stack.
+	comps[CompLRPCStubs] = 2*CodeMicros(s, l.StubInstrs) +
+		CopyMicros(s, argBytes) + CopyMicros(s, resultBytes)
+
+	// Binding validation, linkage record, dispatch to the server entry.
+	comps[CompBinding] = 2 * CodeMicros(s, l.BindingInstrs)
+
+	total := 0.0
+	for _, v := range comps {
+		total += v
+	}
+	return Breakdown{Total: total, Components: comps}
+}
+
+// NullCall is the null LRPC of Table 4 (a few words of arguments).
+func (l *LRPC) NullCall() Breakdown { return l.Call(16, 4) }
+
+func avgMissCycles(cfg tlb.Config) float64 {
+	return (cfg.UserMissCycles + cfg.KernelMissCycles) / 2
+}
+
+// HardwareMinimumMicros returns the lower bound the hardware imposes on
+// a null cross-address-space call: two kernel entries, two address-
+// space switches, and (on untagged TLBs) the refill misses the two
+// purges force — costs no software structure can avoid. LRPC "achieves
+// performance for the null call that only marginally exceeds the
+// optimal time permitted by the hardware" (109 µs of the 157 µs null
+// call on the CVAX Firefly).
+func (l *LRPC) HardwareMinimumMicros() float64 {
+	b := l.NullCall()
+	return b.Components[CompKernelTransfer] + b.Components[CompTLBMisses]
+}

@@ -1,0 +1,97 @@
+package ipc
+
+import (
+	"archos/internal/arch"
+	"archos/internal/sim"
+)
+
+// Memory-bound inner loops, costed as simulator programs. The paper's
+// Section 2.4: "data copying is another area in which modern processors
+// have not scaled proportionally to their integer performance", and the
+// checksum "is memory intensive and not compute intensive; each
+// checksum addition is paired with a load (which on some RISCs will
+// likely fetch from a non-cached I/O buffer)."
+
+// CopyMicros costs copying n bytes between cacheable buffers on
+// architecture s. CISC machines use the microcoded block-move (VAX
+// MOVC3, ≈1 cycle/byte plus setup); RISCs run a load/store loop whose
+// stores pass through the write buffer — this is Ousterhout's
+// observation, quoted in Section 2.4, that "the relative performance of
+// memory copying drops almost monotonically with faster processors".
+func CopyMicros(s *arch.Spec, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	p := &sim.Program{Name: "ipc/copy"}
+	if !s.RISC {
+		p.Add("movc3",
+			sim.Op{Class: sim.Microcoded, Cycles: 20 + float64(n), Note: "MOVC3 block copy"},
+		)
+	} else {
+		words := (n + 3) / 4
+		p.Add("copy loop",
+			sim.Op{Class: sim.ALU, N: 4}, // setup
+			sim.Op{Class: sim.Load, N: words, Addr: sim.AddrUserData},
+			sim.Op{Class: sim.Store, N: words, Addr: sim.AddrSeqSamePage},
+			sim.Op{Class: sim.Branch, N: words}, // loop control
+		)
+	}
+	return s.Machine().Run(p).Micros(s.ClockMHz)
+}
+
+// ChecksumMicros costs an Internet-style ones-complement checksum over
+// n bytes on architecture s. fromIO marks the buffer as a non-cached
+// I/O buffer (packet reception), which the paper singles out as the
+// expensive case on some RISCs.
+func ChecksumMicros(s *arch.Spec, n int, fromIO bool) float64 {
+	words := (n + 3) / 4
+	if words == 0 {
+		return 0
+	}
+	addr := sim.AddrUserData
+	if fromIO {
+		addr = sim.AddrIO
+	}
+	p := &sim.Program{Name: "ipc/checksum"}
+	p.Add("checksum loop",
+		sim.Op{Class: sim.ALU, N: 4},
+		sim.Op{Class: sim.Load, N: words, Addr: addr},
+		sim.Op{Class: sim.ALU, N: words},    // add-with-carry
+		sim.Op{Class: sim.Branch, N: words}, // loop control
+	)
+	return s.Machine().Run(p).Micros(s.ClockMHz)
+}
+
+// CodeMicros costs n instructions of straight-line protocol/stub code
+// with a typical integer mix (the non-primitive software path length of
+// an RPC system).
+func CodeMicros(s *arch.Spec, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	// 55% ALU, 20% load, 12% store, 13% branch.
+	p := &sim.Program{Name: "ipc/code"}
+	p.Add("code",
+		sim.Op{Class: sim.ALU, N: n * 55 / 100},
+		sim.Op{Class: sim.Load, N: n * 20 / 100, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Store, N: n * 12 / 100, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Branch, N: n - n*55/100 - n*20/100 - n*12/100},
+	)
+	return s.Machine().Run(p).Micros(s.ClockMHz)
+}
+
+// DeviceInterruptMicros costs one network-device interrupt: the trap
+// path plus driver work over uncached device registers and descriptor
+// rings, plus the driver code itself.
+func DeviceInterruptMicros(s *arch.Spec, trapMicros float64) float64 {
+	p := &sim.Program{Name: "ipc/device-interrupt"}
+	p.Add("driver",
+		sim.Op{Class: sim.Load, N: 10, Addr: sim.AddrIO}, // CSRs, ring entries
+		sim.Op{Class: sim.Store, N: 6, Addr: sim.AddrIO}, // ack, ring update
+		sim.Op{Class: sim.ALU, N: 80},
+		sim.Op{Class: sim.Load, N: 20, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Store, N: 10, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Branch, N: 14},
+	)
+	return trapMicros + s.Machine().Run(p).Micros(s.ClockMHz)
+}

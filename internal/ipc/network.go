@@ -1,0 +1,45 @@
+// Package ipc implements the paper's Section 2 subject matter:
+// cross-machine remote procedure call in the style of SRC RPC on
+// Firefly multiprocessors over Ethernet (Table 3), and local
+// cross-address-space RPC in the style of LRPC (Table 4), built on the
+// kernel cost model so that every component — stubs, system calls,
+// interrupt handling, thread management, checksums, byte copying, and
+// the wire — is costed on the simulated architecture executing it.
+package ipc
+
+// NetworkConfig describes the interconnect. The paper's measurements
+// use a 10 Mbit/s Ethernet between Fireflies; the ablation benches
+// sweep BandwidthMbps to model the "10- to 100-fold improvements likely
+// over the next several years".
+type NetworkConfig struct {
+	Name string
+	// BandwidthMbps is the raw signalling rate.
+	BandwidthMbps float64
+	// PerPacketLatencyMicros covers medium access, controller and DMA
+	// latency per packet — the fixed cost independent of size.
+	PerPacketLatencyMicros float64
+}
+
+// Ethernet10 is the paper's network: 10 Mbit/s Ethernet behind the
+// Firefly's Qbus controller.
+var Ethernet10 = NetworkConfig{
+	Name:                   "10 Mb/s Ethernet",
+	BandwidthMbps:          10,
+	PerPacketLatencyMicros: 165,
+}
+
+// Scaled returns a copy of the network with bandwidth multiplied by
+// factor and per-packet latency divided by latencyDiv (1 keeps it).
+func (n NetworkConfig) Scaled(factor, latencyDiv float64) NetworkConfig {
+	out := n
+	out.BandwidthMbps *= factor
+	if latencyDiv > 0 {
+		out.PerPacketLatencyMicros /= latencyDiv
+	}
+	return out
+}
+
+// PacketMicros returns the wire time of one packet of the given size.
+func (n NetworkConfig) PacketMicros(bytes int) float64 {
+	return n.PerPacketLatencyMicros + float64(bytes)*8/n.BandwidthMbps
+}

@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+
+	"archos/internal/ipc"
+)
+
+// Link is a full-duplex in-memory network link between two endpoints,
+// with virtual-time accounting from the ipc network model and optional
+// deterministic fault injection (corruption or loss of selected
+// frames). It is synchronous and single-conversation — the shape of a
+// kernel-to-kernel RPC channel, not a general socket.
+type Link struct {
+	Net ipc.NetworkConfig
+
+	mu    sync.Mutex
+	aToB  [][]byte
+	bToA  [][]byte
+	clock float64 // µs of accumulated wire time
+
+	// fault injection: frame sequence numbers (1-based, per link) to
+	// corrupt or drop on transmission.
+	seq     int
+	corrupt map[int]bool
+	drop    map[int]bool
+}
+
+// NewLink builds a link with the given network characteristics.
+func NewLink(net ipc.NetworkConfig) *Link {
+	return &Link{Net: net, corrupt: map[int]bool{}, drop: map[int]bool{}}
+}
+
+// CorruptFrame arranges for the n-th transmitted frame (1-based) to
+// have a bit flipped in flight.
+func (l *Link) CorruptFrame(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.corrupt[n] = true
+}
+
+// DropFrame arranges for the n-th transmitted frame to vanish.
+func (l *Link) DropFrame(n int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.drop[n] = true
+}
+
+// Clock returns accumulated wire time in microseconds.
+func (l *Link) Clock() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.clock
+}
+
+// Endpoint names a side of the link.
+type Endpoint int
+
+// A and B are the two sides of a link.
+const (
+	A Endpoint = iota
+	B
+)
+
+// Send transmits a frame from the endpoint; the peer's Recv will see it
+// unless dropped. Corruption flips one payload bit but still delivers.
+func (l *Link) Send(from Endpoint, frame []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	l.clock += l.Net.PacketMicros(len(frame))
+	if l.drop[l.seq] {
+		return
+	}
+	out := make([]byte, len(frame))
+	copy(out, frame)
+	if l.corrupt[l.seq] && len(out) > headerBytes {
+		out[headerBytes] ^= 0x40 // flip a payload bit
+	}
+	if from == A {
+		l.aToB = append(l.aToB, out)
+	} else {
+		l.bToA = append(l.bToA, out)
+	}
+}
+
+// ErrEmpty is returned by Recv when no frame is pending.
+var ErrEmpty = errors.New("wire: no frame pending")
+
+// Recv returns the next frame addressed to the endpoint.
+func (l *Link) Recv(at Endpoint) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := &l.bToA
+	if at == B {
+		q = &l.aToB
+	}
+	if len(*q) == 0 {
+		return nil, ErrEmpty
+	}
+	f := (*q)[0]
+	*q = (*q)[1:]
+	return f, nil
+}

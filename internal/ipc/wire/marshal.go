@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// The argument marshaller: what an RPC stub compiler emits. Values are
+// encoded as a tag byte followed by a fixed- or length-prefixed body.
+// Supported types cover the paper's RPC workloads: integers, strings,
+// byte buffers, booleans, and float64s.
+
+type tag byte
+
+const (
+	tagU32 tag = iota + 1
+	tagU64
+	tagI64
+	tagBool
+	tagF64
+	tagString
+	tagBytes
+)
+
+// ErrBadArgument reports an unsupported type passed to Marshal.
+var ErrBadArgument = errors.New("wire: unsupported argument type")
+
+// ErrBadEncoding reports a malformed argument stream.
+var ErrBadEncoding = errors.New("wire: malformed argument encoding")
+
+// Marshal encodes a parameter list into stub wire format.
+func Marshal(args ...interface{}) ([]byte, error) {
+	var out []byte
+	for _, a := range args {
+		switch v := a.(type) {
+		case uint32:
+			out = append(out, byte(tagU32))
+			out = binary.BigEndian.AppendUint32(out, v)
+		case uint64:
+			out = append(out, byte(tagU64))
+			out = binary.BigEndian.AppendUint64(out, v)
+		case int:
+			out = append(out, byte(tagI64))
+			out = binary.BigEndian.AppendUint64(out, uint64(int64(v)))
+		case int64:
+			out = append(out, byte(tagI64))
+			out = binary.BigEndian.AppendUint64(out, uint64(v))
+		case bool:
+			out = append(out, byte(tagBool))
+			if v {
+				out = append(out, 1)
+			} else {
+				out = append(out, 0)
+			}
+		case float64:
+			out = append(out, byte(tagF64))
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(v))
+		case string:
+			if len(v) > maxPayload {
+				return nil, ErrTooLarge
+			}
+			out = append(out, byte(tagString))
+			out = binary.BigEndian.AppendUint32(out, uint32(len(v)))
+			out = append(out, v...)
+		case []byte:
+			if len(v) > maxPayload {
+				return nil, ErrTooLarge
+			}
+			out = append(out, byte(tagBytes))
+			out = binary.BigEndian.AppendUint32(out, uint32(len(v)))
+			out = append(out, v...)
+		default:
+			return nil, fmt.Errorf("%w: %T", ErrBadArgument, a)
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal decodes a stub-format argument stream back into values
+// (int64 for integer kinds, plus bool, float64, string, []byte).
+func Unmarshal(data []byte) ([]interface{}, error) {
+	var out []interface{}
+	i := 0
+	need := func(n int) error {
+		if i+n > len(data) {
+			return ErrBadEncoding
+		}
+		return nil
+	}
+	for i < len(data) {
+		t := tag(data[i])
+		i++
+		switch t {
+		case tagU32:
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			out = append(out, binary.BigEndian.Uint32(data[i:]))
+			i += 4
+		case tagU64:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			out = append(out, binary.BigEndian.Uint64(data[i:]))
+			i += 8
+		case tagI64:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			out = append(out, int64(binary.BigEndian.Uint64(data[i:])))
+			i += 8
+		case tagBool:
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			out = append(out, data[i] != 0)
+			i++
+		case tagF64:
+			if err := need(8); err != nil {
+				return nil, err
+			}
+			out = append(out, math.Float64frombits(binary.BigEndian.Uint64(data[i:])))
+			i += 8
+		case tagString:
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			n := int(binary.BigEndian.Uint32(data[i:]))
+			i += 4
+			if err := need(n); err != nil {
+				return nil, err
+			}
+			out = append(out, string(data[i:i+n]))
+			i += n
+		case tagBytes:
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			n := int(binary.BigEndian.Uint32(data[i:]))
+			i += 4
+			if err := need(n); err != nil {
+				return nil, err
+			}
+			b := make([]byte, n)
+			copy(b, data[i:i+n])
+			out = append(out, b)
+			i += n
+		default:
+			return nil, fmt.Errorf("%w: tag %d", ErrBadEncoding, t)
+		}
+	}
+	return out, nil
+}

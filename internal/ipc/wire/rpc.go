@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Handler implements one remote procedure: arguments in, results out.
+type Handler func(args []interface{}) ([]interface{}, error)
+
+// Server dispatches calls arriving at one end of a link.
+type Server struct {
+	link *Link
+	side Endpoint
+
+	procs map[uint32]Handler
+
+	// Served counts successfully handled calls; BadFrames counts
+	// frames rejected by the codec (corruption, truncation).
+	Served    int
+	BadFrames int
+}
+
+// NewServer builds a server on side of link.
+func NewServer(link *Link, side Endpoint) *Server {
+	return &Server{link: link, side: side, procs: map[uint32]Handler{}}
+}
+
+// Register binds a procedure ID to a handler.
+func (s *Server) Register(proc uint32, h Handler) { s.procs[proc] = h }
+
+// ErrNoProc reports a call to an unregistered procedure.
+var ErrNoProc = errors.New("wire: no such procedure")
+
+// Poll processes every pending frame, sending replies. Corrupted
+// frames are dropped silently (the client's retransmission recovers),
+// exactly as a checksum-verifying transport behaves.
+func (s *Server) Poll() {
+	for {
+		frame, err := s.link.Recv(s.side)
+		if err != nil {
+			return
+		}
+		h, payload, err := Decode(frame)
+		if err != nil {
+			s.BadFrames++
+			continue
+		}
+		if h.Kind != KindCall {
+			continue
+		}
+		s.reply(h, payload)
+	}
+}
+
+func (s *Server) reply(h Header, payload []byte) {
+	var results []interface{}
+	proc, ok := s.procs[h.ProcID]
+	if !ok {
+		results = []interface{}{false, ErrNoProc.Error()}
+	} else {
+		args, err := Unmarshal(payload)
+		if err == nil {
+			var out []interface{}
+			out, err = proc(args)
+			if err == nil {
+				results = append([]interface{}{true}, out...)
+			}
+		}
+		if err != nil {
+			results = []interface{}{false, err.Error()}
+		}
+	}
+	body, err := Marshal(results...)
+	if err != nil {
+		return
+	}
+	frame, err := Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID}, body)
+	if err != nil {
+		return
+	}
+	s.Served++
+	s.link.Send(s.side, frame)
+}
+
+// Client issues calls from one end of a link.
+type Client struct {
+	link *Link
+	side Endpoint
+
+	nextID uint32
+
+	// MaxRetries bounds retransmissions per call.
+	MaxRetries int
+	// Retries counts retransmissions performed.
+	Retries int
+}
+
+// NewClient builds a client on side of link.
+func NewClient(link *Link, side Endpoint) *Client {
+	return &Client{link: link, side: side, MaxRetries: 3}
+}
+
+// ErrCallFailed reports a call that exhausted its retries.
+var ErrCallFailed = errors.New("wire: call failed after retries")
+
+// RemoteError carries a server-side failure back to the caller.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "wire: remote: " + e.Msg }
+
+// Call invokes proc with args against server, driving the server's
+// Poll between send and receive (the two endpoints share this thread —
+// the transport is synchronous by design). Lost or corrupted frames
+// are retransmitted.
+func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]interface{}, error) {
+	payload, err := Marshal(args...)
+	if err != nil {
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	frame, err := Encode(Header{Kind: KindCall, CallID: id, ProcID: proc}, payload)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.Retries++
+		}
+		c.link.Send(c.side, frame)
+		server.Poll()
+		reply, err := c.awaitReply(id)
+		if errors.Is(err, ErrEmpty) || errors.Is(err, ErrBadChecksum) {
+			continue // lost or corrupted somewhere: resend
+		}
+		if err != nil {
+			return nil, err
+		}
+		return reply, nil
+	}
+	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
+}
+
+func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
+	for {
+		frame, err := c.link.Recv(c.side)
+		if err != nil {
+			return nil, err // ErrEmpty: nothing arrived
+		}
+		h, payload, err := Decode(frame)
+		if err != nil {
+			return nil, err
+		}
+		if h.Kind != KindReply || h.CallID != id {
+			continue // stale duplicate from an earlier retry
+		}
+		vals, err := Unmarshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		if len(vals) == 0 {
+			return nil, ErrBadEncoding
+		}
+		okFlag, isBool := vals[0].(bool)
+		if !isBool {
+			return nil, ErrBadEncoding
+		}
+		if !okFlag {
+			msg := "unknown"
+			if len(vals) > 1 {
+				if s, ok := vals[1].(string); ok {
+					msg = s
+				}
+			}
+			return nil, &RemoteError{Msg: msg}
+		}
+		return vals[1:], nil
+	}
+}

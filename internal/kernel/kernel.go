@@ -1,0 +1,200 @@
+// Package kernel builds the operating-system primitive handlers the
+// paper measures — null system call, data-access trap, page-table-entry
+// change, and context switch — as simulator programs for each
+// architecture, and exposes a cost model used by the higher-level
+// subsystems (IPC, threads, the Mach-style OS models).
+//
+// The paper's method (Section 1.1): start from vendor Unix handlers,
+// strip operating-system dependencies, optimize equitably, and keep the
+// standard register-usage conventions. Our equivalent: each handler
+// program contains only the architecture-imposed work (trap entry,
+// vectoring, pipeline-state management, register save/restore under the
+// calling convention, window handling, MMU interaction) plus the minimal
+// operating-system-independent bookkeeping, expressed as micro-ops. The
+// instruction counts of the programs reproduce the paper's Table 2; the
+// simulated times reproduce Tables 1 and 5.
+package kernel
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/sim"
+)
+
+// Primitive enumerates the four primitive operations of Tables 1 and 2.
+type Primitive int
+
+const (
+	// NullSyscall: "the time for a user program to enter a null C
+	// procedure in the kernel, with interrupts (re-)enabled, and then
+	// return."
+	NullSyscall Primitive = iota
+	// Trap: "the time for a user program to take a data access fault
+	// ..., vector to a null C procedure in the kernel, and return to
+	// the user program."
+	Trap
+	// PTEChange: "the time, once in the kernel, to convert a virtual
+	// address into its corresponding page table entry, update that
+	// entry to change protection information, and then update any
+	// hardware (e.g., the translation buffer) that caches this
+	// information."
+	PTEChange
+	// ContextSwitch: "the time, once in the kernel, to save one process
+	// context and resume another, including the time to change address
+	// spaces in the hardware."
+	ContextSwitch
+	numPrimitives
+)
+
+var primitiveNames = [numPrimitives]string{
+	"Null system call", "Trap", "Page table entry change", "Context switch",
+}
+
+func (p Primitive) String() string {
+	if p < 0 || p >= numPrimitives {
+		return "unknown"
+	}
+	return primitiveNames[p]
+}
+
+// Primitives lists the four primitives in the paper's table order.
+func Primitives() []Primitive {
+	return []Primitive{NullSyscall, Trap, PTEChange, ContextSwitch}
+}
+
+// Phase names. Table 5 decomposes the null system call into kernel
+// entry/exit, call preparation, and call/return to C; our programs use
+// five physical phases that fold into those three buckets.
+const (
+	PhaseEntry      = "kernel entry"     // hardware/microcode trap entry
+	PhasePrep       = "call preparation" // vectoring, state mgmt, register save
+	PhaseCCall      = "call/return to C" // the C-convention call into the OS routine
+	PhaseCompletion = "call completion"  // register restore, state rebuild
+	PhaseExit       = "kernel exit"      // return-from-exception
+)
+
+// Program builds the handler program for primitive p on architecture s.
+// It panics for architectures without a handler set (programs are static
+// descriptions; a missing one is a programming error, not input error).
+func Program(s *arch.Spec, p Primitive) *sim.Program {
+	var b builder
+	switch s.Name {
+	case arch.CVAX.Name:
+		b = cvaxBuilder{}
+	case arch.R2000.Name, arch.R3000.Name:
+		b = mipsBuilder{}
+	case arch.SPARC.Name:
+		b = sparcBuilder{}
+	case arch.M88000.Name:
+		b = m88000Builder{}
+	case arch.I860.Name:
+		b = i860Builder{}
+	case arch.RS6000.Name:
+		b = rs6000Builder{}
+	default:
+		panic(fmt.Sprintf("kernel: no handlers for architecture %q", s.Name))
+	}
+	switch p {
+	case NullSyscall:
+		return b.nullSyscall(s)
+	case Trap:
+		return b.trap(s)
+	case PTEChange:
+		return b.pteChange(s)
+	case ContextSwitch:
+		return b.contextSwitch(s)
+	}
+	panic(fmt.Sprintf("kernel: unknown primitive %d", p))
+}
+
+// builder produces the four primitive handlers for one architecture
+// family.
+type builder interface {
+	nullSyscall(*arch.Spec) *sim.Program
+	trap(*arch.Spec) *sim.Program
+	pteChange(*arch.Spec) *sim.Program
+	contextSwitch(*arch.Spec) *sim.Program
+}
+
+// Cost is the measured cost of one primitive on one architecture.
+type Cost struct {
+	Micros       float64
+	Cycles       float64
+	Instructions int
+	Result       sim.Result
+}
+
+// Measure runs primitive p's handler on a fresh machine for s.
+func Measure(s *arch.Spec, p Primitive) Cost {
+	prog := Program(s, p)
+	res := s.Machine().Run(prog)
+	return Cost{
+		Micros:       res.Micros(s.ClockMHz),
+		Cycles:       res.Cycles,
+		Instructions: res.Instructions,
+		Result:       res,
+	}
+}
+
+// EntryExitMicros returns the Table 5 "kernel entry/exit" bucket: the
+// entry and exit phases combined.
+func EntryExitMicros(res sim.Result, clockMHz float64) float64 {
+	return res.PhaseMicros(PhaseEntry, clockMHz) + res.PhaseMicros(PhaseExit, clockMHz)
+}
+
+// PrepMicros returns the Table 5 "call preparation" bucket: preparation
+// plus completion (restore) work.
+func PrepMicros(res sim.Result, clockMHz float64) float64 {
+	return res.PhaseMicros(PhasePrep, clockMHz) + res.PhaseMicros(PhaseCompletion, clockMHz)
+}
+
+// CCallMicros returns the Table 5 "call/return to C" bucket.
+func CCallMicros(res sim.Result, clockMHz float64) float64 {
+	return res.PhaseMicros(PhaseCCall, clockMHz)
+}
+
+// CostModel caches the four primitive costs for an architecture, plus
+// derived costs used by the IPC, thread, and OS-model layers.
+type CostModel struct {
+	Spec *arch.Spec
+	cost [numPrimitives]Cost
+}
+
+// NewCostModel measures all primitives on s.
+func NewCostModel(s *arch.Spec) *CostModel {
+	m := &CostModel{Spec: s}
+	for _, p := range Primitives() {
+		m.cost[p] = Measure(s, p)
+	}
+	return m
+}
+
+// Cost returns the cached cost of primitive p.
+func (m *CostModel) Cost(p Primitive) Cost { return m.cost[p] }
+
+// SyscallMicros is the round-trip null system call time.
+func (m *CostModel) SyscallMicros() float64 { return m.cost[NullSyscall].Micros }
+
+// TrapMicros is the data-access fault handling time.
+func (m *CostModel) TrapMicros() float64 { return m.cost[Trap].Micros }
+
+// PTEChangeMicros is the in-kernel PTE change time.
+func (m *CostModel) PTEChangeMicros() float64 { return m.cost[PTEChange].Micros }
+
+// ContextSwitchMicros is the in-kernel process context switch time
+// (including the address-space change).
+func (m *CostModel) ContextSwitchMicros() float64 { return m.cost[ContextSwitch].Micros }
+
+// asSwitchFraction is the portion of a full context switch spent on the
+// address-space change itself (MMU retarget + any TLB purge) rather
+// than thread-state movement. LRPC pays only this portion: the client's
+// thread "directly execute[s] in the server's address space", so no
+// thread state moves — only the mapping hardware changes.
+const asSwitchFraction = 0.55
+
+// AddressSpaceSwitchMicros is the cost of changing address spaces
+// without switching threads (the LRPC kernel-transfer path).
+func (m *CostModel) AddressSpaceSwitchMicros() float64 {
+	return asSwitchFraction * m.cost[ContextSwitch].Micros
+}

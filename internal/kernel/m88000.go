@@ -1,0 +1,160 @@
+package kernel
+
+import (
+	"archos/internal/arch"
+	"archos/internal/sim"
+)
+
+// m88000Builder produces the Motorola 88000 handlers (122 / 156 / 24 /
+// 98 instructions, Table 2). The 88000 "loses much of its performance
+// advantage because of the complexity of managing its pipelines in
+// software when a trap occurs": five exposed pipelines with nearly 30
+// internal state registers that must be read, saved, and restored, plus
+// the FPU-freeze dance — the FPU performs integer multiplies, so it
+// must be restarted (and its in-flight results fenced off) before the
+// fault handler can safely use the general registers. MMU state lives
+// in external 88200 CMMU chips reached by uncached bus accesses.
+type m88000Builder struct{}
+
+// pipelineSaveOps returns the ops to examine/save n pipeline-state
+// control registers (scaled from the spec so the 27 words of Table 6
+// misc state and these handler costs share one source of truth).
+func pipelineSave(n int) []sim.Op {
+	return []sim.Op{ctrlRead(n), store(n, sim.AddrSeqSamePage)}
+}
+
+func pipelineRestore(n int) []sim.Op {
+	return []sim.Op{load(n, sim.AddrSeqSamePage), ctrlWrite(n)}
+}
+
+// nullSyscall: 122 instructions; 11.8 µs. Even a voluntary trap pays
+// for pipeline-state management — the paper suggests the hardware could
+// "wait for other exceptions to occur before servicing the call,
+// reducing the processing needed in the trap handler to check for
+// faults", but the 88000 does not.
+func (m88000Builder) nullSyscall(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "m88000/null-syscall"}
+	p.Add(PhaseEntry, trapEnter()) // tb0: shadow registers freeze
+	prep := []sim.Op{}
+	// Examine/save a subset of the pipeline state registers — even a
+	// system call must check for outstanding faults in the pipelines.
+	prep = append(prep, pipelineSave(8)...)
+	prep = append(prep,
+		alu(6), branch(2),
+		// Save the C-convention caller-saved registers.
+		alu(2), store(14, sim.AddrSeqSamePage),
+		// Machine state: PSR shadow, kernel stack, re-enable.
+		ctrlRead(4), ctrlWrite(4), alu(2),
+		// FPU status check (integer multiplies live there).
+		ctrlRead(3), alu(4), branch(2),
+		// Dispatch.
+		load(2, sim.AddrKernelData), alu(3), branch(1), nop(2),
+	)
+	p.Add(PhasePrep, prep...)
+	p.Add(PhaseCCall,
+		branch(2), alu(2),
+		store(4, sim.AddrSeqSamePage),
+		load(4, sim.AddrSeqSamePage),
+		alu(2), nop(2),
+	)
+	completion := []sim.Op{load(14, sim.AddrSeqSamePage), alu(4)}
+	completion = append(completion, pipelineRestore(8)...)
+	completion = append(completion, nop(2))
+	p.Add(PhaseCompletion, completion...)
+	p.Add(PhaseExit, alu(1), trapReturn())
+	return p
+}
+
+// trap: 156 instructions; 14.4 µs. A data-access fault is imprecise:
+// "the operating system must examine a collection of special registers
+// to find the types of memory accesses underway, the addresses of reads
+// in progress, and the addresses and data values of writes in progress.
+// Then the operating system must emulate the execution of the store or
+// read request that caused the fault." And first, the frozen FPU must
+// be drained with the handler's registers fenced from its late writes.
+func (m88000Builder) trap(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "m88000/trap"}
+	p.Add(PhaseEntry, trapEnter())
+	prep := []sim.Op{}
+	// Full pipeline-state examination: the spec's misc-state words are
+	// these registers.
+	prep = append(prep, pipelineSave(s.PipelineStateRegs-8)...) // 19 data-unit/fetch regs
+	prep = append(prep,
+		// FPU freeze/restart dance: stash interrupt context in memory,
+		// re-enable the FPU, let its pipeline drain, then save the
+		// general registers once they are safe from late FPU writes.
+		store(4, sim.AddrSeqSamePage),
+		ctrlWrite(2),
+		micro(20, "FPU pipeline drain wait"),
+		ctrlRead(2), alu(4),
+		// Emulate the faulting access from the saved transaction
+		// registers.
+		load(4, sim.AddrKernelData), alu(7), branch(3),
+		// Save the general registers.
+		alu(2), store(16, sim.AddrSeqSamePage),
+		// Machine state.
+		ctrlRead(2), ctrlWrite(2), alu(6),
+		// Dispatch.
+		load(2, sim.AddrKernelData), alu(3), branch(1), nop(2),
+	)
+	p.Add(PhasePrep, prep...)
+	p.Add(PhaseCCall,
+		branch(2), alu(2),
+		store(4, sim.AddrSeqSamePage),
+		load(4, sim.AddrSeqSamePage),
+		alu(2), nop(2),
+	)
+	completion := []sim.Op{load(16, sim.AddrSeqSamePage), alu(4)}
+	completion = append(completion, pipelineRestore(7)...)
+	completion = append(completion, nop(2))
+	p.Add(PhaseCompletion, completion...)
+	p.Add(PhaseExit, alu(1), trapReturn())
+	return p
+}
+
+// pteChange: 24 instructions; 3.9 µs. The PTE lives in memory but the
+// 88200 CMMUs cache it; updating means a PTE store plus uncached
+// probe/invalidate commands to the CMMU over the bus.
+func (m88000Builder) pteChange(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "m88000/pte-change"}
+	p.Add(PhasePrep,
+		alu(6), // VA → PTE address
+		load(2, sim.AddrKernelData),
+		alu(1),
+		store(1, sim.AddrKernelData),
+		// CMMU ATC invalidate: command register write, status read.
+		store(1, sim.AddrIO),
+		load(1, sim.AddrIO),
+		ctrlWrite(6), // probe command setup, supervisor-area selects
+		alu(4), branch(2),
+	)
+	return p
+}
+
+// contextSwitch: 98 instructions; 22.8 µs. The register save/restore
+// is ordinary, but the address-space change is a conversation with two
+// external CMMU chips (code and data) over uncached bus accesses, which
+// is where the cycles go.
+func (m88000Builder) contextSwitch(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "m88000/context-switch"}
+	p.Add(PhasePrep,
+		alu(2),
+		store(20, sim.AddrSeqSamePage), // outgoing integer context
+		ctrlRead(6),                    // PSR shadow, SXIP/SNIP/SFIP
+		store(2, sim.AddrSeqSamePage),
+	)
+	p.Add("address space change",
+		load(6, sim.AddrKernelData), alu(8), branch(2),
+		// Retarget both CMMUs: area pointer registers + flush commands.
+		store(8, sim.AddrIO),
+		load(4, sim.AddrIO),
+		ctrlWrite(4),
+	)
+	p.Add(PhaseCompletion,
+		load(20, sim.AddrNewPage), // incoming context is cold
+		ctrlWrite(4),              // restore shadow state
+		load(2, sim.AddrKernelData),
+		alu(8), nop(2),
+	)
+	return p
+}

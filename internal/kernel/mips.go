@@ -1,0 +1,154 @@
+package kernel
+
+import (
+	"archos/internal/arch"
+	"archos/internal/sim"
+)
+
+// mipsBuilder produces the MIPS R2000/R3000 handlers — the two share an
+// instruction set, so the programs are identical (84 / 103 / 36 / 135
+// instructions, Table 2) and the R3000's advantage in Table 1 comes
+// entirely from the DECstation 5000 memory system (page-mode write
+// buffer, longer cache lines) and its 25 MHz clock.
+//
+// MIPS properties visible below: nearly all exceptions vector through
+// one common handler, so software must read CAUSE and dispatch; the
+// trap hardware does almost nothing, so "call preparation" dominates
+// Table 5 (6.3 µs of the 9.0 µs null system call on the R2000, versus
+// 0.6 µs for entry/exit); handler code leaves about half its delay
+// slots unfilled (the nop ops); and register save/restore is long runs
+// of successive stores/loads that exercise the write buffer.
+type mipsBuilder struct{}
+
+// nullSyscall: 84 instructions; 9.0 µs on the R2000, 4.1 µs on the
+// R3000.
+func (mipsBuilder) nullSyscall(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "mips/null-syscall"}
+	p.Add(PhaseEntry, trapEnter()) // syscall instruction; hardware latches EPC/CAUSE
+	p.Add(PhasePrep,
+		// Common exception vector: read CAUSE, extract ExcCode, jump
+		// through the dispatch table. (DeMoney et al.: "most Unix
+		// systems fill these [vector] addresses with code to save the
+		// cause and then jump to a common interrupt handler".)
+		load(1, sim.AddrKernelData),
+		alu(2), branch(1), nop(1),
+		// Save the registers not preserved across procedure calls.
+		alu(2), // carve the save area off the kernel stack
+		store(12, sim.AddrSeqSamePage),
+		// Machine-state management: kernel stack pointer, status
+		// register (re-enable interrupts), EPC.
+		ctrlRead(3), ctrlWrite(2), alu(3),
+		// Syscall dispatch: number check, table lookup.
+		load(2, sim.AddrKernelData), alu(3), branch(1), nop(4),
+	)
+	p.Add(PhaseCCall,
+		branch(1), // jal
+		alu(3),    // stack frame
+		store(6, sim.AddrSeqSamePage),
+		load(6, sim.AddrSeqSamePage),
+		alu(3),
+		branch(1), // jr ra
+		nop(2),
+	)
+	p.Add(PhaseCompletion,
+		load(12, sim.AddrSeqSamePage), // restore saved registers
+		alu(2),
+		ctrlWrite(2), // restore SR, EPC
+		nop(6),
+	)
+	p.Add(PhaseExit, alu(1), trapReturn()) // rfe in the delay slot of jr k0
+	return p
+}
+
+// trap: 103 instructions; 15.4 µs on the R2000, 5.2 µs on the R3000.
+// A data-access fault arrives at the same common vector; the handler
+// must additionally read BadVAddr/Cause/EPC, classify the fault, and
+// save a wider register set before the C-level fault handler runs.
+func (mipsBuilder) trap(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "mips/trap"}
+	// A data fault pays the trap latch plus the memory-system entry
+	// costs (write-buffer drain, vector fetch, reference replay) that a
+	// voluntary syscall avoids.
+	p.Add(PhaseEntry, micro(s.Sim.CPI[sim.TrapEnter]+s.Sim.FaultEntryExtraCycles,
+		"fault entry: exception latch + write-buffer drain + vector fetch"))
+	p.Add(PhasePrep,
+		// Common vector + dispatch.
+		load(1, sim.AddrKernelData), alu(2), branch(1), nop(1),
+		// Fault information: BadVAddr, CAUSE, EPC, SR.
+		ctrlRead(3), alu(6), branch(2), nop(2),
+		// Wider save: the fault handler may sleep, so everything the C
+		// convention does not preserve must be stored.
+		alu(2), store(18, sim.AddrSeqSamePage),
+		// Machine state.
+		ctrlRead(2), ctrlWrite(2), alu(7),
+		// Fault-type dispatch.
+		load(2, sim.AddrKernelData), alu(3), branch(1), nop(3),
+	)
+	p.Add(PhaseCCall,
+		branch(1), alu(2),
+		store(4, sim.AddrSeqSamePage),
+		load(4, sim.AddrSeqSamePage),
+		alu(2), branch(1), nop(2),
+	)
+	p.Add(PhaseCompletion,
+		load(18, sim.AddrSeqSamePage),
+		alu(4), ctrlWrite(2), nop(2),
+	)
+	p.Add(PhaseExit, alu(1), trapReturn())
+	return p
+}
+
+// pteChange: 36 instructions; 3.1 µs (R2000) / 2.0 µs (R3000). The
+// software-managed TLB means the OS owns the page-table format; the
+// handler computes the PTE address in its own structure, rewrites the
+// entry, then probes the TLB and overwrites the cached copy if present.
+func (mipsBuilder) pteChange(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "mips/pte-change"}
+	p.Add(PhasePrep,
+		alu(6), // VA → page-table slot in the OS's own table
+		load(2, sim.AddrKernelData),
+		alu(2),                       // merge protection bits
+		store(1, sim.AddrKernelData), // rewrite the PTE
+		// TLB coherence: set EntryHi to the VA/ASID, probe, and if the
+		// translation is cached, rewrite it in place.
+		ctrlWrite(2), // EntryHi, EntryLo
+		tlbProbe(1),
+		ctrlRead(2), // Index register, check probe result
+		branch(2),
+		tlbWrite(1),
+		alu(12),      // register shuffling around the coprocessor-0 dance
+		ctrlWrite(2), // restore EntryHi (current ASID)
+		nop(2),
+		branch(1),
+	)
+	return p
+}
+
+// contextSwitch: 135 instructions; 14.8 µs (R2000) / 7.4 µs (R3000).
+// Save the outgoing integer context into its TCB, switch kernel stacks,
+// retarget the page tables, write the new ASID (the tagged TLB needs no
+// purge — the R2000's big advantage over the CVAX here), and restore
+// the incoming context.
+func (mipsBuilder) contextSwitch(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "mips/context-switch"}
+	p.Add(PhasePrep,
+		// Save outgoing context (integer-only per the paper's ground
+		// rules: no FP state moves).
+		alu(3),
+		store(24, sim.AddrSeqSamePage),
+		ctrlRead(4), // SR, EPC, HI, LO
+		store(4, sim.AddrSeqSamePage),
+		// Switch kernel stack / current-process pointers.
+		load(6, sim.AddrKernelData), alu(10), branch(2),
+		// Address-space change: page-table base and ASID.
+		alu(2), ctrlWrite(2),
+		// Incoming TCB bookkeeping.
+		load(6, sim.AddrKernelData), store(8, sim.AddrKernelData), alu(15), branch(2),
+		// Restore incoming context. The incoming TCB is recently
+		// scheduled kernel data: mostly warm.
+		load(24, sim.AddrKernelData),
+		alu(4), ctrlWrite(4), // SR, EPC, HI, LO
+		alu(9), nop(6),
+	)
+	return p
+}

@@ -1,0 +1,34 @@
+package kernel
+
+import "archos/internal/sim"
+
+// Terse op constructors used by the handler builders. Each returns one
+// micro-op with a repeat count, so handler programs read like annotated
+// assembler listings.
+
+func alu(n int) sim.Op        { return sim.Op{Class: sim.ALU, N: n} }
+func branch(n int) sim.Op     { return sim.Op{Class: sim.Branch, N: n} }
+func nop(n int) sim.Op        { return sim.Op{Class: sim.Nop, N: n} }
+func ctrlRead(n int) sim.Op   { return sim.Op{Class: sim.CtrlRead, N: n} }
+func ctrlWrite(n int) sim.Op  { return sim.Op{Class: sim.CtrlWrite, N: n} }
+func trapEnter() sim.Op       { return sim.Op{Class: sim.TrapEnter, N: 1} }
+func trapReturn() sim.Op      { return sim.Op{Class: sim.TrapReturn, N: 1} }
+func tlbProbe(n int) sim.Op   { return sim.Op{Class: sim.TLBProbe, N: n} }
+func tlbWrite(n int) sim.Op   { return sim.Op{Class: sim.TLBWrite, N: n} }
+func flushLine(n int) sim.Op  { return sim.Op{Class: sim.CacheFlushLine, N: n} }
+func windowSave(n int) sim.Op { return sim.Op{Class: sim.WindowSave, N: n} }
+
+// windowRestore refills a window from a save area the handler itself
+// just wrote (warm); windowRestoreCold refills another thread's windows
+// at a context switch (cold memory).
+func windowRestore(n int) sim.Op { return sim.Op{Class: sim.WindowRestore, N: n} }
+func windowRestoreCold(n int) sim.Op {
+	return sim.Op{Class: sim.WindowRestore, N: n, Addr: sim.AddrNewPage}
+}
+
+func load(n int, a sim.AddrPattern) sim.Op  { return sim.Op{Class: sim.Load, N: n, Addr: a} }
+func store(n int, a sim.AddrPattern) sim.Op { return sim.Op{Class: sim.Store, N: n, Addr: a} }
+
+func micro(cycles float64, note string) sim.Op {
+	return sim.Op{Class: sim.Microcoded, N: 1, Cycles: cycles, Note: note}
+}

@@ -1,0 +1,220 @@
+package kernel
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/sim"
+)
+
+// Structural invariants over every handler program on every
+// architecture: these pin down the model's shape independently of the
+// calibration numbers.
+
+func allSpecs() []*arch.Spec { return arch.All() }
+
+func TestEveryProgramHasPhasesAndOps(t *testing.T) {
+	for _, s := range allSpecs() {
+		for _, p := range Primitives() {
+			prog := Program(s, p)
+			if len(prog.Phases) == 0 {
+				t.Errorf("%s/%s: no phases", s.Name, p)
+			}
+			for _, ph := range prog.Phases {
+				if len(ph.Ops) == 0 {
+					t.Errorf("%s/%s: empty phase %q", s.Name, p, ph.Name)
+				}
+				for _, op := range ph.Ops {
+					if op.N < 0 {
+						t.Errorf("%s/%s/%s: negative repeat", s.Name, p, ph.Name)
+					}
+					if op.Class == sim.Microcoded && op.Cycles <= 0 {
+						t.Errorf("%s/%s/%s: microcoded op without cycles", s.Name, p, ph.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSyscallAndTrapEnterTheKernel(t *testing.T) {
+	// Null syscall and trap must contain exactly one kernel entry
+	// (TrapEnter or a microcoded fault entry) and one return.
+	for _, s := range allSpecs() {
+		for _, p := range []Primitive{NullSyscall, Trap} {
+			prog := Program(s, p)
+			enters, returns := 0, 0
+			for _, ph := range prog.Phases {
+				for _, op := range ph.Ops {
+					switch op.Class {
+					case sim.TrapEnter:
+						enters += op.Count()
+					case sim.TrapReturn:
+						returns += op.Count()
+					case sim.Microcoded:
+						if ph.Name == PhaseEntry {
+							enters += op.Count()
+						}
+					}
+				}
+			}
+			if enters != 1 || returns != 1 {
+				t.Errorf("%s/%s: %d kernel entries, %d returns; want 1/1", s.Name, p, enters, returns)
+			}
+		}
+	}
+}
+
+func TestInKernelPrimitivesDoNotTrap(t *testing.T) {
+	// PTE change and context switch are measured "once in the kernel":
+	// no trap entry/return belongs in them.
+	for _, s := range allSpecs() {
+		for _, p := range []Primitive{PTEChange, ContextSwitch} {
+			prog := Program(s, p)
+			for _, ph := range prog.Phases {
+				for _, op := range ph.Ops {
+					if op.Class == sim.TrapEnter || op.Class == sim.TrapReturn {
+						t.Errorf("%s/%s: contains %v", s.Name, p, op.Class)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrapCostsAtLeastSyscallEverywhere(t *testing.T) {
+	for _, s := range allSpecs() {
+		sc := Measure(s, NullSyscall)
+		tr := Measure(s, Trap)
+		if tr.Cycles < sc.Cycles {
+			t.Errorf("%s: trap %.0f cycles < syscall %.0f", s.Name, tr.Cycles, sc.Cycles)
+		}
+		if tr.Instructions < sc.Instructions {
+			t.Errorf("%s: trap %d instructions < syscall %d", s.Name, tr.Instructions, sc.Instructions)
+		}
+	}
+}
+
+func TestOnlyWindowMachinesSpillWindows(t *testing.T) {
+	for _, s := range allSpecs() {
+		cs := Measure(s, ContextSwitch)
+		hasWindows := s.RegisterWindows > 0
+		if hasWindows && cs.Result.WindowCycles == 0 {
+			t.Errorf("%s: window machine spends no cycles on windows", s.Name)
+		}
+		if !hasWindows && cs.Result.WindowCycles != 0 {
+			t.Errorf("%s: windowless machine charged %.0f window cycles", s.Name, cs.Result.WindowCycles)
+		}
+	}
+}
+
+func TestOnlyDelaySlotMachinesExecuteNops(t *testing.T) {
+	for _, s := range allSpecs() {
+		sc := Measure(s, NullSyscall)
+		if s.DelaySlotUnfilledRate == 0 && sc.Result.NopCycles > 0 {
+			t.Errorf("%s: no delay slots but %.0f nop cycles", s.Name, sc.Result.NopCycles)
+		}
+	}
+}
+
+func TestVirtualCacheMachinesFlushOnPrimitives(t *testing.T) {
+	// The i860 is the only study machine whose untagged virtually
+	// addressed cache forces flush loops into PTE change and context
+	// switch.
+	for _, s := range allSpecs() {
+		pc := Measure(s, PTEChange)
+		isI860 := s.Name == arch.I860.Name
+		if isI860 && pc.Result.CacheFlushCycles == 0 {
+			t.Error("i860 PTE change has no cache-flush cycles")
+		}
+		if !isI860 && pc.Result.CacheFlushCycles != 0 {
+			t.Errorf("%s: PTE change flushes a virtual cache it does not have", s.Name)
+		}
+	}
+}
+
+func TestCVAXDoesMostWorkInMicrocode(t *testing.T) {
+	// The paper's CISC point: the VAX's primitives live in microcode.
+	for _, p := range Primitives() {
+		m := Measure(arch.CVAX, p)
+		if share := m.Result.MicrocodeCycles / m.Cycles; share < 0.4 {
+			t.Errorf("CVAX %s: microcode share %.2f, want ≥0.4", p, share)
+		}
+	}
+	// And the RISCs do not (outside trap entry/exit).
+	for _, s := range []*arch.Spec{arch.R2000, arch.R3000} {
+		m := Measure(s, NullSyscall)
+		if share := m.Result.MicrocodeCycles / m.Cycles; share > 0.15 {
+			t.Errorf("%s: microcode share %.2f in a RISC syscall", s.Name, share)
+		}
+	}
+}
+
+func TestM88000TrapDominatedByControlTraffic(t *testing.T) {
+	// "nearly 30 internal registers ... must be read, saved, and
+	// restored": the 88000 trap spends a visible share on control-
+	// register traffic; precise-interrupt machines spend little.
+	tr := Measure(arch.M88000, Trap)
+	if share := tr.Result.CtrlCycles / tr.Cycles; share < 0.15 {
+		t.Errorf("88000 trap control-register share %.2f, want ≥0.15", share)
+	}
+	r3 := Measure(arch.R3000, Trap)
+	if share := r3.Result.CtrlCycles / r3.Cycles; share > 0.12 {
+		t.Errorf("R3000 trap control-register share %.2f, want small", share)
+	}
+}
+
+func TestPhaseCyclesSumToTotal(t *testing.T) {
+	for _, s := range allSpecs() {
+		for _, p := range Primitives() {
+			m := Measure(s, p)
+			var sum float64
+			var instrs int
+			for _, ph := range m.Result.Phases {
+				sum += ph.Cycles
+				instrs += ph.Instructions
+			}
+			if diff := sum - m.Cycles; diff > 1e-9 || diff < -1e-9 {
+				t.Errorf("%s/%s: phases sum %.2f ≠ total %.2f", s.Name, p, sum, m.Cycles)
+			}
+			if instrs != m.Instructions {
+				t.Errorf("%s/%s: phase instructions %d ≠ total %d", s.Name, p, instrs, m.Instructions)
+			}
+		}
+	}
+}
+
+func TestAddressSpaceSwitchCheaperThanFullSwitch(t *testing.T) {
+	for _, s := range allSpecs() {
+		cm := NewCostModel(s)
+		if cm.AddressSpaceSwitchMicros() >= cm.ContextSwitchMicros() {
+			t.Errorf("%s: AS switch not cheaper than full switch", s.Name)
+		}
+		if cm.AddressSpaceSwitchMicros() <= 0 {
+			t.Errorf("%s: non-positive AS switch", s.Name)
+		}
+	}
+}
+
+func TestUnknownArchitecturePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown architecture did not panic")
+		}
+	}()
+	Program(&arch.Spec{Name: "PDP-11"}, NullSyscall)
+}
+
+func TestPrimitiveStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, p := range Primitives() {
+		name := p.String()
+		if name == "unknown" || seen[name] {
+			t.Errorf("bad or duplicate primitive name %q", name)
+		}
+		seen[name] = true
+	}
+	if Primitive(99).String() != "unknown" {
+		t.Error("out-of-range primitive should be unknown")
+	}
+}

@@ -1,0 +1,91 @@
+package kernel
+
+import (
+	"archos/internal/arch"
+	"archos/internal/sim"
+	"archos/internal/tlb"
+)
+
+// TLB refill handlers for the software-managed-TLB machines. DeMoney et
+// al. gave MIPS "a separate handler for user-level TLB misses,
+// recognizing that a TLB miss is not an 'exceptional' event": the
+// dedicated uTLB vector runs a hand-packed refill in about a dozen
+// cycles, while misses on kernel-space addresses fall through to the
+// common exception vector and cost a few hundred cycles. These programs
+// are the source of truth the architecture specs' TLB miss costs are
+// checked against (see TestRefillProgramsMatchTLBConfig).
+
+// UserTLBRefillProgram is the dedicated uTLB-miss handler: load the PTE
+// from the current process's page-table slice and write it into the
+// TLB.
+func UserTLBRefillProgram(s *arch.Spec) *sim.Program {
+	if s.TLB.Refill != tlb.SoftwareRefill {
+		return nil // hardware-walked architectures have no such handler
+	}
+	p := &sim.Program{Name: "mips/utlb-refill"}
+	p.Add("refill",
+		// The hand-packed sequence: mfc0 Context (precomputed PTE
+		// address), load the PTE, mtc0 EntryLo, tlbwr, rfe — with the
+		// mandatory hazard slot.
+		ctrlRead(1),                 // mfc0 k0, Context
+		load(1, sim.AddrKernelData), // lw k0, 0(k0) — the PTE
+		nop(1),                      // load delay slot
+		ctrlWrite(1),                // mtc0 k0, EntryLo
+		tlbWrite(1),                 // tlbwr
+		trapReturn(),                // rfe; jr k1
+	)
+	return p
+}
+
+// KernelTLBMissProgram is the slow path: a kernel-space miss arrives at
+// the common exception vector, is decoded like any other exception,
+// walks the (mapped) page table in C-level code, and returns. "The
+// second handles misses in kernel space ... but has a latency of a few
+// hundred cycles."
+func KernelTLBMissProgram(s *arch.Spec) *sim.Program {
+	if s.TLB.Refill != tlb.SoftwareRefill {
+		return nil
+	}
+	p := &sim.Program{Name: "mips/ktlb-miss"}
+	p.Add(PhaseEntry, trapEnter())
+	p.Add(PhasePrep,
+		// Common vector, cause decode, register save — the same
+		// machinery as any exception.
+		load(1, sim.AddrKernelData), alu(2), branch(1), nop(1),
+		ctrlRead(3), alu(8), branch(2), nop(2),
+		alu(2), store(16, sim.AddrSeqSamePage),
+		ctrlRead(2), ctrlWrite(2), alu(6),
+	)
+	p.Add(PhaseCCall,
+		// The miss is resolved by C-level VM code, not a hand-packed
+		// stub: frame setup, the segment/region classification, and
+		// a walk through page-table pages that are themselves cold —
+		// the very pages whose mappings thrash under Mach 3.0.
+		branch(1), alu(3),
+		store(6, sim.AddrSeqSamePage),
+		alu(10), branch(3),
+		load(10, sim.AddrNewPage), // pte pages, seg structures: cold
+		alu(14), branch(3), nop(3),
+		load(6, sim.AddrSeqSamePage),
+		alu(2), branch(1),
+	)
+	p.Add(PhaseCompletion,
+		// Install the entry and unwind.
+		ctrlWrite(2), tlbProbe(1), tlbWrite(1), alu(4),
+		load(16, sim.AddrSeqSamePage), alu(3), ctrlWrite(2), nop(2),
+	)
+	p.Add(PhaseExit, alu(1), trapReturn())
+	return p
+}
+
+// RefillCosts measures both refill paths on s; zero costs mean the
+// architecture refills in hardware.
+func RefillCosts(s *arch.Spec) (userCycles, kernelCycles float64) {
+	if up := UserTLBRefillProgram(s); up != nil {
+		userCycles = s.Machine().Run(up).Cycles
+	}
+	if kp := KernelTLBMissProgram(s); kp != nil {
+		kernelCycles = s.Machine().Run(kp).Cycles
+	}
+	return
+}

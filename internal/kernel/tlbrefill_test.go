@@ -1,0 +1,43 @@
+package kernel
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+)
+
+func TestRefillProgramsMatchTLBConfig(t *testing.T) {
+	// The architecture specs carry the paper's refill costs ("about a
+	// dozen cycles" user, "a few hundred cycles" kernel); the refill
+	// handler programs must reproduce them within a small factor —
+	// they are the same quantity from two directions.
+	for _, s := range []*arch.Spec{arch.R2000, arch.R3000} {
+		user, kern := RefillCosts(s)
+		if user < 8 || user > 25 {
+			t.Errorf("%s: uTLB refill %.0f cycles, want 'about a dozen'", s.Name, user)
+		}
+		if ratio := user / s.TLB.UserMissCycles; ratio < 0.6 || ratio > 1.8 {
+			t.Errorf("%s: refill program %.0f cycles vs configured %.0f", s.Name, user, s.TLB.UserMissCycles)
+		}
+		if kern < 100 {
+			t.Errorf("%s: kernel miss %.0f cycles, want 'a few hundred'", s.Name, kern)
+		}
+		if kern < 8*user {
+			t.Errorf("%s: kernel path (%.0f) not far above user path (%.0f)", s.Name, kern, user)
+		}
+		if ratio := kern / s.TLB.KernelMissCycles; ratio < 0.4 || ratio > 1.6 {
+			t.Errorf("%s: kernel-miss program %.0f cycles vs configured %.0f", s.Name, kern, s.TLB.KernelMissCycles)
+		}
+	}
+}
+
+func TestHardwareWalkedMachinesHaveNoRefillHandler(t *testing.T) {
+	for _, s := range []*arch.Spec{arch.CVAX, arch.SPARC, arch.M88000, arch.I860, arch.RS6000} {
+		if UserTLBRefillProgram(s) != nil || KernelTLBMissProgram(s) != nil {
+			t.Errorf("%s: hardware-walked TLB has a software refill program", s.Name)
+		}
+		if u, k := RefillCosts(s); u != 0 || k != 0 {
+			t.Errorf("%s: refill costs %f/%f, want 0/0", s.Name, u, k)
+		}
+	}
+}

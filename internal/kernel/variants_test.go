@@ -1,0 +1,70 @@
+package kernel
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/paper"
+)
+
+func TestI860FaultAddressVariant(t *testing.T) {
+	stock := Measure(arch.I860, Trap)
+	variant := VariantCost(arch.I860, I860WithFaultAddress(arch.I860))
+	// The decode was 26 instructions; the variant replaces it with 2
+	// control-register reads: 155 − 26 + 2 = 131.
+	if variant.Instructions != stock.Instructions-26+2 {
+		t.Errorf("variant trap = %d instructions, want %d", variant.Instructions, stock.Instructions-24)
+	}
+	if variant.Micros >= stock.Micros {
+		t.Errorf("providing the fault address did not speed up the trap (%.2f vs %.2f µs)",
+			variant.Micros, stock.Micros)
+	}
+}
+
+func TestM88000DeferredExceptionVariant(t *testing.T) {
+	stock := Measure(arch.M88000, NullSyscall)
+	variant := VariantCost(arch.M88000, M88000DeferredExceptionSyscall(arch.M88000))
+	// Drops the 8-register pipeline save+restore (8 reads + 8 stores +
+	// 8 loads + 8 writes): 122 − 32 = 90.
+	if variant.Instructions != stock.Instructions-32 {
+		t.Errorf("variant syscall = %d instructions, want %d", variant.Instructions, stock.Instructions-32)
+	}
+	if variant.Micros >= 0.85*stock.Micros {
+		t.Errorf("deferring exceptions saved too little: %.2f vs %.2f µs", variant.Micros, stock.Micros)
+	}
+	// The variant should bring the 88000 near the (pipeline-free)
+	// R3000's cycle count regime — sanity that the removed work was
+	// the pipeline management, not the whole handler.
+	if variant.Micros < 0.4*stock.Micros {
+		t.Errorf("variant removed too much: %.2f vs %.2f µs", variant.Micros, stock.Micros)
+	}
+}
+
+func TestSPARCWindowPerThreadVariant(t *testing.T) {
+	stock := Measure(arch.SPARC, ContextSwitch)
+	variant := VariantCost(arch.SPARC, SPARCWindowPerThreadSwitch(arch.SPARC))
+	if variant.Result.WindowCycles != 0 {
+		t.Errorf("window-per-thread switch still spends %.0f cycles on windows", variant.Result.WindowCycles)
+	}
+	// The paper: 70% of the switch is window traffic, so the variant
+	// should cost roughly 30% of stock.
+	ratio := variant.Micros / stock.Micros
+	if ratio > 0.45 || ratio < 0.15 {
+		t.Errorf("variant/stock = %.2f, want ≈0.30 (1 − window share %.2f)",
+			ratio, paper.SPARCWindowShareOfSwitch)
+	}
+}
+
+func TestVariantsDoNotMutateStockPrograms(t *testing.T) {
+	before := Measure(arch.I860, Trap)
+	I860WithFaultAddress(arch.I860)
+	M88000DeferredExceptionSyscall(arch.M88000)
+	SPARCWindowPerThreadSwitch(arch.SPARC)
+	after := Measure(arch.I860, Trap)
+	if before.Instructions != after.Instructions || before.Cycles != after.Cycles {
+		t.Error("building a variant mutated the stock handler")
+	}
+	if got := Measure(arch.SPARC, ContextSwitch).Instructions; got != paper.Table2["Sun SPARC"]["Context switch"] {
+		t.Errorf("SPARC stock switch now %d instructions", got)
+	}
+}

@@ -1,0 +1,125 @@
+package mach
+
+import "archos/internal/workload"
+
+// runMicrokernel executes w under the Mach 3.0 structure. "Many
+// operating system calls which in Mach 2.5 are implemented in the
+// kernel, are provided in Mach 3.0 by cross-address space RPCs to
+// operating system servers running at user-level. Each invocation of an
+// operating system service via an RPC requires at least two system
+// calls and two context switches (one to send the request; another to
+// send the reply) to do the work of one system call in a monolithic
+// system." File opens and closes additionally involve the file cache
+// manager ("each open and close operation involves at least two local
+// RPCs — one to the local Unix server and another to the local file
+// cache manager"), remote file service adds the network path, page
+// faults reach the default pager, and the Unix emulation library's
+// critical sections trap to the kernel for mutual exclusion.
+func (o *OS) runMicrokernel(w workload.Spec) Result {
+	r := Result{Workload: w.Name, Structure: Microkernel}
+	unix := int64(w.UnixCalls())
+
+	// RPC count per source.
+	rpcs := unix +
+		2*int64(w.FileOps) + // file cache manager on open and close
+		int64(w.PageFaults)/7 // default-pager traffic for a fraction of faults
+	if w.Remote {
+		// Remote file service: reads/writes and opens/closes hop
+		// through the network server as well.
+		rpcs += int64(w.ReadWrites) + 2*int64(w.FileOps)
+	}
+	// Further decomposition: with more than the two stock servers
+	// (Unix server + file cache manager), each Unix call traverses the
+	// extra servers too — "many services are provided by a single
+	// application-level server which could more logically be provided
+	// by multiple servers."
+	if extra := int64(o.cfg.Servers - 2); extra > 0 {
+		rpcs += unix * extra
+	}
+	// Background chatter: servers and daemons exchange messages on
+	// their own clocks for the life of the run.
+	baseElapsed := w.UserSeconds + w.ServiceSeconds + networkWaitSeconds(w)
+	rpcs += int64(25 * baseElapsed)
+
+	// Two system calls per RPC, less what Mach's combined
+	// send-and-receive trap coalesces; a residue of native kernel traps.
+	r.Syscalls = int64(1.8*float64(rpcs)) + unix/10
+
+	// Two address-space switches per RPC, less scheduler handoff
+	// coalescing when consecutive RPCs target the same server.
+	r.ASSwitches = int64(1.25 * float64(rpcs))
+
+	// Kernel thread switches: every AS switch is one ("In Mach 3.0, an
+	// address space context switch implies a kernel-level thread
+	// context switch, but not vice versa"), plus the monolithic-style
+	// blocking/preemption switching, plus multithreaded servers running
+	// "concurrently with applications".
+	mono := o.runMonolithicCounts(w)
+	r.ThreadSwitches = int64(1.12*float64(r.ASSwitches)) + mono.ThreadSwitches
+
+	// Kernel-emulated instructions: the emulation library executes
+	// emulated instructions around every RPC, and its "critical
+	// sections execute at user-level; a trap to the kernel is needed to
+	// provide mutual exclusion" — plus the application's own lock
+	// traffic.
+	r.EmulInstrs = w.SyncOps + 11*rpcs + 150
+
+	// Other exceptions: the application's faults and interrupts plus
+	// the servers' own page faults (their code and data fault in at
+	// user level now) and RPC-path incidentals.
+	r.OtherExcept = int64(1.8*float64(w.PageFaults)) + int64(1.5*float64(w.Interrupts)) + rpcs/25
+
+	// Kernel TLB misses: drive the live TLB with the task mix the
+	// decomposed structure touches. "With much of the operating system
+	// moved to the user level, less code and data are using the
+	// unmapped regions, and frequent context switching stresses the
+	// limited number of TLB entries on the R3000."
+	ts := newTLBSim(o.cfg)
+	const appTask = 0
+	serverTask := func(i int64) int { return 1 + int(i)%o.cfg.Servers }
+	for i := int64(0); i < rpcs; i++ {
+		srv := serverTask(i)
+		// Client-side send: kernel touches the client's mapped state
+		// (page tables, kernel stack, message buffers).
+		ts.touchKernel(appTask, 6)
+		// Server runs: its page tables, kernel stack, and user-level
+		// working set are all mapped.
+		ts.touchKernel(srv, 10)
+		ts.touchUser(srv, 8)
+		// Reply: back to the client.
+		ts.touchKernel(appTask, 6)
+		ts.touchUser(appTask, 6)
+	}
+	for i := int64(0); i < mono.ThreadSwitches; i++ {
+		task := appTask
+		if i%2 == 0 {
+			task = serverTask(i)
+		}
+		ts.touchKernel(task, 3)
+		ts.touchUser(task, 2)
+	}
+	for i := 0; i < w.PageFaults; i++ {
+		ts.touchKernel(appTask, 2) // page tables are mapped in kernel mode
+	}
+	r.KTLBMisses = ts.kernelMisses()
+
+	r.PrimSeconds = o.primSeconds(&r)
+	// Services do their work at user level: they lose the monolithic
+	// kernel's unmapped-access and copy-avoidance shortcuts.
+	serviceDegradation := 0.30 * w.ServiceSeconds
+	r.ElapsedSec = w.UserSeconds + w.ServiceSeconds + serviceDegradation +
+		networkWaitSeconds(w) + r.PrimSeconds
+	r.PctInPrims = 100 * r.PrimSeconds / r.ElapsedSec
+	return r
+}
+
+// runMonolithicCounts returns the monolithic baseline counters for w
+// (used for the switching behaviour both structures share) without
+// pricing them.
+func (o *OS) runMonolithicCounts(w workload.Spec) Result {
+	save := o.cfg.Structure
+	o.cfg.Structure = Monolithic
+	res := o.runMonolithic(w)
+	o.cfg.Structure = save
+	return res
+}

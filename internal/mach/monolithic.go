@@ -1,0 +1,78 @@
+package mach
+
+import "archos/internal/workload"
+
+// runMonolithic executes w under the Mach 2.5 structure: every Unix
+// service invocation is one system call handled in the kernel's own
+// address space; blocking I/O and preemption cause kernel thread
+// switches, a fraction of which change address spaces (to daemons or
+// another task). Critical sections "execute in kernel mode and can
+// simply disable interrupts", so only the application's own user-level
+// synchronisation shows up as kernel-emulated instructions.
+func (o *OS) runMonolithic(w workload.Spec) Result {
+	r := Result{Workload: w.Name, Structure: Monolithic}
+	unix := int64(w.UnixCalls())
+
+	r.Syscalls = unix
+	r.OtherExcept = int64(w.PageFaults + w.Interrupts)
+
+	// Kernel-emulated instructions: the application's user-level lock
+	// traffic (everything, on an ISA without test-and-set) plus a
+	// residue of emulated corner-case instructions.
+	r.EmulInstrs = w.SyncOps + 40 + unix/100
+
+	// Thread switches: blocking operations (plus their resumes) and a
+	// low background of daemon activity; multithreaded applications add
+	// quantum-driven switching among their own threads.
+	blocks := blockingOps(w)
+	elapsed := w.UserSeconds + w.ServiceSeconds + networkWaitSeconds(w)
+	threadSw := 1.2*float64(blocks) + 2*elapsed
+	intraTask := 0.0
+	if w.Threads > 1 {
+		intraTask = 35 * elapsed
+	}
+	r.ThreadSwitches = int64(threadSw + intraTask)
+	// Switches among the application's own threads stay in one address
+	// space; of the rest, roughly 60% land in a different task.
+	r.ASSwitches = int64(0.6 * threadSw)
+
+	// Kernel TLB misses: the monolithic kernel "can run unmapped
+	// (thereby increasing the effectiveness of the fixed-size TLB)";
+	// only page-table pages and a few mapped structures are touched
+	// through the TLB.
+	ts := newTLBSim(o.cfg)
+	const appTask, daemonTask = 0, 1
+	for i := int64(0); i < r.Syscalls; i++ {
+		ts.touchKernel(appTask, 2)
+		ts.touchUser(appTask, 3)
+	}
+	for i := int64(0); i < r.ThreadSwitches; i++ {
+		// Alternate with a daemon task's kernel pages.
+		task := appTask
+		if i%2 == 0 {
+			task = daemonTask
+		}
+		ts.touchKernel(task, 3)
+		ts.touchUser(task, 2)
+	}
+	for i := 0; i < w.PageFaults; i++ {
+		ts.touchKernel(appTask, 1)
+	}
+	r.KTLBMisses = ts.kernelMisses()
+
+	r.PrimSeconds = o.primSeconds(&r)
+	r.ElapsedSec = elapsed + r.PrimSeconds
+	r.PctInPrims = 100 * r.PrimSeconds / r.ElapsedSec
+	return r
+}
+
+// blockingOps returns how many operations block awaiting I/O: the
+// workload's measured count when it provides one, otherwise an
+// estimate from its operation mix (cache-missing opens, a fraction of
+// reads and faults, interrupt-driven preemptions).
+func blockingOps(w workload.Spec) int {
+	if w.Blocks > 0 {
+		return w.Blocks
+	}
+	return w.FileOps/2 + w.ReadWrites/20 + w.PageFaults/33 + w.Interrupts/5 + 5*w.Forks
+}

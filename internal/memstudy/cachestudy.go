@@ -1,0 +1,138 @@
+package memstudy
+
+import (
+	"math/rand"
+
+	"archos/internal/arch"
+	"archos/internal/cache"
+)
+
+// CacheStudy reproduces the cache side of the motivation measurements
+// ([Agarwal et al. 88], §1): operating-system execution both behaves
+// differently from application code (larger, flatter working sets) and
+// disturbs the application's cache state, so a multiprogrammed
+// app+OS stream misses far more than the application alone. A second
+// axis covers §3.2's virtually addressed caches: without process tags
+// the cache is flushed on every context switch, which multiplies
+// misses again.
+type CacheStudyConfig struct {
+	References  int
+	SystemShare float64
+	// AppHotLines / AppReuse shape the application's locality;
+	// SystemLines is the OS's flat pool.
+	AppHotLines int
+	AppReuse    float64
+	SystemLines int
+	Processes   int
+	SwitchEvery int
+	Seed        int64
+}
+
+// DefaultCacheStudy mirrors DefaultTrace at cache-line granularity.
+func DefaultCacheStudy() CacheStudyConfig {
+	return CacheStudyConfig{
+		References:  300_000,
+		SystemShare: 0.20,
+		AppHotLines: 3000,
+		AppReuse:    0.988,
+		SystemLines: 4_000,
+		Processes:   3,
+		SwitchEvery: 5_000,
+		Seed:        1991,
+	}
+}
+
+// CacheStudyResult reports miss rates under three configurations.
+type CacheStudyResult struct {
+	Spec *arch.Spec
+
+	// AppOnlyMissRate: the application alone, no OS, no switching.
+	AppOnlyMissRate float64
+	// MixedMissRate: applications multiprogrammed with OS activity on
+	// the architecture's own data cache.
+	MixedMissRate float64
+	// MixedVirtualNoTagsMissRate: the same stream on a virtually
+	// addressed cache without process tags (flushed every switch).
+	MixedVirtualNoTagsMissRate float64
+
+	// SystemRefShare / SystemMissShare for the mixed run.
+	SystemRefShare  float64
+	SystemMissShare float64
+}
+
+// RunCacheStudy drives spec's data cache (and an untagged-virtual
+// variant of it) with synthetic application and system streams.
+func RunCacheStudy(spec *arch.Spec, cfg CacheStudyConfig) CacheStudyResult {
+	res := CacheStudyResult{Spec: spec}
+
+	appOnly := cache.New(spec.DCache)
+	res.AppOnlyMissRate = runAppStream(appOnly, cfg)
+
+	mixed := cache.New(spec.DCache)
+	res.SystemRefShare, res.SystemMissShare, res.MixedMissRate = runMixedStream(mixed, cfg)
+
+	vCfg := spec.DCache
+	vCfg.Indexing = cache.VirtualIndexed
+	vCfg.ProcessTags = false
+	virt := cache.New(vCfg)
+	_, _, res.MixedVirtualNoTagsMissRate = runMixedStream(virt, cfg)
+	return res
+}
+
+// runAppStream runs the application-only stream.
+func runAppStream(c *cache.Cache, cfg CacheStudyConfig) float64 {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lineBytes := uint64(c.Config().LineBytes)
+	misses := 0
+	for i := 0; i < cfg.References; i++ {
+		depth := 0
+		for depth < cfg.AppHotLines-1 && rng.Float64() < cfg.AppReuse {
+			depth++
+		}
+		hit, _ := c.Access(0, uint64(depth)*lineBytes, rng.Intn(4) == 0)
+		if !hit {
+			misses++
+		}
+	}
+	return float64(misses) / float64(cfg.References)
+}
+
+// runMixedStream runs the multiprogrammed app+OS stream and reports the
+// OS's reference share, its miss share, and the overall miss rate.
+func runMixedStream(c *cache.Cache, cfg CacheStudyConfig) (refShare, missShare, missRate float64) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lineBytes := uint64(c.Config().LineBytes)
+	process := 0
+	var sysRefs, sysMisses, misses int
+	for i := 0; i < cfg.References; i++ {
+		if cfg.SwitchEvery > 0 && i > 0 && i%cfg.SwitchEvery == 0 {
+			process = (process + 1) % cfg.Processes
+			c.ContextSwitch(process) // flushes untagged virtual caches
+		}
+		if rng.Float64() < cfg.SystemShare {
+			sysRefs++
+			addr := uint64(0x8000_0000) + uint64(rng.Intn(cfg.SystemLines))*lineBytes
+			hit, _ := c.Access(process, addr, rng.Intn(3) == 0)
+			if !hit {
+				sysMisses++
+				misses++
+			}
+			continue
+		}
+		depth := 0
+		for depth < cfg.AppHotLines-1 && rng.Float64() < cfg.AppReuse {
+			depth++
+		}
+		addr := uint64(process)<<24 + uint64(depth)*lineBytes
+		hit, _ := c.Access(process, addr, rng.Intn(4) == 0)
+		if !hit {
+			misses++
+		}
+	}
+	refShare = float64(sysRefs) / float64(cfg.References)
+	if misses > 0 {
+		missShare = float64(sysMisses) / float64(misses)
+	}
+	missRate = float64(misses) / float64(cfg.References)
+	return
+}

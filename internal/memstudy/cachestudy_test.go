@@ -1,0 +1,63 @@
+package memstudy
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+)
+
+func TestOSActivityInflatesCacheMisses(t *testing.T) {
+	// [Agarwal et al. 88] via §1: system references both miss more
+	// themselves and disturb the application's cache state, so the
+	// multiprogrammed miss rate exceeds the application-only rate.
+	for _, s := range []*arch.Spec{arch.CVAX, arch.R3000, arch.M88000} {
+		r := RunCacheStudy(s, DefaultCacheStudy())
+		if r.MixedMissRate <= r.AppOnlyMissRate {
+			t.Errorf("%s: mixed miss rate %.4f not above app-only %.4f",
+				s.Name, r.MixedMissRate, r.AppOnlyMissRate)
+		}
+		if r.SystemMissShare <= r.SystemRefShare {
+			t.Errorf("%s: OS miss share %.2f not above its reference share %.2f",
+				s.Name, r.SystemMissShare, r.SystemRefShare)
+		}
+	}
+}
+
+func TestUntaggedVirtualCacheWorstOfAll(t *testing.T) {
+	// §3.2: an untagged virtually addressed cache "must be flushed on a
+	// context switch" — the same mixed stream misses even more.
+	for _, s := range []*arch.Spec{arch.R3000, arch.CVAX} {
+		r := RunCacheStudy(s, DefaultCacheStudy())
+		if r.MixedVirtualNoTagsMissRate <= r.MixedMissRate {
+			t.Errorf("%s: untagged virtual cache rate %.4f not above physical %.4f",
+				s.Name, r.MixedVirtualNoTagsMissRate, r.MixedMissRate)
+		}
+	}
+}
+
+func TestCacheStudyDeterministic(t *testing.T) {
+	a := RunCacheStudy(arch.R3000, DefaultCacheStudy())
+	b := RunCacheStudy(arch.R3000, DefaultCacheStudy())
+	if a != b {
+		t.Error("cache study not deterministic")
+	}
+}
+
+func TestMoreFrequentSwitchingHurtsUntaggedVirtual(t *testing.T) {
+	cfg := DefaultCacheStudy()
+	cfg.SwitchEvery = 10_000
+	slow := RunCacheStudy(arch.R3000, cfg)
+	cfg.SwitchEvery = 1_000
+	fast := RunCacheStudy(arch.R3000, cfg)
+	if fast.MixedVirtualNoTagsMissRate <= slow.MixedVirtualNoTagsMissRate {
+		t.Errorf("10x switching did not raise untagged-virtual misses: %.4f vs %.4f",
+			fast.MixedVirtualNoTagsMissRate, slow.MixedVirtualNoTagsMissRate)
+	}
+	// Physical caches barely notice (tags/physical indexing keep lines).
+	physDelta := fast.MixedMissRate - slow.MixedMissRate
+	virtDelta := fast.MixedVirtualNoTagsMissRate - slow.MixedVirtualNoTagsMissRate
+	if physDelta > virtDelta {
+		t.Errorf("physical cache suffered more from switching (%.4f) than the flushed virtual cache (%.4f)",
+			physDelta, virtDelta)
+	}
+}

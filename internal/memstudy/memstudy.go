@@ -1,0 +1,190 @@
+// Package memstudy reproduces the trace-driven memory-system studies
+// the paper's motivation rests on: Clark & Emer's VAX-11/780
+// measurement that the operating system "accounts for only one fifth
+// of all references [but] more than two thirds of all TLB misses"
+// (§3.2), and Agarwal et al.'s observation that over 50% of references
+// in VAX Ultrix workloads were system references with behaviour quite
+// different from application code (§1).
+//
+// The study generates a deterministic synthetic reference trace with
+// distinct user and system locality — user code re-touches a small hot
+// working set; system code walks large, scattered structures (buffer
+// caches, process tables, page tables) and runs on behalf of many
+// processes — and drives an architecture's TLB model with it.
+package memstudy
+
+import (
+	"math/rand"
+
+	"archos/internal/arch"
+)
+
+// TraceConfig parameterises the synthetic trace.
+type TraceConfig struct {
+	// References is the trace length.
+	References int
+	// SystemShare is the fraction of references made in system mode
+	// (Clark & Emer's VMS workloads: ≈0.20; Agarwal's Ultrix: >0.50).
+	SystemShare float64
+	// UserHotPages is the user working set per process; user references
+	// follow a geometric reuse distribution over it with per-reference
+	// deepening probability UserReuse.
+	UserHotPages int
+	UserReuse    float64
+	// SystemPages is the pool of system-space pages; system references
+	// scatter across it with much weaker reuse.
+	SystemPages int
+	// Processes is the number of address spaces the trace switches
+	// among; SwitchEvery is the reference interval between switches.
+	Processes   int
+	SwitchEvery int
+	// Seed makes the trace reproducible.
+	Seed int64
+}
+
+// DefaultTrace is calibrated to the Clark & Emer regime.
+func DefaultTrace() TraceConfig {
+	return TraceConfig{
+		References:   400_000,
+		SystemShare:  0.20,
+		UserHotPages: 96,
+		UserReuse:    0.82,
+		SystemPages:  600,
+		Processes:    4,
+		SwitchEvery:  2_000,
+		Seed:         1991,
+	}
+}
+
+// Result reports the study.
+type Result struct {
+	Spec *arch.Spec
+
+	UserRefs, SystemRefs     int64
+	UserMisses, SystemMisses int64
+
+	// SystemRefShare and SystemMissShare are the headline quantities:
+	// the OS's share of references versus its share of TLB misses.
+	SystemRefShare  float64
+	SystemMissShare float64
+
+	// MissCycles is the total refill time, and SystemMissCycleShare the
+	// OS's share of it (system misses are dearer on software-refill
+	// machines).
+	MissCycles           float64
+	SystemMissCycleShare float64
+}
+
+// Run drives spec's TLB with the synthetic trace.
+func Run(spec *arch.Spec, cfg TraceConfig) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := spec.NewTLB()
+	res := Result{Spec: spec}
+
+	const (
+		userBase   = 0x0000_1000
+		systemBase = 0x8000_0000
+	)
+
+	process := 0
+	var sysCycles float64
+	for i := 0; i < cfg.References; i++ {
+		if cfg.SwitchEvery > 0 && i > 0 && i%cfg.SwitchEvery == 0 {
+			process = (process + 1) % cfg.Processes
+			t.ContextSwitch(process)
+		}
+		if rng.Float64() < cfg.SystemShare {
+			// System reference: near-uniform over a large pool, made on
+			// behalf of whichever process is running.
+			vpn := uint64(systemBase + rng.Intn(cfg.SystemPages))
+			hit, pen := t.Lookup(process, vpn, true)
+			res.SystemRefs++
+			if !hit {
+				res.SystemMisses++
+				sysCycles += pen
+			}
+			res.MissCycles += pen
+			continue
+		}
+		// User reference: geometric reuse over the process's hot set —
+		// page 0 is touched most, deeper pages exponentially less.
+		depth := 0
+		for depth < cfg.UserHotPages-1 && rng.Float64() < cfg.UserReuse {
+			depth++
+		}
+		vpn := uint64(userBase + process*4096 + depth)
+		hit, pen := t.Lookup(process, vpn, false)
+		res.UserRefs++
+		if !hit {
+			res.UserMisses++
+		}
+		res.MissCycles += pen
+	}
+
+	total := res.UserRefs + res.SystemRefs
+	if total > 0 {
+		res.SystemRefShare = float64(res.SystemRefs) / float64(total)
+	}
+	if m := res.UserMisses + res.SystemMisses; m > 0 {
+		res.SystemMissShare = float64(res.SystemMisses) / float64(m)
+	}
+	if res.MissCycles > 0 {
+		res.SystemMissCycleShare = sysCycles / res.MissCycles
+	}
+	return res
+}
+
+// UnmappedSystemVariant reruns the study with the fraction of system
+// references that a MIPS-style unmapped kernel region (k0seg) removes
+// from the TLB's load — the design §3.2 credits with "increasing the
+// effectiveness of the fixed-size TLB". unmappedShare is the fraction
+// of system references served without translation.
+func UnmappedSystemVariant(spec *arch.Spec, cfg TraceConfig, unmappedShare float64) Result {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := spec.NewTLB()
+	res := Result{Spec: spec}
+	process := 0
+	var sysCycles float64
+	for i := 0; i < cfg.References; i++ {
+		if cfg.SwitchEvery > 0 && i > 0 && i%cfg.SwitchEvery == 0 {
+			process = (process + 1) % cfg.Processes
+			t.ContextSwitch(process)
+		}
+		if rng.Float64() < cfg.SystemShare {
+			res.SystemRefs++
+			if rng.Float64() < unmappedShare {
+				continue // physical-address region: no TLB involvement
+			}
+			vpn := uint64(0x8000_0000 + rng.Intn(cfg.SystemPages))
+			hit, pen := t.Lookup(process, vpn, true)
+			if !hit {
+				res.SystemMisses++
+				sysCycles += pen
+			}
+			res.MissCycles += pen
+			continue
+		}
+		depth := 0
+		for depth < cfg.UserHotPages-1 && rng.Float64() < cfg.UserReuse {
+			depth++
+		}
+		vpn := uint64(0x0000_1000 + process*4096 + depth)
+		hit, pen := t.Lookup(process, vpn, false)
+		res.UserRefs++
+		if !hit {
+			res.UserMisses++
+		}
+		res.MissCycles += pen
+	}
+	total := res.UserRefs + res.SystemRefs
+	if total > 0 {
+		res.SystemRefShare = float64(res.SystemRefs) / float64(total)
+	}
+	if m := res.UserMisses + res.SystemMisses; m > 0 {
+		res.SystemMissShare = float64(res.SystemMisses) / float64(m)
+	}
+	if res.MissCycles > 0 {
+		res.SystemMissCycleShare = sysCycles / res.MissCycles
+	}
+	return res
+}

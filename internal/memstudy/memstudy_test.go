@@ -1,0 +1,88 @@
+package memstudy
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/paper"
+)
+
+func TestClarkEmerRegime(t *testing.T) {
+	// "while the VMS operating system accounts for only one fifth of
+	// all references, it accounts for more than two thirds of all TLB
+	// misses" — on the untagged CVAX-class TLB.
+	r := Run(arch.CVAX, DefaultTrace())
+	if r.SystemRefShare < 0.18 || r.SystemRefShare > 0.22 {
+		t.Errorf("system reference share %.2f, want ≈%.2f", r.SystemRefShare, paper.ClarkEmerOSRefShare)
+	}
+	if r.SystemMissShare < paper.ClarkEmerOSTLBMissShare {
+		t.Errorf("system miss share %.2f, want ≥ %.2f (\"more than two thirds\")",
+			r.SystemMissShare, paper.ClarkEmerOSTLBMissShare)
+	}
+}
+
+func TestSystemMissesDominateOnEveryTLB(t *testing.T) {
+	for _, s := range arch.Table1Set() {
+		r := Run(s, DefaultTrace())
+		if r.SystemMissShare <= r.SystemRefShare {
+			t.Errorf("%s: system miss share %.2f ≤ its reference share %.2f — OS locality should be worse",
+				s.Name, r.SystemMissShare, r.SystemRefShare)
+		}
+	}
+}
+
+func TestUnmappedKernelRegionHelps(t *testing.T) {
+	// §3.2: the unmapped segment exists "to save TLB entries for
+	// operating system components"; serving most system references
+	// unmapped must cut both system misses and total refill time.
+	cfg := DefaultTrace()
+	mapped := Run(arch.R3000, cfg)
+	unmapped := UnmappedSystemVariant(arch.R3000, cfg, 0.85)
+	if unmapped.SystemMisses >= mapped.SystemMisses/2 {
+		t.Errorf("unmapped kernel left %d system misses vs %d mapped", unmapped.SystemMisses, mapped.SystemMisses)
+	}
+	if unmapped.MissCycles >= mapped.MissCycles {
+		t.Error("unmapped kernel did not reduce total refill time")
+	}
+	// And the user side is also relieved (less competition for
+	// entries).
+	if unmapped.UserMisses > mapped.UserMisses {
+		t.Errorf("user misses grew from %d to %d with an unmapped kernel", mapped.UserMisses, unmapped.UserMisses)
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	a := Run(arch.CVAX, DefaultTrace())
+	b := Run(arch.CVAX, DefaultTrace())
+	if a != b {
+		t.Error("trace study not deterministic for a fixed seed")
+	}
+	cfg := DefaultTrace()
+	cfg.Seed = 7
+	if Run(arch.CVAX, cfg) == a {
+		t.Error("different seeds produced identical studies")
+	}
+}
+
+func TestTaggedTLBReducesSwitchDamage(t *testing.T) {
+	// Process tags keep entries live across context switches; the
+	// untagged CVAX must re-fault its working sets after every switch.
+	cfg := DefaultTrace()
+	tagged := Run(arch.R3000, cfg)  // tagged, 64 entries
+	untagged := Run(arch.CVAX, cfg) // untagged
+	tm := float64(tagged.UserMisses+tagged.SystemMisses) / float64(cfg.References)
+	um := float64(untagged.UserMisses+untagged.SystemMisses) / float64(cfg.References)
+	if tm >= um {
+		t.Errorf("tagged miss rate %.4f not below untagged %.4f", tm, um)
+	}
+}
+
+func TestMissCycleShareTracksMissShare(t *testing.T) {
+	r := Run(arch.R3000, DefaultTrace())
+	// On the R3000, kernel misses cost ~25x user misses, so the OS's
+	// share of refill CYCLES must exceed its share of miss COUNT.
+	if r.SystemMissCycleShare <= r.SystemMissShare {
+		t.Errorf("system refill-cycle share %.2f ≤ miss share %.2f despite dearer kernel refills",
+			r.SystemMissCycleShare, r.SystemMissShare)
+	}
+}

@@ -1,0 +1,105 @@
+package mmu
+
+import (
+	"sync/atomic"
+
+	"archos/internal/tlb"
+)
+
+// AddressSpace binds a page table to a process identity and a frame
+// allocator. It is the unit the paper's OS structures multiply: "the
+// number of address spaces, as well as the number of cross-address
+// space calls, will be larger for kernelized operating systems."
+type AddressSpace struct {
+	PID   int
+	Table PageTable
+}
+
+// NewAddressSpace creates an address space over the given table.
+func NewAddressSpace(pid int, table PageTable) *AddressSpace {
+	return &AddressSpace{PID: pid, Table: table}
+}
+
+// nextFrame is the global physical frame allocator: frames name
+// physical memory, so they must be unique across address spaces (two
+// spaces holding the same frame number ARE sharing memory — that is how
+// copy-on-write expresses sharing).
+var nextFrame atomic.Uint64
+
+// AllocFrame returns a fresh physical frame number (a simple bump
+// allocator: the simulation does not model frame reuse pressure).
+func (as *AddressSpace) AllocFrame() uint64 {
+	return nextFrame.Add(1)
+}
+
+// MapNew maps vpn to a freshly allocated frame with prot and returns
+// the frame.
+func (as *AddressSpace) MapNew(vpn uint64, prot Prot) uint64 {
+	f := as.AllocFrame()
+	as.Table.Map(vpn, f, prot)
+	return f
+}
+
+// Check classifies an access without side effects.
+func (as *AddressSpace) Check(vpn uint64, write bool) FaultKind {
+	return Access(as.Table, vpn, write)
+}
+
+// Hardware couples address spaces to a TLB model so references charge
+// realistic translation costs: TLB hit (free), TLB miss (refill from
+// the page table, with the software-refill cost structure the paper
+// describes for the R3000: cheap user misses, expensive kernel misses),
+// or a true fault delivered to the OS.
+type Hardware struct {
+	TLB *tlb.TLB
+
+	current int // current PID at the MMU
+}
+
+// NewHardware builds translation hardware around a TLB.
+func NewHardware(t *tlb.TLB) *Hardware { return &Hardware{TLB: t, current: -1} }
+
+// Switch tells the hardware the processor changed address spaces,
+// purging an untagged TLB. It returns the purge cost in cycles.
+func (h *Hardware) Switch(as *AddressSpace) float64 {
+	if h.current == as.PID {
+		return 0
+	}
+	h.current = as.PID
+	return h.TLB.ContextSwitch(as.PID)
+}
+
+// RefResult describes one memory reference through the hardware.
+type RefResult struct {
+	Fault       FaultKind
+	TLBHit      bool
+	MissCycles  float64 // refill cost charged (0 on hit or fault)
+	WalkRefs    int     // page-table references the refill performed
+	KernelSpace bool
+}
+
+// Reference performs one reference by the current address space.
+// kernelSpace marks kernel-region addresses (which miss into the slow
+// common handler on MIPS-style machines). Faults are detected before
+// the TLB is filled, as hardware does: the TLB never caches invalid
+// translations.
+func (h *Hardware) Reference(as *AddressSpace, vpn uint64, write, kernelSpace bool) RefResult {
+	fault := Access(as.Table, vpn, write)
+	if fault != NoFault {
+		return RefResult{Fault: fault, KernelSpace: kernelSpace}
+	}
+	hit, penalty := h.TLB.Lookup(as.PID, vpn, kernelSpace)
+	res := RefResult{TLBHit: hit, KernelSpace: kernelSpace}
+	if !hit {
+		res.MissCycles = penalty
+		res.WalkRefs = as.Table.LookupCost(vpn)
+	}
+	return res
+}
+
+// Invalidate removes vpn's cached translation after a PTE change (the
+// "update any hardware that caches this information" step of the
+// paper's PTE-change primitive).
+func (h *Hardware) Invalidate(as *AddressSpace, vpn uint64) {
+	h.TLB.InvalidateVPN(as.PID, vpn)
+}

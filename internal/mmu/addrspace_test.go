@@ -1,0 +1,105 @@
+package mmu
+
+import (
+	"testing"
+
+	"archos/internal/tlb"
+)
+
+func testHardware() *Hardware {
+	return NewHardware(tlb.New(tlb.Config{
+		Name: "hw-test", Entries: 8, Tagged: false,
+		UserMissCycles: 10, KernelMissCycles: 100, PurgeCycles: 6,
+	}))
+}
+
+func TestAddressSpaceMapNew(t *testing.T) {
+	as := NewAddressSpace(1, NewHashTable())
+	f1 := as.MapNew(10, ProtReadWrite)
+	f2 := as.MapNew(11, ProtReadWrite)
+	if f1 == f2 {
+		t.Error("MapNew reused a frame")
+	}
+	if as.Check(10, true) != NoFault {
+		t.Error("fresh rw page faulted on write")
+	}
+}
+
+func TestHardwareReferenceChargesMisses(t *testing.T) {
+	hw := testHardware()
+	as := NewAddressSpace(1, NewHashTable())
+	as.MapNew(5, ProtReadWrite)
+
+	r := hw.Reference(as, 5, false, false)
+	if r.Fault != NoFault || r.TLBHit || r.MissCycles != 10 {
+		t.Errorf("first ref = %+v, want user miss costing 10", r)
+	}
+	if r.WalkRefs < 1 {
+		t.Error("refill performed no page-table references")
+	}
+	r = hw.Reference(as, 5, false, false)
+	if !r.TLBHit || r.MissCycles != 0 {
+		t.Errorf("second ref = %+v, want free hit", r)
+	}
+}
+
+func TestHardwareFaultBeforeFill(t *testing.T) {
+	hw := testHardware()
+	as := NewAddressSpace(1, NewHashTable())
+	r := hw.Reference(as, 7, false, false)
+	if r.Fault != FaultNonResident {
+		t.Fatalf("fault = %v, want non-resident", r.Fault)
+	}
+	// The TLB must not have cached the invalid translation: after
+	// mapping, the first reference still misses (and then hits).
+	as.MapNew(7, ProtRead)
+	if r := hw.Reference(as, 7, false, false); r.TLBHit {
+		t.Error("TLB cached a translation for a faulting access")
+	}
+}
+
+func TestHardwareSwitchPurgesUntagged(t *testing.T) {
+	hw := testHardware()
+	a := NewAddressSpace(1, NewHashTable())
+	b := NewAddressSpace(2, NewHashTable())
+	a.MapNew(3, ProtRead)
+	b.MapNew(3, ProtRead)
+
+	if pen := hw.Switch(a); pen != 6 {
+		t.Errorf("first switch cost %.0f, want purge cost 6", pen)
+	}
+	if pen := hw.Switch(a); pen != 0 {
+		t.Errorf("null switch cost %.0f, want 0", pen)
+	}
+	hw.Reference(a, 3, false, false)
+	hw.Switch(b)
+	// After the purge, b's reference must miss even at the same VPN.
+	if r := hw.Reference(b, 3, false, false); r.TLBHit {
+		t.Error("translation survived an untagged address-space switch")
+	}
+}
+
+func TestHardwareInvalidateAfterPTEChange(t *testing.T) {
+	hw := testHardware()
+	as := NewAddressSpace(1, NewHashTable())
+	as.MapNew(9, ProtReadWrite)
+	hw.Switch(as)
+	hw.Reference(as, 9, true, false) // fill
+	if err := as.Table.Protect(9, ProtRead); err != nil {
+		t.Fatal(err)
+	}
+	hw.Invalidate(as, 9)
+	if r := hw.Reference(as, 9, false, false); r.TLBHit {
+		t.Error("stale translation survived Invalidate")
+	}
+}
+
+func TestKernelSpaceMissCost(t *testing.T) {
+	hw := testHardware()
+	as := NewAddressSpace(1, NewHashTable())
+	as.MapNew(20, ProtReadWrite)
+	r := hw.Reference(as, 20, false, true)
+	if r.MissCycles != 100 {
+		t.Errorf("kernel-space miss cost %.0f, want 100", r.MissCycles)
+	}
+}

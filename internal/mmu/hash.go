@@ -1,0 +1,93 @@
+package mmu
+
+// HashTable is the table an OS is free to build when the architecture
+// does not dictate one (the MIPS software-refill regime): here, an
+// open-chaining hash keyed by VPN. Sparse address spaces cost only the
+// mapped entries; lookup is the hash-bucket walk the software refill
+// handler performs.
+type HashTable struct {
+	buckets []map[uint64]PTE // fixed bucket array of small maps
+	mapped  int
+}
+
+// hashBuckets is the number of top-level buckets; chosen so typical
+// address spaces keep chains of length ~1, and kept deterministic for
+// reproducibility.
+const hashBuckets = 1024
+
+// NewHashTable creates an empty hash page table.
+func NewHashTable() *HashTable {
+	return &HashTable{buckets: make([]map[uint64]PTE, hashBuckets)}
+}
+
+func (t *HashTable) bucket(vpn uint64) int { return int(vpn % hashBuckets) }
+
+// Map installs a translation.
+func (t *HashTable) Map(vpn, frame uint64, prot Prot) {
+	b := t.bucket(vpn)
+	if t.buckets[b] == nil {
+		t.buckets[b] = make(map[uint64]PTE)
+	}
+	if _, ok := t.buckets[b][vpn]; !ok {
+		t.mapped++
+	}
+	t.buckets[b][vpn] = PTE{Frame: frame, Prot: prot, Valid: true}
+}
+
+// Unmap removes a translation.
+func (t *HashTable) Unmap(vpn uint64) {
+	b := t.bucket(vpn)
+	if t.buckets[b] == nil {
+		return
+	}
+	if _, ok := t.buckets[b][vpn]; ok {
+		delete(t.buckets[b], vpn)
+		t.mapped--
+	}
+}
+
+// Protect changes the protection of a mapped page.
+func (t *HashTable) Protect(vpn uint64, prot Prot) error {
+	b := t.bucket(vpn)
+	if t.buckets[b] == nil {
+		return ErrUnmapped
+	}
+	pte, ok := t.buckets[b][vpn]
+	if !ok {
+		return ErrUnmapped
+	}
+	pte.Prot = prot
+	t.buckets[b][vpn] = pte
+	return nil
+}
+
+// Lookup returns the PTE for vpn.
+func (t *HashTable) Lookup(vpn uint64) (PTE, bool) {
+	b := t.bucket(vpn)
+	if t.buckets[b] == nil {
+		return PTE{}, false
+	}
+	pte, ok := t.buckets[b][vpn]
+	return pte, ok
+}
+
+// LookupCost: bucket head plus expected chain position.
+func (t *HashTable) LookupCost(vpn uint64) int {
+	b := t.bucket(vpn)
+	if t.buckets[b] == nil {
+		return 1
+	}
+	// head reference + half the chain on average, at least 1.
+	c := 1 + len(t.buckets[b])/2
+	return c
+}
+
+// MappedPages returns the number of valid mappings.
+func (t *HashTable) MappedPages() int { return t.mapped }
+
+// OverheadWords: bucket heads plus ~4 words per chained entry
+// (vpn, frame, prot/flags, link).
+func (t *HashTable) OverheadWords() int { return hashBuckets + 4*t.mapped }
+
+// Style names the organisation.
+func (t *HashTable) Style() string { return "software-hash" }

@@ -1,0 +1,135 @@
+package mmu
+
+// InvertedTable approximates the RS6000 organisation: one entry per
+// physical frame, found by hashing the virtual page number and walking
+// a collision chain. Table size is proportional to physical memory, not
+// virtual — the other end of the design space from the VAX linear table.
+type InvertedTable struct {
+	frames  int
+	hashLen int
+	heads   []int // hash bucket → frame index, -1 empty
+	entries []invEntry
+	free    []int
+	mapped  int
+	byVPN   map[uint64]int // vpn → frame index (models the hash lookup)
+}
+
+type invEntry struct {
+	vpn   uint64
+	prot  Prot
+	valid bool
+	next  int // collision chain
+}
+
+// NewInvertedTable creates an inverted table for the given number of
+// physical frames.
+func NewInvertedTable(frames int) *InvertedTable {
+	if frames <= 0 {
+		panic("mmu: inverted table needs at least one frame")
+	}
+	t := &InvertedTable{
+		frames:  frames,
+		hashLen: frames * 2,
+		heads:   make([]int, frames*2),
+		entries: make([]invEntry, frames),
+		byVPN:   make(map[uint64]int),
+	}
+	for i := range t.heads {
+		t.heads[i] = -1
+	}
+	for i := frames - 1; i >= 0; i-- {
+		t.free = append(t.free, i)
+	}
+	return t
+}
+
+func (t *InvertedTable) hash(vpn uint64) int { return int(vpn % uint64(t.hashLen)) }
+
+// Map installs a translation. The caller-provided frame is honoured
+// when free; otherwise the table allocates (inverted tables own the
+// frame namespace). Mapping fails silently when physical memory is
+// exhausted — real systems would page out; tests exercise MappedPages
+// to detect it.
+func (t *InvertedTable) Map(vpn, frame uint64, prot Prot) {
+	if idx, ok := t.byVPN[vpn]; ok {
+		t.entries[idx].prot = prot
+		return
+	}
+	if len(t.free) == 0 {
+		return
+	}
+	idx := t.free[len(t.free)-1]
+	t.free = t.free[:len(t.free)-1]
+	h := t.hash(vpn)
+	t.entries[idx] = invEntry{vpn: vpn, prot: prot, valid: true, next: t.heads[h]}
+	t.heads[h] = idx
+	t.byVPN[vpn] = idx
+	t.mapped++
+}
+
+// Unmap removes a translation.
+func (t *InvertedTable) Unmap(vpn uint64) {
+	idx, ok := t.byVPN[vpn]
+	if !ok {
+		return
+	}
+	h := t.hash(vpn)
+	// Unlink from the chain.
+	if t.heads[h] == idx {
+		t.heads[h] = t.entries[idx].next
+	} else {
+		for p := t.heads[h]; p != -1; p = t.entries[p].next {
+			if t.entries[p].next == idx {
+				t.entries[p].next = t.entries[idx].next
+				break
+			}
+		}
+	}
+	t.entries[idx] = invEntry{next: -1}
+	t.free = append(t.free, idx)
+	delete(t.byVPN, vpn)
+	t.mapped--
+}
+
+// Protect changes the protection of a mapped page.
+func (t *InvertedTable) Protect(vpn uint64, prot Prot) error {
+	idx, ok := t.byVPN[vpn]
+	if !ok {
+		return ErrUnmapped
+	}
+	t.entries[idx].prot = prot
+	return nil
+}
+
+// Lookup returns the PTE for vpn.
+func (t *InvertedTable) Lookup(vpn uint64) (PTE, bool) {
+	idx, ok := t.byVPN[vpn]
+	if !ok {
+		return PTE{}, false
+	}
+	e := t.entries[idx]
+	return PTE{Frame: uint64(idx), Prot: e.prot, Valid: true}, true
+}
+
+// LookupCost: hash head plus chain walk to the entry.
+func (t *InvertedTable) LookupCost(vpn uint64) int {
+	idx, ok := t.byVPN[vpn]
+	if !ok {
+		return 1
+	}
+	cost := 1
+	for p := t.heads[t.hash(vpn)]; p != -1 && p != idx; p = t.entries[p].next {
+		cost++
+	}
+	return cost
+}
+
+// MappedPages returns the number of valid mappings.
+func (t *InvertedTable) MappedPages() int { return t.mapped }
+
+// OverheadWords: hash heads + 4 words per frame entry, independent of
+// virtual-address-space sparsity.
+func (t *InvertedTable) OverheadWords() int { return t.hashLen + 4*t.frames }
+
+// Style names the organisation.
+func (t *InvertedTable) Style() string { return "inverted" }

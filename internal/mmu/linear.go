@@ -1,0 +1,74 @@
+package mmu
+
+// LinearTable is the VAX organisation: one contiguous array of PTEs per
+// region, indexed directly by VPN. Lookup is a single memory reference
+// (plus one for the system-space mapping of the table itself), but the
+// table must span from page zero to the highest mapped page, so sparse
+// address spaces waste table memory — the paper: "handling of sparse
+// address spaces ... is problematic on a linear page table system like
+// the VAX".
+type LinearTable struct {
+	entries []PTE
+	mapped  int
+}
+
+// NewLinearTable creates an empty linear table.
+func NewLinearTable() *LinearTable { return &LinearTable{} }
+
+func (t *LinearTable) grow(vpn uint64) {
+	if uint64(len(t.entries)) > vpn {
+		return
+	}
+	n := make([]PTE, vpn+1)
+	copy(n, t.entries)
+	t.entries = n
+}
+
+// Map installs a translation, growing the table to cover vpn.
+func (t *LinearTable) Map(vpn, frame uint64, prot Prot) {
+	t.grow(vpn)
+	if !t.entries[vpn].Valid {
+		t.mapped++
+	}
+	t.entries[vpn] = PTE{Frame: frame, Prot: prot, Valid: true}
+}
+
+// Unmap removes a translation.
+func (t *LinearTable) Unmap(vpn uint64) {
+	if vpn < uint64(len(t.entries)) && t.entries[vpn].Valid {
+		t.entries[vpn] = PTE{}
+		t.mapped--
+	}
+}
+
+// Protect changes the protection of a mapped page.
+func (t *LinearTable) Protect(vpn uint64, prot Prot) error {
+	if vpn >= uint64(len(t.entries)) || !t.entries[vpn].Valid {
+		return ErrUnmapped
+	}
+	t.entries[vpn].Prot = prot
+	return nil
+}
+
+// Lookup returns the PTE for vpn.
+func (t *LinearTable) Lookup(vpn uint64) (PTE, bool) {
+	if vpn >= uint64(len(t.entries)) || !t.entries[vpn].Valid {
+		return PTE{}, false
+	}
+	return t.entries[vpn], true
+}
+
+// LookupCost: the VAX walker makes one reference for the PTE and, in
+// the worst case, one more to translate the (itself mapped) page-table
+// address.
+func (t *LinearTable) LookupCost(vpn uint64) int { return 2 }
+
+// MappedPages returns the number of valid mappings.
+func (t *LinearTable) MappedPages() int { return t.mapped }
+
+// OverheadWords: one word per slot from zero to the highest page ever
+// mapped — the sparse-address-space penalty made visible.
+func (t *LinearTable) OverheadWords() int { return len(t.entries) }
+
+// Style names the organisation.
+func (t *LinearTable) Style() string { return "linear" }

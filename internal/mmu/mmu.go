@@ -1,0 +1,138 @@
+// Package mmu implements the page-table organisations the paper
+// compares in Section 3.2 — the VAX-style linear table, the MIPS-style
+// OS-defined table backing a software-loaded TLB, the SPARC/Cypress
+// 3-level tree with terminal (superpage) PTEs, and an RS6000-style
+// inverted table — together with an address-space abstraction that
+// generates the protection and residency faults the paper's virtual-
+// memory services (copy-on-write, distributed shared memory, user-level
+// fault handling) are built on.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Prot is a page-protection bit set.
+type Prot uint8
+
+const (
+	ProtNone Prot = 0
+	ProtRead Prot = 1 << iota
+	ProtWrite
+	ProtExec
+	// ProtReadWrite is the common read-write protection.
+	ProtReadWrite = ProtRead | ProtWrite
+)
+
+func (p Prot) String() string {
+	if p == ProtNone {
+		return "---"
+	}
+	b := []byte("---")
+	if p&ProtRead != 0 {
+		b[0] = 'r'
+	}
+	if p&ProtWrite != 0 {
+		b[1] = 'w'
+	}
+	if p&ProtExec != 0 {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// Allows reports whether protection p permits the access.
+func (p Prot) Allows(write bool) bool {
+	if write {
+		return p&ProtWrite != 0
+	}
+	return p&ProtRead != 0
+}
+
+// PTE is a page-table entry.
+type PTE struct {
+	Frame      uint64
+	Prot       Prot
+	Valid      bool
+	Referenced bool
+	Dirty      bool
+}
+
+// FaultKind classifies a translation fault.
+type FaultKind int
+
+const (
+	// NoFault means the access was legal and the page resident.
+	NoFault FaultKind = iota
+	// FaultNonResident means no valid mapping exists (page fault).
+	FaultNonResident
+	// FaultProtection means the mapping exists but forbids the access
+	// (the fault copy-on-write and DSM overload).
+	FaultProtection
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case NoFault:
+		return "none"
+	case FaultNonResident:
+		return "non-resident"
+	case FaultProtection:
+		return "protection"
+	}
+	return "unknown"
+}
+
+// ErrUnmapped is returned when an operation targets an unmapped page.
+var ErrUnmapped = errors.New("mmu: page not mapped")
+
+// PageTable is the interface all four organisations implement. Virtual
+// pages are identified by virtual page number (VPN).
+type PageTable interface {
+	// Map installs or replaces a translation.
+	Map(vpn, frame uint64, prot Prot)
+	// Unmap removes a translation; it is a no-op for absent pages.
+	Unmap(vpn uint64)
+	// Protect changes the protection of an existing mapping.
+	Protect(vpn uint64, prot Prot) error
+	// Lookup returns the PTE for vpn. The second result reports whether
+	// a valid mapping exists.
+	Lookup(vpn uint64) (PTE, bool)
+	// LookupCost returns the number of memory references a hardware
+	// walker or software refill handler performs to find vpn's PTE —
+	// the quantity the paper's TLB-miss costs are made of.
+	LookupCost(vpn uint64) int
+	// MappedPages returns the number of valid mappings.
+	MappedPages() int
+	// OverheadWords returns the memory the table structure itself
+	// occupies, in 32-bit words. This exposes the paper's sparse-
+	// address-space argument: "handling of sparse address spaces, which
+	// is problematic on a linear page table system like the VAX, is
+	// greatly simplified" by OS-defined tables.
+	OverheadWords() int
+	// Style names the organisation.
+	Style() string
+}
+
+// Access checks an access against a page table and returns the fault it
+// raises (NoFault if legal). It is a helper shared by the address-space
+// layer and tests.
+func Access(pt PageTable, vpn uint64, write bool) FaultKind {
+	pte, ok := pt.Lookup(vpn)
+	if !ok || !pte.Valid {
+		return FaultNonResident
+	}
+	if !pte.Prot.Allows(write) {
+		return FaultProtection
+	}
+	return NoFault
+}
+
+// String renders a PTE for diagnostics.
+func (e PTE) String() string {
+	if !e.Valid {
+		return "<invalid>"
+	}
+	return fmt.Sprintf("frame=%d prot=%s", e.Frame, e.Prot)
+}

@@ -1,0 +1,298 @@
+package mmu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// tables returns a fresh instance of every page-table organisation,
+// so one conformance suite covers all four.
+func tables() map[string]PageTable {
+	return map[string]PageTable{
+		"linear":   NewLinearTable(),
+		"hash":     NewHashTable(),
+		"3-level":  NewThreeLevelTable(),
+		"inverted": NewInvertedTable(4096),
+	}
+}
+
+func TestMapLookupUnmapConformance(t *testing.T) {
+	for name, pt := range tables() {
+		t.Run(name, func(t *testing.T) {
+			if _, ok := pt.Lookup(42); ok {
+				t.Fatal("lookup succeeded on empty table")
+			}
+			pt.Map(42, 7, ProtReadWrite)
+			pte, ok := pt.Lookup(42)
+			if !ok || !pte.Valid {
+				t.Fatal("mapped page not found")
+			}
+			if pte.Prot != ProtReadWrite {
+				t.Errorf("prot = %v, want rw-", pte.Prot)
+			}
+			if pt.MappedPages() != 1 {
+				t.Errorf("MappedPages = %d, want 1", pt.MappedPages())
+			}
+			pt.Unmap(42)
+			if _, ok := pt.Lookup(42); ok {
+				t.Error("unmapped page still found")
+			}
+			if pt.MappedPages() != 0 {
+				t.Errorf("MappedPages = %d after unmap, want 0", pt.MappedPages())
+			}
+			// Unmapping again is a no-op.
+			pt.Unmap(42)
+			if pt.MappedPages() != 0 {
+				t.Error("double unmap corrupted the count")
+			}
+		})
+	}
+}
+
+func TestProtectConformance(t *testing.T) {
+	for name, pt := range tables() {
+		t.Run(name, func(t *testing.T) {
+			if err := pt.Protect(9, ProtRead); err == nil {
+				t.Error("protect of unmapped page did not fail")
+			}
+			pt.Map(9, 3, ProtReadWrite)
+			if err := pt.Protect(9, ProtRead); err != nil {
+				t.Fatalf("protect failed: %v", err)
+			}
+			pte, _ := pt.Lookup(9)
+			if pte.Prot != ProtRead {
+				t.Errorf("prot = %v, want r--", pte.Prot)
+			}
+			if Access(pt, 9, true) != FaultProtection {
+				t.Error("write to read-only page did not fault")
+			}
+			if Access(pt, 9, false) != NoFault {
+				t.Error("read of read-only page faulted")
+			}
+		})
+	}
+}
+
+func TestAccessFaultKinds(t *testing.T) {
+	for name, pt := range tables() {
+		t.Run(name, func(t *testing.T) {
+			if Access(pt, 1, false) != FaultNonResident {
+				t.Error("access to unmapped page should be non-resident fault")
+			}
+			pt.Map(1, 1, ProtReadWrite)
+			if Access(pt, 1, true) != NoFault {
+				t.Error("legal write faulted")
+			}
+		})
+	}
+}
+
+func TestRemapChangesFrameWithoutCountGrowth(t *testing.T) {
+	for name, pt := range tables() {
+		t.Run(name, func(t *testing.T) {
+			pt.Map(5, 1, ProtRead)
+			pt.Map(5, 1, ProtReadWrite) // remap in place
+			if pt.MappedPages() != 1 {
+				t.Errorf("remap grew MappedPages to %d", pt.MappedPages())
+			}
+			pte, _ := pt.Lookup(5)
+			if pte.Prot != ProtReadWrite {
+				t.Errorf("remap did not update protection: %v", pte.Prot)
+			}
+		})
+	}
+}
+
+func TestSparseAddressSpaceOverhead(t *testing.T) {
+	// The paper's Section 3.2 point: sparse address spaces are
+	// "problematic on a linear page table system like the VAX" and
+	// "greatly simplified" with OS-defined tables. Map two pages a
+	// million pages apart and compare structure overhead.
+	lin := NewLinearTable()
+	hash := NewHashTable()
+	for _, pt := range []PageTable{lin, hash} {
+		pt.Map(0, 1, ProtRead)
+		pt.Map(1_000_000, 2, ProtRead)
+	}
+	if lin.OverheadWords() < 1_000_000 {
+		t.Errorf("linear table overhead %d words; expected ≥1M for a sparse space", lin.OverheadWords())
+	}
+	if hash.OverheadWords() > 10_000 {
+		t.Errorf("hash table overhead %d words; expected small for a sparse space", hash.OverheadWords())
+	}
+}
+
+func TestThreeLevelSuperpages(t *testing.T) {
+	pt := NewThreeLevelTable()
+	// Terminal level-2 entry: one PTE maps a 256KB region.
+	pt.MapRegion256K(0, 100, ProtRead)
+	for _, vpn := range []uint64{0, 1, 63} {
+		pte, ok := pt.Lookup(vpn)
+		if !ok {
+			t.Fatalf("page %d of the 256K region not mapped", vpn)
+		}
+		if pte.Frame != 100+vpn {
+			t.Errorf("page %d frame = %d, want %d (contiguous region)", vpn, pte.Frame, 100+vpn)
+		}
+		if lvl := pt.TerminalLevel(vpn); lvl != 2 {
+			t.Errorf("page %d terminates at level %d, want 2", vpn, lvl)
+		}
+	}
+	if pt.MappedPages() != L3Span {
+		t.Errorf("MappedPages = %d, want %d", pt.MappedPages(), L3Span)
+	}
+	// A single-page write inside the region splits it.
+	pt.Map(5, 999, ProtReadWrite)
+	if lvl := pt.TerminalLevel(5); lvl != 3 {
+		t.Errorf("after split, page 5 terminates at level %d, want 3", lvl)
+	}
+	pte, _ := pt.Lookup(5)
+	if pte.Frame != 999 {
+		t.Errorf("split page frame = %d, want 999", pte.Frame)
+	}
+	// Neighbours keep the regional mapping.
+	pte, _ = pt.Lookup(6)
+	if pte.Frame != 106 {
+		t.Errorf("neighbour page frame = %d, want 106", pte.Frame)
+	}
+}
+
+func TestThreeLevel16MRegion(t *testing.T) {
+	pt := NewThreeLevelTable()
+	pt.MapRegion16M(0, 0, ProtRead)
+	if lvl := pt.TerminalLevel(1234); lvl != 1 {
+		t.Errorf("16M region page terminates at level %d, want 1", lvl)
+	}
+	if pt.MappedPages() != L2Span {
+		t.Errorf("MappedPages = %d, want %d", pt.MappedPages(), L2Span)
+	}
+	// Walk cost shrinks with earlier termination — the TLB-utilisation
+	// argument.
+	if c := pt.LookupCost(1234); c != 1 {
+		t.Errorf("16M-region walk cost %d, want 1", c)
+	}
+	pt2 := NewThreeLevelTable()
+	pt2.Map(1234, 5, ProtRead)
+	if c := pt2.LookupCost(1234); c != 3 {
+		t.Errorf("single-page walk cost %d, want 3", c)
+	}
+	// Protect inside the big region splits down to the page.
+	if err := pt.Protect(1234, ProtReadWrite); err != nil {
+		t.Fatalf("protect in region failed: %v", err)
+	}
+	if lvl := pt.TerminalLevel(1234); lvl != 3 {
+		t.Errorf("after protect, level = %d, want 3", lvl)
+	}
+}
+
+func TestInvertedTableCapacity(t *testing.T) {
+	pt := NewInvertedTable(4)
+	for v := uint64(0); v < 4; v++ {
+		pt.Map(v, 0, ProtRead)
+	}
+	if pt.MappedPages() != 4 {
+		t.Fatalf("MappedPages = %d, want 4", pt.MappedPages())
+	}
+	pt.Map(99, 0, ProtRead) // out of frames: dropped
+	if pt.MappedPages() != 4 {
+		t.Errorf("mapping beyond physical frames changed count to %d", pt.MappedPages())
+	}
+	pt.Unmap(0)
+	pt.Map(99, 0, ProtRead)
+	if _, ok := pt.Lookup(99); !ok {
+		t.Error("freed frame was not reusable")
+	}
+}
+
+func TestInvertedOverheadIndependentOfSparsity(t *testing.T) {
+	a, b := NewInvertedTable(128), NewInvertedTable(128)
+	a.Map(0, 0, ProtRead)
+	a.Map(1, 0, ProtRead)
+	b.Map(0, 0, ProtRead)
+	b.Map(1<<40, 0, ProtRead)
+	if a.OverheadWords() != b.OverheadWords() {
+		t.Error("inverted table overhead should not depend on VA sparsity")
+	}
+}
+
+func TestProtString(t *testing.T) {
+	cases := map[Prot]string{
+		ProtNone:            "---",
+		ProtRead:            "r--",
+		ProtReadWrite:       "rw-",
+		ProtRead | ProtExec: "r-x",
+	}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestFaultKindString(t *testing.T) {
+	for k, want := range map[FaultKind]string{NoFault: "none", FaultNonResident: "non-resident", FaultProtection: "protection"} {
+		if k.String() != want {
+			t.Errorf("FaultKind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+// TestPageTablesMatchReferenceModel runs random operation sequences
+// against every organisation and a plain map simultaneously.
+func TestPageTablesMatchReferenceModel(t *testing.T) {
+	type refEntry struct {
+		frame uint64
+		prot  Prot
+	}
+	for name, fresh := range map[string]func() PageTable{
+		"linear":   func() PageTable { return NewLinearTable() },
+		"hash":     func() PageTable { return NewHashTable() },
+		"3-level":  func() PageTable { return NewThreeLevelTable() },
+		"inverted": func() PageTable { return NewInvertedTable(1 << 16) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := func(ops []uint32) bool {
+				pt := fresh()
+				ref := map[uint64]refEntry{}
+				for _, op := range ops {
+					vpn := uint64(op & 0x3FF)
+					prot := Prot(op>>10&3) | ProtRead
+					switch op >> 30 {
+					case 0, 1: // map
+						// The inverted table owns the frame namespace, so
+						// compare prot and presence only.
+						pt.Map(vpn, uint64(op>>12&0xFF), prot)
+						ref[vpn] = refEntry{frame: uint64(op >> 12 & 0xFF), prot: prot}
+					case 2: // unmap
+						pt.Unmap(vpn)
+						delete(ref, vpn)
+					case 3: // protect
+						err := pt.Protect(vpn, prot)
+						if _, ok := ref[vpn]; ok != (err == nil) {
+							return false
+						}
+						if err == nil {
+							e := ref[vpn]
+							e.prot = prot
+							ref[vpn] = e
+						}
+					}
+					// Validate a probe.
+					probe := uint64(op>>3) & 0x3FF
+					pte, ok := pt.Lookup(probe)
+					re, inRef := ref[probe]
+					if ok != inRef {
+						return false
+					}
+					if ok && pte.Prot != re.prot {
+						return false
+					}
+				}
+				return pt.MappedPages() == len(ref)
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}

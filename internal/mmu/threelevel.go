@@ -1,0 +1,290 @@
+package mmu
+
+// ThreeLevelTable is the SPARC/Cypress organisation (Section 3.2): "the
+// architecture supports a 3-level page table structure. The first-level
+// table maps the entire 4GB address space; it contains pointers to
+// second-level tables, each of which maps a 16MB region. Each
+// second-level table contains pointers to third-level tables, each of
+// which maps 256KB of 4KB pages. At each level, an entry can either be
+// a pointer to the next-level table, or a terminal page table entry.
+// If a terminal page table entry is found in the second level ... it
+// maps a contiguous 256KB region, and a single TLB entry can be used to
+// hold the mapping for this entire region."
+//
+// Geometry for 4KB pages: level 3 spans 64 pages (256KB), level 2 spans
+// 64 level-3 tables (16MB), level 1 spans 256 level-2 tables (4GB).
+type ThreeLevelTable struct {
+	root   [256]*l2node
+	mapped int
+}
+
+type l2node struct {
+	terminal *PTE // non-nil: this entry maps the whole 16MB region
+	children [64]*l3node
+}
+
+type l3node struct {
+	terminal *PTE // non-nil: this entry maps the whole 256KB region
+	pages    [64]PTE
+}
+
+// Region spans, in pages.
+const (
+	// L3Span is the pages mapped by one level-3 table (a 256KB region).
+	L3Span = 64
+	// L2Span is the pages mapped by one level-2 entry (a 16MB region).
+	L2Span = 64 * 64
+)
+
+// NewThreeLevelTable creates an empty 3-level table.
+func NewThreeLevelTable() *ThreeLevelTable { return &ThreeLevelTable{} }
+
+func (t *ThreeLevelTable) indices(vpn uint64) (i1, i2, i3 int) {
+	return int(vpn / L2Span % 256), int(vpn / L3Span % 64), int(vpn % 64)
+}
+
+// Map installs a single-page translation, splitting any terminal
+// region entry that covers vpn (copy-on-write of the mapping tree).
+func (t *ThreeLevelTable) Map(vpn, frame uint64, prot Prot) {
+	i1, i2, i3 := t.indices(vpn)
+	n2 := t.root[i1]
+	if n2 == nil {
+		n2 = &l2node{}
+		t.root[i1] = n2
+	}
+	if n2.terminal != nil {
+		t.splitL2(n2)
+	}
+	n3 := n2.children[i2]
+	if n3 == nil {
+		n3 = &l3node{}
+		n2.children[i2] = n3
+	}
+	if n3.terminal != nil {
+		t.splitL3(n3)
+	}
+	if !n3.pages[i3].Valid {
+		t.mapped++
+	}
+	n3.pages[i3] = PTE{Frame: frame, Prot: prot, Valid: true}
+}
+
+// MapRegion256K installs a terminal level-2... (level-3 table) entry
+// mapping the aligned 256KB region containing vpn with a single PTE —
+// the paper's single-TLB-entry superpage. base must be L3Span-aligned.
+func (t *ThreeLevelTable) MapRegion256K(base, frame uint64, prot Prot) {
+	i1, i2, _ := t.indices(base)
+	n2 := t.root[i1]
+	if n2 == nil {
+		n2 = &l2node{}
+		t.root[i1] = n2
+	}
+	if n2.terminal != nil {
+		t.splitL2(n2)
+	}
+	old := n2.children[i2]
+	if old != nil {
+		t.mapped -= t.countL3(old)
+	}
+	n2.children[i2] = &l3node{terminal: &PTE{Frame: frame, Prot: prot, Valid: true}}
+	t.mapped += L3Span
+}
+
+// MapRegion16M installs a terminal level-1 (level-2 table) entry
+// mapping the aligned 16MB region containing base.
+func (t *ThreeLevelTable) MapRegion16M(base, frame uint64, prot Prot) {
+	i1, _, _ := t.indices(base)
+	if old := t.root[i1]; old != nil {
+		t.mapped -= t.countL2(old)
+	}
+	t.root[i1] = &l2node{terminal: &PTE{Frame: frame, Prot: prot, Valid: true}}
+	t.mapped += L2Span
+}
+
+func (t *ThreeLevelTable) countL3(n *l3node) int {
+	if n.terminal != nil {
+		return L3Span
+	}
+	c := 0
+	for i := range n.pages {
+		if n.pages[i].Valid {
+			c++
+		}
+	}
+	return c
+}
+
+func (t *ThreeLevelTable) countL2(n *l2node) int {
+	if n.terminal != nil {
+		return L2Span
+	}
+	c := 0
+	for _, ch := range n.children {
+		if ch != nil {
+			c += t.countL3(ch)
+		}
+	}
+	return c
+}
+
+// splitL3 expands a terminal 256KB entry into per-page PTEs.
+func (t *ThreeLevelTable) splitL3(n *l3node) {
+	term := n.terminal
+	n.terminal = nil
+	for i := range n.pages {
+		n.pages[i] = PTE{Frame: term.Frame + uint64(i), Prot: term.Prot, Valid: true}
+	}
+}
+
+// splitL2 expands a terminal 16MB entry into 64 terminal 256KB entries.
+func (t *ThreeLevelTable) splitL2(n *l2node) {
+	term := n.terminal
+	n.terminal = nil
+	for i := range n.children {
+		n.children[i] = &l3node{terminal: &PTE{
+			Frame: term.Frame + uint64(i*L3Span),
+			Prot:  term.Prot,
+			Valid: true,
+		}}
+	}
+}
+
+// Unmap removes the translation for a single page, splitting terminal
+// regions as needed.
+func (t *ThreeLevelTable) Unmap(vpn uint64) {
+	i1, i2, i3 := t.indices(vpn)
+	n2 := t.root[i1]
+	if n2 == nil {
+		return
+	}
+	if n2.terminal != nil {
+		t.splitL2(n2)
+	}
+	n3 := n2.children[i2]
+	if n3 == nil {
+		return
+	}
+	if n3.terminal != nil {
+		t.splitL3(n3)
+	}
+	if n3.pages[i3].Valid {
+		n3.pages[i3] = PTE{}
+		t.mapped--
+	}
+}
+
+// Protect changes the protection of a mapped page (splitting regions).
+func (t *ThreeLevelTable) Protect(vpn uint64, prot Prot) error {
+	i1, i2, i3 := t.indices(vpn)
+	n2 := t.root[i1]
+	if n2 == nil {
+		return ErrUnmapped
+	}
+	if n2.terminal != nil {
+		t.splitL2(n2)
+	}
+	n3 := n2.children[i2]
+	if n3 == nil {
+		return ErrUnmapped
+	}
+	if n3.terminal != nil {
+		t.splitL3(n3)
+	}
+	if !n3.pages[i3].Valid {
+		return ErrUnmapped
+	}
+	n3.pages[i3].Prot = prot
+	return nil
+}
+
+// Lookup returns the PTE for vpn, resolving terminal region entries to
+// the page within the region.
+func (t *ThreeLevelTable) Lookup(vpn uint64) (PTE, bool) {
+	i1, i2, i3 := t.indices(vpn)
+	n2 := t.root[i1]
+	if n2 == nil {
+		return PTE{}, false
+	}
+	if n2.terminal != nil {
+		off := vpn % L2Span
+		return PTE{Frame: n2.terminal.Frame + off, Prot: n2.terminal.Prot, Valid: true}, true
+	}
+	n3 := n2.children[i2]
+	if n3 == nil {
+		return PTE{}, false
+	}
+	if n3.terminal != nil {
+		off := vpn % L3Span
+		return PTE{Frame: n3.terminal.Frame + off, Prot: n3.terminal.Prot, Valid: true}, true
+	}
+	if !n3.pages[i3].Valid {
+		return PTE{}, false
+	}
+	return n3.pages[i3], true
+}
+
+// TerminalLevel reports at which level vpn's translation terminates:
+// 1 (16MB region), 2 (256KB region), 3 (single page), or 0 if unmapped.
+// A TLB needs one entry per terminal node, so lower levels mean fewer
+// entries — the paper's "better solution to increasing the utilization
+// of TLB entries".
+func (t *ThreeLevelTable) TerminalLevel(vpn uint64) int {
+	i1, i2, i3 := t.indices(vpn)
+	n2 := t.root[i1]
+	if n2 == nil {
+		return 0
+	}
+	if n2.terminal != nil {
+		return 1
+	}
+	n3 := n2.children[i2]
+	if n3 == nil {
+		return 0
+	}
+	if n3.terminal != nil {
+		return 2
+	}
+	if !n3.pages[i3].Valid {
+		return 0
+	}
+	return 3
+}
+
+// LookupCost: one reference per level until the walk terminates.
+func (t *ThreeLevelTable) LookupCost(vpn uint64) int {
+	switch t.TerminalLevel(vpn) {
+	case 1:
+		return 1
+	case 2:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// MappedPages returns the number of pages with valid translations
+// (terminal regions count their full span).
+func (t *ThreeLevelTable) MappedPages() int { return t.mapped }
+
+// OverheadWords: root (256) plus 64 words per allocated node.
+func (t *ThreeLevelTable) OverheadWords() int {
+	w := 256
+	for _, n2 := range t.root {
+		if n2 == nil {
+			continue
+		}
+		w += 64
+		if n2.terminal != nil {
+			continue
+		}
+		for _, n3 := range n2.children {
+			if n3 != nil {
+				w += 64
+			}
+		}
+	}
+	return w
+}
+
+// Style names the organisation.
+func (t *ThreeLevelTable) Style() string { return "3-level" }

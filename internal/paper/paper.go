@@ -1,0 +1,241 @@
+// Package paper records the published numbers from Anderson, Levy,
+// Bershad & Lazowska, "The Interaction of Architecture and Operating
+// System Design" (ASPLOS 1991), used as calibration targets and printed
+// beside our measured values in every experiment. Table and section
+// references are to the paper.
+package paper
+
+// Table1 gives the measured times in microseconds for the four
+// primitive OS functions (Table 1), keyed by architecture name then
+// primitive name.
+var Table1 = map[string]map[string]float64{
+	"CVAX": {
+		"Null system call":        15.8,
+		"Trap":                    23.1,
+		"Page table entry change": 8.8,
+		"Context switch":          28.3,
+	},
+	"Motorola 88000": {
+		"Null system call":        11.8,
+		"Trap":                    14.4,
+		"Page table entry change": 3.9,
+		"Context switch":          22.8,
+	},
+	"MIPS R2000": {
+		"Null system call":        9.0,
+		"Trap":                    15.4,
+		"Page table entry change": 3.1,
+		"Context switch":          14.8,
+	},
+	"MIPS R3000": {
+		"Null system call":        4.1,
+		"Trap":                    5.2,
+		"Page table entry change": 2.0,
+		"Context switch":          7.4,
+	},
+	"Sun SPARC": {
+		"Null system call":        15.2,
+		"Trap":                    17.1,
+		"Page table entry change": 2.7,
+		"Context switch":          53.9,
+	},
+}
+
+// Table1AppPerf is Table 1's "Application Performance" row: integer
+// application performance relative to the CVAX (SPECmark-based).
+var Table1AppPerf = map[string]float64{
+	"Motorola 88000": 3.5,
+	"MIPS R2000":     4.2,
+	"MIPS R3000":     6.7,
+	"Sun SPARC":      4.3,
+}
+
+// Table2 gives the instruction counts along the shortest path of the
+// drivers (Table 2). The R2000 and R3000 share a column ("R2/3000").
+var Table2 = map[string]map[string]int{
+	"CVAX": {
+		"Null system call":        12,
+		"Trap":                    14,
+		"Page table entry change": 11,
+		"Context switch":          9,
+	},
+	"Motorola 88000": {
+		"Null system call":        122,
+		"Trap":                    156,
+		"Page table entry change": 24,
+		"Context switch":          98,
+	},
+	"MIPS R2000": {
+		"Null system call":        84,
+		"Trap":                    103,
+		"Page table entry change": 36,
+		"Context switch":          135,
+	},
+	"Sun SPARC": {
+		"Null system call":        128,
+		"Trap":                    145,
+		"Page table entry change": 15,
+		"Context switch":          326,
+	},
+	"Intel i860": {
+		"Null system call":        86,
+		"Trap":                    155,
+		"Page table entry change": 559,
+		"Context switch":          618,
+	},
+}
+
+// Table3 is the distribution of time in a round-trip cross-machine null
+// RPC with a small (74-byte) packet in SRC RPC on CVAX Fireflies over
+// Ethernet (Table 3; reconstructed from the text and [Schroeder &
+// Burrows 90]). Values are percentages of the round trip. The paper's
+// headline: "only 17% of the time for a small packet is spent on the
+// wire".
+var Table3 = map[string]float64{
+	"Stubs (marshal/unmarshal)": 13,
+	"System calls & dispatch":   10,
+	"Transport & checksum":      20,
+	"Interrupt handling":        15,
+	"Thread management":         25,
+	"Wire":                      17,
+}
+
+// Table3WirePct is the fraction of a small-packet SRC RPC spent on the
+// Ethernet wire.
+const Table3WirePct = 17.0
+
+// Table3LargeWirePct: "nearly 50% for SRC RPC with a 1500-byte result
+// packet".
+const Table3LargeWirePct = 50.0
+
+// SRCRPCSmallMicros is the round-trip time of the SRC RPC null call on
+// the CVAX Firefly (≈2.66 ms, [Schroeder & Burrows 90]).
+const SRCRPCSmallMicros = 2660.0
+
+// Table4 is the distribution of time in a null LRPC on a CVAX Firefly
+// (Table 4; reconstructed from the text and [Bershad et al. 90a]). The
+// LRPC paper: a null LRPC takes 157 µs against a 109 µs hardware
+// minimum; the kernel transfer path is the dominant component.
+var Table4 = map[string]float64{
+	"Kernel transfer (traps + context switches)": 42,
+	"TLB misses from double purge":               25,
+	"Stubs & argument copy":                      18,
+	"Binding/validation & dispatch":              15,
+}
+
+// LRPCNullMicros is the measured null LRPC time on the CVAX Firefly.
+const LRPCNullMicros = 157.0
+
+// LRPCHardwareMinMicros is the LRPC paper's lower bound from hardware
+// costs alone on that machine.
+const LRPCHardwareMinMicros = 109.0
+
+// LRPCTLBMissShare: "an estimated 25% of the time is lost to TLB misses
+// on the CVAX, because the entire TLB must be purged twice".
+const LRPCTLBMissShare = 0.25
+
+// Table5 decomposes the null system call (Table 5), in microseconds:
+// kernel entry/exit, call preparation, call/return to C.
+var Table5 = map[string][3]float64{
+	"CVAX":       {4.5, 3.1, 8.2},
+	"MIPS R2000": {0.6, 6.3, 2.1},
+	"Sun SPARC":  {0.6, 13.1, 1.4},
+}
+
+// Table5Rows names Table 5's rows in order.
+var Table5Rows = [3]string{"Kernel entry/exit", "Call preparation", "Call/return to C"}
+
+// Table6 gives processor thread state in 32-bit words (Table 6):
+// integer registers, FP state, misc state.
+var Table6 = map[string][3]int{
+	"CVAX":           {16, 0, 1},
+	"Motorola 88000": {32, 0, 27},
+	"MIPS R2000":     {32, 32, 5},
+	"Sun SPARC":      {136, 32, 6},
+	"Intel i860":     {32, 32, 9},
+	"IBM RS6000":     {32, 64, 4},
+}
+
+// Table7Row holds one application row of Table 7: elapsed seconds and
+// counts of primitive operations.
+type Table7Row struct {
+	Workload     string
+	Seconds      float64
+	ASSwitches   int64   // address-space context switches
+	ThreadSwitch int64   // kernel-level thread context switches
+	Syscalls     int64   // kernel-handled system calls
+	EmulInstrs   int64   // kernel-emulated instructions
+	KTLBMisses   int64   // kernel-mode address TLB misses
+	OtherExcept  int64   // other exceptions (interrupts, page faults)
+	PctTimeInOS  float64 // % elapsed time in OS primitives (Mach 3.0 only)
+}
+
+// Table7Mach25 is the monolithic Mach 2.5 half of Table 7.
+var Table7Mach25 = []Table7Row{
+	{"spellcheck-1", 2.3, 139, 238, 802, 39, 2953, 2274, 0},
+	{"latex-150", 69.3, 2336, 2952, 5513, 320, 34203, 15049, 0},
+	{"andrew-local", 73.9, 3477, 5788, 35168, 331, 145446, 67611, 0},
+	{"andrew-remote", 92.5, 3904, 6779, 35498, 410, 205799, 67618, 0},
+	{"link-vmunix", 25.5, 537, 994, 13099, 137, 46628, 15365, 0},
+	{"parthenon (1 thread)", 22.9, 171, 309, 257, 1395555, 1077, 2660, 0},
+	{"parthenon (10 threads)", 20.8, 176, 1165, 268, 1254087, 2961, 3360, 0},
+}
+
+// Table7Mach30 is the decomposed Mach 3.0 half of Table 7.
+var Table7Mach30 = []Table7Row{
+	{"spellcheck-1", 1.4, 1277, 1418, 1898, 13807, 22931, 2824, 20},
+	{"latex-150", 80.9, 16208, 19068, 16561, 213781, 378159, 19309, 5},
+	{"andrew-local", 99.2, 41355, 50865, 70495, 492179, 1136756, 144122, 12},
+	{"andrew-remote", 150.0, 128874, 144919, 160233, 1601813, 1865436, 187804, 16},
+	{"link-vmunix", 29.9, 24589, 25830, 26904, 164436, 423607, 28796, 16},
+	{"parthenon (1 thread)", 28.8, 1723, 2211, 1308, 1406792, 12675, 3385, 18},
+	{"parthenon (10 threads)", 26.3, 1785, 3963, 1372, 1341130, 18038, 4045, 19},
+}
+
+// Section 2.3 / 4.1 in-text claims used as test targets.
+const (
+	// SPARCWindowShareOfSyscall: "we estimate that 30% of the null
+	// system call time on the SPARC is associated with register window
+	// processing."
+	SPARCWindowShareOfSyscall = 0.30
+	// SPARCWindowShareOfSwitch: the SPARC context-switch driver
+	// "spends 70% of its time saving and restoring windows".
+	SPARCWindowShareOfSwitch = 0.70
+	// SPARCMicrosPerWindow: "(12.8 µseconds per window)".
+	SPARCMicrosPerWindow = 12.8
+	// R2000NopShareOfSyscall: unfilled delay slots account "for
+	// approximately 13% of the null system call time on the R2000".
+	R2000NopShareOfSyscall = 0.13
+	// R2000WBStallShareOfTrap: "we estimate that write buffer stalls
+	// account for 30% of the interrupt overhead on the DECstation 3100."
+	R2000WBStallShareOfTrap = 0.30
+	// I860FlushShareOfPTEChange: 536 of 559 instructions.
+	I860PTEFlushInstrs = 536
+	// SynapseCallSwitchRatioLow/High: "the ratio of procedure calls to
+	// context switches varied from 21:1 to 42:1".
+	SynapseCallSwitchRatioLow  = 21
+	SynapseCallSwitchRatioHigh = 42
+	// SPARCSwitchOverCallFactor: "the cost of a thread context switch
+	// is 50 times that of a procedure call" on SPARC.
+	SPARCSwitchOverCallFactor = 50
+	// ParthenonKernelSyncShare: parthenon "spends roughly 1/5 of its
+	// time synchronizing through the kernel" on MIPS.
+	ParthenonKernelSyncShare = 0.20
+	// SpriteRPCSpeedup / SpriteIntegerSpeedup: Sprite kernel-to-kernel
+	// null RPC time "was reduced by only half when moving from a
+	// Sun-3/75 to a SPARCstation-1, even though integer performance
+	// increased by a factor of five".
+	SpriteRPCSpeedup     = 2.0
+	SpriteIntegerSpeedup = 5.0
+	// ClarkEmerOSRefShare / ClarkEmerOSTLBMissShare: on the VAX-11/780,
+	// VMS "accounts for only one fifth of all references [but] more
+	// than two thirds of all TLB misses".
+	ClarkEmerOSRefShare     = 0.20
+	ClarkEmerOSTLBMissShare = 0.667
+)
+
+// MicroBench identifies one cell of Tables 1/2/5 for tolerance checks.
+type MicroBench struct {
+	Arch      string
+	Primitive string
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Describe renders a program as an annotated listing — phase headers,
+// one line per op with its repeat count, address pattern (where it
+// matters), microcode cycles, and notes — in the spirit of the
+// assembler listings the paper's drivers were written in. perWindow is
+// the architecture's instructions-per-window-operation (use
+// Params.WindowInstrs), needed to annotate window ops with their
+// expanded size.
+func Describe(p *Program, perWindow int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %d instructions\n", p.Name, p.Instructions(perWindow))
+	for _, ph := range p.Phases {
+		fmt.Fprintf(&b, "  %s (%d instructions):\n", ph.Name, ph.Instructions(perWindow))
+		for _, op := range ph.Ops {
+			b.WriteString("    ")
+			b.WriteString(describeOp(op, perWindow))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func describeOp(op Op, perWindow int) string {
+	var parts []string
+	if n := op.Count(); n > 1 {
+		parts = append(parts, fmt.Sprintf("%3dx", n))
+	} else {
+		parts = append(parts, "  1x")
+	}
+	parts = append(parts, op.Class.String())
+	switch op.Class {
+	case Load, Store:
+		parts = append(parts, "["+op.Addr.String()+"]")
+	case Microcoded:
+		parts = append(parts, fmt.Sprintf("(%.0f cycles)", op.Cycles))
+	case WindowSave, WindowRestore:
+		parts = append(parts, fmt.Sprintf("(%d instructions each)", perWindow))
+		if op.Class == WindowRestore {
+			parts = append(parts, "["+op.Addr.String()+"]")
+		}
+	}
+	if op.Note != "" {
+		parts = append(parts, "; "+op.Note)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Summarize renders a result's cause accounting in one line.
+func Summarize(r Result) string {
+	return fmt.Sprintf(
+		"%s: %.0f cycles / %d instructions (wb-stall %.0f, cache-miss %.0f, nops %.0f, microcode %.0f, windows %.0f, ctrl %.0f, vflush %.0f)",
+		r.Program, r.Cycles, r.Instructions,
+		r.WBStallCycles, r.CacheMissCycles, r.NopCycles,
+		r.MicrocodeCycles, r.WindowCycles, r.CtrlCycles, r.CacheFlushCycles)
+}

@@ -1,0 +1,43 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeListsEverything(t *testing.T) {
+	p := &Program{Name: "demo"}
+	p.Add("entry", Op{Class: TrapEnter})
+	p.Add("body",
+		Op{Class: Store, N: 14, Addr: AddrSeqSamePage},
+		Op{Class: Microcoded, Cycles: 45, Note: "CALLS"},
+		Op{Class: WindowRestore, N: 2, Addr: AddrNewPage},
+	)
+	out := Describe(p, 23)
+	for _, want := range []string{
+		"demo —", "entry", "body",
+		" 14x store [seq-same-page]",
+		"(45 cycles)", "; CALLS",
+		"window-restore (23 instructions each) [new-page]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	// Instruction totals appear per phase and overall.
+	if !strings.Contains(out, "62 instructions") { // 14 + 1 + 1 + 2×23 = 61 + trapEnter 1
+		t.Errorf("listing missing total count:\n%s", out)
+	}
+}
+
+func TestSummarizeMentionsCauses(t *testing.T) {
+	p := &Program{Name: "s"}
+	p.Add("x", Op{Class: Store, N: 30, Addr: AddrSeqSamePage}, Op{Class: Nop, N: 5})
+	res := NewMachine(testParams()).Run(p)
+	out := Summarize(res)
+	for _, want := range []string{"s:", "35 instructions", "wb-stall", "nops 5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q: %s", want, out)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+
+	"archos/internal/cache"
+)
+
+// Params carries everything a Machine needs to time a program: the
+// clock, per-class base cycle costs, the write-buffer configuration, and
+// the expected cache behaviour of each address-pattern class. An
+// architecture specification (package arch) embeds and fills one of
+// these.
+type Params struct {
+	Name     string
+	ClockMHz float64
+
+	// CPI is the base cycles-per-instruction for each op class.
+	// Microcoded ops take their cost from the Op. Zero entries default
+	// to 1 cycle (the RISC ideal).
+	CPI CPITable
+
+	// WriteBuffer configures the store path. Stores additionally pay
+	// CPI[Store] issue cycles.
+	WriteBuffer cache.WriteBufferConfig
+
+	// LoadMissPenalty is the cycle cost of a cache miss on a load;
+	// LoadMissRatio gives the expected miss ratio per address pattern.
+	// Loads are charged their expected value, which keeps runs
+	// deterministic and smooth (the paper reports steady-state means of
+	// repeated calls, which is exactly the expectation).
+	LoadMissPenalty float64
+	LoadMissRatio   [5]float64 // indexed by AddrPattern
+
+	// UncachedAccessCycles is the cost of an AddrIO access over and
+	// above the issue cycle (device registers, network buffers).
+	UncachedAccessCycles float64
+
+	// FaultEntryExtraCycles is the additional memory-system cost of
+	// entering the kernel on a data-access fault rather than a
+	// voluntary trap: write-buffer drain before the handler may touch
+	// memory, uncached exception-vector fetch, and replay of the
+	// faulting reference. Dominated by memory speed, so it is large on
+	// the DECstation 3100 (no page-mode memory) and near zero on the
+	// 5000.
+	FaultEntryExtraCycles float64
+
+	// Window geometry (SPARC-style). A WindowSave op expands to
+	// WindowStores stores + WindowOverhead ALU/branch instructions; a
+	// WindowRestore to WindowLoads loads + WindowOverhead.
+	WindowStores   int
+	WindowLoads    int
+	WindowOverhead int
+}
+
+// WindowInstrs returns the instruction count of one window save or
+// restore (they are symmetric by construction).
+func (p *Params) WindowInstrs() int { return p.WindowStores + p.WindowOverhead }
+
+func (p *Params) cpi(c Class) float64 {
+	v := p.CPI[c]
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+// PhaseResult reports the cost of one program phase.
+type PhaseResult struct {
+	Name         string
+	Cycles       float64
+	Instructions int
+}
+
+// Result reports the cost of one program execution.
+type Result struct {
+	Program      string
+	Cycles       float64
+	Instructions int
+	Phases       []PhaseResult
+
+	// Cause accounting: where the cycles went.
+	WBStallCycles    float64 // write-buffer full stalls
+	CacheMissCycles  float64 // expected load-miss cycles
+	NopCycles        float64 // unfilled delay slots
+	MicrocodeCycles  float64 // Microcoded + TrapEnter + TrapReturn
+	WindowCycles     float64 // WindowSave/WindowRestore expansion
+	CtrlCycles       float64 // control/pipeline-state register traffic
+	CacheFlushCycles float64 // virtual-cache flush loops
+}
+
+// Micros converts the result's cycles to microseconds at the machine's
+// clock rate.
+func (r Result) Micros(clockMHz float64) float64 { return r.Cycles / clockMHz }
+
+// PhaseMicros returns the named phase's time in microseconds, or 0 if
+// the phase does not exist.
+func (r Result) PhaseMicros(name string, clockMHz float64) float64 {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p.Cycles / clockMHz
+		}
+	}
+	return 0
+}
+
+// Machine executes programs under an architecture's timing parameters.
+// A machine is not safe for concurrent use; create one per goroutine.
+type Machine struct {
+	p  Params
+	wb *cache.WriteBuffer
+
+	now       float64
+	lastStore AddrPattern
+	haveStore bool
+}
+
+// NewMachine builds a machine from params.
+func NewMachine(p Params) *Machine {
+	if p.ClockMHz <= 0 {
+		panic(fmt.Sprintf("sim: machine %q needs a positive clock", p.Name))
+	}
+	return &Machine{p: p, wb: cache.NewWriteBuffer(p.WriteBuffer)}
+}
+
+// Params returns the machine's timing parameters.
+func (m *Machine) Params() Params { return m.p }
+
+// Run executes prog from a quiescent state (empty write buffer) and
+// returns its cost. Run resets transient machine state first so results
+// are independent of call order, matching the paper's steady-state
+// repeated-call measurements.
+func (m *Machine) Run(prog *Program) Result {
+	m.wb.Reset()
+	m.now = 0
+	m.haveStore = false
+
+	res := Result{Program: prog.Name}
+	for i := range prog.Phases {
+		ph := &prog.Phases[i]
+		start := m.now
+		instrs := 0
+		for _, op := range ph.Ops {
+			instrs += m.exec(op, &res)
+		}
+		res.Phases = append(res.Phases, PhaseResult{Name: ph.Name, Cycles: m.now - start, Instructions: instrs})
+		res.Instructions += instrs
+	}
+	res.Cycles = m.now
+	return res
+}
+
+// exec executes one op (with its repeat count) and returns the number of
+// instructions it contributed.
+func (m *Machine) exec(op Op, res *Result) int {
+	n := op.Count()
+	switch op.Class {
+	case WindowSave:
+		for i := 0; i < n; i++ {
+			m.execWindow(res, true, op.Addr)
+		}
+		return n * m.p.WindowInstrs()
+	case WindowRestore:
+		for i := 0; i < n; i++ {
+			m.execWindow(res, false, op.Addr)
+		}
+		return n * m.p.WindowInstrs()
+	}
+	for i := 0; i < n; i++ {
+		m.execOne(op, res)
+	}
+	return n
+}
+
+func (m *Machine) execOne(op Op, res *Result) {
+	base := m.p.cpi(op.Class)
+	switch op.Class {
+	case Microcoded:
+		base = op.Cycles
+		if base <= 0 {
+			base = 1
+		}
+		res.MicrocodeCycles += base
+	case TrapEnter, TrapReturn:
+		res.MicrocodeCycles += base
+	case Nop:
+		res.NopCycles += base
+	case CtrlRead, CtrlWrite:
+		res.CtrlCycles += base
+	case CacheFlushLine:
+		res.CacheFlushCycles += base
+	case Store:
+		if op.Addr == AddrIO {
+			extra := m.p.UncachedAccessCycles
+			m.now += extra
+			res.CacheMissCycles += extra
+		} else {
+			samePage := m.haveStore && op.Addr == AddrSeqSamePage && m.lastStore == AddrSeqSamePage
+			stall := m.wb.Push(m.now, samePage)
+			m.now += stall
+			res.WBStallCycles += stall
+		}
+		m.lastStore = op.Addr
+		m.haveStore = true
+	case Load:
+		var extra float64
+		if op.Addr == AddrIO {
+			extra = m.p.UncachedAccessCycles
+		} else {
+			extra = m.p.LoadMissRatio[op.Addr] * m.p.LoadMissPenalty
+		}
+		m.now += extra
+		res.CacheMissCycles += extra
+	}
+	m.now += base
+}
+
+// execWindow expands one register-window save or restore. Saves always
+// stream to the save area (same-page stores); restores read back with
+// the op's address pattern — warm (AddrSeqSamePage) when refilling a
+// window the same handler just spilled, cold (AddrNewPage) when loading
+// another thread's windows at a context switch.
+func (m *Machine) execWindow(res *Result, save bool, addr AddrPattern) {
+	start := m.now
+	if save {
+		for i := 0; i < m.p.WindowStores; i++ {
+			m.execOne(Op{Class: Store, Addr: AddrSeqSamePage}, res)
+		}
+	} else {
+		for i := 0; i < m.p.WindowLoads; i++ {
+			m.execOne(Op{Class: Load, Addr: addr}, res)
+		}
+	}
+	for i := 0; i < m.p.WindowOverhead; i++ {
+		m.execOne(Op{Class: ALU}, res)
+	}
+	res.WindowCycles += m.now - start
+}

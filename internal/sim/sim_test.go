@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archos/internal/cache"
+)
+
+func testParams() Params {
+	return Params{
+		Name:     "test",
+		ClockMHz: 10,
+		CPI: MakeCPI(map[Class]float64{
+			TrapEnter:  8,
+			TrapReturn: 4,
+			CtrlRead:   2,
+			CtrlWrite:  2,
+		}),
+		WriteBuffer:     cache.WriteBufferConfig{Depth: 2, DrainCycles: 5},
+		LoadMissPenalty: 10,
+		LoadMissRatio: [5]float64{
+			AddrSeqSamePage: 0.1,
+			AddrKernelData:  0.2,
+			AddrNewPage:     1.0,
+		},
+		UncachedAccessCycles: 15,
+		WindowStores:         4,
+		WindowLoads:          4,
+		WindowOverhead:       2,
+	}
+}
+
+func TestInstructionCounting(t *testing.T) {
+	p := &Program{Name: "t"}
+	p.Add("a", Op{Class: ALU, N: 5}, Op{Class: Load, N: 3, Addr: AddrKernelData})
+	p.Add("b", Op{Class: Store, N: 2}, Op{Class: TrapEnter})
+	if got := p.Instructions(0); got != 11 {
+		t.Errorf("instructions = %d, want 11", got)
+	}
+	m := NewMachine(testParams())
+	res := m.Run(p)
+	if res.Instructions != 11 {
+		t.Errorf("run instructions = %d, want 11", res.Instructions)
+	}
+}
+
+func TestWindowExpansion(t *testing.T) {
+	pr := &Program{Name: "w"}
+	pr.Add("x", Op{Class: WindowSave, N: 2}, Op{Class: WindowRestore, N: 1})
+	params := testParams()
+	per := params.WindowInstrs() // 4 + 2 = 6
+	if per != 6 {
+		t.Fatalf("WindowInstrs = %d, want 6", per)
+	}
+	if got := pr.Instructions(per); got != 18 {
+		t.Errorf("expanded instructions = %d, want 18", got)
+	}
+	res := NewMachine(params).Run(pr)
+	if res.Instructions != 18 {
+		t.Errorf("run instructions = %d, want 18", res.Instructions)
+	}
+	if res.WindowCycles <= 0 || res.WindowCycles > res.Cycles {
+		t.Errorf("window cycles %.1f outside (0, total=%.1f]", res.WindowCycles, res.Cycles)
+	}
+}
+
+func TestDefaultCPIIsOne(t *testing.T) {
+	p := &Program{Name: "alu"}
+	p.Add("a", Op{Class: ALU, N: 100})
+	res := NewMachine(testParams()).Run(p)
+	if res.Cycles != 100 {
+		t.Errorf("100 ALU ops cost %.1f cycles, want 100 (default CPI 1)", res.Cycles)
+	}
+}
+
+func TestMicrocodedCost(t *testing.T) {
+	p := &Program{Name: "m"}
+	p.Add("a", Op{Class: Microcoded, Cycles: 45}, Op{Class: Microcoded, Cycles: 30})
+	res := NewMachine(testParams()).Run(p)
+	if res.Cycles != 75 {
+		t.Errorf("microcoded ops cost %.1f cycles, want 75", res.Cycles)
+	}
+	if res.Instructions != 2 {
+		t.Errorf("microcoded ops counted as %d instructions, want 2", res.Instructions)
+	}
+	if res.MicrocodeCycles != 75 {
+		t.Errorf("microcode cause accounting %.1f, want 75", res.MicrocodeCycles)
+	}
+}
+
+func TestLoadExpectedMissCost(t *testing.T) {
+	p := &Program{Name: "l"}
+	p.Add("a", Op{Class: Load, N: 10, Addr: AddrNewPage}) // ratio 1.0 → always miss
+	res := NewMachine(testParams()).Run(p)
+	want := 10.0 * (1 + 10) // issue + full penalty
+	if res.Cycles != want {
+		t.Errorf("cold loads cost %.1f, want %.1f", res.Cycles, want)
+	}
+	if res.CacheMissCycles != 100 {
+		t.Errorf("cache-miss accounting %.1f, want 100", res.CacheMissCycles)
+	}
+}
+
+func TestUncachedAccess(t *testing.T) {
+	p := &Program{Name: "io"}
+	p.Add("a", Op{Class: Load, N: 2, Addr: AddrIO}, Op{Class: Store, N: 1, Addr: AddrIO})
+	res := NewMachine(testParams()).Run(p)
+	want := 2*(1+15.0) + (1 + 15.0)
+	if res.Cycles != want {
+		t.Errorf("uncached ops cost %.1f, want %.1f", res.Cycles, want)
+	}
+}
+
+func TestStoreStallsThroughWriteBuffer(t *testing.T) {
+	p := &Program{Name: "s"}
+	p.Add("a", Op{Class: Store, N: 20, Addr: AddrSeqSamePage})
+	res := NewMachine(testParams()).Run(p)
+	if res.WBStallCycles <= 0 {
+		t.Error("20 back-to-back stores through a 2-deep buffer never stalled")
+	}
+	if res.Cycles <= 20 {
+		t.Errorf("stores cost %.1f cycles, must exceed the 20 issue cycles", res.Cycles)
+	}
+}
+
+func TestPhaseAccounting(t *testing.T) {
+	p := &Program{Name: "ph"}
+	p.Add("first", Op{Class: ALU, N: 10})
+	p.Add("second", Op{Class: ALU, N: 30})
+	res := NewMachine(testParams()).Run(p)
+	if len(res.Phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(res.Phases))
+	}
+	if res.Phases[0].Cycles != 10 || res.Phases[1].Cycles != 30 {
+		t.Errorf("phase cycles %.0f/%.0f, want 10/30", res.Phases[0].Cycles, res.Phases[1].Cycles)
+	}
+	if res.PhaseMicros("second", 10) != 3 {
+		t.Errorf("PhaseMicros(second) = %.2f µs, want 3", res.PhaseMicros("second", 10))
+	}
+	if res.PhaseMicros("absent", 10) != 0 {
+		t.Error("missing phase should cost 0")
+	}
+	sum := res.Phases[0].Cycles + res.Phases[1].Cycles
+	if sum != res.Cycles {
+		t.Errorf("phase cycles sum %.1f ≠ total %.1f", sum, res.Cycles)
+	}
+}
+
+func TestMicrosConversion(t *testing.T) {
+	p := &Program{Name: "us"}
+	p.Add("a", Op{Class: ALU, N: 50})
+	res := NewMachine(testParams()).Run(p)
+	if got := res.Micros(10); got != 5 {
+		t.Errorf("50 cycles at 10 MHz = %.2f µs, want 5", got)
+	}
+}
+
+func TestRunIsIdempotent(t *testing.T) {
+	p := &Program{Name: "idem"}
+	p.Add("a", Op{Class: Store, N: 10, Addr: AddrSeqSamePage}, Op{Class: Load, N: 5, Addr: AddrKernelData})
+	m := NewMachine(testParams())
+	a := m.Run(p)
+	b := m.Run(p)
+	if a.Cycles != b.Cycles {
+		t.Errorf("second run cost %.2f, first %.2f — machine state leaked between runs", b.Cycles, a.Cycles)
+	}
+}
+
+func TestZeroClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-clock machine did not panic")
+		}
+	}()
+	NewMachine(Params{Name: "bad"})
+}
+
+func TestOpCountDefaultsToOne(t *testing.T) {
+	if (Op{Class: ALU}).Count() != 1 {
+		t.Error("zero N should count as one instruction")
+	}
+}
+
+func TestClassAndPatternStrings(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "unknown" {
+			t.Errorf("class %d has no name", c)
+		}
+	}
+	if Class(200).String() != "unknown" {
+		t.Error("out-of-range class should be unknown")
+	}
+	for _, a := range []AddrPattern{AddrSeqSamePage, AddrKernelData, AddrUserData, AddrNewPage, AddrIO} {
+		if a.String() == "unknown" {
+			t.Errorf("pattern %d has no name", a)
+		}
+	}
+}
+
+// Property: cycles are additive over program concatenation for
+// stall-free op classes.
+func TestCyclesAdditiveForALU(t *testing.T) {
+	f := func(a, b uint8) bool {
+		mk := func(n int) float64 {
+			p := &Program{Name: "p"}
+			p.Add("x", Op{Class: ALU, N: n})
+			return NewMachine(testParams()).Run(p).Cycles
+		}
+		na, nb := int(a%100)+1, int(b%100)+1
+		return mk(na)+mk(nb) == mk(na+nb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total cycles never decrease when ops are appended.
+func TestCyclesMonotoneInOps(t *testing.T) {
+	f := func(classes []uint8) bool {
+		p := &Program{Name: "mono"}
+		var ops []Op
+		prev := 0.0
+		for _, cl := range classes {
+			ops = append(ops, Op{Class: Class(int(cl) % int(NumClasses)), Cycles: 3})
+			q := &Program{Name: "q", Phases: []Phase{{Name: "x", Ops: ops}}}
+			c := NewMachine(testParams()).Run(q).Cycles
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		_ = p
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

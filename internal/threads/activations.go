@@ -1,0 +1,233 @@
+package threads
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+	"archos/internal/kernel"
+)
+
+// Scheduler activations [Anderson et al. 90], which the paper cites as
+// the way user-level threads "can provide all of the function of
+// kernel-level threads without sacrificing performance". The problem
+// they solve: user-level threads run on kernel-provided virtual
+// processors; when a user-level thread blocks in the kernel (a page
+// fault, a blocking system call), the kernel thread under it blocks
+// too, and the user-level scheduler silently loses a processor even
+// though it has runnable threads. With activations the kernel delivers
+// an upcall on every such event, handing the user scheduler a fresh
+// activation so it can keep the processor busy.
+//
+// RunActivations simulates the same workload under both regimes on a
+// simulated architecture and reports the difference.
+
+// ActMode selects the kernel interface.
+type ActMode int
+
+const (
+	// UserOverKernelThreads is the conventional arrangement: a blocked
+	// user-level thread takes its virtual processor with it.
+	UserOverKernelThreads ActMode = iota
+	// SchedulerActivations delivers upcalls on blocking and unblocking,
+	// so the user scheduler never loses a processor it could use.
+	SchedulerActivations
+)
+
+func (m ActMode) String() string {
+	if m == SchedulerActivations {
+		return "scheduler activations"
+	}
+	return "user threads over kernel threads"
+}
+
+// Segment is one phase of a thread's life: compute, then (optionally)
+// block for I/O.
+type Segment struct {
+	ComputeMicros float64
+	IOMicros      float64
+}
+
+// ActWorkload is a set of threads, each a sequence of segments.
+type ActWorkload struct {
+	ThreadSegments [][]Segment
+}
+
+// UniformWorkload builds threads×segments of identical
+// compute/IO phases.
+func UniformWorkload(threads, segments int, computeMicros, ioMicros float64) ActWorkload {
+	w := ActWorkload{}
+	for i := 0; i < threads; i++ {
+		segs := make([]Segment, segments)
+		for j := range segs {
+			segs[j] = Segment{ComputeMicros: computeMicros, IOMicros: ioMicros}
+		}
+		w.ThreadSegments = append(w.ThreadSegments, segs)
+	}
+	return w
+}
+
+// ActResult reports one simulation.
+type ActResult struct {
+	Mode           ActMode
+	Processors     int
+	MakespanMicros float64
+	BusyMicros     float64 // processor-µs spent computing
+	IdleMicros     float64 // processor-µs idle below the makespan
+	Utilization    float64
+	Upcalls        int64 // activations delivered (activations mode)
+	Switches       int64 // user-level dispatches
+}
+
+// actThread is simulation state for one thread.
+type actThread struct {
+	segs []Segment
+	seg  int
+}
+
+// RunActivations simulates wl on processors virtual processors under
+// mode, charging user-level dispatch and upcall costs from the
+// architecture's cost models.
+func RunActivations(s *arch.Spec, mode ActMode, processors int, wl ActWorkload) ActResult {
+	if processors <= 0 {
+		panic("threads: need at least one processor")
+	}
+	costs := NewCosts(s)
+	cm := kernel.NewCostModel(s)
+	upcall := cm.SyscallMicros() + cm.ContextSwitchMicros()*0.45 // kernel→user activation delivery
+
+	res := ActResult{Mode: mode, Processors: processors}
+
+	threads := make([]*actThread, len(wl.ThreadSegments))
+	ready := []int{}
+	for i, segs := range wl.ThreadSegments {
+		threads[i] = &actThread{segs: segs}
+		ready = append(ready, i)
+	}
+
+	// Per-processor availability time; in kernel-threads mode a
+	// processor whose thread blocks is unavailable until the I/O
+	// completes.
+	procFree := make([]float64, processors)
+	// blocked holds threads awaiting I/O completion (activations mode).
+	type wake struct {
+		at     float64
+		thread int
+	}
+	var wakes []wake
+
+	popReady := func(now float64) (int, bool) {
+		// Deliver due wakeups first. Under activations each delivery is
+		// a kernel→user upcall; under kernel threads it is the captive
+		// kernel thread resuming.
+		for i := 0; i < len(wakes); {
+			if wakes[i].at <= now {
+				ready = append(ready, wakes[i].thread)
+				if mode == SchedulerActivations {
+					res.Upcalls++
+				}
+				wakes = append(wakes[:i], wakes[i+1:]...)
+			} else {
+				i++
+			}
+		}
+		if len(ready) == 0 {
+			return 0, false
+		}
+		t := ready[0]
+		ready = ready[1:]
+		return t, true
+	}
+
+	nextWake := func() (float64, bool) {
+		if len(wakes) == 0 {
+			return 0, false
+		}
+		min := wakes[0].at
+		for _, w := range wakes[1:] {
+			if w.at < min {
+				min = w.at
+			}
+		}
+		return min, true
+	}
+
+	for {
+		// Pick the processor that frees earliest.
+		p := 0
+		for i := range procFree {
+			if procFree[i] < procFree[p] {
+				p = i
+			}
+		}
+		now := procFree[p]
+
+		tid, ok := popReady(now)
+		if !ok {
+			// No ready thread: advance to the next wakeup, if any.
+			at, any := nextWake()
+			if !any {
+				break // all threads finished
+			}
+			if at > now {
+				res.IdleMicros += at - now
+				now = at
+			}
+			procFree[p] = now
+			continue
+		}
+
+		th := threads[tid]
+		seg := th.segs[th.seg]
+		res.Switches++
+		start := now + costs.UserSwitch
+		end := start + seg.ComputeMicros
+		res.BusyMicros += seg.ComputeMicros
+		th.seg++
+
+		switch {
+		case seg.IOMicros <= 0 && th.seg < len(th.segs):
+			// Pure compute segment: thread stays ready.
+			ready = append(ready, tid)
+			procFree[p] = end
+		case th.seg >= len(th.segs):
+			// Thread finished (any trailing I/O happens off-processor).
+			procFree[p] = end
+		case mode == SchedulerActivations:
+			// Upcall hands the processor back immediately; the thread
+			// wakes later via another upcall.
+			wakes = append(wakes, wake{at: end + seg.IOMicros, thread: tid})
+			res.Upcalls++
+			procFree[p] = end + upcall
+		default:
+			// Kernel-threads mode: the blocked user thread takes its
+			// kernel thread — and the processor — with it; both come
+			// back when the I/O completes.
+			res.IdleMicros += seg.IOMicros
+			wakes = append(wakes, wake{at: end + seg.IOMicros, thread: tid})
+			procFree[p] = end + seg.IOMicros
+		}
+	}
+
+	makespan := 0.0
+	for _, f := range procFree {
+		if f > makespan {
+			makespan = f
+		}
+	}
+	res.MakespanMicros = makespan
+	if makespan > 0 {
+		res.Utilization = res.BusyMicros / (makespan * float64(processors))
+	}
+	return res
+}
+
+// CompareActivations runs both modes and returns (kernelThreads,
+// activations) results plus a one-line summary.
+func CompareActivations(s *arch.Spec, processors int, wl ActWorkload) (kt, act ActResult, summary string) {
+	kt = RunActivations(s, UserOverKernelThreads, processors, wl)
+	act = RunActivations(s, SchedulerActivations, processors, wl)
+	summary = fmt.Sprintf("%s: makespan %.0f µs → %.0f µs (%.2fx), utilization %.0f%% → %.0f%%",
+		s.Name, kt.MakespanMicros, act.MakespanMicros, kt.MakespanMicros/act.MakespanMicros,
+		100*kt.Utilization, 100*act.Utilization)
+	return
+}

@@ -1,0 +1,109 @@
+package threads
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+)
+
+func ioWorkload() ActWorkload {
+	// 8 threads, each alternating 200 µs compute with 500 µs I/O,
+	// five times: heavily I/O bound on 2 processors.
+	return UniformWorkload(8, 5, 200, 500)
+}
+
+func TestActivationsBeatKernelThreadsOnIOBoundWork(t *testing.T) {
+	kt, act, _ := CompareActivations(arch.R3000, 2, ioWorkload())
+	if act.MakespanMicros >= kt.MakespanMicros {
+		t.Errorf("activations makespan %.0f µs not below kernel threads %.0f µs",
+			act.MakespanMicros, kt.MakespanMicros)
+	}
+	if act.Utilization <= kt.Utilization {
+		t.Errorf("activations utilization %.2f not above kernel threads %.2f",
+			act.Utilization, kt.Utilization)
+	}
+	if act.Upcalls == 0 {
+		t.Error("activations mode delivered no upcalls")
+	}
+	if kt.Upcalls != 0 {
+		t.Errorf("kernel-threads mode delivered %d upcalls", kt.Upcalls)
+	}
+}
+
+func TestActivationsEquivalentOnPureCompute(t *testing.T) {
+	// With no blocking there is nothing for activations to recover;
+	// both regimes do the same work.
+	wl := UniformWorkload(6, 4, 300, 0)
+	kt, act, _ := CompareActivations(arch.R3000, 3, wl)
+	if kt.BusyMicros != act.BusyMicros {
+		t.Errorf("busy time differs: %.0f vs %.0f", kt.BusyMicros, act.BusyMicros)
+	}
+	ratio := kt.MakespanMicros / act.MakespanMicros
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("pure-compute makespans differ by %.2fx", ratio)
+	}
+}
+
+func TestActivationsConserveWork(t *testing.T) {
+	// Total compute time is workload-determined, identical under both
+	// regimes, and equal to threads × segments × compute.
+	wl := ioWorkload()
+	want := 8 * 5 * 200.0
+	for _, mode := range []ActMode{UserOverKernelThreads, SchedulerActivations} {
+		r := RunActivations(arch.R3000, mode, 2, wl)
+		if r.BusyMicros != want {
+			t.Errorf("%v: busy %.0f µs, want %.0f", mode, r.BusyMicros, want)
+		}
+		if r.MakespanMicros < want/2 {
+			t.Errorf("%v: makespan %.0f below the compute lower bound", mode, r.MakespanMicros)
+		}
+	}
+}
+
+func TestActivationsNoIdleWithRunnableThreads(t *testing.T) {
+	// The scheduler-activations invariant: processors do not sit idle
+	// behind blocked kernel threads while runnable user threads exist.
+	// With 8 always-ready threads on 2 processors, idle time under
+	// activations must be marginal (only end-of-run wakeup tails).
+	act := RunActivations(arch.R3000, SchedulerActivations, 2, ioWorkload())
+	kt := RunActivations(arch.R3000, UserOverKernelThreads, 2, ioWorkload())
+	if act.IdleMicros > 0.25*kt.IdleMicros {
+		t.Errorf("activations idle %.0f µs vs kernel-threads idle %.0f µs — invariant violated",
+			act.IdleMicros, kt.IdleMicros)
+	}
+}
+
+func TestActivationsDeterministic(t *testing.T) {
+	a := RunActivations(arch.SPARC, SchedulerActivations, 3, ioWorkload())
+	b := RunActivations(arch.SPARC, SchedulerActivations, 3, ioWorkload())
+	if a != b {
+		t.Error("activation simulation not deterministic")
+	}
+}
+
+func TestActivationsMoreProcessorsNeverSlower(t *testing.T) {
+	wl := ioWorkload()
+	prev := RunActivations(arch.R3000, SchedulerActivations, 1, wl).MakespanMicros
+	for _, p := range []int{2, 4, 8} {
+		m := RunActivations(arch.R3000, SchedulerActivations, p, wl).MakespanMicros
+		if m > prev*1.01 {
+			t.Errorf("%d processors slower than fewer: %.0f vs %.0f µs", p, m, prev)
+		}
+		prev = m
+	}
+}
+
+func TestActivationsPanicsWithoutProcessors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero processors did not panic")
+		}
+	}()
+	RunActivations(arch.R3000, SchedulerActivations, 0, ioWorkload())
+}
+
+func TestActModeStrings(t *testing.T) {
+	if UserOverKernelThreads.String() == SchedulerActivations.String() {
+		t.Error("mode names collide")
+	}
+}

@@ -1,0 +1,95 @@
+package threads
+
+import (
+	"archos/internal/arch"
+)
+
+// AffinityResult reports the §4.1 kernel-thread scheduling experiment:
+// "Kernel-level threads can be problematic too, e.g., causing decreased
+// TLB effectiveness due to an increased number of thread context
+// switches between threads in separate address spaces. This is a
+// particular problem for architectures with small numbers of TLB
+// entries. The problem occurs especially if threads are scheduled
+// independently of the address space with which they are associated."
+//
+// The experiment runs the same thread set under two schedules —
+// address-space-blind round-robin versus address-space-affine batching
+// — over the architecture's TLB model, and compares miss rates.
+type AffinityResult struct {
+	Spec *arch.Spec
+
+	Switches        int64 // thread switches under each schedule (equal)
+	BlindMisses     int64 // TLB misses, AS-blind round-robin
+	AffineMisses    int64 // TLB misses, AS-affine batching
+	BlindMissRate   float64
+	AffineMissRate  float64
+	MissInflation   float64 // blind / affine
+	CrossASSwitches int64   // switches that changed address space (blind)
+}
+
+// RunAffinity schedules spaces×threadsPer kernel threads for rounds
+// quanta each, touching pagesPerQuantum of their space's working set
+// per quantum, under both schedules.
+func RunAffinity(s *arch.Spec, spaces, threadsPer, rounds, pagesPerQuantum int) AffinityResult {
+	res := AffinityResult{Spec: s}
+
+	type threadID struct{ space, thread int }
+	var blind, affine []threadID
+	// Blind: interleave across address spaces (thread 0 of every
+	// space, then thread 1 of every space, ...).
+	for th := 0; th < threadsPer; th++ {
+		for sp := 0; sp < spaces; sp++ {
+			blind = append(blind, threadID{sp, th})
+		}
+	}
+	// Affine: finish a space's threads before moving on.
+	for sp := 0; sp < spaces; sp++ {
+		for th := 0; th < threadsPer; th++ {
+			affine = append(affine, threadID{sp, th})
+		}
+	}
+
+	run := func(order []threadID, countCross bool) (misses int64) {
+		t := s.NewTLB()
+		prevSpace := -1
+		refs := 0
+		for r := 0; r < rounds; r++ {
+			for _, id := range order {
+				if countCross && prevSpace != -1 && prevSpace != id.space {
+					res.CrossASSwitches++
+				}
+				if prevSpace != id.space {
+					t.ContextSwitch(id.space)
+				}
+				prevSpace = id.space
+				// The quantum touches the thread's slice of its
+				// space's working set; slices overlap heavily —
+				// threads of one program share its data — so
+				// consecutive quanta in the same space mostly hit.
+				base := uint64(id.space*1_000_000 + id.thread*4)
+				for p := 0; p < pagesPerQuantum; p++ {
+					hit, _ := t.Lookup(id.space, base+uint64(p), false)
+					if !hit {
+						misses++
+					}
+					refs++
+				}
+			}
+		}
+		res.Switches = int64(rounds * len(order))
+		if refs > 0 && res.BlindMissRate == 0 {
+			// set below by caller using misses/refs
+		}
+		return misses
+	}
+
+	totalRefs := int64(rounds * len(blind) * pagesPerQuantum)
+	res.BlindMisses = run(blind, true)
+	res.AffineMisses = run(affine, false)
+	res.BlindMissRate = float64(res.BlindMisses) / float64(totalRefs)
+	res.AffineMissRate = float64(res.AffineMisses) / float64(totalRefs)
+	if res.AffineMisses > 0 {
+		res.MissInflation = float64(res.BlindMisses) / float64(res.AffineMisses)
+	}
+	return res
+}

@@ -1,0 +1,69 @@
+package threads
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+)
+
+func TestAffinitySchedulingReducesTLBMisses(t *testing.T) {
+	// 6 address spaces × 4 threads, each touching 12 pages per quantum:
+	// the blind schedule cycles the 64-entry TLB through ~288 pages of
+	// combined working set; the affine schedule keeps one space's ~48
+	// pages resident. §4.1's claim, quantified.
+	r := RunAffinity(arch.R3000, 6, 4, 20, 12)
+	if r.BlindMisses <= r.AffineMisses {
+		t.Errorf("AS-blind scheduling (%d misses) not worse than affine (%d)", r.BlindMisses, r.AffineMisses)
+	}
+	if r.MissInflation < 1.5 {
+		t.Errorf("miss inflation %.2fx; expected a pronounced effect on a 64-entry TLB", r.MissInflation)
+	}
+	if r.CrossASSwitches == 0 {
+		t.Error("blind schedule recorded no cross-address-space switches")
+	}
+}
+
+func TestAffinityEffectShrinksWithBigTLB(t *testing.T) {
+	// "This is a particular problem for architectures with small
+	// numbers of TLB entries" — grow the TLB and the gap closes.
+	small := RunAffinity(arch.R3000, 6, 4, 20, 12)
+	big := *arch.R3000
+	bigTLB := big.TLB
+	bigTLB.Entries = 4096
+	big.TLB = bigTLB
+	large := RunAffinity(&big, 6, 4, 20, 12)
+	if large.MissInflation >= small.MissInflation {
+		t.Errorf("bigger TLB did not shrink the affinity effect: %.2fx vs %.2fx",
+			large.MissInflation, small.MissInflation)
+	}
+}
+
+func TestAffinityUntaggedTLBSuffersMore(t *testing.T) {
+	// On an untagged TLB every cross-space switch purges everything,
+	// so the blind schedule is hit even harder.
+	tagged := RunAffinity(arch.R3000, 4, 4, 10, 8)
+	untagged := RunAffinity(arch.CVAX, 4, 4, 10, 8)
+	if untagged.BlindMissRate <= tagged.BlindMissRate {
+		t.Errorf("untagged blind miss rate %.3f not above tagged %.3f",
+			untagged.BlindMissRate, tagged.BlindMissRate)
+	}
+}
+
+func TestAffinityDeterministic(t *testing.T) {
+	a := RunAffinity(arch.SPARC, 3, 3, 5, 6)
+	b := RunAffinity(arch.SPARC, 3, 3, 5, 6)
+	if a != b {
+		t.Error("affinity experiment not deterministic")
+	}
+}
+
+func TestAffinitySingleSpaceNoEffect(t *testing.T) {
+	// With one address space the two schedules are identical.
+	r := RunAffinity(arch.R3000, 1, 8, 10, 8)
+	if r.BlindMisses != r.AffineMisses {
+		t.Errorf("single space: blind %d vs affine %d misses", r.BlindMisses, r.AffineMisses)
+	}
+	if r.CrossASSwitches != 0 {
+		t.Errorf("single space recorded %d cross-AS switches", r.CrossASSwitches)
+	}
+}

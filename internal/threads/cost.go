@@ -1,0 +1,260 @@
+// Package threads implements the paper's Section 4: user-level
+// ("lightweight") threads on the simulated architectures. It provides
+// per-architecture costs for thread operations — derived from the
+// processor state of Table 6 and the register-window rules — a runnable
+// cooperative thread system with virtual-time accounting, and the three
+// synchronization regimes the paper contrasts: an atomic test-and-set
+// spinlock, a trap-into-the-kernel lock (the MIPS R2000/R3000 has no
+// atomic instruction), and Lamport's fast mutual exclusion.
+package threads
+
+import (
+	"archos/internal/arch"
+	"archos/internal/kernel"
+	"archos/internal/sim"
+)
+
+// Costs carries the thread-operation costs for one architecture, in
+// microseconds.
+type Costs struct {
+	Spec *arch.Spec
+
+	// ProcedureCall is an ordinary procedure call+return in application
+	// code (the unit of the paper's Synapse comparison).
+	ProcedureCall float64
+
+	// UserSwitch is a voluntary user-level thread context switch within
+	// one address space: save/restore of the integer thread state plus
+	// the run-queue manipulation — and, on SPARC, a kernel trap,
+	// because "SPARC's current window pointer is in a privileged
+	// register, [so] a completely user-level thread context switch is
+	// impossible".
+	UserSwitch float64
+
+	// Create is user-level thread creation (allocate + initialise a
+	// context; "5–10 times the cost of a procedure call" in
+	// well-implemented systems [Anderson et al. 89]).
+	Create float64
+
+	// LockTestAndSet is an uncontended spinlock acquire+release with an
+	// atomic instruction.
+	LockTestAndSet float64
+	// LockKernel is acquire+release by trapping into the kernel (the
+	// only reliable mutual exclusion on MIPS).
+	LockKernel float64
+	// LockLamport is acquire+release with Lamport's fast mutual
+	// exclusion algorithm — no atomic instruction, but "overheads on
+	// the order of dozens of cycles".
+	LockLamport float64
+
+	// KernelSwitch is the full kernel-level context switch (Table 1),
+	// for comparison.
+	KernelSwitch float64
+}
+
+// NewCosts measures the thread-operation costs on architecture s.
+func NewCosts(s *arch.Spec) *Costs {
+	cm := kernel.NewCostModel(s)
+	c := &Costs{Spec: s}
+	m := s.Machine()
+
+	c.ProcedureCall = m.Run(procCallProgram(s)).Micros(s.ClockMHz)
+	c.UserSwitch = m.Run(userSwitchProgram(s)).Micros(s.ClockMHz)
+	if s.RegisterWindows > 0 {
+		// The window pointer is privileged: a (dedicated, minimal)
+		// kernel trap is required to rotate it — user-level-only
+		// switching is impossible on SPARC.
+		c.UserSwitch += m.Run(fastTrapProgram()).Micros(s.ClockMHz)
+	}
+	c.Create = m.Run(createProgram(s)).Micros(s.ClockMHz)
+	c.LockTestAndSet = m.Run(tasLockProgram(s)).Micros(s.ClockMHz)
+	c.LockKernel = cm.SyscallMicros() + m.Run(kernelLockBodyProgram()).Micros(s.ClockMHz)
+	c.LockLamport = m.Run(lamportLockProgram()).Micros(s.ClockMHz)
+	c.KernelSwitch = cm.ContextSwitchMicros()
+	return c
+}
+
+// Lock is the uncontended cost of the architecture's preferred
+// user-level mutual exclusion: test-and-set when the ISA has one,
+// otherwise the kernel trap. (Lamport's algorithm is the non-trap
+// fallback the paper mentions, exposed separately.)
+func (c *Costs) Lock() float64 {
+	if c.Spec.AtomicTestAndSet {
+		return c.LockTestAndSet
+	}
+	return c.LockKernel
+}
+
+// SwitchOverCall is the ratio of a thread switch to a procedure call —
+// the quantity the paper's Synapse analysis turns on ("the cost of a
+// thread context switch is 50 times that of a procedure call" on
+// SPARC).
+func (c *Costs) SwitchOverCall() float64 { return c.UserSwitch / c.ProcedureCall }
+
+// procCallProgram: call + return in application code. On SPARC the
+// save/restore window rotation makes the body nearly free but pays an
+// amortised share of overflow/underflow traps (one spill per
+// RegisterWindows deep call chain, charged fractionally as ALU-time
+// equivalent via an extra store/load pair).
+func procCallProgram(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "threads/procedure-call"}
+	if s.RegisterWindows > 0 {
+		p.Add("call",
+			sim.Op{Class: sim.Branch, N: 2}, // call, ret
+			sim.Op{Class: sim.ALU, N: 4},    // save/restore + frame setup
+			// Amortised window overflow: roughly one spill+refill per 8
+			// calls at typical depths; charge 1/8 of a window pair as
+			// two stores and two loads.
+			sim.Op{Class: sim.Store, N: 2, Addr: sim.AddrSeqSamePage},
+			sim.Op{Class: sim.Load, N: 2, Addr: sim.AddrSeqSamePage},
+		)
+		return p
+	}
+	if !s.RISC {
+		// CALLS/RET microcode.
+		p.Add("call",
+			sim.Op{Class: sim.Microcoded, Cycles: 46, Note: "CALLS"},
+			sim.Op{Class: sim.Microcoded, Cycles: 45, Note: "RET"},
+		)
+		return p
+	}
+	p.Add("call",
+		sim.Op{Class: sim.Branch, N: 2},
+		sim.Op{Class: sim.ALU, N: 4},
+		sim.Op{Class: sim.Store, N: 4, Addr: sim.AddrSeqSamePage}, // callee-saved
+		sim.Op{Class: sim.Load, N: 4, Addr: sim.AddrSeqSamePage},
+	)
+	return p
+}
+
+// userSwitchProgram: save the integer thread state to the outgoing
+// thread control block, pick the next thread, restore its state. "On a
+// context switch, these registers must be written into a thread control
+// block, and an equal number of reads are required to load the
+// registers for the newly scheduled thread ... in a fine-grained
+// user-level thread system, these reads and writes become the
+// dominating cost."
+func userSwitchProgram(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "threads/user-switch"}
+	if s.RegisterWindows > 0 {
+		// Spill the in-use windows (average 3 under Sun Unix) plus the
+		// globals and misc state; refill for the incoming thread.
+		n := s.WindowsSavedPerSwitch
+		p.Add("window flush",
+			sim.Op{Class: sim.WindowSave, N: n},
+			sim.Op{Class: sim.CtrlRead, N: n}, sim.Op{Class: sim.CtrlWrite, N: n},
+		)
+		p.Add("state",
+			sim.Op{Class: sim.Store, N: 8 + s.MiscStateWords, Addr: sim.AddrSeqSamePage},
+			sim.Op{Class: sim.ALU, N: 12},
+			sim.Op{Class: sim.Load, N: 8 + s.MiscStateWords, Addr: sim.AddrNewPage},
+		)
+		p.Add("window refill",
+			// The incoming thread's stack lives in the same address
+			// space and was recently active: mostly warm.
+			sim.Op{Class: sim.WindowRestore, N: n, Addr: sim.AddrKernelData},
+			sim.Op{Class: sim.CtrlWrite, N: n},
+		)
+		p.Add("runqueue", runqueueOps()...)
+		return p
+	}
+	words := s.IntegerThreadStateWords()
+	// The C calling convention lets a voluntary switch skip the
+	// caller-saved half of the register file; the incoming thread's
+	// control block shares the address space and is usually warm.
+	save := words * 2 / 3
+	p.Add("state",
+		sim.Op{Class: sim.Store, N: save, Addr: sim.AddrSeqSamePage},
+		sim.Op{Class: sim.ALU, N: 6},
+		sim.Op{Class: sim.Load, N: save, Addr: sim.AddrKernelData},
+	)
+	p.Add("runqueue", runqueueOps()...)
+	return p
+}
+
+func runqueueOps() []sim.Op {
+	return []sim.Op{
+		{Class: sim.Load, N: 4, Addr: sim.AddrKernelData},
+		{Class: sim.ALU, N: 10},
+		{Class: sim.Store, N: 3, Addr: sim.AddrKernelData},
+		{Class: sim.Branch, N: 3},
+	}
+}
+
+// fastTrapProgram: a dedicated minimal trap that only rotates the
+// window pointer and returns — the cheapest kernel entry the
+// architecture permits.
+func fastTrapProgram() *sim.Program {
+	p := &sim.Program{Name: "threads/cwp-trap"}
+	p.Add("fast trap",
+		sim.Op{Class: sim.TrapEnter},
+		sim.Op{Class: sim.CtrlRead, N: 2},
+		sim.Op{Class: sim.ALU, N: 6},
+		sim.Op{Class: sim.CtrlWrite, N: 2},
+		sim.Op{Class: sim.TrapReturn},
+	)
+	return p
+}
+
+// createProgram: allocate a control block and stack from free lists and
+// initialise the context.
+func createProgram(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "threads/create"}
+	p.Add("create",
+		sim.Op{Class: sim.Load, N: 6, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.ALU, N: 20},
+		sim.Op{Class: sim.Store, N: 12, Addr: sim.AddrSeqSamePage},
+		sim.Op{Class: sim.Branch, N: 4},
+	)
+	return p
+}
+
+// tasLockProgram: uncontended acquire (atomic RMW + branch) + release
+// (store).
+func tasLockProgram(s *arch.Spec) *sim.Program {
+	p := &sim.Program{Name: "threads/tas-lock"}
+	// The atomic operation is a read-modify-write that bypasses the
+	// write buffer: charge a load and an uncached-class store plus the
+	// interlock, modelled as a microcoded op of 2×memory latency.
+	p.Add("acquire",
+		sim.Op{Class: sim.Microcoded, Cycles: 2 * s.Sim.LoadMissPenalty, Note: "atomic test-and-set"},
+		sim.Op{Class: sim.Branch, N: 1},
+	)
+	p.Add("release",
+		sim.Op{Class: sim.Store, N: 1, Addr: sim.AddrKernelData},
+	)
+	return p
+}
+
+// kernelLockBodyProgram: the in-kernel work around interrupt-disable
+// mutual exclusion (the syscall cost is added by the caller).
+func kernelLockBodyProgram() *sim.Program {
+	p := &sim.Program{Name: "threads/kernel-lock-body"}
+	p.Add("body",
+		sim.Op{Class: sim.CtrlWrite, N: 2}, // disable/enable interrupts
+		sim.Op{Class: sim.Load, N: 2, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.ALU, N: 6},
+		sim.Op{Class: sim.Store, N: 2, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Branch, N: 2},
+	)
+	return p
+}
+
+// lamportLockProgram: Lamport's fast mutual exclusion [Lamport 87] —
+// two protected variables, five writes and four reads on the
+// uncontended fast path, "overheads on the order of dozens of cycles".
+func lamportLockProgram() *sim.Program {
+	p := &sim.Program{Name: "threads/lamport-lock"}
+	p.Add("acquire",
+		sim.Op{Class: sim.Store, N: 3, Addr: sim.AddrKernelData}, // b[i], x, y writes
+		sim.Op{Class: sim.Load, N: 3, Addr: sim.AddrKernelData},  // y, x re-checks
+		sim.Op{Class: sim.ALU, N: 6},
+		sim.Op{Class: sim.Branch, N: 4},
+	)
+	p.Add("release",
+		sim.Op{Class: sim.Store, N: 2, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.Load, N: 1, Addr: sim.AddrKernelData},
+		sim.Op{Class: sim.ALU, N: 2},
+	)
+	return p
+}

@@ -1,0 +1,56 @@
+package threads
+
+import "archos/internal/arch"
+
+// SynapseResult reports the paper's Section 4.1 Synapse experiment: an
+// object-oriented parallel discrete-event simulation whose run-time
+// schedules lightweight threads at user level. "Across the experiments
+// measured, we found that the ratio of procedure calls to context
+// switches varied from 21:1 to 42:1." On the SPARC, where a thread
+// switch costs ~50 procedure calls, such a program spends more time
+// switching than calling.
+type SynapseResult struct {
+	Spec            *arch.Spec
+	ProcCalls       int64
+	Switches        int64
+	CallSwitchRatio float64
+	SwitchOverCall  float64 // cost ratio: one switch / one call
+	TimeInCalls     float64 // µs
+	TimeInSwitches  float64 // µs
+	// SwitchTimeDominates reports the paper's SPARC conclusion: the
+	// program spends more time context switching than procedure
+	// calling.
+	SwitchTimeDominates bool
+}
+
+// RunSynapse runs a Synapse-like fork-join event simulation on
+// architecture s: events are processed by worker threads that each make
+// callsPerEvent procedure calls and then yield to the scheduler thread
+// (one context switch per event, as in an object-oriented run-time that
+// switches to deliver each event).
+func RunSynapse(s *arch.Spec, workers, eventsPerWorker, callsPerEvent int) SynapseResult {
+	sys := New(s)
+	for w := 0; w < workers; w++ {
+		sys.Spawn("worker", func(t *Thread) {
+			for e := 0; e < eventsPerWorker; e++ {
+				t.Call(callsPerEvent)
+				t.Yield()
+			}
+		})
+	}
+	sys.Run()
+	switches, _, _, calls := sys.Stats()
+	res := SynapseResult{
+		Spec:           s,
+		ProcCalls:      calls,
+		Switches:       switches,
+		SwitchOverCall: sys.Costs().SwitchOverCall(),
+		TimeInCalls:    float64(calls) * sys.Costs().ProcedureCall,
+		TimeInSwitches: sys.TimeInSwitches(),
+	}
+	if res.Switches > 0 {
+		res.CallSwitchRatio = float64(res.ProcCalls) / float64(res.Switches)
+	}
+	res.SwitchTimeDominates = res.TimeInSwitches > res.TimeInCalls
+	return res
+}

@@ -1,0 +1,226 @@
+package threads
+
+import (
+	"fmt"
+
+	"archos/internal/arch"
+)
+
+// System is a runnable user-level thread package over a simulated
+// architecture: a cooperative round-robin scheduler whose every
+// operation advances a virtual clock by the architecture's measured
+// cost for that operation. Threads are real concurrent activities
+// (goroutines under a strict scheduler handshake, so execution is
+// deterministic), which lets example programs and workloads express
+// genuine parallel structure while the clock reports what that
+// structure would cost on a 1991 machine.
+type System struct {
+	costs *Costs
+
+	clock   float64 // virtual microseconds
+	runq    []*Thread
+	current *Thread
+	control chan struct{} // thread → scheduler handshake
+	live    int
+
+	switches  int64
+	creates   int64
+	lockOps   int64
+	procCalls int64
+	idleJoins int64
+}
+
+// ThreadState tracks a thread's scheduling state.
+type ThreadState int
+
+const (
+	// Runnable threads are on the run queue (or running).
+	Runnable ThreadState = iota
+	// Blocked threads wait on a lock or join.
+	Blocked
+	// Done threads have finished.
+	Done
+)
+
+// Thread is one user-level thread.
+type Thread struct {
+	ID   int
+	Name string
+
+	sys     *System
+	resume  chan struct{}
+	state   ThreadState
+	joiners []*Thread
+	body    func(*Thread)
+}
+
+// New creates a thread system for architecture s.
+func New(s *arch.Spec) *System {
+	return &System{costs: NewCosts(s), control: make(chan struct{})}
+}
+
+// NewWithCosts creates a thread system reusing measured costs.
+func NewWithCosts(c *Costs) *System {
+	return &System{costs: c, control: make(chan struct{})}
+}
+
+// Costs returns the system's per-operation cost table.
+func (s *System) Costs() *Costs { return s.costs }
+
+// Clock returns the virtual time in microseconds.
+func (s *System) Clock() float64 { return s.clock }
+
+// Stats returns operation counts: context switches, thread creations,
+// lock acquire/release pairs, and modelled procedure calls.
+func (s *System) Stats() (switches, creates, lockOps, procCalls int64) {
+	return s.switches, s.creates, s.lockOps, s.procCalls
+}
+
+// Spawn creates a thread. The creation cost is charged immediately (the
+// creator pays it, as in run-time thread packages). The thread does not
+// run until Run drives the scheduler.
+func (s *System) Spawn(name string, fn func(*Thread)) *Thread {
+	s.clock += s.costs.Create
+	s.creates++
+	t := &Thread{
+		ID:     int(s.creates),
+		Name:   name,
+		sys:    s,
+		resume: make(chan struct{}),
+		body:   fn,
+	}
+	s.live++
+	s.runq = append(s.runq, t)
+	go func() {
+		<-t.resume
+		t.body(t)
+		t.finish()
+	}()
+	return t
+}
+
+// Run drives the scheduler until every spawned thread has finished.
+// It panics on deadlock (live threads but an empty run queue), because
+// workloads in this repository are closed systems where deadlock is a
+// programming error worth failing loudly on.
+func (s *System) Run() {
+	for s.live > 0 {
+		if len(s.runq) == 0 {
+			panic(fmt.Sprintf("threads: deadlock — %d live threads, empty run queue", s.live))
+		}
+		t := s.runq[0]
+		s.runq = s.runq[1:]
+		if s.current != t {
+			s.clock += s.costs.UserSwitch
+			s.switches++
+		}
+		s.current = t
+		t.state = Runnable
+		t.resume <- struct{}{}
+		<-s.control
+	}
+	s.current = nil
+}
+
+// schedule parks the calling thread and returns control to Run.
+func (t *Thread) schedule() {
+	t.sys.control <- struct{}{}
+	<-t.resume
+}
+
+// Yield voluntarily hands the processor to the next runnable thread.
+func (t *Thread) Yield() {
+	t.sys.runq = append(t.sys.runq, t)
+	t.schedule()
+}
+
+// block parks the thread without requeueing it; something else must
+// wake it.
+func (t *Thread) block() {
+	t.state = Blocked
+	t.schedule()
+}
+
+// wake makes a blocked thread runnable.
+func (s *System) wake(t *Thread) {
+	t.state = Runnable
+	s.runq = append(s.runq, t)
+}
+
+// finish marks the thread done and wakes joiners.
+func (t *Thread) finish() {
+	t.state = Done
+	for _, j := range t.joiners {
+		t.sys.wake(j)
+	}
+	t.joiners = nil
+	t.sys.live--
+	t.sys.control <- struct{}{}
+}
+
+// Join blocks until other finishes.
+func (t *Thread) Join(other *Thread) {
+	if other.state == Done {
+		t.sys.idleJoins++
+		return
+	}
+	other.joiners = append(other.joiners, t)
+	t.block()
+}
+
+// Compute advances the virtual clock by micros of application work.
+func (t *Thread) Compute(micros float64) { t.sys.clock += micros }
+
+// Call models n application procedure calls (with their architecture-
+// specific cost) — the unit of the paper's Synapse call:switch ratio.
+func (t *Thread) Call(n int) {
+	t.sys.clock += float64(n) * t.sys.costs.ProcedureCall
+	t.sys.procCalls += int64(n)
+}
+
+// Lock is a mutual-exclusion lock among threads of one system. Its
+// virtual-time cost per acquire/release pair is the architecture's
+// preferred user-level mutual exclusion (test-and-set if the ISA has
+// it, otherwise a kernel trap), which is how the missing atomic
+// instruction on MIPS turns into kernel time in Table 7.
+type Lock struct {
+	sys     *System
+	holder  *Thread
+	waiters []*Thread
+}
+
+// NewLock creates a lock.
+func (s *System) NewLock() *Lock { return &Lock{sys: s} }
+
+// Acquire takes the lock, blocking the thread while another holds it.
+func (l *Lock) Acquire(t *Thread) {
+	l.sys.clock += l.sys.costs.Lock()
+	l.sys.lockOps++
+	if l.holder == nil {
+		l.holder = t
+		return
+	}
+	l.waiters = append(l.waiters, t)
+	t.block()
+}
+
+// Release hands the lock to the first waiter, if any.
+func (l *Lock) Release(t *Thread) {
+	if l.holder != t {
+		panic("threads: release by non-holder")
+	}
+	if len(l.waiters) > 0 {
+		next := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.holder = next
+		l.sys.wake(next)
+		return
+	}
+	l.holder = nil
+}
+
+// TimeInSwitches returns the virtual time spent context switching.
+func (s *System) TimeInSwitches() float64 { return float64(s.switches) * s.costs.UserSwitch }
+
+// TimeInLocks returns the virtual time spent in lock operations.
+func (s *System) TimeInLocks() float64 { return float64(s.lockOps) * s.costs.Lock() }

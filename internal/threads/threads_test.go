@@ -1,0 +1,268 @@
+package threads
+
+import (
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/paper"
+)
+
+func TestCostsArePositive(t *testing.T) {
+	for _, s := range arch.Table6Set() {
+		c := NewCosts(s)
+		for name, v := range map[string]float64{
+			"procedure call": c.ProcedureCall,
+			"user switch":    c.UserSwitch,
+			"create":         c.Create,
+			"tas lock":       c.LockTestAndSet,
+			"kernel lock":    c.LockKernel,
+			"lamport lock":   c.LockLamport,
+			"kernel switch":  c.KernelSwitch,
+		} {
+			if v <= 0 {
+				t.Errorf("%s: %s cost %.3f µs", s.Name, name, v)
+			}
+		}
+	}
+}
+
+func TestSPARCSwitchOverCallNearFifty(t *testing.T) {
+	// §4.1: on SPARC "the cost of a thread context switch is 50 times
+	// that of a procedure call, assuming 3 window save/restores for
+	// each context switch."
+	c := NewCosts(arch.SPARC)
+	r := c.SwitchOverCall()
+	if r < 35 || r > 70 {
+		t.Errorf("SPARC switch/call ratio %.0f, paper says ≈%d", r, paper.SPARCSwitchOverCallFactor)
+	}
+	// Non-window RISCs sit far lower.
+	for _, s := range []*arch.Spec{arch.R2000, arch.R3000, arch.RS6000} {
+		if rr := NewCosts(s).SwitchOverCall(); rr > r/2 {
+			t.Errorf("%s switch/call ratio %.0f should be well under SPARC's %.0f", s.Name, rr, r)
+		}
+	}
+}
+
+func TestKernelLockDearerThanTAS(t *testing.T) {
+	// §4.1: on MIPS "threads that wish to synchronize must either trap
+	// into the kernel ... or resort to a complex locking algorithm.
+	// Both are expensive" relative to an atomic instruction; Lamport's
+	// algorithm costs "on the order of dozens of cycles".
+	for _, s := range arch.Table6Set() {
+		c := NewCosts(s)
+		if c.LockKernel <= c.LockTestAndSet {
+			t.Errorf("%s: kernel lock (%.2f) not dearer than test-and-set (%.2f)", s.Name, c.LockKernel, c.LockTestAndSet)
+		}
+		if c.LockKernel <= c.LockLamport {
+			t.Errorf("%s: kernel lock (%.2f) not dearer than Lamport (%.2f)", s.Name, c.LockKernel, c.LockLamport)
+		}
+	}
+	// The preferred lock follows the ISA.
+	if got := NewCosts(arch.R3000).Lock(); got != NewCosts(arch.R3000).LockKernel {
+		t.Errorf("R3000 (no atomic op) preferred lock %.2f, want the kernel path", got)
+	}
+	if got := NewCosts(arch.SPARC).Lock(); got != NewCosts(arch.SPARC).LockTestAndSet {
+		t.Errorf("SPARC (LDSTUB) preferred lock %.2f, want test-and-set", got)
+	}
+}
+
+func TestLamportCostsDozensOfCycles(t *testing.T) {
+	c := NewCosts(arch.R3000)
+	cycles := c.LockLamport * arch.R3000.ClockMHz
+	if cycles < 12 || cycles > 100 {
+		t.Errorf("Lamport lock = %.0f cycles, want 'on the order of dozens'", cycles)
+	}
+}
+
+func TestCreateFiveToTenCalls(t *testing.T) {
+	// [Anderson et al. 89]: "new thread creation in 5–10 times the cost
+	// of a procedure call" for well-implemented user-level threads.
+	for _, s := range []*arch.Spec{arch.R2000, arch.R3000, arch.M88000} {
+		c := NewCosts(s)
+		r := c.Create / c.ProcedureCall
+		if r < 2 || r > 12 {
+			t.Errorf("%s: create/call ratio %.1f, want a small multiple (paper: 5–10)", s.Name, r)
+		}
+	}
+}
+
+func TestSystemRunsThreadsToCompletion(t *testing.T) {
+	sys := New(arch.R3000)
+	order := []int{}
+	for i := 0; i < 5; i++ {
+		sys.Spawn("t", func(th *Thread) {
+			order = append(order, th.ID)
+			th.Yield()
+			order = append(order, th.ID)
+		})
+	}
+	sys.Run()
+	if len(order) != 10 {
+		t.Fatalf("recorded %d events, want 10", len(order))
+	}
+	// Round-robin: the first five events are threads 1..5 in spawn
+	// order, then again after the yields.
+	for i := 0; i < 5; i++ {
+		if order[i] != i+1 || order[i+5] != i+1 {
+			t.Fatalf("scheduling order %v not round-robin", order)
+		}
+	}
+	if sw, creates, _, _ := sys.Stats(); creates != 5 || sw == 0 {
+		t.Errorf("stats: %d creates (want 5), %d switches (want >0)", creates, sw)
+	}
+}
+
+func TestJoinBlocksUntilDone(t *testing.T) {
+	sys := New(arch.R3000)
+	done := false
+	worker := sys.Spawn("worker", func(th *Thread) {
+		th.Yield()
+		th.Yield()
+		done = true
+	})
+	sys.Spawn("joiner", func(th *Thread) {
+		th.Join(worker)
+		if !done {
+			t.Error("join returned before the worker finished")
+		}
+	})
+	sys.Run()
+	if !done {
+		t.Error("worker never finished")
+	}
+}
+
+func TestJoinFinishedThreadReturnsImmediately(t *testing.T) {
+	sys := New(arch.R3000)
+	worker := sys.Spawn("worker", func(th *Thread) {})
+	sys.Spawn("joiner", func(th *Thread) {
+		th.Yield() // let the worker finish first
+		th.Join(worker)
+	})
+	sys.Run() // must terminate
+}
+
+func TestLockMutualExclusionAndFIFO(t *testing.T) {
+	sys := New(arch.R3000)
+	l := sys.NewLock()
+	inside := 0
+	var acquired []string
+	for _, name := range []string{"a", "b", "c"} {
+		sys.Spawn(name, func(th *Thread) {
+			l.Acquire(th)
+			acquired = append(acquired, th.Name)
+			inside++
+			if inside != 1 {
+				t.Errorf("%d threads inside the critical section", inside)
+			}
+			th.Yield() // try to let others in while holding the lock
+			inside--
+			l.Release(th)
+		})
+	}
+	sys.Run()
+	if len(acquired) != 3 {
+		t.Fatalf("%d acquisitions, want 3", len(acquired))
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if acquired[i] != want[i] {
+			t.Errorf("acquisition order %v, want FIFO %v", acquired, want)
+		}
+	}
+}
+
+func TestReleaseByNonHolderPanics(t *testing.T) {
+	sys := New(arch.R3000)
+	l := sys.NewLock()
+	sys.Spawn("a", func(th *Thread) {
+		defer func() {
+			if recover() == nil {
+				t.Error("release by non-holder did not panic")
+			}
+		}()
+		l.Release(th)
+	})
+	sys.Run()
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("deadlocked system did not panic")
+		}
+	}()
+	sys := New(arch.R3000)
+	a := sys.Spawn("a", func(th *Thread) { th.Join(th) }) // self-join: never wakes
+	_ = a
+	sys.Run()
+}
+
+func TestClockAdvancesByCosts(t *testing.T) {
+	sys := New(arch.R3000)
+	c := sys.Costs()
+	sys.Spawn("t", func(th *Thread) {
+		th.Compute(100)
+		th.Call(10)
+	})
+	sys.Run()
+	want := c.Create + c.UserSwitch + 100 + 10*c.ProcedureCall
+	if diff := sys.Clock() - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("clock %.3f µs, want %.3f", sys.Clock(), want)
+	}
+}
+
+func TestDeterministicExecution(t *testing.T) {
+	run := func() (float64, int64) {
+		sys := New(arch.SPARC)
+		l := sys.NewLock()
+		for i := 0; i < 4; i++ {
+			sys.Spawn("t", func(th *Thread) {
+				for j := 0; j < 10; j++ {
+					l.Acquire(th)
+					th.Call(3)
+					l.Release(th)
+					th.Yield()
+				}
+			})
+		}
+		sys.Run()
+		sw, _, _, _ := sys.Stats()
+		return sys.Clock(), sw
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 || s1 != s2 {
+		t.Errorf("non-deterministic: clock %.3f/%.3f switches %d/%d", c1, c2, s1, s2)
+	}
+}
+
+func TestSynapseRatios(t *testing.T) {
+	// The measured ratio must land in the paper's 21:1–42:1 band when
+	// the workload issues ~30 calls per event.
+	r := RunSynapse(arch.SPARC, 4, 100, 30)
+	if r.CallSwitchRatio < float64(paper.SynapseCallSwitchRatioLow)*0.9 ||
+		r.CallSwitchRatio > float64(paper.SynapseCallSwitchRatioHigh)*1.1 {
+		t.Errorf("call:switch ratio %.1f outside the paper's %d–%d band",
+			r.CallSwitchRatio, paper.SynapseCallSwitchRatioLow, paper.SynapseCallSwitchRatioHigh)
+	}
+	if !r.SwitchTimeDominates {
+		t.Error("on SPARC, switch time should dominate call time (paper §4.1)")
+	}
+	// On the R3000 it must not.
+	if RunSynapse(arch.R3000, 4, 100, 30).SwitchTimeDominates {
+		t.Error("on the R3000, call time should dominate")
+	}
+}
+
+func TestUserSwitchCheaperThanKernelSwitch(t *testing.T) {
+	// The whole point of user-level threads (§4): "thread operations do
+	// not need to cross kernel boundaries."
+	for _, s := range []*arch.Spec{arch.CVAX, arch.R2000, arch.R3000, arch.M88000, arch.RS6000} {
+		c := NewCosts(s)
+		if c.UserSwitch >= c.KernelSwitch {
+			t.Errorf("%s: user switch (%.1f µs) not cheaper than kernel switch (%.1f µs)",
+				s.Name, c.UserSwitch, c.KernelSwitch)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package tlb simulates translation lookaside buffers with the design
+// axes the paper compares: tagged (process-ID) versus untagged entries,
+// hardware (microcoded) versus software miss handling, lockable entry
+// ranges, and full purges on address-space change.
+//
+// The paper's data points this package must be able to express:
+//
+//   - The CVAX TLB is untagged, so a cross-address-space LRPC "must be
+//     purged twice, once during the call and once on return", costing an
+//     estimated 25% of the null LRPC time (Section 3.2).
+//   - The MIPS R2000/R3000 has a 64-entry, software-refilled, tagged
+//     TLB; user-space misses take about a dozen cycles, kernel-space
+//     misses a few hundred (Section 5).
+//   - The SPARC/Cypress implementation supports locking an operating-
+//     system-specified portion of its 64-entry TLB (Section 3.2).
+package tlb
+
+// RefillStyle selects who services a TLB miss.
+type RefillStyle int
+
+const (
+	// HardwareRefill means a hardware or microcode walker fills the TLB
+	// (VAX, 88000, SPARC/Cypress); the OS never sees routine misses.
+	HardwareRefill RefillStyle = iota
+	// SoftwareRefill means misses trap to an OS handler (MIPS); the
+	// architecture does not dictate page-table structure.
+	SoftwareRefill
+)
+
+func (r RefillStyle) String() string {
+	if r == SoftwareRefill {
+		return "software"
+	}
+	return "hardware"
+}
+
+// Config describes a TLB.
+type Config struct {
+	Name    string
+	Entries int
+	// Tagged entries carry a process ID and survive context switches.
+	// Untagged TLBs must be purged on every address-space change.
+	Tagged bool
+	Refill RefillStyle
+	// UserMissCycles and KernelMissCycles are the costs of servicing a
+	// miss against a user-space or kernel-space address. For software
+	// refill these are the handler path lengths (the R3000's "dozen
+	// cycles" vs "a few hundred cycles"); for hardware refill they are
+	// the walker's memory accesses.
+	UserMissCycles   float64
+	KernelMissCycles float64
+	// PurgeCycles is the cost of a full purge (untagged TLBs at address-
+	// space switch, e.g. VAX TBIA).
+	PurgeCycles float64
+	// Lockable is the number of entries the OS may pin (SPARC/Cypress);
+	// locked entries are never chosen as victims.
+	Lockable int
+}
+
+type entry struct {
+	valid  bool
+	vpn    uint64
+	pid    int
+	kernel bool
+	locked bool
+	lru    uint64
+	// global entries match regardless of PID (used for superpage /
+	// locked kernel mappings).
+	global bool
+}
+
+// TLB is a fully-associative translation buffer with LRU replacement.
+// (The machines in the paper use fully- or highly-associative TLBs; full
+// associativity keeps the model simple and matches the 64-entry MIPS and
+// Cypress parts.)
+type TLB struct {
+	cfg     Config
+	entries []entry
+	stamp   uint64
+	// byVPN indexes valid entries by virtual page number so lookups on
+	// large simulated reference streams stay O(candidates) instead of
+	// scanning the whole array.
+	byVPN map[uint64][]int
+	// free lists invalid, unlocked slots; lruHeap is a lazy min-heap of
+	// (slot, stamp) pairs for O(log n) exact-LRU victim selection.
+	free    []int
+	lruHeap []heapItem
+
+	hits, userMisses, kernelMisses, purges int64
+	missCycles                             float64
+	locked                                 int
+}
+
+type heapItem struct {
+	idx   int
+	stamp uint64
+}
+
+// New creates a TLB. It panics on a non-positive entry count because
+// configurations are static architecture descriptions.
+func New(cfg Config) *TLB {
+	if cfg.Entries <= 0 {
+		panic("tlb: entry count must be positive")
+	}
+	t := &TLB{cfg: cfg, entries: make([]entry, cfg.Entries), byVPN: make(map[uint64][]int)}
+	t.rebuildFree()
+	return t
+}
+
+// rebuildFree recomputes the free list and LRU heap from entry state
+// (used after bulk mutations: purge, lock, reset).
+func (t *TLB) rebuildFree() {
+	t.free = t.free[:0]
+	t.lruHeap = t.lruHeap[:0]
+	for i := len(t.entries) - 1; i >= 0; i-- {
+		if t.entries[i].locked {
+			continue
+		}
+		if t.entries[i].valid {
+			t.heapPush(heapItem{idx: i, stamp: t.entries[i].lru})
+		} else {
+			t.free = append(t.free, i)
+		}
+	}
+}
+
+func (t *TLB) heapPush(it heapItem) {
+	// Lazy deletion lets stale items accumulate; compact when the heap
+	// far outgrows the entry array. (Compaction re-enters heapPush via
+	// rebuildFree only with a small heap, so this cannot recurse.)
+	if len(t.lruHeap) > 8*len(t.entries) {
+		live := t.lruHeap[:0]
+		for _, old := range t.lruHeap {
+			e := &t.entries[old.idx]
+			if e.valid && !e.locked && e.lru == old.stamp {
+				live = append(live, old)
+			}
+		}
+		t.lruHeap = live
+		// Restore heap order.
+		sortHeap(t.lruHeap)
+	}
+	t.lruHeap = append(t.lruHeap, it)
+	i := len(t.lruHeap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if t.lruHeap[p].stamp <= t.lruHeap[i].stamp {
+			break
+		}
+		t.lruHeap[p], t.lruHeap[i] = t.lruHeap[i], t.lruHeap[p]
+		i = p
+	}
+}
+
+// sortHeap re-establishes the min-heap invariant by stamp.
+func sortHeap(h []heapItem) {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+func siftDown(h []heapItem, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].stamp < h[small].stamp {
+			small = l
+		}
+		if r < len(h) && h[r].stamp < h[small].stamp {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+func (t *TLB) heapPop() (heapItem, bool) {
+	if len(t.lruHeap) == 0 {
+		return heapItem{}, false
+	}
+	top := t.lruHeap[0]
+	last := len(t.lruHeap) - 1
+	t.lruHeap[0] = t.lruHeap[last]
+	t.lruHeap = t.lruHeap[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && t.lruHeap[l].stamp < t.lruHeap[small].stamp {
+			small = l
+		}
+		if r < last && t.lruHeap[r].stamp < t.lruHeap[small].stamp {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		t.lruHeap[i], t.lruHeap[small] = t.lruHeap[small], t.lruHeap[i]
+		i = small
+	}
+	return top, true
+}
+
+// index registers entry slot i under its VPN.
+func (t *TLB) index(i int) {
+	t.byVPN[t.entries[i].vpn] = append(t.byVPN[t.entries[i].vpn], i)
+}
+
+// unindex removes slot i from its VPN's candidate list.
+func (t *TLB) unindex(i int) {
+	vpn := t.entries[i].vpn
+	s := t.byVPN[vpn]
+	for j, v := range s {
+		if v == i {
+			s[j] = s[len(s)-1]
+			s = s[:len(s)-1]
+			break
+		}
+	}
+	if len(s) == 0 {
+		delete(t.byVPN, vpn)
+	} else {
+		t.byVPN[vpn] = s
+	}
+}
+
+// Config returns the TLB's configuration.
+func (t *TLB) Config() Config { return t.cfg }
+
+// Lookup translates virtual page number vpn for process pid. kernel
+// marks a kernel-space reference. It reports whether the translation
+// hit and the miss penalty in cycles (0 on hit). On a miss the entry is
+// filled (the refill handler or walker ran).
+func (t *TLB) Lookup(pid int, vpn uint64, kernel bool) (hit bool, penalty float64) {
+	t.stamp++
+	for _, i := range t.byVPN[vpn] {
+		e := &t.entries[i]
+		// Untagged TLBs have no notion of process: whatever survives a
+		// (purging) context switch matches on virtual page alone, just
+		// like the hardware. Tagged TLBs match PID or a global entry.
+		if e.valid && e.vpn == vpn && (!t.cfg.Tagged || e.global || e.pid == pid) {
+			e.lru = t.stamp
+			if !e.locked {
+				t.heapPush(heapItem{idx: i, stamp: t.stamp})
+			}
+			t.hits++
+			return true, 0
+		}
+	}
+	if kernel {
+		t.kernelMisses++
+		penalty = t.cfg.KernelMissCycles
+	} else {
+		t.userMisses++
+		penalty = t.cfg.UserMissCycles
+	}
+	t.missCycles += penalty
+	t.fill(entry{valid: true, vpn: vpn, pid: pid, kernel: kernel, lru: t.stamp})
+	return false, penalty
+}
+
+func (t *TLB) fill(e entry) {
+	victim := -1
+	if n := len(t.free); n > 0 {
+		victim = t.free[n-1]
+		t.free = t.free[:n-1]
+	} else {
+		// Pop lazily-invalidated heap items until the top reflects a
+		// live, unlocked entry at its current stamp (exact LRU).
+		for {
+			it, ok := t.heapPop()
+			if !ok {
+				break
+			}
+			en := &t.entries[it.idx]
+			if en.valid && !en.locked && en.lru == it.stamp {
+				victim = it.idx
+				break
+			}
+		}
+	}
+	if victim == -1 {
+		// Every entry locked: drop the fill. The OS misconfigured the
+		// lock range; real hardware would fault, we simply do not cache.
+		return
+	}
+	if t.entries[victim].valid {
+		t.unindex(victim)
+	}
+	t.entries[victim] = e
+	t.index(victim)
+	t.heapPush(heapItem{idx: victim, stamp: e.lru})
+}
+
+// Lock pins a translation for vpn (global, kernel) into the TLB,
+// consuming one lockable slot. It returns false when the lockable quota
+// is exhausted.
+func (t *TLB) Lock(vpn uint64) bool {
+	if t.locked >= t.cfg.Lockable {
+		return false
+	}
+	t.stamp++
+	for i := range t.entries {
+		if !t.entries[i].valid || !t.entries[i].locked {
+			if t.entries[i].valid {
+				t.unindex(i)
+			}
+			t.entries[i] = entry{valid: true, vpn: vpn, kernel: true, locked: true, lru: t.stamp, global: true}
+			t.index(i)
+			t.locked++
+			t.rebuildFree()
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateVPN removes any entry translating vpn for pid (a single-
+// entry invalidate, e.g. VAX TBIS after a PTE change). It returns the
+// number of entries removed.
+func (t *TLB) InvalidateVPN(pid int, vpn uint64) int {
+	n := 0
+	cands := append([]int(nil), t.byVPN[vpn]...)
+	for _, i := range cands {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn && (e.pid == pid || e.global || !t.cfg.Tagged) {
+			t.unindex(i)
+			wasLocked := e.locked
+			*e = entry{}
+			n++
+			if wasLocked {
+				t.locked--
+			}
+			t.free = append(t.free, i)
+		}
+	}
+	return n
+}
+
+// ContextSwitch informs the TLB of an address-space change to pid. For
+// an untagged TLB this purges every non-locked entry and returns the
+// purge cost in cycles; tagged TLBs return zero.
+func (t *TLB) ContextSwitch(pid int) (penalty float64) {
+	if t.cfg.Tagged {
+		return 0
+	}
+	return t.Purge()
+}
+
+// Purge invalidates every non-locked entry and returns PurgeCycles.
+func (t *TLB) Purge() float64 {
+	for i := range t.entries {
+		if !t.entries[i].locked {
+			if t.entries[i].valid {
+				t.unindex(i)
+			}
+			t.entries[i] = entry{}
+		}
+	}
+	t.rebuildFree()
+	t.purges++
+	return t.cfg.PurgeCycles
+}
+
+// Valid returns the number of valid entries.
+func (t *TLB) Valid() int {
+	n := 0
+	for i := range t.entries {
+		if t.entries[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports hit and miss counts.
+func (t *TLB) Stats() (hits, userMisses, kernelMisses, purges int64) {
+	return t.hits, t.userMisses, t.kernelMisses, t.purges
+}
+
+// MissCycles returns the total cycles spent servicing misses.
+func (t *TLB) MissCycles() float64 { return t.missCycles }
+
+// Reset invalidates all entries (including locked) and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.entries {
+		t.entries[i] = entry{}
+	}
+	t.byVPN = make(map[uint64][]int)
+	t.stamp, t.hits, t.userMisses, t.kernelMisses, t.purges = 0, 0, 0, 0, 0
+	t.missCycles = 0
+	t.locked = 0
+	t.rebuildFree()
+}

@@ -1,0 +1,225 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func taggedCfg() Config {
+	return Config{
+		Name: "test", Entries: 8, Tagged: true, Refill: SoftwareRefill,
+		UserMissCycles: 12, KernelMissCycles: 300, PurgeCycles: 8, Lockable: 2,
+	}
+}
+
+func untaggedCfg() Config {
+	c := taggedCfg()
+	c.Tagged = false
+	return c
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tl := New(taggedCfg())
+	hit, pen := tl.Lookup(1, 100, false)
+	if hit || pen != 12 {
+		t.Errorf("first lookup: hit=%v pen=%.0f, want user miss costing 12", hit, pen)
+	}
+	hit, pen = tl.Lookup(1, 100, false)
+	if !hit || pen != 0 {
+		t.Errorf("second lookup: hit=%v pen=%.0f, want free hit", hit, pen)
+	}
+}
+
+func TestKernelMissCostsMore(t *testing.T) {
+	// The R3000's two refill paths: "about a dozen cycles" for user
+	// misses, "a few hundred cycles" through the common vector for
+	// kernel misses.
+	tl := New(taggedCfg())
+	_, userPen := tl.Lookup(1, 1, false)
+	_, kernPen := tl.Lookup(1, 2, true)
+	if kernPen <= userPen {
+		t.Errorf("kernel miss (%.0f) not dearer than user miss (%.0f)", kernPen, userPen)
+	}
+	if tl.MissCycles() != userPen+kernPen {
+		t.Errorf("MissCycles = %.0f, want %.0f", tl.MissCycles(), userPen+kernPen)
+	}
+}
+
+func TestTaggedTLBSurvivesContextSwitch(t *testing.T) {
+	tl := New(taggedCfg())
+	tl.Lookup(1, 100, false)
+	if pen := tl.ContextSwitch(2); pen != 0 {
+		t.Errorf("tagged TLB charged %.0f cycles at context switch", pen)
+	}
+	if hit, _ := tl.Lookup(1, 100, false); !hit {
+		t.Error("tagged entry lost across context switch")
+	}
+	// But the other process must not hit it.
+	if hit, _ := tl.Lookup(2, 100, false); hit {
+		t.Error("cross-PID hit in a tagged TLB")
+	}
+}
+
+func TestUntaggedTLBPurgesOnContextSwitch(t *testing.T) {
+	tl := New(untaggedCfg())
+	tl.Lookup(1, 100, false)
+	if pen := tl.ContextSwitch(2); pen != 8 {
+		t.Errorf("untagged switch cost %.0f, want the 8-cycle purge", pen)
+	}
+	_, _, _, purges := tl.Stats()
+	if purges != 1 {
+		t.Errorf("purges = %d, want 1", purges)
+	}
+	if tl.Valid() != 0 {
+		t.Errorf("%d entries survived an untagged purge", tl.Valid())
+	}
+}
+
+func TestUntaggedTLBMatchesOnVPNAlone(t *testing.T) {
+	// Untagged hardware has no PID: without a purge, a stale entry
+	// wrongly hits — exactly why the purge is mandatory.
+	tl := New(untaggedCfg())
+	tl.Lookup(1, 100, false)
+	if hit, _ := tl.Lookup(2, 100, false); !hit {
+		t.Error("untagged TLB should match on VPN alone (that is the hazard)")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tl := New(taggedCfg())
+	for v := uint64(0); v < 8; v++ {
+		tl.Lookup(1, v, false)
+	}
+	tl.Lookup(1, 0, false) // refresh vpn 0
+	tl.Lookup(1, 99, false)
+	// vpn 1 was least recently used.
+	if hit, _ := tl.Lookup(1, 1, false); hit {
+		t.Error("LRU entry survived eviction")
+	}
+	if hit, _ := tl.Lookup(1, 0, false); !hit {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestLockedEntries(t *testing.T) {
+	// SPARC/Cypress: "an operating system specified portion of the
+	// 64-entry TLB can be locked to prevent hardware from replacing
+	// entries in that section."
+	tl := New(taggedCfg())
+	if !tl.Lock(1000) || !tl.Lock(1001) {
+		t.Fatal("could not lock entries within quota")
+	}
+	if tl.Lock(1002) {
+		t.Error("lock succeeded beyond the lockable quota")
+	}
+	// Thrash the TLB; locked entries must survive.
+	for v := uint64(0); v < 100; v++ {
+		tl.Lookup(1, v, false)
+	}
+	if hit, _ := tl.Lookup(1, 1000, false); !hit {
+		t.Error("locked entry was evicted")
+	}
+	// Locked entries are global: any PID hits them.
+	if hit, _ := tl.Lookup(7, 1001, false); !hit {
+		t.Error("locked global entry not visible to another PID")
+	}
+	// And they survive purges.
+	tl.Purge()
+	if hit, _ := tl.Lookup(1, 1000, true); !hit {
+		t.Error("locked entry lost in a purge")
+	}
+}
+
+func TestInvalidateVPN(t *testing.T) {
+	tl := New(taggedCfg())
+	tl.Lookup(1, 5, false)
+	tl.Lookup(2, 5, false)
+	if n := tl.InvalidateVPN(1, 5); n != 1 {
+		t.Errorf("invalidated %d entries, want 1 (PID-specific)", n)
+	}
+	if hit, _ := tl.Lookup(2, 5, false); !hit {
+		t.Error("invalidate removed another process's entry")
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	tl := New(taggedCfg())
+	tl.Lock(1)
+	tl.Lookup(1, 2, false)
+	tl.Reset()
+	if tl.Valid() != 0 || tl.MissCycles() != 0 {
+		t.Error("reset left state behind")
+	}
+	// Lock quota is restored.
+	if !tl.Lock(9) {
+		t.Error("lock quota not restored by reset")
+	}
+}
+
+func TestNewPanicsOnZeroEntries(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-entry TLB did not panic")
+		}
+	}()
+	New(Config{Entries: 0})
+}
+
+// TestTLBMatchesReferenceModel checks hit/miss against a reference LRU
+// map on random streams.
+func TestTLBMatchesReferenceModel(t *testing.T) {
+	type key struct {
+		pid int
+		vpn uint64
+	}
+	f := func(ops []uint16) bool {
+		tl := New(Config{Name: "q", Entries: 4, Tagged: true, UserMissCycles: 1, KernelMissCycles: 1})
+		ref := map[key]uint64{}
+		stamp := uint64(0)
+		for _, op := range ops {
+			pid := int(op>>8) % 3
+			vpn := uint64(op & 0x1F)
+			stamp++
+			k := key{pid, vpn}
+			_, inRef := ref[k]
+			hit, _ := tl.Lookup(pid, vpn, false)
+			if hit != inRef {
+				return false
+			}
+			ref[k] = stamp
+			if len(ref) > 4 {
+				var victim key
+				first := true
+				for kk, s := range ref {
+					if first || s < ref[victim] {
+						victim, first = kk, false
+					}
+				}
+				delete(ref, victim)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTLBMissesMonotoneInSize: a bigger TLB never misses more on the
+// same stream.
+func TestTLBMissesMonotoneInSize(t *testing.T) {
+	f := func(stream []uint8) bool {
+		run := func(entries int) int64 {
+			tl := New(Config{Name: "q", Entries: entries, Tagged: true, UserMissCycles: 1, KernelMissCycles: 1})
+			for _, v := range stream {
+				tl.Lookup(0, uint64(v%48), false)
+			}
+			_, u, k, _ := tl.Stats()
+			return u + k
+		}
+		return run(32) <= run(8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

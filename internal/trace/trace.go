@@ -1,0 +1,72 @@
+// Package trace provides event counters and statistics helpers shared by
+// the simulation subsystems. Counters are plain named tallies; every
+// subsystem that models hardware or operating-system behaviour exposes its
+// event stream through a CounterSet so experiments can report the same
+// columns the paper does.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CounterSet is a named collection of monotonically increasing counters.
+// The zero value is ready to use.
+type CounterSet struct {
+	counts map[string]int64
+}
+
+// Add increments the named counter by n. Negative n is permitted so that
+// callers can implement "undo" during speculative simulation, but the
+// usual use is monotone.
+func (c *CounterSet) Add(name string, n int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
+	c.counts[name] += n
+}
+
+// Inc increments the named counter by one.
+func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
+
+// Get returns the current value of the named counter (zero if never set).
+func (c *CounterSet) Get(name string) int64 { return c.counts[name] }
+
+// Names returns the counter names in sorted order.
+func (c *CounterSet) Names() []string {
+	names := make([]string, 0, len(c.counts))
+	for n := range c.counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reset clears every counter.
+func (c *CounterSet) Reset() { c.counts = nil }
+
+// Merge adds every counter from other into c.
+func (c *CounterSet) Merge(other *CounterSet) {
+	for n, v := range other.counts {
+		c.Add(n, v)
+	}
+}
+
+// Snapshot returns a copy of the current counter values.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.counts))
+	for n, v := range c.counts {
+		out[n] = v
+	}
+	return out
+}
+
+// String renders the counters one per line, sorted by name.
+func (c *CounterSet) String() string {
+	var b strings.Builder
+	for _, n := range c.Names() {
+		fmt.Fprintf(&b, "%s=%d\n", n, c.counts[n])
+	}
+	return b.String()
+}

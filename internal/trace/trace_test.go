@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	var c CounterSet
+	if c.Get("x") != 0 {
+		t.Error("unset counter not zero")
+	}
+	c.Inc("x")
+	c.Add("x", 4)
+	c.Add("y", 2)
+	if c.Get("x") != 5 || c.Get("y") != 2 {
+		t.Errorf("x=%d y=%d, want 5/2", c.Get("x"), c.Get("y"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "x" || names[1] != "y" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCounterSetMergeSnapshotReset(t *testing.T) {
+	var a, b CounterSet
+	a.Add("x", 1)
+	b.Add("x", 2)
+	b.Add("z", 3)
+	a.Merge(&b)
+	if a.Get("x") != 3 || a.Get("z") != 3 {
+		t.Errorf("merge wrong: %v", a.Snapshot())
+	}
+	snap := a.Snapshot()
+	a.Inc("x")
+	if snap["x"] != 3 {
+		t.Error("snapshot aliases live data")
+	}
+	a.Reset()
+	if len(a.Names()) != 0 {
+		t.Error("reset left counters")
+	}
+}
+
+func TestCounterSetString(t *testing.T) {
+	var c CounterSet
+	c.Add("b", 2)
+	c.Add("a", 1)
+	if got := c.String(); got != "a=1\nb=2\n" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestCounterSetNeverLoses(t *testing.T) {
+	f := func(incs []uint8) bool {
+		var c CounterSet
+		var total int64
+		for _, v := range incs {
+			c.Add("k", int64(v))
+			total += int64(v)
+		}
+		return c.Get("k") == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "Op", "A", "B")
+	tb.AddRow("first", "1.0", "2.0")
+	tb.AddRowf("second", 3.14159, 7)
+	out := tb.String()
+	if !strings.Contains(out, "Title") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Errorf("float not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("rendered %d lines, want 5:\n%s", len(lines), out)
+	}
+	// All data lines align: same rendered width.
+	if len(lines[1]) != len(lines[3]) || len(lines[3]) != len(lines[4]) {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")               // short: padded
+	tb.AddRow("x", "y", "z", "too") // long: truncated
+	if len(tb.Rows[0]) != 3 || len(tb.Rows[1]) != 3 {
+		t.Errorf("row widths %d/%d, want 3/3", len(tb.Rows[0]), len(tb.Rows[1]))
+	}
+	if tb.Rows[1][2] != "z" {
+		t.Error("truncation dropped the wrong cell")
+	}
+}

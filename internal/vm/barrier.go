@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"archos/internal/mmu"
+)
+
+// WriteBarrier implements the page-protection write barrier that the
+// paper's Section 3 lists among the functions "being overloaded on
+// virtual memory protection bits": garbage collection [Ellis et al.
+// 88], recoverable virtual memory, and transaction locking. Pages are
+// write-protected; the first store to each takes a protection fault
+// that records the page in the dirty set and restores write access.
+// "Because these functions often are implemented at the run-time level,
+// their implementations are simplified by user-level handling of page
+// faults" — so each barrier fault is priced as a user-reflected fault
+// plus the PTE change.
+type WriteBarrier struct {
+	costs *FaultCosts
+	as    *mmu.AddressSpace
+
+	origProt map[uint64]mmu.Prot
+	dirty    map[uint64]bool
+
+	faults    int64
+	microsAcc float64
+}
+
+// NewWriteBarrier creates a barrier manager for as.
+func NewWriteBarrier(costs *FaultCosts, as *mmu.AddressSpace) *WriteBarrier {
+	return &WriteBarrier{
+		costs:    costs,
+		as:       as,
+		origProt: make(map[uint64]mmu.Prot),
+		dirty:    make(map[uint64]bool),
+	}
+}
+
+// Protect arms the barrier on the given pages (they must be mapped).
+func (b *WriteBarrier) Protect(vpns ...uint64) error {
+	for _, vpn := range vpns {
+		pte, ok := b.as.Table.Lookup(vpn)
+		if !ok {
+			return fmt.Errorf("vm: barrier on unmapped page %d: %w", vpn, mmu.ErrUnmapped)
+		}
+		if _, armed := b.origProt[vpn]; armed {
+			continue
+		}
+		b.origProt[vpn] = pte.Prot
+		if err := b.as.Table.Protect(vpn, pte.Prot&^mmu.ProtWrite); err != nil {
+			return err
+		}
+		delete(b.dirty, vpn)
+		b.microsAcc += b.costs.CostModel().PTEChangeMicros()
+	}
+	return nil
+}
+
+// Write performs a store to vpn, taking the barrier fault if armed.
+// It returns the virtual-time cost of the access.
+func (b *WriteBarrier) Write(vpn uint64) (float64, error) {
+	switch b.as.Check(vpn, true) {
+	case mmu.NoFault:
+		return 0, nil
+	case mmu.FaultNonResident:
+		return 0, fmt.Errorf("vm: barrier write to unmapped page %d: %w", vpn, mmu.ErrUnmapped)
+	}
+	orig, armed := b.origProt[vpn]
+	if !armed {
+		return 0, fmt.Errorf("vm: protection fault on un-armed page %d", vpn)
+	}
+	b.faults++
+	b.dirty[vpn] = true
+	if err := b.as.Table.Protect(vpn, orig); err != nil {
+		return 0, err
+	}
+	delete(b.origProt, vpn)
+	micros := b.costs.UserReflectedMicros()
+	b.microsAcc += micros
+	return micros, nil
+}
+
+// Read performs a load (barriers never intercept reads).
+func (b *WriteBarrier) Read(vpn uint64) error {
+	if f := b.as.Check(vpn, false); f != mmu.NoFault {
+		return fmt.Errorf("vm: barrier read fault %v on page %d", f, vpn)
+	}
+	return nil
+}
+
+// Dirty returns the pages written since they were armed, sorted.
+func (b *WriteBarrier) Dirty() []uint64 {
+	out := make([]uint64, 0, len(b.dirty))
+	for vpn := range b.dirty {
+		out = append(out, vpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Armed returns the number of pages still write-protected.
+func (b *WriteBarrier) Armed() int { return len(b.origProt) }
+
+// Stats returns the fault count and accumulated virtual time.
+func (b *WriteBarrier) Stats() (faults int64, micros float64) {
+	return b.faults, b.microsAcc
+}
+
+// Checkpointer takes incremental, copy-on-write checkpoints in the
+// style the paper cites as [Li et al. 90] ("real-time concurrent
+// checkpoint"): Begin write-protects the working set; the first store
+// to each page copies its pre-image into the checkpoint and re-enables
+// writing, so the mutator keeps running while the checkpoint converges.
+type Checkpointer struct {
+	costs   *FaultCosts
+	as      *mmu.AddressSpace
+	barrier *WriteBarrier
+
+	preimages map[uint64]uint64 // vpn → frame captured at Begin
+	active    bool
+	copies    int64
+	microsAcc float64
+}
+
+// NewCheckpointer creates a checkpointer for as.
+func NewCheckpointer(costs *FaultCosts, as *mmu.AddressSpace) *Checkpointer {
+	return &Checkpointer{costs: costs, as: as}
+}
+
+// ErrCheckpointActive reports Begin during an open checkpoint.
+var errCheckpointActive = fmt.Errorf("vm: checkpoint already active")
+
+// Begin arms a checkpoint over the given pages.
+func (c *Checkpointer) Begin(vpns ...uint64) error {
+	if c.active {
+		return errCheckpointActive
+	}
+	c.barrier = NewWriteBarrier(c.costs, c.as)
+	c.preimages = make(map[uint64]uint64, len(vpns))
+	for _, vpn := range vpns {
+		pte, ok := c.as.Table.Lookup(vpn)
+		if !ok {
+			return fmt.Errorf("vm: checkpoint of unmapped page %d: %w", vpn, mmu.ErrUnmapped)
+		}
+		c.preimages[vpn] = pte.Frame
+	}
+	if err := c.barrier.Protect(vpns...); err != nil {
+		return err
+	}
+	c.active = true
+	return nil
+}
+
+// Write performs a mutator store during the checkpoint: the first store
+// to a protected page copies its pre-image and releases it.
+func (c *Checkpointer) Write(vpn uint64) (float64, error) {
+	if !c.active {
+		if f := c.as.Check(vpn, true); f != mmu.NoFault {
+			return 0, fmt.Errorf("vm: write fault %v outside checkpoint", f)
+		}
+		return 0, nil
+	}
+	micros, err := c.barrier.Write(vpn)
+	if err != nil {
+		return 0, err
+	}
+	if micros > 0 {
+		// Barrier fired: copy the pre-image before releasing the page.
+		copyCost := c.costs.CopyPageMicros()
+		c.copies++
+		c.microsAcc += micros + copyCost
+		return micros + copyCost, nil
+	}
+	return 0, nil
+}
+
+// End closes the checkpoint, copying every page the mutator never
+// touched (they are still clean, so the copy can stream at leisure; we
+// charge it here). It returns the number of pages in the checkpoint.
+func (c *Checkpointer) End() (pages int, micros float64, err error) {
+	if !c.active {
+		return 0, 0, fmt.Errorf("vm: no checkpoint active")
+	}
+	// Disarm remaining pages.
+	for vpn := range c.preimages {
+		if pte, ok := c.as.Table.Lookup(vpn); ok && !pte.Prot.Allows(true) {
+			if err := c.as.Table.Protect(vpn, pte.Prot|mmu.ProtWrite); err != nil {
+				return 0, 0, err
+			}
+			micros += c.costs.CostModel().PTEChangeMicros() + c.costs.CopyPageMicros()
+		}
+	}
+	pages = len(c.preimages)
+	c.microsAcc += micros
+	c.active = false
+	return pages, micros, nil
+}
+
+// Copies returns the number of pages copied through barrier faults.
+func (c *Checkpointer) Copies() int64 { return c.copies }
+
+// Micros returns the accumulated virtual-time cost of the checkpoint
+// machinery.
+func (c *Checkpointer) Micros() float64 { return c.microsAcc }

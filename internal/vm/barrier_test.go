@@ -1,0 +1,212 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archos/internal/arch"
+	"archos/internal/mmu"
+)
+
+func barrierFixture() (*WriteBarrier, *mmu.AddressSpace) {
+	as := mmu.NewAddressSpace(1, mmu.NewHashTable())
+	for v := uint64(0); v < 16; v++ {
+		as.MapNew(v, mmu.ProtReadWrite)
+	}
+	return NewWriteBarrier(NewFaultCosts(arch.R3000), as), as
+}
+
+func TestBarrierTracksFirstWrite(t *testing.T) {
+	b, as := barrierFixture()
+	if err := b.Protect(3, 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	if as.Check(3, true) != mmu.FaultProtection {
+		t.Fatal("armed page still writable")
+	}
+	micros, err := b.Write(4)
+	if err != nil || micros <= 0 {
+		t.Fatalf("barrier write: %.1f µs, %v", micros, err)
+	}
+	// Second write is free — the barrier fires once per page.
+	m2, err := b.Write(4)
+	if err != nil || m2 != 0 {
+		t.Errorf("second write: %.1f µs, %v; want free", m2, err)
+	}
+	dirty := b.Dirty()
+	if len(dirty) != 1 || dirty[0] != 4 {
+		t.Errorf("dirty = %v, want [4]", dirty)
+	}
+	if b.Armed() != 2 {
+		t.Errorf("armed = %d, want 2", b.Armed())
+	}
+	if faults, micros := b.Stats(); faults != 1 || micros <= 0 {
+		t.Errorf("stats = %d faults, %.1f µs", faults, micros)
+	}
+}
+
+func TestBarrierReadsAreFree(t *testing.T) {
+	b, _ := barrierFixture()
+	if err := b.Protect(7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Read(7); err != nil {
+		t.Errorf("read of armed page failed: %v", err)
+	}
+	if len(b.Dirty()) != 0 {
+		t.Error("a read dirtied a page")
+	}
+}
+
+func TestBarrierErrors(t *testing.T) {
+	b, _ := barrierFixture()
+	if err := b.Protect(99); err == nil {
+		t.Error("protect of unmapped page should fail")
+	}
+	if _, err := b.Write(99); err == nil {
+		t.Error("write of unmapped page should fail")
+	}
+	// Writing an unarmed, writable page is legal and free.
+	if micros, err := b.Write(1); err != nil || micros != 0 {
+		t.Errorf("unarmed write: %.1f µs, %v", micros, err)
+	}
+	// Double-protect is idempotent.
+	if err := b.Protect(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Protect(2); err != nil {
+		t.Errorf("re-protect failed: %v", err)
+	}
+}
+
+func TestBarrierDirtySetMatchesWrites(t *testing.T) {
+	// Property: the dirty set equals exactly the set of armed pages
+	// written, regardless of order or repetition.
+	f := func(writes []uint8) bool {
+		b, _ := barrierFixture()
+		if err := b.Protect(0, 1, 2, 3, 4, 5, 6, 7); err != nil {
+			return false
+		}
+		want := map[uint64]bool{}
+		for _, w := range writes {
+			vpn := uint64(w % 8)
+			if _, err := b.Write(vpn); err != nil {
+				return false
+			}
+			want[vpn] = true
+		}
+		dirty := b.Dirty()
+		if len(dirty) != len(want) {
+			return false
+		}
+		for _, d := range dirty {
+			if !want[d] {
+				return false
+			}
+		}
+		return b.Armed() == 8-len(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func checkpointFixture() (*Checkpointer, *mmu.AddressSpace) {
+	as := mmu.NewAddressSpace(1, mmu.NewHashTable())
+	for v := uint64(0); v < 8; v++ {
+		as.MapNew(v, mmu.ProtReadWrite)
+	}
+	return NewCheckpointer(NewFaultCosts(arch.R3000), as), as
+}
+
+func TestCheckpointCopiesTouchedPagesEagerly(t *testing.T) {
+	c, _ := checkpointFixture()
+	if err := c.Begin(0, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Write(1)
+	if err != nil || m <= 0 {
+		t.Fatalf("checkpointed write: %.1f µs, %v", m, err)
+	}
+	if c.Copies() != 1 {
+		t.Errorf("copies = %d, want 1", c.Copies())
+	}
+	// Untouched pages are copied at End.
+	pages, endMicros, err := c.End()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages != 4 || endMicros <= 0 {
+		t.Errorf("End = %d pages, %.1f µs", pages, endMicros)
+	}
+}
+
+func TestCheckpointWritableAfterEnd(t *testing.T) {
+	c, as := checkpointFixture()
+	if err := c.Begin(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 2; v++ {
+		if as.Check(v, true) != mmu.NoFault {
+			t.Errorf("page %d not writable after checkpoint end", v)
+		}
+	}
+	// Writes after End are free.
+	if m, err := c.Write(0); err != nil || m != 0 {
+		t.Errorf("post-checkpoint write: %.1f µs, %v", m, err)
+	}
+}
+
+func TestCheckpointLifecycleErrors(t *testing.T) {
+	c, _ := checkpointFixture()
+	if _, _, err := c.End(); err == nil {
+		t.Error("End without Begin should fail")
+	}
+	if err := c.Begin(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(1); err == nil {
+		t.Error("nested Begin should fail")
+	}
+	if err := c.Begin(99); err == nil {
+		// (after End, unmapped page)
+		t.Error("") // unreachable; nested Begin already failed
+	}
+	if _, _, err := c.End(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(99); err == nil {
+		t.Error("checkpoint of unmapped page should fail")
+	}
+}
+
+func TestCheckpointCostScalesWithDirtyRatio(t *testing.T) {
+	run := func(writes int) float64 {
+		c, _ := checkpointFixture()
+		if err := c.Begin(0, 1, 2, 3, 4, 5, 6, 7); err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for i := 0; i < writes; i++ {
+			m, err := c.Write(uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += m
+		}
+		_, endM, err := c.End()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return total + endM
+	}
+	// The mutator-visible cost grows with pages dirtied during the
+	// window (each pays a reflected fault), even though every page is
+	// copied eventually.
+	if quiet, busy := run(1), run(8); busy <= quiet {
+		t.Errorf("8-dirty checkpoint (%.1f µs) not dearer than 1-dirty (%.1f µs)", busy, quiet)
+	}
+}

@@ -1,0 +1,134 @@
+package vm
+
+import (
+	"fmt"
+
+	"archos/internal/mmu"
+)
+
+// COW implements copy-on-write between two address spaces, as Accent
+// and Mach use it "to speed program startup and cross-address space
+// communication for large data messages": the kernel maps the shared
+// pages read-only in sender and receiver; the first write by either
+// side traps, the page is copied, and the writer's mapping upgraded.
+// "This relies on the ability to quickly trap and change page
+// protection bits."
+type COW struct {
+	costs *FaultCosts
+
+	// shared tracks, per virtual page, the set of address spaces still
+	// sharing the original frame.
+	shared map[uint64][]*mmu.AddressSpace
+	// origProt remembers each sharer's protection before the COW
+	// downgrade, restored on the copy.
+	origProt map[cowKey]mmu.Prot
+
+	faults    int64
+	copies    int64
+	microsAcc float64
+}
+
+type cowKey struct {
+	pid int
+	vpn uint64
+}
+
+// NewCOW creates a copy-on-write manager.
+func NewCOW(costs *FaultCosts) *COW {
+	return &COW{
+		costs:    costs,
+		shared:   make(map[uint64][]*mmu.AddressSpace),
+		origProt: make(map[cowKey]mmu.Prot),
+	}
+}
+
+// Share maps vpn (already mapped writable in src) into dst copy-on-
+// write: both sides are downgraded to read-only over the same frame.
+// This is the "kernel maps large message buffers into the receiver's
+// address space" step of a large-message send.
+func (c *COW) Share(src, dst *mmu.AddressSpace, vpn uint64) error {
+	pte, ok := src.Table.Lookup(vpn)
+	if !ok {
+		return fmt.Errorf("vm: cow share of unmapped page %d: %w", vpn, mmu.ErrUnmapped)
+	}
+	c.origProt[cowKey{src.PID, vpn}] = pte.Prot
+	c.origProt[cowKey{dst.PID, vpn}] = pte.Prot
+	if err := src.Table.Protect(vpn, mmu.ProtRead); err != nil {
+		return err
+	}
+	dst.Table.Map(vpn, pte.Frame, mmu.ProtRead)
+	c.shared[vpn] = append(c.shared[vpn], src, dst)
+	// Two PTE changes (and their TLB invalidations).
+	c.microsAcc += 2 * c.costs.CostModel().PTEChangeMicros()
+	return nil
+}
+
+// Write performs a write access by as to vpn, taking and resolving the
+// copy-on-write fault if the page is still shared. It returns the
+// virtual-time cost of the access and whether a copy happened.
+func (c *COW) Write(as *mmu.AddressSpace, vpn uint64) (micros float64, copied bool, err error) {
+	fault := as.Check(vpn, true)
+	switch fault {
+	case mmu.NoFault:
+		return 0, false, nil
+	case mmu.FaultNonResident:
+		return 0, false, fmt.Errorf("vm: write to unmapped page %d: %w", vpn, mmu.ErrUnmapped)
+	}
+	// Protection fault on a COW page: copy and upgrade.
+	sharers := c.shared[vpn]
+	if len(sharers) == 0 {
+		return 0, false, fmt.Errorf("vm: protection fault on non-COW page %d", vpn)
+	}
+	c.faults++
+	c.copies++
+	micros = c.costs.KernelHandledMicros() + c.costs.CopyPageMicros()
+
+	// Give the writer a private frame at its original protection.
+	orig := c.origProt[cowKey{as.PID, vpn}]
+	if orig == mmu.ProtNone {
+		orig = mmu.ProtReadWrite
+	}
+	as.Table.Map(vpn, as.AllocFrame(), orig)
+
+	// Drop the writer from the sharer set; a sole remaining sharer
+	// regains its original protection (no more COW on this page).
+	rest := sharers[:0]
+	for _, sh := range sharers {
+		if sh != as {
+			rest = append(rest, sh)
+		}
+	}
+	if len(rest) == 1 {
+		last := rest[0]
+		lastOrig := c.origProt[cowKey{last.PID, vpn}]
+		if lastOrig == mmu.ProtNone {
+			lastOrig = mmu.ProtReadWrite
+		}
+		if err := last.Table.Protect(vpn, lastOrig); err != nil {
+			return micros, true, err
+		}
+		micros += c.costs.CostModel().PTEChangeMicros()
+		delete(c.shared, vpn)
+	} else {
+		c.shared[vpn] = rest
+	}
+	c.microsAcc += micros
+	return micros, true, nil
+}
+
+// Read performs a read access (never faults on a COW page).
+func (c *COW) Read(as *mmu.AddressSpace, vpn uint64) error {
+	if f := as.Check(vpn, false); f != mmu.NoFault {
+		return fmt.Errorf("vm: read fault %v on page %d", f, vpn)
+	}
+	return nil
+}
+
+// Stats returns the number of COW faults taken and pages copied, and
+// the accumulated virtual time spent in the mechanism.
+func (c *COW) Stats() (faults, copies int64, micros float64) {
+	return c.faults, c.copies, c.microsAcc
+}
+
+// SharedPages returns the number of pages still in copy-on-write state.
+func (c *COW) SharedPages() int { return len(c.shared) }

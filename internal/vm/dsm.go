@@ -1,0 +1,216 @@
+package vm
+
+import (
+	"fmt"
+
+	"archos/internal/ipc"
+	"archos/internal/mmu"
+)
+
+// DSM implements Ivy-style distributed shared virtual memory [Li &
+// Hudak 89] over the network model: "a network-wide shared virtual
+// memory is used to give the programmer on a workstation network the
+// illusion of a shared-memory multiprocessor. Pages can be replicated
+// on different workstations as long as the copies are mapped read-only.
+// When one node attempts a write, it faults. Software then executes an
+// invalidation-based coherence protocol, invalidating all copies except
+// the writer's, whose mapping is changed to read-write."
+//
+// The implementation uses a central directory (manager) tracking each
+// page's owner and copy set, and charges every protocol step with the
+// costs the paper says it is made of: the fault (reflected to the
+// user-level run-time), PTE changes, control messages, and page
+// transfers on the wire.
+type DSM struct {
+	costs *FaultCosts
+	net   ipc.NetworkConfig
+
+	nodes []*Node
+	dir   map[uint64]*dirEntry
+
+	clock float64 // global virtual microseconds
+
+	readFaults  int64
+	writeFaults int64
+	transfers   int64
+	invals      int64
+
+	// ReflectToUser selects user-level fault handling (the run-time
+	// implements coherence, as Ivy does) versus in-kernel handling.
+	ReflectToUser bool
+
+	// ControlBytes is the size of a protocol control message.
+	ControlBytes int
+}
+
+type dirEntry struct {
+	owner   *Node
+	copies  map[int]*Node // node id → reader copy
+	writers int           // 1 while the owner holds it read-write
+}
+
+// Node is one workstation participating in the shared memory.
+type Node struct {
+	ID int
+	AS *mmu.AddressSpace
+
+	dsm *DSM
+}
+
+// NewDSM creates a shared-memory system of n nodes on architecture
+// costs over net.
+func NewDSM(costs *FaultCosts, net ipc.NetworkConfig, n int) *DSM {
+	d := &DSM{
+		costs:         costs,
+		net:           net,
+		dir:           make(map[uint64]*dirEntry),
+		ReflectToUser: true,
+		ControlBytes:  32,
+	}
+	for i := 0; i < n; i++ {
+		d.nodes = append(d.nodes, &Node{
+			ID:  i,
+			AS:  mmu.NewAddressSpace(i, mmu.NewHashTable()),
+			dsm: d,
+		})
+	}
+	return d
+}
+
+// Nodes returns the participating nodes.
+func (d *DSM) Nodes() []*Node { return d.nodes }
+
+// Clock returns accumulated virtual time in microseconds.
+func (d *DSM) Clock() float64 { return d.clock }
+
+// Stats returns protocol event counts.
+func (d *DSM) Stats() (readFaults, writeFaults, pageTransfers, invalidations int64) {
+	return d.readFaults, d.writeFaults, d.transfers, d.invals
+}
+
+func (d *DSM) faultMicros() float64 {
+	if d.ReflectToUser {
+		return d.costs.UserReflectedMicros()
+	}
+	return d.costs.KernelHandledMicros()
+}
+
+func (d *DSM) controlMicros() float64 { return d.net.PacketMicros(d.ControlBytes) }
+
+func (d *DSM) pageMicros() float64 {
+	return d.net.PacketMicros(d.costs.Spec.PageBytes + d.ControlBytes)
+}
+
+// entry returns the directory entry for vpn, creating the page at the
+// first toucher (which becomes owner with a writable zero-filled page).
+func (d *DSM) entry(vpn uint64, first *Node) *dirEntry {
+	e, ok := d.dir[vpn]
+	if !ok {
+		e = &dirEntry{owner: first, copies: map[int]*Node{}, writers: 1}
+		d.dir[vpn] = e
+		first.AS.MapNew(vpn, mmu.ProtReadWrite)
+	}
+	return e
+}
+
+// Read performs a read of vpn by node n, running the coherence protocol
+// on a miss. It returns the virtual-time cost of the access.
+func (n *Node) Read(vpn uint64) float64 {
+	d := n.dsm
+	e := d.entry(vpn, n)
+	if n.AS.Check(vpn, false) == mmu.NoFault {
+		return 0 // locally readable
+	}
+	d.readFaults++
+	cost := d.faultMicros()
+
+	// Request a copy from the owner: control message out, page back.
+	// "Later execution of a read request on a remote node faults,
+	// causing another replica to be created and the writer's copy to be
+	// changed back to read-only."
+	cost += d.controlMicros() + d.pageMicros()
+	if e.writers > 0 {
+		// Downgrade the owner to read-only.
+		if err := e.owner.AS.Table.Protect(vpn, mmu.ProtRead); err != nil {
+			panic(fmt.Sprintf("vm: dsm downgrade of unmapped owner page %d: %v", vpn, err))
+		}
+		cost += d.costs.CostModel().PTEChangeMicros()
+		e.writers = 0
+		e.copies[e.owner.ID] = e.owner
+	}
+	n.AS.Table.Map(vpn, n.AS.AllocFrame(), mmu.ProtRead)
+	cost += d.costs.CostModel().PTEChangeMicros()
+	e.copies[n.ID] = n
+	d.transfers++
+	d.clock += cost
+	return cost
+}
+
+// Write performs a write of vpn by node n, invalidating remote copies
+// as the protocol requires. It returns the virtual-time cost.
+func (n *Node) Write(vpn uint64) float64 {
+	d := n.dsm
+	e := d.entry(vpn, n)
+	if n.AS.Check(vpn, true) == mmu.NoFault {
+		return 0 // already the sole writer
+	}
+	d.writeFaults++
+	cost := d.faultMicros()
+
+	hadCopy := n.AS.Check(vpn, false) == mmu.NoFault
+	// Invalidate every other copy ("invalidating all copies except the
+	// writer's").
+	for id, other := range e.copies {
+		if other == n {
+			continue
+		}
+		other.AS.Table.Unmap(vpn)
+		cost += d.controlMicros() + d.costs.CostModel().PTEChangeMicros()
+		d.invals++
+		delete(e.copies, id)
+	}
+	if e.writers > 0 && e.owner != n {
+		e.owner.AS.Table.Unmap(vpn)
+		cost += d.controlMicros() + d.costs.CostModel().PTEChangeMicros()
+		d.invals++
+	}
+	if !hadCopy {
+		// Fetch the current contents from the previous owner.
+		cost += d.controlMicros() + d.pageMicros()
+		n.AS.Table.Map(vpn, n.AS.AllocFrame(), mmu.ProtReadWrite)
+		d.transfers++
+	} else {
+		if err := n.AS.Table.Protect(vpn, mmu.ProtReadWrite); err != nil {
+			panic(fmt.Sprintf("vm: dsm upgrade of unmapped page %d: %v", vpn, err))
+		}
+	}
+	cost += d.costs.CostModel().PTEChangeMicros()
+	delete(e.copies, n.ID)
+	e.owner = n
+	e.writers = 1
+	d.clock += cost
+	return cost
+}
+
+// CheckCoherence verifies the single-writer/multi-reader invariant for
+// every page: if any node can write a page, no other node may access
+// it. It returns an error describing the first violation.
+func (d *DSM) CheckCoherence() error {
+	for vpn := range d.dir {
+		writers, readers := 0, 0
+		for _, n := range d.nodes {
+			if n.AS.Check(vpn, true) == mmu.NoFault {
+				writers++
+			} else if n.AS.Check(vpn, false) == mmu.NoFault {
+				readers++
+			}
+		}
+		if writers > 1 {
+			return fmt.Errorf("vm: page %d has %d writers", vpn, writers)
+		}
+		if writers == 1 && readers > 0 {
+			return fmt.Errorf("vm: page %d has a writer and %d readers", vpn, readers)
+		}
+	}
+	return nil
+}

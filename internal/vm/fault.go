@@ -1,0 +1,52 @@
+// Package vm builds the paper's Section 3 virtual-memory services on
+// the mmu, tlb, and kernel substrates: copy-on-write, user-level fault
+// reflection (the external-pager path that garbage collection,
+// checkpointing, recoverable virtual memory, and transaction locking
+// are overloaded onto), and Ivy-style distributed shared virtual
+// memory with a write-invalidate coherence protocol over the network
+// model.
+package vm
+
+import (
+	"archos/internal/arch"
+	"archos/internal/ipc"
+	"archos/internal/kernel"
+)
+
+// FaultCosts prices the two fault-delivery paths the paper compares.
+// "Systems must find a way of quickly reflecting page faults back to
+// the user level, so that user-level code can make an appropriate
+// management decision. This requires both efficient dispatching of the
+// fault within the kernel (i.e., trap handling) and efficient crossing
+// from kernel space to user space and back (i.e., system calls)."
+type FaultCosts struct {
+	Spec *arch.Spec
+	cm   *kernel.CostModel
+}
+
+// NewFaultCosts builds the fault-cost model for architecture s.
+func NewFaultCosts(s *arch.Spec) *FaultCosts {
+	return &FaultCosts{Spec: s, cm: kernel.NewCostModel(s)}
+}
+
+// CostModel exposes the underlying kernel cost model.
+func (f *FaultCosts) CostModel() *kernel.CostModel { return f.cm }
+
+// KernelHandledMicros is a fault handled entirely in the kernel: the
+// trap plus the PTE update.
+func (f *FaultCosts) KernelHandledMicros() float64 {
+	return f.cm.TrapMicros() + f.cm.PTEChangeMicros()
+}
+
+// UserReflectedMicros is a fault reflected to a user-level handler: the
+// trap, an upcall crossing into user space, the handler's PTE-change
+// request, and the resume crossing back — two extra kernel boundary
+// crossings over the kernel-handled path.
+func (f *FaultCosts) UserReflectedMicros() float64 {
+	return f.cm.TrapMicros() + 2*f.cm.SyscallMicros() + f.cm.PTEChangeMicros()
+}
+
+// CopyPageMicros is the cost of copying one page on this architecture.
+func (f *FaultCosts) CopyPageMicros() float64 {
+	return ipc.CopyMicros(f.Spec, f.Spec.PageBytes)
+}

@@ -1,0 +1,269 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"archos/internal/arch"
+	"archos/internal/ipc"
+	"archos/internal/mmu"
+)
+
+func TestFaultCostOrdering(t *testing.T) {
+	for _, s := range []*arch.Spec{arch.CVAX, arch.R3000, arch.SPARC} {
+		f := NewFaultCosts(s)
+		if f.UserReflectedMicros() <= f.KernelHandledMicros() {
+			t.Errorf("%s: reflecting a fault to user level (%.1f µs) should cost more than kernel handling (%.1f µs)",
+				s.Name, f.UserReflectedMicros(), f.KernelHandledMicros())
+		}
+		// The reflection premium is exactly the two boundary crossings.
+		premium := f.UserReflectedMicros() - f.KernelHandledMicros()
+		want := 2 * f.CostModel().SyscallMicros()
+		if diff := premium - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("%s: reflection premium %.2f µs, want 2 syscalls = %.2f", s.Name, premium, want)
+		}
+	}
+}
+
+func newTestCOW(t *testing.T) (*COW, *mmu.AddressSpace, *mmu.AddressSpace) {
+	t.Helper()
+	c := NewCOW(NewFaultCosts(arch.R3000))
+	src := mmu.NewAddressSpace(1, mmu.NewHashTable())
+	dst := mmu.NewAddressSpace(2, mmu.NewHashTable())
+	src.MapNew(10, mmu.ProtReadWrite)
+	if err := c.Share(src, dst, 10); err != nil {
+		t.Fatal(err)
+	}
+	return c, src, dst
+}
+
+func TestCOWShareMakesBothReadOnly(t *testing.T) {
+	c, src, dst := newTestCOW(t)
+	for _, as := range []*mmu.AddressSpace{src, dst} {
+		if as.Check(10, false) != mmu.NoFault {
+			t.Errorf("pid %d cannot read the shared page", as.PID)
+		}
+		if as.Check(10, true) != mmu.FaultProtection {
+			t.Errorf("pid %d can write the shared page without a fault", as.PID)
+		}
+	}
+	// Both sides reference the same frame — nothing was copied.
+	a, _ := src.Table.Lookup(10)
+	b, _ := dst.Table.Lookup(10)
+	if a.Frame != b.Frame {
+		t.Error("shared page does not share a frame")
+	}
+	if c.SharedPages() != 1 {
+		t.Errorf("SharedPages = %d, want 1", c.SharedPages())
+	}
+}
+
+func TestCOWWriteCopiesOnce(t *testing.T) {
+	c, src, dst := newTestCOW(t)
+	micros, copied, err := c.Write(dst, 10)
+	if err != nil || !copied {
+		t.Fatalf("write: copied=%v err=%v", copied, err)
+	}
+	if micros <= 0 {
+		t.Error("copy-on-write fault cost nothing")
+	}
+	// The writer now has a private writable frame.
+	if dst.Check(10, true) != mmu.NoFault {
+		t.Error("writer still cannot write after the copy")
+	}
+	a, _ := src.Table.Lookup(10)
+	b, _ := dst.Table.Lookup(10)
+	if a.Frame == b.Frame {
+		t.Error("writer still shares the frame after the copy")
+	}
+	// The last sharer regains its original protection: no more COW.
+	if src.Check(10, true) != mmu.NoFault {
+		t.Error("sole remaining sharer did not regain write access")
+	}
+	if c.SharedPages() != 0 {
+		t.Errorf("SharedPages = %d after resolution, want 0", c.SharedPages())
+	}
+	// A second write by the same space is free (no fault).
+	micros2, copied2, err := c.Write(dst, 10)
+	if err != nil || copied2 || micros2 != 0 {
+		t.Errorf("second write: micros=%.1f copied=%v err=%v, want free", micros2, copied2, err)
+	}
+	faults, copies, acc := c.Stats()
+	if faults != 1 || copies != 1 || acc <= 0 {
+		t.Errorf("stats = %d faults / %d copies / %.1f µs, want 1/1/>0", faults, copies, acc)
+	}
+}
+
+func TestCOWErrors(t *testing.T) {
+	c := NewCOW(NewFaultCosts(arch.R3000))
+	src := mmu.NewAddressSpace(1, mmu.NewHashTable())
+	dst := mmu.NewAddressSpace(2, mmu.NewHashTable())
+	if err := c.Share(src, dst, 5); err == nil {
+		t.Error("sharing an unmapped page should fail")
+	}
+	if _, _, err := c.Write(dst, 99); err == nil {
+		t.Error("writing an unmapped page should fail")
+	}
+	if err := c.Read(dst, 99); err == nil {
+		t.Error("reading an unmapped page should fail")
+	}
+}
+
+func TestCOWReadNeverCopies(t *testing.T) {
+	c, src, dst := newTestCOW(t)
+	for i := 0; i < 10; i++ {
+		if err := c.Read(src, 10); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Read(dst, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, copies, _ := c.Stats(); copies != 0 {
+		t.Errorf("reads caused %d copies; copy-on-write must copy only on write", copies)
+	}
+}
+
+func newTestDSM(n int) *DSM {
+	return NewDSM(NewFaultCosts(arch.R3000), ipc.Ethernet10, n)
+}
+
+func TestDSMFirstTouchCreatesOwner(t *testing.T) {
+	d := newTestDSM(3)
+	n0 := d.Nodes()[0]
+	if cost := n0.Write(50); cost != 0 {
+		t.Errorf("first-touch write cost %.1f, want 0 (creation)", cost)
+	}
+	if cost := n0.Write(50); cost != 0 {
+		t.Errorf("owner's repeat write cost %.1f, want 0", cost)
+	}
+}
+
+func TestDSMReadReplicationAndDowngrade(t *testing.T) {
+	d := newTestDSM(3)
+	nodes := d.Nodes()
+	nodes[0].Write(7)
+	cost := nodes[1].Read(7)
+	if cost <= 0 {
+		t.Error("remote read fault cost nothing")
+	}
+	// Replication downgraded the writer: its next write must fault.
+	if c := nodes[0].Write(7); c <= 0 {
+		t.Error("owner write after replication should fault (write-invalidate)")
+	}
+	if err := d.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	// Repeated reads on a replica are free.
+	nodes[1].Read(7)
+	d2cost := nodes[1].Read(7)
+	if d2cost != 0 {
+		t.Errorf("read of a local replica cost %.1f", d2cost)
+	}
+}
+
+func TestDSMWriteInvalidatesAllCopies(t *testing.T) {
+	d := newTestDSM(4)
+	nodes := d.Nodes()
+	nodes[0].Write(9)
+	for _, n := range nodes[1:] {
+		n.Read(9)
+	}
+	// Node 3 writes: every other copy must vanish.
+	nodes[3].Write(9)
+	for i, n := range nodes[:3] {
+		if n.AS.Check(9, false) == mmu.NoFault {
+			t.Errorf("node %d still reads page 9 after invalidation", i)
+		}
+	}
+	if err := d.CheckCoherence(); err != nil {
+		t.Fatal(err)
+	}
+	_, wf, _, inv := d.Stats()
+	if wf == 0 || inv < 3 {
+		t.Errorf("write faults %d, invalidations %d; want ≥1 and ≥3", wf, inv)
+	}
+}
+
+func TestDSMPartitionedWritesSettle(t *testing.T) {
+	d := newTestDSM(4)
+	for round := 0; round < 3; round++ {
+		for i, n := range d.Nodes() {
+			n.Write(uint64(100 + i))
+		}
+	}
+	_, wf, _, _ := d.Stats()
+	if wf != 0 {
+		t.Errorf("partitioned writes caused %d write faults; each node owns its page", wf)
+	}
+}
+
+func TestDSMPingPongCostsGrowWithPageSize(t *testing.T) {
+	run := func(pageBytes int) float64 {
+		spec := *arch.R3000
+		spec.PageBytes = pageBytes
+		d := NewDSM(NewFaultCosts(&spec), ipc.Ethernet10, 2)
+		for i := 0; i < 20; i++ {
+			d.Nodes()[0].Write(1)
+			d.Nodes()[1].Write(1)
+		}
+		return d.Clock()
+	}
+	if small, large := run(1024), run(8192); large <= small {
+		t.Errorf("8K-page ping-pong (%.0f µs) not dearer than 1K (%.0f µs)", large, small)
+	}
+}
+
+func TestDSMKernelHandlingCheaperThanReflection(t *testing.T) {
+	run := func(reflect bool) float64 {
+		d := newTestDSM(2)
+		d.ReflectToUser = reflect
+		for i := 0; i < 20; i++ {
+			d.Nodes()[0].Write(1)
+			d.Nodes()[1].Write(1)
+		}
+		return d.Clock()
+	}
+	if k, u := run(false), run(true); u <= k {
+		t.Errorf("user-level coherence (%.0f µs) should cost more than in-kernel (%.0f µs)", u, k)
+	}
+}
+
+// Property: any interleaving of reads and writes preserves the
+// single-writer/multi-reader invariant.
+func TestDSMCoherencePropertyRandomOps(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := newTestDSM(4)
+		nodes := d.Nodes()
+		for _, op := range ops {
+			n := nodes[int(op>>8)%len(nodes)]
+			vpn := uint64(op & 0x0F)
+			if op&0x10 != 0 {
+				n.Write(vpn)
+			} else {
+				n.Read(vpn)
+			}
+			if d.CheckCoherence() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after node k writes page p, node k can read and write p for
+// free until someone else touches it (ownership stability).
+func TestDSMOwnershipStability(t *testing.T) {
+	f := func(vpn uint8, k uint8) bool {
+		d := newTestDSM(3)
+		n := d.Nodes()[int(k)%3]
+		n.Write(uint64(vpn))
+		return n.Read(uint64(vpn)) == 0 && n.Write(uint64(vpn)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package workload defines the application workloads of the paper's
+// Section 5 as synthetic service-request streams: "spellcheck-1
+// (spellcheck a 1 page document); latex-150 (format a 150 page
+// document); andrew-local (a script of file system intensive programs
+// such as copy, compile and search, run using an entirely local file
+// system); andrew-remote (the same script run using a remote file
+// system); link-vmunix (the final link phase of a Mach kernel build)
+// and parthenon (a resolution-based theorem prover that uses multiple
+// threads to exploit or-parallelism)."
+//
+// Each Spec gives the workload's demand on the operating system —
+// counts of file operations, read/write calls, forks, page faults,
+// device interrupts, and user-level synchronisations — plus its pure
+// user computation time. The mach package turns one Spec into the
+// paper's Table 7 counters under either OS structure; the demand is OS-
+// independent, the counters are not.
+package workload
+
+// Spec is one application's demand stream.
+type Spec struct {
+	Name string
+
+	// UserSeconds is pure application computation (no OS involvement)
+	// on the paper's measurement platform (a 25 MHz R3000).
+	UserSeconds float64
+	// ServiceSeconds is time inside operating-system services doing
+	// real work (file system, paging I/O) — identical under both
+	// structures; only where it runs differs.
+	ServiceSeconds float64
+
+	FileOps    int // open/close pairs
+	ReadWrites int // read/write/stat-class calls
+	OtherCalls int // remaining Unix calls
+	Forks      int // fork/exec pairs
+
+	PageFaults int // user page faults (zero-fill, COW, file-backed)
+	Interrupts int // device + clock interrupts
+
+	// Blocks is the number of operations that block awaiting I/O
+	// (cache-missing opens, disk-bound reads and faults). It is
+	// workload data — cache behaviour differs wildly between, say, the
+	// andrew script and a linker pass over warm object files.
+	Blocks int
+
+	// SyncOps is user-level lock acquisitions. On an architecture
+	// without an atomic test-and-set (the measurement platform's MIPS
+	// R3000), every one traps into the kernel and shows up in Table 7's
+	// kernel-emulated instruction counts.
+	SyncOps int64
+
+	Threads int // application threads (parthenon: 1 or 10)
+
+	// Remote routes file service across the network (andrew-remote):
+	// each file operation additionally involves the network server.
+	Remote bool
+}
+
+// UnixCalls is the number of Unix service invocations the workload
+// makes: one per open and close, one per read/write, one per other
+// call, three per fork/exec pair (fork, exec, wait).
+func (s Spec) UnixCalls() int {
+	return 2*s.FileOps + s.ReadWrites + s.OtherCalls + 3*s.Forks
+}
+
+// All returns the seven Table 7 workload rows in the paper's order.
+func All() []Spec {
+	return []Spec{Spellcheck, Latex150, AndrewLocal, AndrewRemote, LinkVmunix, Parthenon1, Parthenon10}
+}
+
+// Spellcheck: tiny input, short pipeline of small programs.
+var Spellcheck = Spec{
+	Name:        "spellcheck-1",
+	UserSeconds: 1.0, ServiceSeconds: 0.9,
+	FileOps: 60, ReadWrites: 500, OtherCalls: 170, Forks: 4,
+	PageFaults: 1900, Interrupts: 300,
+	Blocks:  190,
+	Threads: 1,
+}
+
+// Latex150: long compute phases, steady font/aux file traffic.
+var Latex150 = Spec{
+	Name:        "latex-150",
+	UserSeconds: 58, ServiceSeconds: 6,
+	FileOps: 800, ReadWrites: 3200, OtherCalls: 600, Forks: 12,
+	PageFaults: 12500, Interrupts: 2500,
+	Blocks:  2300,
+	Threads: 1,
+}
+
+// AndrewLocal: the file-system-intensive Andrew-style script on a local
+// file system.
+var AndrewLocal = Spec{
+	Name:        "andrew-local",
+	UserSeconds: 45, ServiceSeconds: 18,
+	FileOps: 5000, ReadWrites: 22000, OtherCalls: 2300, Forks: 290,
+	PageFaults: 52000, Interrupts: 14000,
+	Blocks:  4700,
+	Threads: 1,
+}
+
+// AndrewRemote: the same script against a remote file system.
+var AndrewRemote = Spec{
+	Name:        "andrew-remote",
+	UserSeconds: 45, ServiceSeconds: 26,
+	FileOps: 5000, ReadWrites: 22000, OtherCalls: 2600, Forks: 290,
+	PageFaults: 52000, Interrupts: 14500,
+	Blocks:  5500,
+	Threads: 1,
+	Remote:  true,
+}
+
+// LinkVmunix: one big link — heavy reads, few processes.
+var LinkVmunix = Spec{
+	Name:        "link-vmunix",
+	UserSeconds: 16, ServiceSeconds: 5.5,
+	FileOps: 1500, ReadWrites: 9400, OtherCalls: 600, Forks: 3,
+	PageFaults: 12800, Interrupts: 2500,
+	Blocks:  790,
+	Threads: 1,
+}
+
+// Parthenon1: the or-parallel theorem prover pinned to one thread —
+// almost no file activity, relentless lock traffic.
+var Parthenon1 = Spec{
+	Name:        "parthenon (1 thread)",
+	UserSeconds: 17.5, ServiceSeconds: 0.3,
+	FileOps: 25, ReadWrites: 140, OtherCalls: 55, Forks: 4,
+	PageFaults: 800, Interrupts: 270,
+	Blocks:  220,
+	SyncOps: 1_395_000,
+	Threads: 1,
+}
+
+// Parthenon10: ten threads; more scheduling, slightly less lock traffic
+// (contention backs off), same proof.
+var Parthenon10 = Spec{
+	Name:        "parthenon (10 threads)",
+	UserSeconds: 15.0, ServiceSeconds: 0.3,
+	FileOps: 25, ReadWrites: 145, OtherCalls: 60, Forks: 4,
+	PageFaults: 2300, Interrupts: 1050,
+	Blocks:  290,
+	SyncOps: 1_254_000,
+	Threads: 10,
+}

@@ -1,0 +1,79 @@
+package workload
+
+import "testing"
+
+func TestUnixCalls(t *testing.T) {
+	s := Spec{FileOps: 10, ReadWrites: 100, OtherCalls: 5, Forks: 2}
+	if got := s.UnixCalls(); got != 20+100+5+6 {
+		t.Errorf("UnixCalls = %d, want 131", got)
+	}
+}
+
+func TestAllSevenRowsInPaperOrder(t *testing.T) {
+	all := All()
+	want := []string{
+		"spellcheck-1", "latex-150", "andrew-local", "andrew-remote",
+		"link-vmunix", "parthenon (1 thread)", "parthenon (10 threads)",
+	}
+	if len(all) != len(want) {
+		t.Fatalf("%d workloads, want %d", len(all), len(want))
+	}
+	for i, w := range all {
+		if w.Name != want[i] {
+			t.Errorf("workload %d = %q, want %q", i, w.Name, want[i])
+		}
+	}
+}
+
+func TestWorkloadsAreWellFormed(t *testing.T) {
+	for _, w := range All() {
+		if w.UserSeconds <= 0 || w.ServiceSeconds <= 0 {
+			t.Errorf("%s: non-positive time components", w.Name)
+		}
+		if w.UnixCalls() <= 0 {
+			t.Errorf("%s: no Unix calls", w.Name)
+		}
+		if w.Threads < 1 {
+			t.Errorf("%s: %d threads", w.Name, w.Threads)
+		}
+		if w.Blocks <= 0 || w.Blocks > w.UnixCalls()+w.PageFaults+w.Interrupts {
+			t.Errorf("%s: implausible block count %d", w.Name, w.Blocks)
+		}
+	}
+}
+
+func TestOnlyAndrewRemoteIsRemote(t *testing.T) {
+	for _, w := range All() {
+		if w.Remote != (w.Name == "andrew-remote") {
+			t.Errorf("%s: Remote = %v", w.Name, w.Remote)
+		}
+	}
+}
+
+func TestOnlyParthenonSynchronises(t *testing.T) {
+	// parthenon is the paper's showcase for the missing atomic
+	// instruction; the other workloads have no user-level lock traffic.
+	for _, w := range All() {
+		isParthenon := w.Name == "parthenon (1 thread)" || w.Name == "parthenon (10 threads)"
+		if (w.SyncOps > 0) != isParthenon {
+			t.Errorf("%s: SyncOps = %d", w.Name, w.SyncOps)
+		}
+		if isParthenon && (w.SyncOps < 1_200_000 || w.SyncOps > 1_500_000) {
+			t.Errorf("%s: SyncOps = %d, paper counts ≈1.25–1.40M", w.Name, w.SyncOps)
+		}
+	}
+	if Parthenon10.Threads != 10 || Parthenon1.Threads != 1 {
+		t.Error("parthenon thread counts wrong")
+	}
+}
+
+func TestAndrewVariantsShareDemand(t *testing.T) {
+	// andrew-remote is "the same script run using a remote file
+	// system": identical file demand, only the transport differs.
+	if AndrewLocal.FileOps != AndrewRemote.FileOps || AndrewLocal.ReadWrites != AndrewRemote.ReadWrites {
+		t.Error("andrew variants should make the same file demand")
+	}
+	if AndrewRemote.ServiceSeconds <= AndrewLocal.ServiceSeconds {
+		t.Error("remote file service should cost more service time")
+	}
+}
