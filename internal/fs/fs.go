@@ -9,6 +9,8 @@
 package fs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"sort"
@@ -389,6 +391,35 @@ func (f *FS) WriteFile(path string, data []byte) error {
 	defer f.Close(fdno)
 	_, err = f.Write(fdno, data)
 	return err
+}
+
+// Fingerprint returns a stable digest of the logical file-system state
+// — every path with its kind, size, and content bytes — walking the
+// tree directly so neither the block cache nor the operation counters
+// are disturbed. Two file systems holding the same tree produce the
+// same fingerprint; a single double-applied or lost write changes it.
+func (f *FS) Fingerprint() string {
+	h := sha256.New()
+	var walk func(prefix string, n *inode)
+	walk = func(prefix string, n *inode) {
+		names := make([]string, 0, len(n.children))
+		for name := range n.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := f.inodes[n.children[name]]
+			path := prefix + "/" + name
+			fmt.Fprintf(h, "%s|%v|%d\n", path, c.kind, len(c.data))
+			if c.kind == KindDir {
+				walk(path, c)
+			} else {
+				h.Write(c.data)
+			}
+		}
+	}
+	walk("", f.inodes[1])
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // OpenFDs returns the number of live descriptors.

@@ -260,3 +260,33 @@ func TestFSMatchesMapModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestFingerprintTracksLogicalState(t *testing.T) {
+	build := func(extra []byte) *FS {
+		f := New(64)
+		if err := f.Mkdir("/d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.WriteFile("/d/f", append([]byte("content"), extra...)); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	a, b := build(nil), build(nil)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical trees produced different fingerprints")
+	}
+	// A double-applied write (the at-most-once failure mode) must change
+	// the fingerprint.
+	if a.Fingerprint() == build([]byte("content")).Fingerprint() {
+		t.Error("doubled content not reflected in fingerprint")
+	}
+	// Fingerprinting must not disturb the observable counters.
+	hitsBefore, missesBefore := a.CacheStats()
+	opsBefore := a.OpCounts()["read"]
+	a.Fingerprint()
+	hitsAfter, missesAfter := a.CacheStats()
+	if hitsBefore != hitsAfter || missesBefore != missesAfter || a.OpCounts()["read"] != opsBefore {
+		t.Error("Fingerprint perturbed cache or op counters")
+	}
+}

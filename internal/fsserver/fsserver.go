@@ -57,6 +57,11 @@ type Stats struct {
 	WireMicros     float64 // portion on the (local) wire, remote case
 	PayloadBytes   int64   // marshalled bytes, remote case
 	ServerRejected int     // frames the server's checksum rejected
+	DegradedOps    int     // ops that returned ErrUnavailable instead of wedging
+
+	// Wire is the merged client+server transport counter set (remote
+	// case): retries, duplicates suppressed, bad frames, backoff time.
+	Wire wire.Stats
 }
 
 // ---- Monolithic arrangement ----
@@ -194,18 +199,38 @@ func NewRemote(fsys *fs.FS, cm *kernel.CostModel) *Remote {
 
 // NewRemoteOnLink builds the decomposed arrangement over a caller-
 // provided link (tests inject faults through it; a cross-machine
-// arrangement passes an Ethernet-class link).
+// arrangement passes an Ethernet-class link). The client is tuned for
+// service traffic: generous retries so probabilistic fault planes are
+// survivable, bounded by whatever deadline budget Tune installs.
 func NewRemoteOnLink(fsys *fs.FS, cm *kernel.CostModel, link *wire.Link) *Remote {
+	client := wire.NewClient(link, wire.A)
+	client.MaxRetries = 32
 	return &Remote{
-		client: wire.NewClient(link, wire.A),
+		client: client,
 		server: NewServer(fsys, link, wire.B),
 		link:   link,
 		cm:     cm,
 	}
 }
 
+// Tune adjusts the transport budget of the decomposed arrangement: the
+// retransmission bound and the per-call virtual-time deadline (0 keeps
+// calls unbounded). A call that exhausts either budget surfaces as
+// ErrUnavailable rather than wedging the caller.
+func (r *Remote) Tune(maxRetries int, deadlineMicros float64) {
+	r.client.MaxRetries = maxRetries
+	r.client.DeadlineMicros = deadlineMicros
+}
+
 // ErrRemote adapts remote failures.
 var ErrRemote = errors.New("fsserver: remote error")
+
+// ErrUnavailable reports an operation abandoned because the transport
+// exhausted its retry or deadline budget — the decomposed service's
+// graceful-degradation signal. The operation may or may not have
+// executed on the server; at-most-once semantics guarantee only that it
+// executed no more than once.
+var ErrUnavailable = errors.New("fsserver: service unavailable")
 
 func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 	r.stats.Ops++
@@ -222,6 +247,10 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 		var remote *wire.RemoteError
 		if errors.As(err, &remote) {
 			return nil, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
+		}
+		if errors.Is(err, wire.ErrCallFailed) || errors.Is(err, wire.ErrDeadlineExceeded) {
+			r.stats.DegradedOps++
+			return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 		}
 		return nil, err
 	}
@@ -304,9 +333,11 @@ func (r *Remote) ReadDir(path string) ([]string, error) {
 	return names, nil
 }
 
-// Stats reports the accumulated costs.
+// Stats reports the accumulated costs, including the merged transport
+// counters of both ends of the link.
 func (r *Remote) Stats() Stats {
 	s := r.stats
-	s.ServerRejected = r.server.Wire.BadFrames
+	s.Wire = r.client.Stats.Add(r.server.Wire.Stats)
+	s.ServerRejected = r.server.Wire.Stats.BadFrames
 	return s
 }

@@ -4,14 +4,19 @@ import (
 	"errors"
 	"sync"
 
+	"archos/internal/faultplane"
 	"archos/internal/ipc"
 )
 
 // Link is a full-duplex in-memory network link between two endpoints,
-// with virtual-time accounting from the ipc network model and optional
-// deterministic fault injection (corruption or loss of selected
-// frames). It is synchronous and single-conversation — the shape of a
-// kernel-to-kernel RPC channel, not a general socket.
+// with virtual-time accounting from the ipc network model and fault
+// injection from two composable sources: deterministic per-frame hooks
+// (corrupt or drop frame #n — the surgical tests) and an optional
+// seeded probabilistic fault plane (loss, corruption, duplication,
+// reordering, delay, bursts — the chaos soaks). Injected delay is
+// charged to the link's virtual clock. The link is synchronous and
+// single-conversation — the shape of a kernel-to-kernel RPC channel,
+// not a general socket.
 type Link struct {
 	Net ipc.NetworkConfig
 
@@ -20,11 +25,21 @@ type Link struct {
 	bToA  [][]byte
 	clock float64 // µs of accumulated wire time
 
+	// held frames: reordered by the fault plane, delivered after the
+	// next frame sent in the same direction.
+	heldAB [][]byte
+	heldBA [][]byte
+
 	// fault injection: frame sequence numbers (1-based, per link) to
 	// corrupt or drop on transmission.
 	seq     int
 	corrupt map[int]bool
 	drop    map[int]bool
+
+	// probabilistic fault plane; nil means a clean wire.
+	plane faultplane.Injector
+
+	nextClient uint32
 }
 
 // NewLink builds a link with the given network characteristics.
@@ -47,11 +62,37 @@ func (l *Link) DropFrame(n int) {
 	l.drop[n] = true
 }
 
+// SetFaultPlane attaches a probabilistic fault injector (package
+// faultplane); it composes with the deterministic per-frame hooks. Pass
+// nil to detach. The link's lock serialises Decide calls, so a plane
+// needs no locking of its own.
+func (l *Link) SetFaultPlane(p faultplane.Injector) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.plane = p
+}
+
 // Clock returns accumulated wire time in microseconds.
 func (l *Link) Clock() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.clock
+}
+
+// AdvanceClock charges extra virtual time to the link — the client's
+// retransmission backoff lives on the same clock as the wire itself.
+func (l *Link) AdvanceClock(micros float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.clock += micros
+}
+
+// allocClientID hands out distinct caller identities on this link.
+func (l *Link) allocClientID() uint32 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextClient++
+	return l.nextClient
 }
 
 // Endpoint names a side of the link.
@@ -63,14 +104,29 @@ const (
 	B
 )
 
+// queues returns the delivery and held queues for frames sent by from.
+func (l *Link) queues(from Endpoint) (q, held *[][]byte) {
+	if from == A {
+		return &l.aToB, &l.heldAB
+	}
+	return &l.bToA, &l.heldBA
+}
+
 // Send transmits a frame from the endpoint; the peer's Recv will see it
-// unless dropped. Corruption flips one payload bit but still delivers.
+// unless dropped. Corruption flips a bit but still delivers; duplicated
+// frames arrive twice; reordered frames arrive behind the next frame
+// sent the same way; injected delay advances the virtual clock.
 func (l *Link) Send(from Endpoint, frame []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
 	l.clock += l.Net.PacketMicros(len(frame))
-	if l.drop[l.seq] {
+	var d faultplane.Decision
+	if l.plane != nil {
+		d = l.plane.Decide(l.seq, len(frame))
+	}
+	l.clock += d.DelayMicros
+	if l.drop[l.seq] || d.Drop {
 		return
 	}
 	out := make([]byte, len(frame))
@@ -78,11 +134,39 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	if l.corrupt[l.seq] && len(out) > headerBytes {
 		out[headerBytes] ^= 0x40 // flip a payload bit
 	}
-	if from == A {
-		l.aToB = append(l.aToB, out)
-	} else {
-		l.bToA = append(l.bToA, out)
+	if d.Corrupt {
+		flipBit(out, d.CorruptOffset)
 	}
+	q, held := l.queues(from)
+	if d.Reorder {
+		*held = append(*held, out)
+		return
+	}
+	*q = append(*q, out)
+	if d.Duplicate {
+		dup := make([]byte, len(out))
+		copy(dup, out)
+		*q = append(*q, dup)
+		l.clock += l.Net.PacketMicros(len(out)) // the copy occupies the wire too
+	}
+	// A delivered frame pushes any held (reordered) frames out behind it.
+	if len(*held) > 0 {
+		*q = append(*q, *held...)
+		*held = nil
+	}
+}
+
+// flipBit damages one payload bit (or the checksum field of a bare
+// header) so the receiver's checksum rejects the frame.
+func flipBit(frame []byte, offset int) {
+	if len(frame) <= headerBytes {
+		if len(frame) > checksumStart {
+			frame[checksumStart] ^= 0x01
+		}
+		return
+	}
+	p := headerBytes + offset%(len(frame)-headerBytes)
+	frame[p] ^= 1 << uint(offset%8)
 }
 
 // ErrEmpty is returned by Recv when no frame is pending.
@@ -92,9 +176,15 @@ var ErrEmpty = errors.New("wire: no frame pending")
 func (l *Link) Recv(at Endpoint) ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	q := &l.bToA
+	from := B
 	if at == B {
-		q = &l.aToB
+		from = A
+	}
+	q, held := l.queues(from)
+	if len(*q) == 0 && len(*held) > 0 {
+		// Nothing will ever push a lone reordered frame through; it
+		// degrades to plain delay rather than loss.
+		*q, *held = *held, nil
 	}
 	if len(*q) == 0 {
 		return nil, ErrEmpty

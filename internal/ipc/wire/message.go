@@ -28,18 +28,19 @@ const (
 
 const (
 	magic         = 0x5250 // "RP"
-	version       = 1
-	headerBytes   = 16
+	version       = 2      // v2 added ClientID for at-most-once delivery
+	headerBytes   = 20
 	maxPayload    = 64 << 10
-	checksumStart = 12 // offset of the checksum field within the header
+	checksumStart = 16 // offset of the checksum field within the header
 )
 
 // Header describes a frame.
 type Header struct {
-	Kind    MsgKind
-	CallID  uint32
-	ProcID  uint32 // procedure being invoked (calls) / echoed (replies)
-	Payload int    // payload length in bytes
+	Kind     MsgKind
+	CallID   uint32
+	ProcID   uint32 // procedure being invoked (calls) / echoed (replies)
+	ClientID uint32 // caller identity; keys the server's reply cache
+	Payload  int    // payload length in bytes
 }
 
 // Errors returned by the codec.
@@ -83,8 +84,9 @@ func Encode(h Header, payload []byte) ([]byte, error) {
 	frame[3] = byte(h.Kind)
 	binary.BigEndian.PutUint32(frame[4:8], h.CallID)
 	binary.BigEndian.PutUint32(frame[8:12], h.ProcID)
-	// frame[12:14] checksum, zero for now
-	binary.BigEndian.PutUint16(frame[14:16], uint16(len(payload)))
+	binary.BigEndian.PutUint32(frame[12:16], h.ClientID)
+	// frame[16:18] checksum, zero for now
+	binary.BigEndian.PutUint16(frame[18:20], uint16(len(payload)))
 	copy(frame[headerBytes:], payload)
 	binary.BigEndian.PutUint16(frame[checksumStart:checksumStart+2], Checksum(frame))
 	return frame, nil
@@ -103,10 +105,11 @@ func Decode(frame []byte) (Header, []byte, error) {
 		return Header{}, nil, ErrBadVersion
 	}
 	h := Header{
-		Kind:    MsgKind(frame[3]),
-		CallID:  binary.BigEndian.Uint32(frame[4:8]),
-		ProcID:  binary.BigEndian.Uint32(frame[8:12]),
-		Payload: int(binary.BigEndian.Uint16(frame[14:16])),
+		Kind:     MsgKind(frame[3]),
+		CallID:   binary.BigEndian.Uint32(frame[4:8]),
+		ProcID:   binary.BigEndian.Uint32(frame[8:12]),
+		ClientID: binary.BigEndian.Uint32(frame[12:16]),
+		Payload:  int(binary.BigEndian.Uint16(frame[18:20])),
 	}
 	if len(frame) != headerBytes+h.Payload {
 		return Header{}, nil, ErrTruncated

@@ -8,22 +8,68 @@ import (
 // Handler implements one remote procedure: arguments in, results out.
 type Handler func(args []interface{}) ([]interface{}, error)
 
-// Server dispatches calls arriving at one end of a link.
+// Stats is the structured counter set of one side of a connection.
+// Server-side fields count frames arriving at and leaving the server;
+// client-side fields count the retransmission machinery. Add merges the
+// two views into one transport picture.
+type Stats struct {
+	// Server side.
+	Served               int // replies transmitted for freshly executed calls
+	BadFrames            int // frames the codec rejected (corruption, truncation)
+	EncodeErrors         int // replies lost to Marshal/Encode failures
+	DuplicatesSuppressed int // retransmitted calls answered from the reply cache
+	StaleFrames          int // frames for a superseded call, discarded
+
+	// Client side.
+	Retries          int     // retransmissions performed
+	BackoffMicros    float64 // virtual time spent backing off between retries
+	DeadlineExceeded int     // calls abandoned when the deadline budget ran out
+}
+
+// Add returns the field-wise sum of two stat sets.
+func (s Stats) Add(o Stats) Stats {
+	s.Served += o.Served
+	s.BadFrames += o.BadFrames
+	s.EncodeErrors += o.EncodeErrors
+	s.DuplicatesSuppressed += o.DuplicatesSuppressed
+	s.StaleFrames += o.StaleFrames
+	s.Retries += o.Retries
+	s.BackoffMicros += o.BackoffMicros
+	s.DeadlineExceeded += o.DeadlineExceeded
+	return s
+}
+
+// cachedReply is the at-most-once record for one client: the last call
+// executed for it and the encoded reply frame (nil when the reply could
+// not be encoded — the execution still must not repeat).
+type cachedReply struct {
+	callID uint32
+	frame  []byte
+}
+
+// Server dispatches calls arriving at one end of a link with
+// at-most-once execution semantics: a per-client reply cache keyed by
+// (client ID, call ID) answers retransmitted calls without re-running
+// the handler, so non-idempotent procedures survive a lossy wire.
 type Server struct {
 	link *Link
 	side Endpoint
 
 	procs map[uint32]Handler
 
-	// Served counts successfully handled calls; BadFrames counts
-	// frames rejected by the codec (corruption, truncation).
-	Served    int
-	BadFrames int
+	// replies holds the last reply per client. Clients issue one call
+	// at a time with increasing IDs, so a one-deep cache per client is
+	// exactly the at-most-once window.
+	replies map[uint32]cachedReply
+
+	// Stats counts the server's transport events. Served means "reply
+	// frame actually transmitted", incremented after the send.
+	Stats Stats
 }
 
 // NewServer builds a server on side of link.
 func NewServer(link *Link, side Endpoint) *Server {
-	return &Server{link: link, side: side, procs: map[uint32]Handler{}}
+	return &Server{link: link, side: side, procs: map[uint32]Handler{}, replies: map[uint32]cachedReply{}}
 }
 
 // Register binds a procedure ID to a handler.
@@ -34,7 +80,8 @@ var ErrNoProc = errors.New("wire: no such procedure")
 
 // Poll processes every pending frame, sending replies. Corrupted
 // frames are dropped silently (the client's retransmission recovers),
-// exactly as a checksum-verifying transport behaves.
+// exactly as a checksum-verifying transport behaves. Retransmitted
+// calls are answered from the reply cache; stale calls are discarded.
 func (s *Server) Poll() {
 	for {
 		frame, err := s.link.Recv(s.side)
@@ -43,17 +90,32 @@ func (s *Server) Poll() {
 		}
 		h, payload, err := Decode(frame)
 		if err != nil {
-			s.BadFrames++
+			s.Stats.BadFrames++
 			continue
 		}
 		if h.Kind != KindCall {
 			continue
 		}
-		s.reply(h, payload)
+		if e, ok := s.replies[h.ClientID]; ok {
+			if h.CallID == e.callID {
+				// Duplicate of the last executed call: resend the
+				// cached reply, never the handler.
+				s.Stats.DuplicatesSuppressed++
+				if e.frame != nil {
+					s.link.Send(s.side, e.frame)
+				}
+				continue
+			}
+			if h.CallID < e.callID {
+				s.Stats.StaleFrames++
+				continue
+			}
+		}
+		s.execute(h, payload)
 	}
 }
 
-func (s *Server) reply(h Header, payload []byte) {
+func (s *Server) execute(h Header, payload []byte) {
 	var results []interface{}
 	proc, ok := s.procs[h.ProcID]
 	if !ok {
@@ -72,15 +134,20 @@ func (s *Server) reply(h Header, payload []byte) {
 		}
 	}
 	body, err := Marshal(results...)
+	var frame []byte
+	if err == nil {
+		frame, err = Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID}, body)
+	}
 	if err != nil {
+		// The reply cannot be encoded, but the handler has run: cache
+		// the execution anyway so retransmissions cannot repeat it.
+		s.Stats.EncodeErrors++
+		s.replies[h.ClientID] = cachedReply{callID: h.CallID}
 		return
 	}
-	frame, err := Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID}, body)
-	if err != nil {
-		return
-	}
-	s.Served++
+	s.replies[h.ClientID] = cachedReply{callID: h.CallID, frame: frame}
 	s.link.Send(s.side, frame)
+	s.Stats.Served++ // after the send: Served means "reply transmitted"
 }
 
 // Client issues calls from one end of a link.
@@ -88,21 +155,45 @@ type Client struct {
 	link *Link
 	side Endpoint
 
+	// ClientID names this caller in frame headers; the server's reply
+	// cache is keyed by it. NewClient assigns a fresh ID per link.
+	ClientID uint32
+
 	nextID uint32
 
 	// MaxRetries bounds retransmissions per call.
 	MaxRetries int
-	// Retries counts retransmissions performed.
-	Retries int
+	// InitialBackoffMicros and MaxBackoffMicros shape the capped
+	// exponential backoff charged to the link's virtual clock between
+	// retransmissions.
+	InitialBackoffMicros float64
+	MaxBackoffMicros     float64
+	// DeadlineMicros bounds one call's total virtual time (wire +
+	// delay + backoff); 0 means no budget.
+	DeadlineMicros float64
+
+	// Stats counts the client's transport events.
+	Stats Stats
 }
 
 // NewClient builds a client on side of link.
 func NewClient(link *Link, side Endpoint) *Client {
-	return &Client{link: link, side: side, MaxRetries: 3}
+	return &Client{
+		link:                 link,
+		side:                 side,
+		ClientID:             link.allocClientID(),
+		MaxRetries:           3,
+		InitialBackoffMicros: 50,
+		MaxBackoffMicros:     1600,
+	}
 }
 
 // ErrCallFailed reports a call that exhausted its retries.
 var ErrCallFailed = errors.New("wire: call failed after retries")
+
+// ErrDeadlineExceeded reports a call that exhausted its virtual-time
+// deadline budget.
+var ErrDeadlineExceeded = errors.New("wire: call deadline exceeded")
 
 // RemoteError carries a server-side failure back to the caller.
 type RemoteError struct{ Msg string }
@@ -111,8 +202,10 @@ func (e *RemoteError) Error() string { return "wire: remote: " + e.Msg }
 
 // Call invokes proc with args against server, driving the server's
 // Poll between send and receive (the two endpoints share this thread —
-// the transport is synchronous by design). Lost or corrupted frames
-// are retransmitted.
+// the transport is synchronous by design). Lost or corrupted frames are
+// retransmitted under capped exponential backoff; the server's reply
+// cache guarantees the handler runs at most once however many
+// retransmissions it takes.
 func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]interface{}, error) {
 	payload, err := Marshal(args...)
 	if err != nil {
@@ -120,18 +213,30 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 	}
 	c.nextID++
 	id := c.nextID
-	frame, err := Encode(Header{Kind: KindCall, CallID: id, ProcID: proc}, payload)
+	frame, err := Encode(Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID}, payload)
 	if err != nil {
 		return nil, err
 	}
+	start := c.link.Clock()
+	backoff := c.InitialBackoffMicros
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if attempt > 0 {
-			c.Retries++
+			if c.DeadlineMicros > 0 && c.link.Clock()-start >= c.DeadlineMicros {
+				c.Stats.DeadlineExceeded++
+				return nil, fmt.Errorf("%w (proc %d, %.0f µs elapsed)", ErrDeadlineExceeded, proc, c.link.Clock()-start)
+			}
+			c.Stats.Retries++
+			c.link.AdvanceClock(backoff)
+			c.Stats.BackoffMicros += backoff
+			backoff *= 2
+			if backoff > c.MaxBackoffMicros {
+				backoff = c.MaxBackoffMicros
+			}
 		}
 		c.link.Send(c.side, frame)
 		server.Poll()
 		reply, err := c.awaitReply(id)
-		if errors.Is(err, ErrEmpty) || errors.Is(err, ErrBadChecksum) {
+		if errors.Is(err, ErrEmpty) {
 			continue // lost or corrupted somewhere: resend
 		}
 		if err != nil {
@@ -142,6 +247,10 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
 }
 
+// awaitReply drains pending frames until the reply to call id appears.
+// Damaged frames and frames for other calls (stale replies from earlier
+// retransmissions, duplicates) are counted and skipped; an empty queue
+// returns ErrEmpty so the caller retransmits.
 func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
 	for {
 		frame, err := c.link.Recv(c.side)
@@ -150,10 +259,12 @@ func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
 		}
 		h, payload, err := Decode(frame)
 		if err != nil {
-			return nil, err
+			c.Stats.BadFrames++
+			continue
 		}
-		if h.Kind != KindReply || h.CallID != id {
-			continue // stale duplicate from an earlier retry
+		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
+			c.Stats.StaleFrames++
+			continue // duplicate or stale frame from an earlier retry
 		}
 		vals, err := Unmarshal(payload)
 		if err != nil {
