@@ -87,7 +87,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("checksum over a damaged link = %#x  (client retries: %d, server rejected frames: %d, duplicates suppressed: %d)\n",
-		sum[0], client.Stats.Retries, server.Stats.BadFrames, server.Stats.DuplicatesSuppressed)
+		sum[0], client.Stats().Retries, server.Stats().BadFrames, server.Stats().DuplicatesSuppressed)
 
-	fmt.Printf("total wire time %.0f µs across %d served calls\n", link.Clock(), server.Stats.Served)
+	fmt.Printf("total wire time %.0f µs across %d served calls\n", link.Clock(), server.Stats().Served)
 }

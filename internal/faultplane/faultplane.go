@@ -13,6 +13,7 @@ package faultplane
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Policy parameterises a fault plane. All probabilities are per frame
@@ -127,10 +128,17 @@ type Injector interface {
 	Decide(seq, frameBytes int) Decision
 }
 
-// Plane is a seeded fault injector. It is not safe for concurrent use
-// by itself; wire.Link calls Decide under its own lock, which is the
-// intended synchronisation.
+// Plane is a seeded fault injector. It is safe for concurrent use: an
+// internal lock serialises Decide and Counts, so a test or stats
+// surface may read the counters while many senders are still driving
+// frames through the link. wire.Link additionally calls Decide under
+// its own lock, which keeps the decision stream aligned with the frame
+// sequence. With concurrent senders the stream remains a function of
+// the seed and the arrival order of frames at the link lock — per-run
+// reproducible only when that order is (one sender, or externally
+// serialised traffic).
 type Plane struct {
+	mu        sync.Mutex
 	policy    Policy
 	rng       *rand.Rand
 	burstLeft int
@@ -151,13 +159,19 @@ func New(p Policy) *Plane {
 func (pl *Plane) Policy() Policy { return pl.policy }
 
 // Counts returns a snapshot of the injected-fault counters.
-func (pl *Plane) Counts() Counts { return pl.counts }
+func (pl *Plane) Counts() Counts {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.counts
+}
 
 // Decide draws the fate of frame seq (frameBytes long). The PRNG is
 // consumed identically on every path, so the decision stream depends
 // only on the seed and the number of frames seen — not on which faults
 // happened to fire.
 func (pl *Plane) Decide(seq, frameBytes int) Decision {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
 	p := pl.policy
 	// Fixed draw order and count per frame keeps the stream aligned.
 	uBurst := pl.rng.Float64()

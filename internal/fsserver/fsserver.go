@@ -213,6 +213,25 @@ func NewRemoteOnLink(fsys *fs.FS, cm *kernel.CostModel, link *wire.Link) *Remote
 	}
 }
 
+// NewPeer attaches another concurrent client to the same decomposed
+// service: a fresh wire client (its own ClientID, receive queue, and
+// retransmission state) sharing this Remote's link, server, and cost
+// model, with the same tuning. Each Remote must be driven by one
+// goroutine; any number of peers may issue operations concurrently —
+// the wire server's sharded reply cache keeps every caller in the
+// at-most-once window.
+func (r *Remote) NewPeer() *Remote {
+	client := wire.NewClient(r.link, wire.A)
+	client.MaxRetries = r.client.MaxRetries
+	client.DeadlineMicros = r.client.DeadlineMicros
+	return &Remote{
+		client: client,
+		server: r.server,
+		link:   r.link,
+		cm:     r.cm,
+	}
+}
+
 // Tune adjusts the transport budget of the decomposed arrangement: the
 // retransmission bound and the per-call virtual-time deadline (0 keeps
 // calls unbounded). A call that exhausts either budget surfaces as
@@ -334,10 +353,13 @@ func (r *Remote) ReadDir(path string) ([]string, error) {
 }
 
 // Stats reports the accumulated costs, including the merged transport
-// counters of both ends of the link.
+// counters of both ends of the link. When several peers share the
+// service, the server-side counters (Served, DuplicatesSuppressed,
+// BadFrames, …) cover all of them; the client-side counters (Retries,
+// BackoffMicros, DeadlineExceeded) are this Remote's own.
 func (r *Remote) Stats() Stats {
 	s := r.stats
-	s.Wire = r.client.Stats.Add(r.server.Wire.Stats)
-	s.ServerRejected = r.server.Wire.Stats.BadFrames
+	s.Wire = r.client.Stats().Add(r.server.Wire.Stats())
+	s.ServerRejected = r.server.Wire.Stats().BadFrames
 	return s
 }

@@ -20,6 +20,12 @@ type AndrewMini struct {
 	FilesPerDir int
 	FileBytes   int
 	Seed        int64
+
+	// Root, when non-empty, prefixes every path the script touches (the
+	// directory is created first), so several scripts — one per
+	// concurrent client — replay against one file system in disjoint
+	// subtrees whose combined final state is interleaving-independent.
+	Root string
 }
 
 // DefaultAndrewMini is sized to run in milliseconds while exercising
@@ -36,18 +42,23 @@ func (a AndrewMini) Run(svc Service) (int64, error) {
 	rng.Read(content)
 
 	// mkdir phase.
-	if err := svc.Mkdir("/src"); err != nil {
+	if a.Root != "" {
+		if err := svc.Mkdir(a.Root); err != nil {
+			return 0, err
+		}
+	}
+	if err := svc.Mkdir(a.Root + "/src"); err != nil {
 		return 0, err
 	}
 	for d := 0; d < a.Dirs; d++ {
-		if err := svc.Mkdir(dirName(d)); err != nil {
+		if err := svc.Mkdir(a.dirName(d)); err != nil {
 			return 0, err
 		}
 	}
 	// write phase.
 	for d := 0; d < a.Dirs; d++ {
 		for f := 0; f < a.FilesPerDir; f++ {
-			fd, err := svc.Create(fileName(d, f))
+			fd, err := svc.Create(a.fileName(d, f))
 			if err != nil {
 				return 0, err
 			}
@@ -61,12 +72,12 @@ func (a AndrewMini) Run(svc Service) (int64, error) {
 	}
 	// scan phase: stat and read every file (grep-like pass).
 	for d := 0; d < a.Dirs; d++ {
-		names, err := svc.ReadDir(dirName(d))
+		names, err := svc.ReadDir(a.dirName(d))
 		if err != nil {
 			return 0, err
 		}
 		for _, n := range names {
-			path := dirName(d) + "/" + n
+			path := a.dirName(d) + "/" + n
 			if _, err := svc.Stat(path); err != nil {
 				return 0, err
 			}
@@ -89,16 +100,16 @@ func (a AndrewMini) Run(svc Service) (int64, error) {
 		}
 	}
 	// copy phase.
-	if err := svc.Mkdir("/copy"); err != nil {
+	if err := svc.Mkdir(a.Root + "/copy"); err != nil {
 		return 0, err
 	}
 	for d := 0; d < a.Dirs; d++ {
 		for f := 0; f < a.FilesPerDir; f++ {
-			src, err := svc.Open(fileName(d, f))
+			src, err := svc.Open(a.fileName(d, f))
 			if err != nil {
 				return 0, err
 			}
-			dst, err := svc.Create(copyName(d, f))
+			dst, err := svc.Create(a.copyName(d, f))
 			if err != nil {
 				return 0, err
 			}
@@ -125,7 +136,7 @@ func (a AndrewMini) Run(svc Service) (int64, error) {
 	// cleanup phase.
 	for d := 0; d < a.Dirs; d++ {
 		for f := 0; f < a.FilesPerDir; f++ {
-			if err := svc.Unlink(copyName(d, f)); err != nil {
+			if err := svc.Unlink(a.copyName(d, f)); err != nil {
 				return 0, err
 			}
 		}
@@ -133,6 +144,10 @@ func (a AndrewMini) Run(svc Service) (int64, error) {
 	return svc.Stats().Ops, nil
 }
 
-func dirName(d int) string     { return fmt.Sprintf("/src/d%02d", d) }
-func fileName(d, f int) string { return fmt.Sprintf("%s/f%02d.c", dirName(d), f) }
-func copyName(d, f int) string { return fmt.Sprintf("/copy/d%02d_f%02d.c", d, f) }
+func (a AndrewMini) dirName(d int) string { return fmt.Sprintf("%s/src/d%02d", a.Root, d) }
+func (a AndrewMini) fileName(d, f int) string {
+	return fmt.Sprintf("%s/f%02d.c", a.dirName(d), f)
+}
+func (a AndrewMini) copyName(d, f int) string {
+	return fmt.Sprintf("%s/copy/d%02d_f%02d.c", a.Root, d, f)
+}

@@ -35,14 +35,14 @@ func TestAtMostOnceOnDroppedReply(t *testing.T) {
 	if out[0].(int64) != 1 || *executions != 1 {
 		t.Errorf("handler executed %d times (reply %v), want exactly once", *executions, out[0])
 	}
-	if client.Stats.Retries != 1 {
-		t.Errorf("retries = %d, want 1", client.Stats.Retries)
+	if client.Stats().Retries != 1 {
+		t.Errorf("retries = %d, want 1", client.Stats().Retries)
 	}
-	if server.Stats.DuplicatesSuppressed != 1 {
-		t.Errorf("duplicates suppressed = %d, want 1", server.Stats.DuplicatesSuppressed)
+	if server.Stats().DuplicatesSuppressed != 1 {
+		t.Errorf("duplicates suppressed = %d, want 1", server.Stats().DuplicatesSuppressed)
 	}
-	if server.Stats.Served != 1 {
-		t.Errorf("served = %d, want 1 (cache resends are not fresh serves)", server.Stats.Served)
+	if server.Stats().Served != 1 {
+		t.Errorf("served = %d, want 1 (cache resends are not fresh serves)", server.Stats().Served)
 	}
 }
 
@@ -65,7 +65,7 @@ func TestAtMostOnceAcrossSequentialCalls(t *testing.T) {
 	if *executions != 2 {
 		t.Errorf("handler executed %d times for 2 calls + 1 duplicate", *executions)
 	}
-	if server.Stats.DuplicatesSuppressed+server.Stats.StaleFrames == 0 {
+	if server.Stats().DuplicatesSuppressed+server.Stats().StaleFrames == 0 {
 		t.Error("late duplicate neither suppressed nor dropped as stale")
 	}
 }
@@ -97,17 +97,17 @@ func TestEncodeErrorsAreCounted(t *testing.T) {
 			if !errors.Is(err, ErrCallFailed) {
 				t.Fatalf("err = %v, want ErrCallFailed (no reply can arrive)", err)
 			}
-			if server.Stats.EncodeErrors != 1 {
-				t.Errorf("encode errors = %d, want 1", server.Stats.EncodeErrors)
+			if server.Stats().EncodeErrors != 1 {
+				t.Errorf("encode errors = %d, want 1", server.Stats().EncodeErrors)
 			}
-			if server.Stats.Served != 0 {
-				t.Errorf("served = %d, want 0 (no reply was transmitted)", server.Stats.Served)
+			if server.Stats().Served != 0 {
+				t.Errorf("served = %d, want 0 (no reply was transmitted)", server.Stats().Served)
 			}
 			if executions != 1 {
 				t.Errorf("handler executed %d times; retransmits must not re-run it", executions)
 			}
-			if server.Stats.DuplicatesSuppressed != client.Stats.Retries {
-				t.Errorf("suppressed %d duplicates for %d retries", server.Stats.DuplicatesSuppressed, client.Stats.Retries)
+			if server.Stats().DuplicatesSuppressed != client.Stats().Retries {
+				t.Errorf("suppressed %d duplicates for %d retries", server.Stats().DuplicatesSuppressed, client.Stats().Retries)
 			}
 		})
 	}
@@ -125,11 +125,11 @@ func TestBackoffChargesVirtualClock(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Three retries: 50 + 100 + 200 µs of capped exponential backoff.
-	if want := 50 + 100 + 200.0; client.Stats.BackoffMicros != want {
-		t.Errorf("backoff = %.0f µs, want %.0f", client.Stats.BackoffMicros, want)
+	if want := 50 + 100 + 200.0; client.Stats().BackoffMicros != want {
+		t.Errorf("backoff = %.0f µs, want %.0f", client.Stats().BackoffMicros, want)
 	}
-	if link.Clock() < client.Stats.BackoffMicros {
-		t.Errorf("link clock %.0f µs did not absorb backoff %.0f µs", link.Clock(), client.Stats.BackoffMicros)
+	if link.Clock() < client.Stats().BackoffMicros {
+		t.Errorf("link clock %.0f µs did not absorb backoff %.0f µs", link.Clock(), client.Stats().BackoffMicros)
 	}
 }
 
@@ -146,12 +146,12 @@ func TestDeadlineBudgetExceeded(t *testing.T) {
 	if !errors.Is(err, ErrDeadlineExceeded) {
 		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
 	}
-	if client.Stats.DeadlineExceeded != 1 {
-		t.Errorf("deadline exceeded count = %d", client.Stats.DeadlineExceeded)
+	if client.Stats().DeadlineExceeded != 1 {
+		t.Errorf("deadline exceeded count = %d", client.Stats().DeadlineExceeded)
 	}
 	// The budget must have bounded the retry storm well below MaxRetries.
-	if client.Stats.Retries >= 1000 {
-		t.Errorf("retries = %d; deadline did not bound the call", client.Stats.Retries)
+	if client.Stats().Retries >= 1000 {
+		t.Errorf("retries = %d; deadline did not bound the call", client.Stats().Retries)
 	}
 }
 
@@ -199,8 +199,8 @@ func TestChaosEchoSoakExactlyOnce(t *testing.T) {
 	if c.Dropped == 0 || c.Duplicated == 0 || c.Reordered == 0 || c.Corrupted == 0 {
 		t.Errorf("chaos plane inert: %+v", c)
 	}
-	if client.Stats.Retries == 0 || server.Stats.DuplicatesSuppressed == 0 {
-		t.Errorf("no retransmission traffic: client %+v server %+v", client.Stats, server.Stats)
+	if client.Stats().Retries == 0 || server.Stats().DuplicatesSuppressed == 0 {
+		t.Errorf("no retransmission traffic: client %+v server %+v", client.Stats(), server.Stats())
 	}
 }
 
@@ -217,7 +217,7 @@ func TestChaosEchoSoakIsReproducible(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		return client.Stats, server.Stats, plane.Counts(), link.Clock()
+		return client.Stats(), server.Stats(), plane.Counts(), link.Clock()
 	}
 	c1, s1, f1, clock1 := run()
 	c2, s2, f2, clock2 := run()
@@ -246,7 +246,7 @@ func TestTwoClientsShareOneServer(t *testing.T) {
 	if *executions != 2 {
 		t.Errorf("executions = %d, want 2 (one per client)", *executions)
 	}
-	if server.Stats.DuplicatesSuppressed != 0 {
-		t.Errorf("cross-client call wrongly suppressed (%d)", server.Stats.DuplicatesSuppressed)
+	if server.Stats().DuplicatesSuppressed != 0 {
+		t.Errorf("cross-client call wrongly suppressed (%d)", server.Stats().DuplicatesSuppressed)
 	}
 }

@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"errors"
 	"sync"
 
@@ -14,9 +15,16 @@ import (
 // (corrupt or drop frame #n — the surgical tests) and an optional
 // seeded probabilistic fault plane (loss, corruption, duplication,
 // reordering, delay, bursts — the chaos soaks). Injected delay is
-// charged to the link's virtual clock. The link is synchronous and
-// single-conversation — the shape of a kernel-to-kernel RPC channel,
-// not a general socket.
+// charged to the link's virtual clock.
+//
+// The link is shared by N concurrent callers: every method is safe
+// under concurrent use, and reply frames are demultiplexed into
+// per-client receive queues (RecvClient) by the client ID in the frame
+// header, so one caller draining the wire never discards another
+// caller's reply. Frames too damaged to route — a bit flip in the
+// header's routing fields — land in the shared direction queue, where
+// any receiver may collect them and count the checksum failure, exactly
+// as a shared Ethernet delivers damage to whoever listens.
 type Link struct {
 	Net ipc.NetworkConfig
 
@@ -24,6 +32,10 @@ type Link struct {
 	aToB  [][]byte
 	bToA  [][]byte
 	clock float64 // µs of accumulated wire time
+
+	// per-client reply queues, indexed by receiving endpoint then by
+	// the client ID parsed (best-effort, pre-checksum) from the frame.
+	clientQ [2]map[uint32][][]byte
 
 	// held frames: reordered by the fault plane, delivered after the
 	// next frame sent in the same direction.
@@ -64,8 +76,8 @@ func (l *Link) DropFrame(n int) {
 
 // SetFaultPlane attaches a probabilistic fault injector (package
 // faultplane); it composes with the deterministic per-frame hooks. Pass
-// nil to detach. The link's lock serialises Decide calls, so a plane
-// needs no locking of its own.
+// nil to detach. The link's lock serialises Decide calls even with many
+// concurrent senders.
 func (l *Link) SetFaultPlane(p faultplane.Injector) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -104,6 +116,13 @@ const (
 	B
 )
 
+func opposite(e Endpoint) Endpoint {
+	if e == A {
+		return B
+	}
+	return A
+}
+
 // queues returns the delivery and held queues for frames sent by from.
 func (l *Link) queues(from Endpoint) (q, held *[][]byte) {
 	if from == A {
@@ -112,10 +131,71 @@ func (l *Link) queues(from Endpoint) (q, held *[][]byte) {
 	return &l.bToA, &l.heldBA
 }
 
-// Send transmits a frame from the endpoint; the peer's Recv will see it
-// unless dropped. Corruption flips a bit but still delivers; duplicated
-// frames arrive twice; reordered frames arrive behind the next frame
-// sent the same way; injected delay advances the virtual clock.
+// routeClientID extracts the client ID of a well-formed reply frame
+// without verifying the checksum — the routing a demultiplexer can do
+// before integrity is known. Damaged routing fields simply misroute the
+// frame; the receiver's checksum rejects it there.
+func routeClientID(frame []byte) (uint32, bool) {
+	if len(frame) < headerBytes {
+		return 0, false
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != magic || frame[2] != version {
+		return 0, false
+	}
+	if MsgKind(frame[3]) != KindReply {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(frame[12:16]), true
+}
+
+// looksLikeCall reports whether a frame parses as a call header —
+// traffic that belongs to a server's Recv, not to a client scavenging
+// damaged frames from the shared queue.
+func looksLikeCall(frame []byte) bool {
+	if len(frame) < headerBytes {
+		return false
+	}
+	return binary.BigEndian.Uint16(frame[0:2]) == magic &&
+		frame[2] == version && MsgKind(frame[3]) == KindCall
+}
+
+// deliver routes one in-flight frame to its receive queue: replies with
+// a known client ID go to that client's queue; everything else — calls,
+// acks, frames damaged beyond routing — goes to the shared direction
+// queue. Callers hold l.mu.
+func (l *Link) deliver(from Endpoint, frame []byte) {
+	to := opposite(from)
+	if id, ok := routeClientID(frame); ok && id >= 1 && id <= l.nextClient {
+		if l.clientQ[to] == nil {
+			l.clientQ[to] = map[uint32][][]byte{}
+		}
+		l.clientQ[to][id] = append(l.clientQ[to][id], frame)
+		return
+	}
+	q, _ := l.queues(from)
+	*q = append(*q, frame)
+}
+
+// flushHeld pushes every held (reordered) frame in the direction out
+// through normal routing. Callers hold l.mu.
+func (l *Link) flushHeld(from Endpoint) {
+	_, held := l.queues(from)
+	if len(*held) == 0 {
+		return
+	}
+	frames := *held
+	*held = nil
+	for _, f := range frames {
+		l.deliver(from, f)
+	}
+}
+
+// Send transmits a frame from the endpoint; the peer's Recv (or the
+// addressed client's RecvClient) will see it unless dropped. Corruption
+// flips a bit but still delivers; duplicated frames arrive twice — even
+// when the original is simultaneously reordered; reordered frames
+// arrive behind the next frame sent the same way; injected delay
+// advances the virtual clock.
 func (l *Link) Send(from Endpoint, frame []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -131,28 +211,32 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	}
 	out := make([]byte, len(frame))
 	copy(out, frame)
-	if l.corrupt[l.seq] && len(out) > headerBytes {
-		out[headerBytes] ^= 0x40 // flip a payload bit
+	if l.corrupt[l.seq] {
+		flipBit(out, 0)
 	}
 	if d.Corrupt {
 		flipBit(out, d.CorruptOffset)
 	}
-	q, held := l.queues(from)
+	_, held := l.queues(from)
+	delivered := 0
 	if d.Reorder {
 		*held = append(*held, out)
-		return
+	} else {
+		l.deliver(from, out)
+		delivered++
 	}
-	*q = append(*q, out)
 	if d.Duplicate {
 		dup := make([]byte, len(out))
 		copy(dup, out)
-		*q = append(*q, dup)
 		l.clock += l.Net.PacketMicros(len(out)) // the copy occupies the wire too
+		l.deliver(from, dup)
+		delivered++
 	}
-	// A delivered frame pushes any held (reordered) frames out behind it.
-	if len(*held) > 0 {
-		*q = append(*q, *held...)
-		*held = nil
+	// A delivered frame pushes any held (reordered) frames out behind
+	// it — including the original of a frame that was both duplicated
+	// and reordered, which must still arrive twice.
+	if delivered > 0 {
+		l.flushHeld(from)
 	}
 }
 
@@ -172,19 +256,19 @@ func flipBit(frame []byte, offset int) {
 // ErrEmpty is returned by Recv when no frame is pending.
 var ErrEmpty = errors.New("wire: no frame pending")
 
-// Recv returns the next frame addressed to the endpoint.
+// Recv returns the next frame addressed to the endpoint from the shared
+// direction queue — the server's receive path (calls and unroutable
+// damage). Client-addressed replies are not visible here; they wait in
+// their per-client queues for RecvClient.
 func (l *Link) Recv(at Endpoint) ([]byte, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	from := B
-	if at == B {
-		from = A
-	}
+	from := opposite(at)
 	q, held := l.queues(from)
 	if len(*q) == 0 && len(*held) > 0 {
 		// Nothing will ever push a lone reordered frame through; it
 		// degrades to plain delay rather than loss.
-		*q, *held = *held, nil
+		l.flushHeld(from)
 	}
 	if len(*q) == 0 {
 		return nil, ErrEmpty
@@ -192,4 +276,33 @@ func (l *Link) Recv(at Endpoint) ([]byte, error) {
 	f := (*q)[0]
 	*q = (*q)[1:]
 	return f, nil
+}
+
+// RecvClient returns the next frame addressed to the given client at
+// the endpoint. When the client's queue is empty it first flushes any
+// lone reordered frames through routing, then falls back to collecting
+// one unroutable (damaged) frame from the shared queue so checksum
+// failures are observed and counted rather than pooling forever.
+func (l *Link) RecvClient(at Endpoint, clientID uint32) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	from := opposite(at)
+	if len(l.clientQ[at][clientID]) == 0 {
+		l.flushHeld(from)
+	}
+	if frames := l.clientQ[at][clientID]; len(frames) > 0 {
+		f := frames[0]
+		l.clientQ[at][clientID] = frames[1:]
+		return f, nil
+	}
+	// Damaged frames that could not be routed sit in the shared queue;
+	// any client may collect one — but never a well-formed call, which
+	// belongs to the server on this side.
+	q, _ := l.queues(from)
+	if len(*q) > 0 && !looksLikeCall((*q)[0]) {
+		f := (*q)[0]
+		*q = (*q)[1:]
+		return f, nil
+	}
+	return nil, ErrEmpty
 }

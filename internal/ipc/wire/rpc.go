@@ -3,6 +3,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // Handler implements one remote procedure: arguments in, results out.
@@ -19,6 +20,7 @@ type Stats struct {
 	EncodeErrors         int // replies lost to Marshal/Encode failures
 	DuplicatesSuppressed int // retransmitted calls answered from the reply cache
 	StaleFrames          int // frames for a superseded call, discarded
+	RepliesEvicted       int // reply-cache entries evicted by the LRU bound
 
 	// Client side.
 	Retries          int     // retransmissions performed
@@ -33,47 +35,72 @@ func (s Stats) Add(o Stats) Stats {
 	s.EncodeErrors += o.EncodeErrors
 	s.DuplicatesSuppressed += o.DuplicatesSuppressed
 	s.StaleFrames += o.StaleFrames
+	s.RepliesEvicted += o.RepliesEvicted
 	s.Retries += o.Retries
 	s.BackoffMicros += o.BackoffMicros
 	s.DeadlineExceeded += o.DeadlineExceeded
 	return s
 }
 
-// cachedReply is the at-most-once record for one client: the last call
-// executed for it and the encoded reply frame (nil when the reply could
-// not be encoded — the execution still must not repeat).
-type cachedReply struct {
-	callID uint32
-	frame  []byte
-}
-
 // Server dispatches calls arriving at one end of a link with
-// at-most-once execution semantics: a per-client reply cache keyed by
-// (client ID, call ID) answers retransmitted calls without re-running
-// the handler, so non-idempotent procedures survive a lossy wire.
+// at-most-once execution semantics: a sharded, bounded, LRU-evicting
+// per-client reply cache answers retransmitted calls without re-running
+// the handler, so non-idempotent procedures survive a lossy wire. The
+// pump is goroutine-safe: any number of client goroutines may drive
+// Poll concurrently. Duplicate suppression runs under only the owning
+// cache shard's lock; fresh calls additionally serialise on the
+// execution lock — the single-threaded server loop of the microkernel
+// model — so handlers never run concurrently.
 type Server struct {
 	link *Link
 	side Endpoint
 
+	// procs is written by Register and read by Poll; registration must
+	// complete before the first frame is served.
 	procs map[uint32]Handler
 
-	// replies holds the last reply per client. Clients issue one call
-	// at a time with increasing IDs, so a one-deep cache per client is
-	// exactly the at-most-once window.
-	replies map[uint32]cachedReply
+	cache *replyCache
 
-	// Stats counts the server's transport events. Served means "reply
-	// frame actually transmitted", incremented after the send.
-	Stats Stats
+	// execMu serialises handler execution across all shards.
+	execMu sync.Mutex
+
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // NewServer builds a server on side of link.
 func NewServer(link *Link, side Endpoint) *Server {
-	return &Server{link: link, side: side, procs: map[uint32]Handler{}, replies: map[uint32]cachedReply{}}
+	return &Server{
+		link:  link,
+		side:  side,
+		procs: map[uint32]Handler{},
+		cache: newReplyCache(defaultCacheShards, defaultCachePerShard),
+	}
 }
 
-// Register binds a procedure ID to a handler.
+// Register binds a procedure ID to a handler. Registration is not safe
+// concurrently with Poll; bind every procedure before serving.
 func (s *Server) Register(proc uint32, h Handler) { s.procs[proc] = h }
+
+// ConfigureReplyCache replaces the reply cache with one of the given
+// geometry (shard count × clients per shard). Call before serving;
+// replacing the cache mid-traffic forgets every at-most-once record.
+func (s *Server) ConfigureReplyCache(shards, perShard int) {
+	s.cache = newReplyCache(shards, perShard)
+}
+
+// Stats returns a snapshot of the server's transport counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+func (s *Server) count(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
 
 // ErrNoProc reports a call to an unregistered procedure.
 var ErrNoProc = errors.New("wire: no such procedure")
@@ -82,6 +109,8 @@ var ErrNoProc = errors.New("wire: no such procedure")
 // frames are dropped silently (the client's retransmission recovers),
 // exactly as a checksum-verifying transport behaves. Retransmitted
 // calls are answered from the reply cache; stale calls are discarded.
+// Concurrent Polls cooperate: whichever goroutine pops a frame serves
+// it.
 func (s *Server) Poll() {
 	for {
 		frame, err := s.link.Recv(s.side)
@@ -90,37 +119,54 @@ func (s *Server) Poll() {
 		}
 		h, payload, err := Decode(frame)
 		if err != nil {
-			s.Stats.BadFrames++
+			s.count(func(st *Stats) { st.BadFrames++ })
 			continue
 		}
 		if h.Kind != KindCall {
 			continue
 		}
-		if e, ok := s.replies[h.ClientID]; ok {
-			if h.CallID == e.callID {
-				// Duplicate of the last executed call: resend the
-				// cached reply, never the handler.
-				s.Stats.DuplicatesSuppressed++
-				if e.frame != nil {
-					s.link.Send(s.side, e.frame)
-				}
-				continue
-			}
-			if h.CallID < e.callID {
-				s.Stats.StaleFrames++
-				continue
-			}
-		}
-		s.execute(h, payload)
+		s.dispatch(h, payload)
 	}
 }
 
-func (s *Server) execute(h Header, payload []byte) {
+// dispatch serves one decoded call under the owning cache shard's lock,
+// which makes the duplicate check and the execute-and-cache step one
+// atomic unit: two copies of a call racing through two Polls cannot
+// both miss the cache and run the handler twice.
+func (s *Server) dispatch(h Header, payload []byte) {
+	shard := s.cache.shardFor(h.ClientID)
+	shard.mu.Lock()
+	defer shard.mu.Unlock()
+	if e, ok := shard.get(h.ClientID); ok {
+		if h.CallID == e.callID {
+			// Duplicate of the last executed call: resend the cached
+			// reply, never the handler. A nil cached frame (the
+			// EncodeErrors path) suppresses the execution but sends
+			// nothing — there is no reply frame to resend.
+			s.count(func(st *Stats) { st.DuplicatesSuppressed++ })
+			if e.frame != nil {
+				s.link.Send(s.side, e.frame)
+			}
+			return
+		}
+		if h.CallID < e.callID {
+			s.count(func(st *Stats) { st.StaleFrames++ })
+			return
+		}
+	}
+	s.execute(shard, h, payload)
+}
+
+// execute runs the handler (serialised on execMu), caches the outcome
+// in the caller's shard, and transmits the reply. The shard lock is
+// held by the caller.
+func (s *Server) execute(shard *cacheShard, h Header, payload []byte) {
 	var results []interface{}
 	proc, ok := s.procs[h.ProcID]
 	if !ok {
 		results = []interface{}{false, ErrNoProc.Error()}
 	} else {
+		s.execMu.Lock()
 		args, err := Unmarshal(payload)
 		if err == nil {
 			var out []interface{}
@@ -129,6 +175,7 @@ func (s *Server) execute(h Header, payload []byte) {
 				results = append([]interface{}{true}, out...)
 			}
 		}
+		s.execMu.Unlock()
 		if err != nil {
 			results = []interface{}{false, err.Error()}
 		}
@@ -141,22 +188,32 @@ func (s *Server) execute(h Header, payload []byte) {
 	if err != nil {
 		// The reply cannot be encoded, but the handler has run: cache
 		// the execution anyway so retransmissions cannot repeat it.
-		s.Stats.EncodeErrors++
-		s.replies[h.ClientID] = cachedReply{callID: h.CallID}
+		evicted := shard.put(h.ClientID, h.CallID, nil)
+		s.count(func(st *Stats) {
+			st.EncodeErrors++
+			st.RepliesEvicted += evicted
+		})
 		return
 	}
-	s.replies[h.ClientID] = cachedReply{callID: h.CallID, frame: frame}
+	evicted := shard.put(h.ClientID, h.CallID, frame)
+	if evicted > 0 {
+		s.count(func(st *Stats) { st.RepliesEvicted += evicted })
+	}
 	s.link.Send(s.side, frame)
-	s.Stats.Served++ // after the send: Served means "reply transmitted"
+	s.count(func(st *Stats) { st.Served++ }) // after the send: Served means "reply transmitted"
 }
 
-// Client issues calls from one end of a link.
+// Client issues calls from one end of a link. Each Client is driven by
+// one goroutine at a time; many Clients may share a link and a server
+// concurrently, each with its own ClientID and per-client receive
+// queue.
 type Client struct {
 	link *Link
 	side Endpoint
 
 	// ClientID names this caller in frame headers; the server's reply
-	// cache is keyed by it. NewClient assigns a fresh ID per link.
+	// cache and the link's reply routing are keyed by it. NewClient
+	// assigns a fresh ID per link.
 	ClientID uint32
 
 	nextID uint32
@@ -169,11 +226,13 @@ type Client struct {
 	InitialBackoffMicros float64
 	MaxBackoffMicros     float64
 	// DeadlineMicros bounds one call's total virtual time (wire +
-	// delay + backoff); 0 means no budget.
+	// delay + backoff); 0 means no budget. On a shared link the clock
+	// is the shared medium's, so other callers' traffic counts against
+	// the budget — as wall time on a real wire would.
 	DeadlineMicros float64
 
-	// Stats counts the client's transport events.
-	Stats Stats
+	statsMu sync.Mutex
+	stats   Stats
 }
 
 // NewClient builds a client on side of link.
@@ -188,6 +247,19 @@ func NewClient(link *Link, side Endpoint) *Client {
 	}
 }
 
+// Stats returns a snapshot of the client's transport counters.
+func (c *Client) Stats() Stats {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.stats
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.statsMu.Lock()
+	f(&c.stats)
+	c.statsMu.Unlock()
+}
+
 // ErrCallFailed reports a call that exhausted its retries.
 var ErrCallFailed = errors.New("wire: call failed after retries")
 
@@ -200,12 +272,26 @@ type RemoteError struct{ Msg string }
 
 func (e *RemoteError) Error() string { return "wire: remote: " + e.Msg }
 
+// deadlineErr records the blown budget and builds the typed error.
+func (c *Client) deadlineErr(proc uint32, start float64) error {
+	c.count(func(st *Stats) { st.DeadlineExceeded++ })
+	return fmt.Errorf("%w (proc %d, %.0f µs elapsed)", ErrDeadlineExceeded, proc, c.link.Clock()-start)
+}
+
+// overDeadline reports whether the call that began at start has spent
+// its virtual-time budget.
+func (c *Client) overDeadline(start float64) bool {
+	return c.DeadlineMicros > 0 && c.link.Clock()-start >= c.DeadlineMicros
+}
+
 // Call invokes proc with args against server, driving the server's
-// Poll between send and receive (the two endpoints share this thread —
-// the transport is synchronous by design). Lost or corrupted frames are
+// Poll between send and receive — the calling goroutine is the pump, so
+// concurrent callers pump for each other. Lost or corrupted frames are
 // retransmitted under capped exponential backoff; the server's reply
 // cache guarantees the handler runs at most once however many
-// retransmissions it takes.
+// retransmissions it takes. The deadline budget is checked on every
+// attempt, including the first, and again before a success is returned,
+// so injected delay on attempt zero cannot blow the budget undetected.
 func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]interface{}, error) {
 	payload, err := Marshal(args...)
 	if err != nil {
@@ -220,14 +306,15 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 	start := c.link.Clock()
 	backoff := c.InitialBackoffMicros
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		if c.overDeadline(start) {
+			return nil, c.deadlineErr(proc, start)
+		}
 		if attempt > 0 {
-			if c.DeadlineMicros > 0 && c.link.Clock()-start >= c.DeadlineMicros {
-				c.Stats.DeadlineExceeded++
-				return nil, fmt.Errorf("%w (proc %d, %.0f µs elapsed)", ErrDeadlineExceeded, proc, c.link.Clock()-start)
-			}
-			c.Stats.Retries++
+			c.count(func(st *Stats) {
+				st.Retries++
+				st.BackoffMicros += backoff
+			})
 			c.link.AdvanceClock(backoff)
-			c.Stats.BackoffMicros += backoff
 			backoff *= 2
 			if backoff > c.MaxBackoffMicros {
 				backoff = c.MaxBackoffMicros
@@ -242,28 +329,36 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 		if err != nil {
 			return nil, err
 		}
+		if c.overDeadline(start) {
+			// The reply arrived, but the budget is spent — the caller
+			// asked for an answer within the deadline, not eventually.
+			// At-most-once still holds: the call executed exactly once.
+			return nil, c.deadlineErr(proc, start)
+		}
 		return reply, nil
 	}
 	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
 }
 
-// awaitReply drains pending frames until the reply to call id appears.
-// Damaged frames and frames for other calls (stale replies from earlier
-// retransmissions, duplicates) are counted and skipped; an empty queue
-// returns ErrEmpty so the caller retransmits.
+// awaitReply drains this client's receive queue until the reply to call
+// id appears. Damaged frames and frames for other calls (stale replies
+// from earlier retransmissions, duplicates) are counted and skipped; an
+// empty queue returns ErrEmpty so the caller retransmits. Other
+// clients' replies are never seen here — the link routes them to their
+// own queues.
 func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
 	for {
-		frame, err := c.link.Recv(c.side)
+		frame, err := c.link.RecvClient(c.side, c.ClientID)
 		if err != nil {
 			return nil, err // ErrEmpty: nothing arrived
 		}
 		h, payload, err := Decode(frame)
 		if err != nil {
-			c.Stats.BadFrames++
+			c.count(func(st *Stats) { st.BadFrames++ })
 			continue
 		}
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
-			c.Stats.StaleFrames++
+			c.count(func(st *Stats) { st.StaleFrames++ })
 			continue // duplicate or stale frame from an earlier retry
 		}
 		vals, err := Unmarshal(payload)

@@ -212,8 +212,8 @@ func TestRPCEcho(t *testing.T) {
 	if !reflect.DeepEqual(out, []interface{}{"ping", int64(99)}) {
 		t.Errorf("echo = %v", out)
 	}
-	if server.Stats.Served != 1 || client.Stats.Retries != 0 {
-		t.Errorf("served=%d retries=%d", server.Stats.Served, client.Stats.Retries)
+	if server.Stats().Served != 1 || client.Stats().Retries != 0 {
+		t.Errorf("served=%d retries=%d", server.Stats().Served, client.Stats().Retries)
 	}
 	if link.Clock() <= 0 {
 		t.Error("wire clock did not advance")
@@ -272,11 +272,11 @@ func TestRPCRetransmitsOnCorruption(t *testing.T) {
 	if out[0].(string) != "once more" {
 		t.Errorf("reply = %v", out)
 	}
-	if client.Stats.Retries != 1 {
-		t.Errorf("retries = %d, want 1", client.Stats.Retries)
+	if client.Stats().Retries != 1 {
+		t.Errorf("retries = %d, want 1", client.Stats().Retries)
 	}
-	if server.Stats.BadFrames != 1 {
-		t.Errorf("server rejected %d frames, want 1", server.Stats.BadFrames)
+	if server.Stats().BadFrames != 1 {
+		t.Errorf("server rejected %d frames, want 1", server.Stats().BadFrames)
 	}
 }
 
@@ -292,8 +292,8 @@ func TestRPCRetransmitsOnLoss(t *testing.T) {
 	if out[0].(int64) != 5 {
 		t.Errorf("reply = %v", out)
 	}
-	if client.Stats.Retries != 2 {
-		t.Errorf("retries = %d, want 2", client.Stats.Retries)
+	if client.Stats().Retries != 2 {
+		t.Errorf("retries = %d, want 2", client.Stats().Retries)
 	}
 }
 

@@ -137,10 +137,21 @@ type OS struct {
 	cm  *kernel.CostModel
 }
 
-// New builds an OS from cfg.
+// New builds an OS from cfg. Zero or negative sizing fields are
+// normalised to the paper's measurement platform: the stock two-server
+// Mach 3.0 arrangement (Unix server + file cache manager) and its
+// per-task page counts — so a zero-valued Config runs the microkernel
+// path instead of tripping over a modulo-by-zero in the TLB drive.
 func New(cfg Config) *OS {
+	stock := DefaultConfig(cfg.Structure)
 	if cfg.Servers <= 0 {
-		cfg.Servers = 1
+		cfg.Servers = stock.Servers
+	}
+	if cfg.KernelPagesPerTask <= 0 {
+		cfg.KernelPagesPerTask = stock.KernelPagesPerTask
+	}
+	if cfg.UserPagesPerTask <= 0 {
+		cfg.UserPagesPerTask = stock.UserPagesPerTask
 	}
 	return &OS{cfg: cfg, cm: kernel.NewCostModel(cfg.Spec)}
 }

@@ -10,6 +10,20 @@ import (
 func mono() *OS  { return New(DefaultConfig(Monolithic)) }
 func micro() *OS { return New(DefaultConfig(Microkernel)) }
 
+func TestZeroConfigMicrokernelRuns(t *testing.T) {
+	// A Config that never set Servers must normalise to the stock two
+	// Mach 3.0 servers and run the microkernel path — the serverTask
+	// modulo in the TLB drive must never see a zero divisor.
+	os := New(Config{Spec: DefaultConfig(Microkernel).Spec, Structure: Microkernel})
+	if got := os.Config().Servers; got != 2 {
+		t.Fatalf("zero-valued Servers normalised to %d, want the stock 2", got)
+	}
+	r := os.Run(workload.AndrewLocal)
+	if r.Syscalls <= 0 || r.ElapsedSec <= 0 {
+		t.Errorf("zero-config microkernel run produced empty result: %+v", r)
+	}
+}
+
 func TestDecompositionMultipliesPrimitives(t *testing.T) {
 	// Table 7's first-order content: "a decomposed system will execute
 	// more low-level system functions than a monolithic system."
@@ -183,8 +197,8 @@ func TestRunAllAndStructureString(t *testing.T) {
 	if Monolithic.String() == Microkernel.String() {
 		t.Error("structure names collide")
 	}
-	if New(Config{Spec: DefaultConfig(Monolithic).Spec}).Config().Servers != 1 {
-		t.Error("zero servers should normalise to 1")
+	if New(Config{Spec: DefaultConfig(Monolithic).Spec}).Config().Servers != 2 {
+		t.Error("zero servers should normalise to the stock 2")
 	}
 }
 
