@@ -8,6 +8,7 @@
 //	machbench              # both halves of Table 7
 //	machbench -conclusions # also print the paper's quantified claims
 //	machbench -functional  # run the real file service under both structures
+//	machbench -metrics     # registry snapshots + structure diff for andrew-remote
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"archos/internal/fsserver"
 	"archos/internal/kernel"
 	"archos/internal/mach"
+	"archos/internal/obs"
 	"archos/internal/trace"
 	"archos/internal/workload"
 )
@@ -28,6 +30,7 @@ import (
 func main() {
 	conclusions := flag.Bool("conclusions", false, "print the quantified Section 5 claims")
 	functional := flag.Bool("functional", false, "replay the andrew-mini script through the functional file service")
+	metrics := flag.Bool("metrics", false, "print unified registry snapshots and the structure diff")
 	flag.Parse()
 
 	fmt.Println(core.Table7(mach.Monolithic))
@@ -39,6 +42,40 @@ func main() {
 	if *functional {
 		printFunctional()
 	}
+	if *metrics {
+		printMetrics()
+	}
+}
+
+// printMetrics reports through the unified metrics registry: each
+// simulated OS exports its counters as an obs.Source, one snapshot per
+// structure, and the Snapshot.Diff shows exactly what decomposition
+// cost — the Table 7 story restated as a metric diff.
+func printMetrics() {
+	mono := mach.New(mach.DefaultConfig(mach.Monolithic))
+	micro := mach.New(mach.DefaultConfig(mach.Microkernel))
+	mono.Run(workload.AndrewRemote)
+	micro.Run(workload.AndrewRemote)
+
+	mreg := obs.NewRegistry()
+	mreg.Register("os", mono.Metrics)
+	ureg := obs.NewRegistry()
+	ureg.Register("os", micro.Metrics)
+	before := mreg.Snapshot()
+	after := ureg.Snapshot()
+	fmt.Println(before.Table("andrew-remote, monolithic structure (Mach 2.5)"))
+	fmt.Println(after.Table("andrew-remote, decomposed structure (Mach 3.0)"))
+	fmt.Println(after.Diff(before).Table("decomposition cost (Mach 3.0 − Mach 2.5)"))
+
+	// The functional file service reports through the same API: its
+	// Stats struct flattens into registry keys via reflection.
+	remote := fsserver.NewRemote(fs.New(256), kernel.NewCostModel(arch.R3000))
+	if _, err := fsserver.DefaultAndrewMini().Run(remote); err != nil {
+		log.Fatal(err)
+	}
+	freg := obs.NewRegistry()
+	freg.Register("fsserver", obs.StructSource(func() interface{} { return remote.Stats() }))
+	fmt.Println(freg.Snapshot().Table("functional file service, decomposed (R3000)"))
 }
 
 // printFunctional runs real file operations (internal/fs) under both

@@ -12,11 +12,13 @@
 //	rpcbench -chaos -seed 7  # seeded chaos soak of the decomposed file service
 //	rpcbench -clients 4      # N concurrent clients sharing one decomposed service
 //	rpcbench -clients 4 -chaos  # the same, on a faulty link
+//	rpcbench -chaos -trace out.json -jsonl out.jsonl  # export the virtual-time trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -28,6 +30,7 @@ import (
 	"archos/internal/ipc"
 	"archos/internal/ipc/wire"
 	"archos/internal/kernel"
+	"archos/internal/obs"
 	"archos/internal/paper"
 	"archos/internal/trace"
 )
@@ -38,14 +41,16 @@ func main() {
 	chaos := flag.Bool("chaos", false, "seeded chaos soak: andrew-mini over the decomposed file service on a faulty link")
 	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
 	clients := flag.Int("clients", 0, "run N concurrent clients against one shared decomposed file service")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (with -chaos or -clients)")
+	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL (with -chaos or -clients)")
 	flag.Parse()
 
 	if *clients > 0 {
-		printClients(*clients, *chaos, *seed)
+		printClients(*clients, *chaos, *seed, *traceOut, *jsonlOut)
 		return
 	}
 	if *chaos {
-		printChaos(*seed)
+		printChaos(*seed, *traceOut, *jsonlOut)
 		return
 	}
 
@@ -65,7 +70,7 @@ func main() {
 // loss, duplication, and reordering) and verifies exactly-once effects
 // against a fault-free monolithic run. Same seed, same output — down to
 // the virtual clock.
-func printChaos(seed int64) {
+func printChaos(seed int64, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 
 	clean := fs.New(256)
@@ -79,6 +84,8 @@ func printChaos(seed int64) {
 	link.SetFaultPlane(plane)
 	fsys := fs.New(256)
 	remote := fsserver.NewRemoteOnLink(fsys, cm, link)
+	rec := obs.NewRecorder(link)
+	remote.SetRecorder(rec)
 	ops, err := fsserver.DefaultAndrewMini().Run(remote)
 	if err != nil {
 		fmt.Println("chaos run failed:", err)
@@ -113,12 +120,35 @@ func printChaos(seed int64) {
 	add("degraded ops", st.DegradedOps)
 	fmt.Println(t)
 
+	fmt.Println(obs.LatencyTable(rec, "Latency distribution under chaos (virtual µs)"))
+
 	if fsys.Fingerprint() == clean.Fingerprint() {
 		fmt.Println("exactly-once effects: decomposed state identical to fault-free monolithic run ✓")
 	} else {
 		fmt.Println("STATE DIVERGED: at-most-once violated ✗")
 	}
-	fmt.Printf("virtual time %.0f µs (bit-for-bit reproducible for seed %d)\n", link.Clock(), seed)
+	fmt.Printf("virtual time %.0f µs, %d trace events (bit-for-bit reproducible for seed %d)\n",
+		link.Clock(), rec.EventCount(), seed)
+	writeExports(rec, traceOut, jsonlOut)
+}
+
+// writeExports dumps the recorder's event stream to the requested
+// files: Chrome trace_event JSON and/or JSONL.
+func writeExports(rec *obs.Recorder, traceOut, jsonlOut string) {
+	if traceOut != "" {
+		if err := obs.ExportChromeFile(traceOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "trace export failed:", err)
+		} else {
+			fmt.Printf("chrome trace written to %s\n", traceOut)
+		}
+	}
+	if jsonlOut != "" {
+		if err := obs.ExportJSONLFile(jsonlOut, rec); err != nil {
+			fmt.Fprintln(os.Stderr, "jsonl export failed:", err)
+		} else {
+			fmt.Printf("jsonl events written to %s\n", jsonlOut)
+		}
+	}
 }
 
 // printClients drives n concurrent clients — one goroutine each, one
@@ -128,7 +158,7 @@ func printChaos(seed int64) {
 // policy. Reports aggregate throughput, per-client latency, and
 // verifies the combined final state against the same scripts replayed
 // sequentially on the fault-free monolithic arrangement.
-func printClients(n int, chaos bool, seed int64) {
+func printClients(n int, chaos bool, seed int64, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 	script := func(i int) fsserver.AndrewMini {
 		a := fsserver.DefaultAndrewMini()
@@ -154,6 +184,10 @@ func printClients(n int, chaos bool, seed int64) {
 	}
 	fsys := fs.New(256)
 	base := fsserver.NewRemoteOnLink(fsys, cm, link)
+	// Attach the recorder before spawning peers so every client inherits
+	// it and observes into its own per-client histogram class.
+	rec := obs.NewRecorder(link)
+	base.SetRecorder(rec)
 	remotes := make([]*fsserver.Remote, n)
 	for i := range remotes {
 		if i == 0 {
@@ -189,21 +223,20 @@ func printClients(n int, chaos bool, seed int64) {
 		}
 	}
 
-	t := trace.NewTable("Per-client transport",
-		"Client", "Ops", "Retries", "Degraded", "Virtual µs/op")
+	rows := make([]clientRow, n)
 	var totalOps int64
 	for i, r := range remotes {
 		st := r.Stats()
 		totalOps += st.Ops
-		t.AddRow(fmt.Sprintf("c%02d", i),
-			fmt.Sprintf("%d", st.Ops),
-			fmt.Sprintf("%d", st.Wire.Retries),
-			fmt.Sprintf("%d", st.DegradedOps),
-			// Per-op latency on a shared medium includes waiting out
-			// the other clients' frames — the fairness number.
-			fmt.Sprintf("%.1f", st.VirtualMicros/float64(st.Ops)))
+		rows[i] = clientRow{
+			Label:    fmt.Sprintf("c%02d", i),
+			Ops:      st.Ops,
+			Retries:  st.Wire.Retries,
+			Degraded: st.DegradedOps,
+			Lat:      rec.Histogram(r.LatencyClass()),
+		}
 	}
-	fmt.Println(t)
+	fmt.Println(clientLatencyTable(rows))
 
 	server := base.Stats().Wire
 	fmt.Printf("aggregate: %d ops in %.0f ms wall (%.0f ops/sec), virtual clock %.0f µs\n",
@@ -221,6 +254,39 @@ func printClients(n int, chaos bool, seed int64) {
 	} else {
 		fmt.Println("STATE DIVERGED ✗")
 	}
+	// Concurrent clients interleave nondeterministically, so this trace
+	// is race-safe but not byte-reproducible; use -chaos alone for that.
+	writeExports(rec, traceOut, jsonlOut)
+}
+
+// clientRow is one line of the per-client latency table; split from the
+// driving loop so the formatting is testable against a golden file.
+type clientRow struct {
+	Label    string
+	Ops      int64
+	Retries  int
+	Degraded int
+	Lat      *obs.Histogram
+}
+
+// clientLatencyTable renders per-client transport counters with
+// latency percentiles drawn from each client's histogram class.
+// Per-op latency on a shared medium includes waiting out the other
+// clients' frames — the percentile spread is the fairness number.
+func clientLatencyTable(rows []clientRow) *trace.Table {
+	t := trace.NewTable("Per-client transport and latency (virtual µs/op)",
+		"Client", "Ops", "Retries", "Degraded", "p50", "p90", "p99", "max")
+	for _, r := range rows {
+		t.AddRow(r.Label,
+			fmt.Sprintf("%d", r.Ops),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Degraded),
+			obs.FormatMicros(r.Lat.P50()),
+			obs.FormatMicros(r.Lat.P90()),
+			obs.FormatMicros(r.Lat.P99()),
+			obs.FormatMicros(r.Lat.Max()))
+	}
+	return t
 }
 
 func printSizes() {

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"archos/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestClientLatencyTableGolden pins the -clients table format: the
+// percentile columns must come from the histograms, render with one
+// decimal, and align. Regenerate with `go test ./cmd/rpcbench -update`.
+func TestClientLatencyTableGolden(t *testing.T) {
+	mk := func(vals ...float64) *obs.Histogram {
+		h := &obs.Histogram{}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	rows := []clientRow{
+		{Label: "c00", Ops: 120, Retries: 3, Degraded: 0, Lat: mk(40, 55, 63, 70, 91, 128, 250)},
+		{Label: "c01", Ops: 120, Retries: 11, Degraded: 2, Lat: mk(48, 52, 77, 90, 1024, 4096)},
+		// A client that never completed an op: all percentiles read 0.
+		{Label: "c02", Ops: 0, Retries: 5, Degraded: 3, Lat: &obs.Histogram{}},
+	}
+	got := clientLatencyTable(rows).String()
+
+	golden := filepath.Join("testdata", "clients_table.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table drifted from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

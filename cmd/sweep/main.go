@@ -20,6 +20,7 @@ import (
 	"archos/internal/ipc"
 	"archos/internal/kernel"
 	"archos/internal/mach"
+	"archos/internal/obs"
 	"archos/internal/sim"
 	"archos/internal/trace"
 	"archos/internal/workload"
@@ -175,18 +176,30 @@ func sweepNetwork() {
 // sweepDecompose varies the number of user-level servers a service
 // call traverses — Section 5's warning that primitive costs "may limit
 // the extent to which systems such as Mach can be further decomposed".
+// Each simulated OS registers its metrics in one obs.Registry; the
+// table is built from a single snapshot rather than ad-hoc Result
+// field reads, so the columns stay in sync with what the OS exports.
 func sweepDecompose() {
-	t := trace.NewTable("A5: andrew-local under increasing OS decomposition",
-		"Servers", "Elapsed s", "AS switches", "kTLB misses", "% in primitives")
-	for _, servers := range []int{1, 2, 3, 5, 8} {
+	reg := obs.NewRegistry()
+	degrees := []int{1, 2, 3, 5, 8}
+	for _, servers := range degrees {
 		cfg := mach.DefaultConfig(mach.Microkernel)
 		cfg.Servers = servers
-		r := mach.New(cfg).Run(workload.AndrewLocal)
+		o := mach.New(cfg)
+		o.Run(workload.AndrewLocal)
+		reg.Register(fmt.Sprintf("s%d", servers), o.Metrics)
+	}
+	snap := reg.Snapshot()
+
+	t := trace.NewTable("A5: andrew-local under increasing OS decomposition",
+		"Servers", "Elapsed s", "AS switches", "kTLB misses", "% in primitives")
+	for _, servers := range degrees {
+		k := func(metric string) float64 { return snap[fmt.Sprintf("s%d.%s", servers, metric)] }
 		t.AddRow(fmt.Sprintf("%d", servers),
-			fmt.Sprintf("%.1f", r.ElapsedSec),
-			fmt.Sprintf("%d", r.ASSwitches),
-			fmt.Sprintf("%d", r.KTLBMisses),
-			fmt.Sprintf("%.1f%%", r.PctInPrims))
+			fmt.Sprintf("%.1f", k("elapsed_sec")),
+			fmt.Sprintf("%.0f", k("as_switches")),
+			fmt.Sprintf("%.0f", k("ktlb_misses")),
+			fmt.Sprintf("%.1f%%", 100*k("prim_sec")/k("elapsed_sec")))
 	}
 	fmt.Println(t)
 }

@@ -16,6 +16,7 @@ import (
 	"archos/internal/ipc"
 	"archos/internal/ipc/wire"
 	"archos/internal/kernel"
+	"archos/internal/obs"
 )
 
 // Procedure numbers of the file service.
@@ -184,6 +185,11 @@ type Remote struct {
 	link   *wire.Link
 	cm     *kernel.CostModel
 
+	// rec, when non-nil, receives per-operation latency observations
+	// (classes "fsserver.op" and this client's LatencyClass). The wire
+	// layers below pick the recorder up from the link themselves.
+	rec *obs.Recorder
+
 	stats Stats
 }
 
@@ -229,7 +235,26 @@ func (r *Remote) NewPeer() *Remote {
 		server: r.server,
 		link:   r.link,
 		cm:     r.cm,
+		rec:    r.rec,
 	}
+}
+
+// SetRecorder attaches an observability recorder to this Remote's
+// service-level latency observations and to the shared link beneath it
+// (so the wire client, server, and fault decisions trace into the same
+// stream). Nil disables. Peers created afterwards inherit it; attach
+// before issuing traffic.
+func (r *Remote) SetRecorder(rec *obs.Recorder) {
+	r.rec = rec
+	r.link.SetRecorder(rec)
+}
+
+// LatencyClass is the histogram class this Remote's per-operation
+// latencies are observed under — one class per wire client, so a
+// many-client experiment reads per-client percentiles out of one
+// recorder.
+func (r *Remote) LatencyClass() string {
+	return fmt.Sprintf("fsserver.op.c%02d", r.client.ClientID)
 }
 
 // Tune adjusts the transport budget of the decomposed arrangement: the
@@ -257,11 +282,17 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 	// requires at least two system calls and two context switches."
 	r.stats.Syscalls += 2
 	r.stats.ASSwitches += 2
-	r.stats.VirtualMicros += 2*r.cm.SyscallMicros() + 2*r.cm.AddressSpaceSwitchMicros()
+	opMicros := 2*r.cm.SyscallMicros() + 2*r.cm.AddressSpaceSwitchMicros()
+	r.stats.VirtualMicros += opMicros
 	before := r.link.Clock()
 	out, err := r.client.Call(r.server.Wire, proc, args...)
 	r.stats.WireMicros += r.link.Clock() - before
 	r.stats.VirtualMicros += r.link.Clock() - before
+	if r.rec.Enabled() && err == nil {
+		opMicros += r.link.Clock() - before
+		r.rec.Observe("fsserver.op", opMicros)
+		r.rec.Observe(r.LatencyClass(), opMicros)
+	}
 	if err != nil {
 		var remote *wire.RemoteError
 		if errors.As(err, &remote) {

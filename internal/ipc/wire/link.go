@@ -3,10 +3,12 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"strconv"
 	"sync"
 
 	"archos/internal/faultplane"
 	"archos/internal/ipc"
+	"archos/internal/obs"
 )
 
 // Link is a full-duplex in-memory network link between two endpoints,
@@ -51,6 +53,10 @@ type Link struct {
 	// probabilistic fault plane; nil means a clean wire.
 	plane faultplane.Injector
 
+	// observability recorder; nil means tracing disabled (the zero-cost
+	// path: no header parsing, no event appends).
+	obs *obs.Recorder
+
 	nextClient uint32
 }
 
@@ -82,6 +88,25 @@ func (l *Link) SetFaultPlane(p faultplane.Injector) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.plane = p
+}
+
+// SetRecorder attaches an observability recorder; the clients and
+// server on this link pick it up too. Build the recorder with this
+// link as its clock — obs.NewRecorder(link) — so events carry the
+// wire's virtual time. Pass nil to disable tracing (the default); a
+// nil recorder costs the transport nothing.
+func (l *Link) SetRecorder(r *obs.Recorder) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.obs = r
+}
+
+// Recorder returns the attached recorder (nil when tracing is
+// disabled).
+func (l *Link) Recorder() *obs.Recorder {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.obs
 }
 
 // Clock returns accumulated wire time in microseconds.
@@ -148,6 +173,21 @@ func routeClientID(frame []byte) (uint32, bool) {
 	return binary.BigEndian.Uint32(frame[12:16]), true
 }
 
+// headerFields extracts the routing identity of a well-formed frame
+// without verifying the checksum — the observability analogue of
+// routeClientID. Unparseable frames trace with a zero identity.
+func headerFields(frame []byte) (kind MsgKind, callID, clientID uint32) {
+	if len(frame) < headerBytes {
+		return 0, 0, 0
+	}
+	if binary.BigEndian.Uint16(frame[0:2]) != magic || frame[2] != version {
+		return 0, 0, 0
+	}
+	return MsgKind(frame[3]),
+		binary.BigEndian.Uint32(frame[4:8]),
+		binary.BigEndian.Uint32(frame[12:16])
+}
+
 // looksLikeCall reports whether a frame parses as a call header —
 // traffic that belongs to a server's Recv, not to a client scavenging
 // damaged frames from the shared queue.
@@ -201,25 +241,51 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	defer l.mu.Unlock()
 	l.seq++
 	l.clock += l.Net.PacketMicros(len(frame))
+	// Tracing happens inside the link lock with the clock in hand
+	// (EventAt), so the event's timestamp and the frame's position in
+	// the decision stream can never disagree. All of it is skipped when
+	// no recorder is attached.
+	var callID, clientID uint32
+	if l.obs != nil {
+		var kind MsgKind
+		kind, callID, clientID = headerFields(frame)
+		l.obs.EventAt(l.clock, "link", "send", clientID, callID,
+			"kind="+kind.String()+" bytes="+strconv.Itoa(len(frame)))
+	}
 	var d faultplane.Decision
 	if l.plane != nil {
 		d = l.plane.Decide(l.seq, len(frame))
 	}
 	l.clock += d.DelayMicros
+	if l.obs != nil && d.DelayMicros > 0 {
+		l.obs.EventAt(l.clock, "fault", "delay", clientID, callID,
+			"micros="+strconv.FormatFloat(d.DelayMicros, 'g', -1, 64))
+	}
 	if l.drop[l.seq] || d.Drop {
+		if l.obs != nil {
+			l.obs.EventAt(l.clock, "fault", "drop", clientID, callID, "")
+		}
 		return
 	}
 	out := make([]byte, len(frame))
 	copy(out, frame)
-	if l.corrupt[l.seq] {
-		flipBit(out, 0)
-	}
-	if d.Corrupt {
-		flipBit(out, d.CorruptOffset)
+	if l.corrupt[l.seq] || d.Corrupt {
+		if l.corrupt[l.seq] {
+			flipBit(out, 0)
+		}
+		if d.Corrupt {
+			flipBit(out, d.CorruptOffset)
+		}
+		if l.obs != nil {
+			l.obs.EventAt(l.clock, "fault", "corrupt", clientID, callID, "")
+		}
 	}
 	_, held := l.queues(from)
 	delivered := 0
 	if d.Reorder {
+		if l.obs != nil {
+			l.obs.EventAt(l.clock, "fault", "reorder", clientID, callID, "")
+		}
 		*held = append(*held, out)
 	} else {
 		l.deliver(from, out)
@@ -229,6 +295,9 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 		dup := make([]byte, len(out))
 		copy(dup, out)
 		l.clock += l.Net.PacketMicros(len(out)) // the copy occupies the wire too
+		if l.obs != nil {
+			l.obs.EventAt(l.clock, "fault", "duplicate", clientID, callID, "")
+		}
 		l.deliver(from, dup)
 		delivered++
 	}

@@ -3,7 +3,10 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+
+	"archos/internal/obs"
 )
 
 // Handler implements one remote procedure: arguments in, results out.
@@ -134,6 +137,7 @@ func (s *Server) Poll() {
 // atomic unit: two copies of a call racing through two Polls cannot
 // both miss the cache and run the handler twice.
 func (s *Server) dispatch(h Header, payload []byte) {
+	rec := s.link.Recorder()
 	shard := s.cache.shardFor(h.ClientID)
 	shard.mu.Lock()
 	defer shard.mu.Unlock()
@@ -144,6 +148,7 @@ func (s *Server) dispatch(h Header, payload []byte) {
 			// EncodeErrors path) suppresses the execution but sends
 			// nothing — there is no reply frame to resend.
 			s.count(func(st *Stats) { st.DuplicatesSuppressed++ })
+			rec.Event("server", "cache_hit", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
 			if e.frame != nil {
 				s.link.Send(s.side, e.frame)
 			}
@@ -151,16 +156,22 @@ func (s *Server) dispatch(h Header, payload []byte) {
 		}
 		if h.CallID < e.callID {
 			s.count(func(st *Stats) { st.StaleFrames++ })
+			rec.Event("server", "stale", h.ClientID, h.CallID, "")
 			return
 		}
 	}
-	s.execute(shard, h, payload)
+	s.execute(rec, shard, h, payload)
 }
 
 // execute runs the handler (serialised on execMu), caches the outcome
 // in the caller's shard, and transmits the reply. The shard lock is
 // held by the caller.
-func (s *Server) execute(shard *cacheShard, h Header, payload []byte) {
+func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, h Header, payload []byte) {
+	rec.Event("server", "execute", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+	var execStart float64
+	if rec.Enabled() {
+		execStart = s.link.Clock()
+	}
 	var results []interface{}
 	proc, ok := s.procs[h.ProcID]
 	if !ok {
@@ -201,6 +212,11 @@ func (s *Server) execute(shard *cacheShard, h Header, payload []byte) {
 	}
 	s.link.Send(s.side, frame)
 	s.count(func(st *Stats) { st.Served++ }) // after the send: Served means "reply transmitted"
+	if rec.Enabled() {
+		// Handler-plus-reply time on the virtual clock: in this model
+		// handlers are free and the reply transmission is the charge.
+		rec.Observe("server.execute", s.link.Clock()-execStart)
+	}
 }
 
 // Client issues calls from one end of a link. Each Client is driven by
@@ -303,10 +319,13 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 	if err != nil {
 		return nil, err
 	}
+	rec := c.link.Recorder()
 	start := c.link.Clock()
+	rec.Event("client", "call_start", c.ClientID, id, "proc="+strconv.Itoa(int(proc)))
 	backoff := c.InitialBackoffMicros
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if c.overDeadline(start) {
+			rec.Event("client", "call_end", c.ClientID, id, "status=deadline")
 			return nil, c.deadlineErr(proc, start)
 		}
 		if attempt > 0 {
@@ -314,6 +333,9 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 				st.Retries++
 				st.BackoffMicros += backoff
 			})
+			rec.Event("client", "retransmit", c.ClientID, id,
+				"attempt="+strconv.Itoa(attempt)+" backoff="+strconv.FormatFloat(backoff, 'g', -1, 64))
+			rec.Observe("call.backoff", backoff)
 			c.link.AdvanceClock(backoff)
 			backoff *= 2
 			if backoff > c.MaxBackoffMicros {
@@ -322,21 +344,26 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 		}
 		c.link.Send(c.side, frame)
 		server.Poll()
-		reply, err := c.awaitReply(id)
+		reply, err := c.awaitReply(rec, id)
 		if errors.Is(err, ErrEmpty) {
 			continue // lost or corrupted somewhere: resend
 		}
 		if err != nil {
+			rec.Event("client", "call_end", c.ClientID, id, "status=error")
 			return nil, err
 		}
 		if c.overDeadline(start) {
 			// The reply arrived, but the budget is spent — the caller
 			// asked for an answer within the deadline, not eventually.
 			// At-most-once still holds: the call executed exactly once.
+			rec.Event("client", "call_end", c.ClientID, id, "status=deadline")
 			return nil, c.deadlineErr(proc, start)
 		}
+		rec.Observe("call.roundtrip", c.link.Clock()-start)
+		rec.Event("client", "call_end", c.ClientID, id, "status=ok")
 		return reply, nil
 	}
+	rec.Event("client", "call_end", c.ClientID, id, "status=exhausted")
 	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
 }
 
@@ -346,7 +373,7 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 // empty queue returns ErrEmpty so the caller retransmits. Other
 // clients' replies are never seen here — the link routes them to their
 // own queues.
-func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
+func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error) {
 	for {
 		frame, err := c.link.RecvClient(c.side, c.ClientID)
 		if err != nil {
@@ -361,6 +388,7 @@ func (c *Client) awaitReply(id uint32) ([]interface{}, error) {
 			c.count(func(st *Stats) { st.StaleFrames++ })
 			continue // duplicate or stale frame from an earlier retry
 		}
+		rec.Event("client", "recv_reply", c.ClientID, id, "")
 		vals, err := Unmarshal(payload)
 		if err != nil {
 			return nil, err

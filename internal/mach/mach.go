@@ -19,9 +19,13 @@
 package mach
 
 import (
+	"sync"
+
 	"archos/internal/arch"
 	"archos/internal/kernel"
+	"archos/internal/obs"
 	"archos/internal/tlb"
+	"archos/internal/trace"
 	"archos/internal/workload"
 )
 
@@ -135,6 +139,20 @@ func (k PrimKind) String() string {
 type OS struct {
 	cfg Config
 	cm  *kernel.CostModel
+
+	// rec, when set, receives one "mach.prim.<kind>" histogram
+	// observation per primitive kind per run (the run's total µs in that
+	// primitive) — the per-operation-class latency surface of the mach
+	// layer.
+	rec *obs.Recorder
+
+	// counters accumulates the Table 7 event counts across every Run,
+	// and floatTotals the priced seconds, so the whole OS instance can
+	// be read through one metrics-registry snapshot instead of ad-hoc
+	// Result field reads.
+	counters    trace.CounterSet
+	floatMu     sync.Mutex
+	floatTotals map[string]float64
 }
 
 // New builds an OS from cfg. Zero or negative sizing fields are
@@ -159,17 +177,91 @@ func New(cfg Config) *OS {
 // Config returns the OS configuration.
 func (o *OS) Config() Config { return o.cfg }
 
+// SetRecorder attaches an observability recorder; each Run then
+// observes its per-primitive virtual time into "mach.prim.<kind>"
+// histogram classes. Nil disables (the default).
+func (o *OS) SetRecorder(rec *obs.Recorder) { o.rec = rec }
+
+// Counters returns the live counter set accumulating Table 7 event
+// counts across runs (register it in a metrics registry with
+// obs.CounterSetSource).
+func (o *OS) Counters() *trace.CounterSet { return &o.counters }
+
+// Metrics is an obs.Source: one flat snapshot of everything this OS
+// instance has counted and priced so far — event counts (runs,
+// syscalls, as_switches, thread_switches, emul_instrs, ktlb_misses,
+// other_exceptions) plus float totals (elapsed_sec, prim_sec, and
+// prim_sec.<kind> per primitive).
+func (o *OS) Metrics() map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range o.counters.Snapshot() {
+		out[k] = float64(v)
+	}
+	o.floatMu.Lock()
+	for k, v := range o.floatTotals {
+		out[k] = v
+	}
+	o.floatMu.Unlock()
+	return out
+}
+
+// primSlug is the metrics/histogram name fragment for a primitive kind.
+func primSlug(k PrimKind) string {
+	switch k {
+	case PrimSyscalls:
+		return "syscalls"
+	case PrimASSwitches:
+		return "as_switches"
+	case PrimThreadSwitches:
+		return "thread_switches"
+	case PrimEmulation:
+		return "emulation"
+	case PrimKTLBMisses:
+		return "ktlb_misses"
+	case PrimOtherExceptions:
+		return "other_exceptions"
+	}
+	return "unknown"
+}
+
+// record folds one finished run into the OS's metrics surfaces.
+func (o *OS) record(r Result) {
+	o.counters.Inc("runs")
+	o.counters.Add("syscalls", r.Syscalls)
+	o.counters.Add("as_switches", r.ASSwitches)
+	o.counters.Add("thread_switches", r.ThreadSwitches)
+	o.counters.Add("emul_instrs", r.EmulInstrs)
+	o.counters.Add("ktlb_misses", r.KTLBMisses)
+	o.counters.Add("other_exceptions", r.OtherExcept)
+	o.floatMu.Lock()
+	if o.floatTotals == nil {
+		o.floatTotals = map[string]float64{}
+	}
+	o.floatTotals["elapsed_sec"] += r.ElapsedSec
+	o.floatTotals["prim_sec"] += r.PrimSeconds
+	for k := PrimKind(0); k < NumPrimKinds; k++ {
+		o.floatTotals["prim_sec."+primSlug(k)] += r.PrimSecondsByKind[k]
+	}
+	o.floatMu.Unlock()
+	for k := PrimKind(0); k < NumPrimKinds; k++ {
+		o.rec.Observe("mach.prim."+primSlug(k), r.PrimSecondsByKind[k]*1e6)
+	}
+}
+
 // CostModel exposes the kernel cost model in use.
 func (o *OS) CostModel() *kernel.CostModel { return o.cm }
 
 // Run executes workload w and returns its Table 7 row.
 func (o *OS) Run(w workload.Spec) Result {
+	var r Result
 	switch o.cfg.Structure {
 	case Microkernel:
-		return o.runMicrokernel(w)
+		r = o.runMicrokernel(w)
 	default:
-		return o.runMonolithic(w)
+		r = o.runMonolithic(w)
 	}
+	o.record(r)
+	return r
 }
 
 // RunAll executes every workload in order.

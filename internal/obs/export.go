@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes one event per line as a JSON object with a fixed
+// field order (the Event struct's). The encoding is fully
+// deterministic — same events in, same bytes out — which is what lets
+// CI diff two same-seed traces byte for byte.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (chrome://tracing, Perfetto). ph "B"/"E" bracket a duration; "i" is
+// an instant event with thread scope.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Ph    string            `json:"ph"`
+	Ts    float64           `json:"ts"` // µs, matching our virtual clock
+	Pid   int               `json:"pid"`
+	Tid   uint32            `json:"tid"`
+	Scope string            `json:"s,omitempty"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the event stream in Chrome trace_event JSON.
+// Each client becomes a thread (tid = client ID); a call's
+// client-layer start/end events become a duration slice, everything
+// else an instant event, so one RPC's life renders as a bar with the
+// link, fault, and server events pinned along it.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Layer + "." + e.Name,
+			Cat:  e.Layer,
+			Ph:   "i",
+			Ts:   e.T,
+			Pid:  1,
+			Tid:  e.Client,
+		}
+		switch {
+		case e.Layer == "client" && e.Name == "call_start":
+			ce.Ph, ce.Name = "B", fmt.Sprintf("call %d", e.Call)
+		case e.Layer == "client" && e.Name == "call_end":
+			ce.Ph, ce.Name = "E", fmt.Sprintf("call %d", e.Call)
+		default:
+			ce.Scope = "t"
+		}
+		if e.Attrs != "" || e.Call != 0 {
+			ce.Args = map[string]string{}
+			if e.Call != 0 {
+				ce.Args["call"] = fmt.Sprintf("%d", e.Call)
+			}
+			if e.Attrs != "" {
+				ce.Args["attrs"] = e.Attrs
+			}
+		}
+		out = append(out, ce)
+	}
+	wrapped := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{out}
+	enc := json.NewEncoder(w)
+	return enc.Encode(wrapped)
+}

@@ -1,0 +1,197 @@
+// Package obs is the deterministic observability layer of the
+// decomposed OS stack: causally ordered spans/events in virtual time,
+// fixed-bucket latency histograms, a unified metrics registry, and
+// JSONL / Chrome trace_event exporters. The paper's method is to
+// *measure* primitive operations and count how often each OS structure
+// pays them; this package is the measuring instrument for our
+// reproduction — and, like the simulation it observes, it is
+// deterministic: with the same seed and the same (single-goroutine)
+// drive, two runs emit byte-identical traces.
+//
+// Everything is nil-safe: a nil *Recorder (observability disabled)
+// makes every recording call a no-op without conditionals at the call
+// site, so the instrumented hot paths cost nothing when tracing is off.
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Clock is a virtual-time source in microseconds. wire.Link satisfies
+// it; subsystems without a natural clock use a ManualClock or nil (all
+// events stamped 0, ordering carried by Seq alone).
+type Clock interface {
+	Clock() float64
+}
+
+// ManualClock is a settable virtual clock for layers that are not
+// driven by a wire link.
+type ManualClock struct {
+	mu sync.Mutex
+	t  float64
+}
+
+// Clock returns the current virtual time.
+func (m *ManualClock) Clock() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.t
+}
+
+// Advance moves the clock forward by d microseconds.
+func (m *ManualClock) Advance(d float64) {
+	m.mu.Lock()
+	m.t += d
+	m.mu.Unlock()
+}
+
+// Event is one observation on the virtual-time line. Events carrying
+// the same (Client, Call) pair form the span of one RPC: the causal
+// chain from the client's send through the link's fault decisions and
+// the server's execute or cache hit to the reply's delivery. Seq is a
+// recorder-global sequence number: the total order events were
+// recorded in, which on a single-goroutine drive is the causal order.
+type Event struct {
+	Seq    uint64  `json:"seq"`
+	T      float64 `json:"t"` // virtual µs
+	Layer  string  `json:"layer"`
+	Name   string  `json:"name"`
+	Client uint32  `json:"client,omitempty"`
+	Call   uint32  `json:"call,omitempty"`
+	Attrs  string  `json:"attrs,omitempty"` // preformatted "k=v k=v", deterministic
+}
+
+// Recorder collects events and histograms. Create one per experiment
+// with the virtual clock the traced layers share (usually the wire
+// link) and attach it with Link.SetRecorder; a nil recorder is the
+// disabled state. All methods are safe for concurrent use.
+type Recorder struct {
+	clock Clock // immutable after construction; nil stamps events at 0
+
+	mu     sync.Mutex
+	seq    uint64
+	events []Event
+	hists  map[string]*Histogram
+}
+
+// NewRecorder builds a recorder stamping events from clock (nil for a
+// sequence-only recorder).
+func NewRecorder(clock Clock) *Recorder {
+	return &Recorder{clock: clock}
+}
+
+// Enabled reports whether the recorder actually records — the nil
+// fast-path predicate spelled out.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// now reads the clock without holding r.mu, so a clock that is itself
+// a locked structure (the wire link) is never acquired inside the
+// recorder's lock — the lock order is always clock-owner → recorder.
+func (r *Recorder) now() float64 {
+	if r.clock == nil {
+		return 0
+	}
+	return r.clock.Clock()
+}
+
+// Event appends an event stamped with the recorder's clock. Safe on a
+// nil recorder.
+func (r *Recorder) Event(layer, name string, client, call uint32, attrs string) {
+	if r == nil {
+		return
+	}
+	r.EventAt(r.now(), layer, name, client, call, attrs)
+}
+
+// EventAt appends an event with an explicit timestamp — the form used
+// by a caller that already holds the clock's own lock (wire.Link
+// records from inside Send with the link clock in hand).
+func (r *Recorder) EventAt(t float64, layer, name string, client, call uint32, attrs string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.seq++
+	r.events = append(r.events, Event{
+		Seq: r.seq, T: t, Layer: layer, Name: name,
+		Client: client, Call: call, Attrs: attrs,
+	})
+	r.mu.Unlock()
+}
+
+// Observe records a value into the named histogram class, creating it
+// on first use. Safe on a nil recorder.
+func (r *Recorder) Observe(class string, v float64) {
+	r.Histogram(class).Observe(v)
+}
+
+// Histogram returns the live histogram for class, creating it on first
+// use. On a nil recorder it returns nil, whose methods all behave as
+// an empty histogram.
+func (r *Recorder) Histogram(class string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[class]
+	if !ok {
+		if r.hists == nil {
+			r.hists = map[string]*Histogram{}
+		}
+		h = &Histogram{}
+		r.hists[class] = h
+	}
+	return h
+}
+
+// Classes returns the histogram class names in sorted order.
+func (r *Recorder) Classes() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Events returns a copy of the recorded event stream in Seq order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// EventCount returns the number of recorded events.
+func (r *Recorder) EventCount() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// SpanEvents filters an event stream down to one RPC's span: the
+// events carrying the given (client, call) identity, in recorded
+// order.
+func SpanEvents(events []Event, client, call uint32) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.Client == client && e.Call == call {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderIsFreeAndSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Error("nil recorder claims to be enabled")
+	}
+	r.Event("layer", "name", 1, 2, "k=v") // must not panic
+	r.EventAt(10, "layer", "name", 1, 2, "")
+	r.Observe("class", 42)
+	if r.Events() != nil || r.Classes() != nil || r.EventCount() != 0 {
+		t.Error("nil recorder returned data")
+	}
+	if h := r.Histogram("class"); h.Count() != 0 {
+		t.Error("nil recorder's histogram recorded")
+	}
+}
+
+func TestRecorderEventsStampedFromClock(t *testing.T) {
+	clk := &ManualClock{}
+	r := NewRecorder(clk)
+	r.Event("client", "call_start", 1, 1, "")
+	clk.Advance(25)
+	r.Event("server", "execute", 1, 1, "proc=3")
+	clk.Advance(5)
+	r.EventAt(27.5, "link", "send", 1, 1, "")
+
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("events = %d, want 3", len(ev))
+	}
+	wantT := []float64{0, 25, 27.5}
+	for i, e := range ev {
+		if e.T != wantT[i] {
+			t.Errorf("event %d: t = %g, want %g", i, e.T, wantT[i])
+		}
+		if e.Seq != uint64(i+1) {
+			t.Errorf("event %d: seq = %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+func TestRecorderNilClockStampsZero(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Event("mach", "run", 0, 0, "")
+	if ev := r.Events(); len(ev) != 1 || ev[0].T != 0 {
+		t.Errorf("events = %+v", ev)
+	}
+}
+
+func TestSpanEventsFiltersByIdentity(t *testing.T) {
+	r := NewRecorder(nil)
+	r.Event("client", "call_start", 1, 1, "")
+	r.Event("client", "call_start", 2, 1, "") // another client, same call ID
+	r.Event("server", "execute", 1, 1, "")
+	r.Event("client", "call_start", 1, 2, "") // same client, next call
+	r.Event("client", "call_end", 1, 1, "")
+
+	span := SpanEvents(r.Events(), 1, 1)
+	if len(span) != 3 {
+		t.Fatalf("span has %d events, want 3", len(span))
+	}
+	names := make([]string, len(span))
+	for i, e := range span {
+		names[i] = e.Name
+	}
+	if got := strings.Join(names, ","); got != "call_start,execute,call_end" {
+		t.Errorf("span = %s", got)
+	}
+}
+
+func TestRecorderConcurrentUse(t *testing.T) {
+	r := NewRecorder(&ManualClock{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Event("layer", "evt", uint32(g), uint32(i), "")
+				r.Observe("class", float64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := r.EventCount(); n != 4000 {
+		t.Errorf("events = %d, want 4000", n)
+	}
+	// Seq must be gapless and strictly increasing.
+	seen := map[uint64]bool{}
+	for _, e := range r.Events() {
+		if seen[e.Seq] {
+			t.Fatalf("duplicate seq %d", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+	if h := r.Histogram("class"); h.Count() != 4000 {
+		t.Errorf("histogram count = %d", h.Count())
+	}
+}
+
+func TestWriteJSONLDeterministic(t *testing.T) {
+	build := func() []Event {
+		r := NewRecorder(nil)
+		r.EventAt(1.5, "client", "call_start", 1, 1, "proc=4")
+		r.EventAt(3, "fault", "delay", 1, 1, "micros=12.25")
+		r.EventAt(9, "client", "call_end", 1, 1, "status=ok")
+		return r.Events()
+	}
+	var a, b bytes.Buffer
+	if err := WriteJSONL(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same events encoded to different bytes")
+	}
+	if !strings.Contains(a.String(), `"layer":"fault"`) || !strings.Contains(a.String(), `"attrs":"proc=4"`) {
+		t.Errorf("unexpected JSONL:\n%s", a.String())
+	}
+	if lines := strings.Count(a.String(), "\n"); lines != 3 {
+		t.Errorf("JSONL lines = %d, want 3", lines)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRecorder(nil)
+	r.EventAt(0, "client", "call_start", 1, 1, "proc=4")
+	r.EventAt(2, "server", "execute", 1, 1, "proc=4")
+	r.EventAt(5, "client", "call_end", 1, 1, "status=ok")
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r.Events()); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"traceEvents"`, `"ph":"B"`, `"ph":"E"`, `"ph":"i"`, `"tid":1`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("chrome trace missing %s:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+
+	"archos/internal/trace"
+)
+
+// FormatMicros renders a virtual-µs value for latency tables: one
+// decimal place, fixed, so columns align and goldens are stable.
+func FormatMicros(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// LatencyTable renders every histogram class of the recorder as one
+// count/p50/p90/p99/max row, in sorted class order — the percentile
+// companion to a counter snapshot.
+func LatencyTable(r *Recorder, title string) *trace.Table {
+	t := trace.NewTable(title, "Class", "Count", "p50 µs", "p90 µs", "p99 µs", "Max µs")
+	for _, c := range r.Classes() {
+		h := r.Histogram(c)
+		t.AddRow(c,
+			fmt.Sprintf("%d", h.Count()),
+			FormatMicros(h.P50()),
+			FormatMicros(h.P90()),
+			FormatMicros(h.P99()),
+			FormatMicros(h.Max()))
+	}
+	return t
+}
+
+// ExportJSONLFile writes the recorder's event stream to path in JSONL.
+func ExportJSONLFile(path string, r *Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteJSONL(f, r.Events())
+}
+
+// ExportChromeFile writes the recorder's event stream to path in
+// Chrome trace_event format (load in chrome://tracing or Perfetto).
+func ExportChromeFile(path string, r *Recorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteChromeTrace(f, r.Events())
+}

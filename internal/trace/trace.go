@@ -9,11 +9,16 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // CounterSet is a named collection of monotonically increasing counters.
-// The zero value is ready to use.
+// The zero value is ready to use. All methods are safe for concurrent
+// use — a CounterSet may be fed by many goroutines while a stats
+// surface snapshots it — so a CounterSet must not be copied after
+// first use (go vet's copylocks check enforces this).
 type CounterSet struct {
+	mu     sync.Mutex
 	counts map[string]int64
 }
 
@@ -21,40 +26,56 @@ type CounterSet struct {
 // callers can implement "undo" during speculative simulation, but the
 // usual use is monotone.
 func (c *CounterSet) Add(name string, n int64) {
+	c.mu.Lock()
 	if c.counts == nil {
 		c.counts = make(map[string]int64)
 	}
 	c.counts[name] += n
+	c.mu.Unlock()
 }
 
 // Inc increments the named counter by one.
 func (c *CounterSet) Inc(name string) { c.Add(name, 1) }
 
 // Get returns the current value of the named counter (zero if never set).
-func (c *CounterSet) Get(name string) int64 { return c.counts[name] }
+func (c *CounterSet) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts[name]
+}
 
 // Names returns the counter names in sorted order.
 func (c *CounterSet) Names() []string {
+	c.mu.Lock()
 	names := make([]string, 0, len(c.counts))
 	for n := range c.counts {
 		names = append(names, n)
 	}
+	c.mu.Unlock()
 	sort.Strings(names)
 	return names
 }
 
 // Reset clears every counter.
-func (c *CounterSet) Reset() { c.counts = nil }
+func (c *CounterSet) Reset() {
+	c.mu.Lock()
+	c.counts = nil
+	c.mu.Unlock()
+}
 
-// Merge adds every counter from other into c.
+// Merge adds every counter from other into c. The other set is
+// snapshotted first, so merging a set into itself, or two sets into
+// each other from two goroutines, cannot deadlock.
 func (c *CounterSet) Merge(other *CounterSet) {
-	for n, v := range other.counts {
+	for n, v := range other.Snapshot() {
 		c.Add(n, v)
 	}
 }
 
 // Snapshot returns a copy of the current counter values.
 func (c *CounterSet) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make(map[string]int64, len(c.counts))
 	for n, v := range c.counts {
 		out[n] = v
@@ -62,11 +83,36 @@ func (c *CounterSet) Snapshot() map[string]int64 {
 	return out
 }
 
+// Clone returns an independent copy of the set: mutating either side
+// afterwards does not affect the other. The sharing hazard Clone
+// exists to avoid: Snapshot hands out a map, but a CounterSet held by
+// reference kept mutating under earlier callers' feet.
+func (c *CounterSet) Clone() *CounterSet {
+	return &CounterSet{counts: c.Snapshot()}
+}
+
+// Diff returns c − prev as a new set: each counter's value minus its
+// value in prev (counters only in prev appear negated). The interval
+// view between two Clones of a live set.
+func (c *CounterSet) Diff(prev *CounterSet) *CounterSet {
+	cur := c.Snapshot()
+	for n, v := range prev.Snapshot() {
+		cur[n] -= v
+	}
+	return &CounterSet{counts: cur}
+}
+
 // String renders the counters one per line, sorted by name.
 func (c *CounterSet) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	var b strings.Builder
-	for _, n := range c.Names() {
-		fmt.Fprintf(&b, "%s=%d\n", n, c.counts[n])
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s=%d\n", n, snap[n])
 	}
 	return b.String()
 }

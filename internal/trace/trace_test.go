@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -64,6 +66,84 @@ func TestCounterSetNeverLoses(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCounterSetCloneIsIndependent(t *testing.T) {
+	var c CounterSet
+	c.Add("x", 5)
+	cl := c.Clone()
+	c.Add("x", 1)
+	cl.Add("y", 7)
+	if cl.Get("x") != 5 || cl.Get("y") != 7 {
+		t.Errorf("clone = %v", cl.Snapshot())
+	}
+	if c.Get("x") != 6 || c.Get("y") != 0 {
+		t.Errorf("original perturbed by clone mutation: %v", c.Snapshot())
+	}
+}
+
+func TestCounterSetDiff(t *testing.T) {
+	var c CounterSet
+	c.Add("hits", 10)
+	c.Add("misses", 2)
+	before := c.Clone()
+	c.Add("hits", 5)
+	c.Add("evicted", 1)
+	d := c.Diff(before)
+	if d.Get("hits") != 5 || d.Get("misses") != 0 || d.Get("evicted") != 1 {
+		t.Errorf("diff = %v", d.Snapshot())
+	}
+	// A counter only in prev appears negated.
+	var empty CounterSet
+	if neg := empty.Diff(before); neg.Get("hits") != -10 {
+		t.Errorf("negated diff = %v", neg.Snapshot())
+	}
+}
+
+func TestCounterSetConcurrentAdd(t *testing.T) {
+	// The regression this type's mutex exists for: concurrent Add on the
+	// previously unguarded map was a data race and could lose updates or
+	// crash. 8 writers, one snapshotting reader, exact totals.
+	var c CounterSet
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 2000
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc("shared")
+				c.Add(fmt.Sprintf("own%d", g), 1)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = c.Snapshot()
+			_ = c.Names()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := c.Get("shared"); got != writers*perWriter {
+		t.Errorf("shared = %d, want %d", got, writers*perWriter)
+	}
+	for g := 0; g < writers; g++ {
+		if got := c.Get(fmt.Sprintf("own%d", g)); got != perWriter {
+			t.Errorf("own%d = %d, want %d", g, got, perWriter)
+		}
+	}
+}
+
+func TestCounterSetMergeSelfDoesNotDeadlock(t *testing.T) {
+	var c CounterSet
+	c.Add("x", 3)
+	c.Merge(&c)
+	if c.Get("x") != 6 {
+		t.Errorf("self-merge x = %d, want 6", c.Get("x"))
 	}
 }
 
