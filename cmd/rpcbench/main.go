@@ -10,6 +10,7 @@
 //	rpcbench -scaling        # cross-architecture RPC/LRPC scaling
 //	rpcbench -sizes          # packet-size sweep (wire share growth)
 //	rpcbench -chaos -seed 7  # seeded chaos soak of the decomposed file service
+//	rpcbench -chaos -crash   # the same, with seeded server crashes and WAL recovery
 //	rpcbench -clients 4      # N concurrent clients sharing one decomposed service
 //	rpcbench -clients 4 -chaos  # the same, on a faulty link
 //	rpcbench -chaos -trace out.json -jsonl out.jsonl  # export the virtual-time trace
@@ -39,6 +40,7 @@ func main() {
 	scaling := flag.Bool("scaling", false, "cross-architecture RPC and LRPC scaling")
 	sizes := flag.Bool("sizes", false, "packet-size sweep")
 	chaos := flag.Bool("chaos", false, "seeded chaos soak: andrew-mini over the decomposed file service on a faulty link")
+	crash := flag.Bool("crash", false, "add a seeded crash schedule to the soak: the server dies mid-run and recovers from its write-ahead log (implies -chaos)")
 	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
 	clients := flag.Int("clients", 0, "run N concurrent clients against one shared decomposed file service")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (with -chaos or -clients)")
@@ -49,8 +51,8 @@ func main() {
 		printClients(*clients, *chaos, *seed, *traceOut, *jsonlOut)
 		return
 	}
-	if *chaos {
-		printChaos(*seed, *traceOut, *jsonlOut)
+	if *chaos || *crash {
+		printChaos(*seed, *crash, *traceOut, *jsonlOut)
 		return
 	}
 
@@ -68,9 +70,12 @@ func main() {
 // printChaos replays the andrew-mini script through the decomposed file
 // service over a link running the reference chaos policy (≥20% combined
 // loss, duplication, and reordering) and verifies exactly-once effects
-// against a fault-free monolithic run. Same seed, same output — down to
-// the virtual clock.
-func printChaos(seed int64, traceOut, jsonlOut string) {
+// against a fault-free monolithic run. With crash, a seeded crash
+// schedule additionally kills the server mid-soak — including between
+// the WAL append and the reply — and recovery must hold the same
+// end-state identity. Same seed, same output — down to the virtual
+// clock.
+func printChaos(seed int64, crash bool, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 
 	clean := fs.New(256)
@@ -84,6 +89,11 @@ func printChaos(seed int64, traceOut, jsonlOut string) {
 	link.SetFaultPlane(plane)
 	fsys := fs.New(256)
 	remote := fsserver.NewRemoteOnLink(fsys, cm, link)
+	var crashPlane *faultplane.CrashPlane
+	if crash {
+		crashPlane = faultplane.NewCrash(faultplane.ChaosCrash(seed))
+		remote.SetCrashPlane(crashPlane)
+	}
 	rec := obs.NewRecorder(link)
 	remote.SetRecorder(rec)
 	ops, err := fsserver.DefaultAndrewMini().Run(remote)
@@ -96,6 +106,11 @@ func printChaos(seed int64, traceOut, jsonlOut string) {
 	counts := plane.Counts()
 	st := remote.Stats()
 	fmt.Printf("Chaos soak: andrew-mini over the decomposed file service (seed %d)\n", seed)
+	if crashPlane != nil {
+		cp := crashPlane.Policy()
+		fmt.Printf("crash schedule: recv %.1f%%, pre-apply %.1f%%, pre-reply %.1f%% per window, max %d crashes\n",
+			100*cp.OnRecv, 100*cp.PreApply, 100*cp.PreReply, cp.MaxCrashes)
+	}
 	fmt.Printf("fault policy: loss %.0f%%, corrupt %.0f%%, duplicate %.0f%%, reorder %.0f%% (combined disruption %.0f%%), delay ≤%.0f µs, bursts len %d\n",
 		100*policy.Loss, 100*policy.Corrupt, 100*policy.Duplicate, 100*policy.Reorder,
 		100*policy.CombinedDisruption(), policy.DelayMicrosMax, policy.BurstLen)
@@ -120,9 +135,13 @@ func printChaos(seed int64, traceOut, jsonlOut string) {
 	add("degraded ops", st.DegradedOps)
 	fmt.Println(t)
 
+	if crashPlane != nil {
+		fmt.Println(crashSummaryTable(crashPlane.Counts(), st, rec.Histogram("server.recovery")))
+	}
+
 	fmt.Println(obs.LatencyTable(rec, "Latency distribution under chaos (virtual µs)"))
 
-	if fsys.Fingerprint() == clean.Fingerprint() {
+	if remote.ServerFS().Fingerprint() == clean.Fingerprint() {
 		fmt.Println("exactly-once effects: decomposed state identical to fault-free monolithic run ✓")
 	} else {
 		fmt.Println("STATE DIVERGED: at-most-once violated ✗")
@@ -130,6 +149,28 @@ func printChaos(seed int64, traceOut, jsonlOut string) {
 	fmt.Printf("virtual time %.0f µs, %d trace events (bit-for-bit reproducible for seed %d)\n",
 		link.Clock(), rec.EventCount(), seed)
 	writeExports(rec, traceOut, jsonlOut)
+}
+
+// crashSummaryTable renders the crash–recovery accounting of a soak:
+// what the schedule injected (by window), what recovery replayed from
+// the write-ahead log, how the at-most-once record held across the
+// restarts, and the recovery-latency percentiles; split from the
+// driving loop so the formatting is testable against a golden file.
+func crashSummaryTable(cc faultplane.CrashCounts, st fsserver.Stats, recovery *obs.Histogram) *trace.Table {
+	t := trace.NewTable("Crash–recovery under chaos",
+		"Metric", "Count")
+	add := func(name string, v interface{}) { t.AddRow(name, fmt.Sprintf("%v", v)) }
+	add("crashes injected", cc.Crashes)
+	add("  at recv window", cc.OnRecv)
+	add("  at pre-apply window", cc.PreApply)
+	add("  at pre-reply window", cc.PreReply)
+	add("server restarts (epoch bumps)", st.Wire.Restarts)
+	add("ops replayed from WAL", st.RecoveryReplayedOps)
+	add("duplicates answered from WAL", st.Wire.LogDuplicates)
+	add("sessions re-established", st.Wire.SessionsReestablished)
+	add("recovery p50 µs", obs.FormatMicros(recovery.P50()))
+	add("recovery p99 µs", obs.FormatMicros(recovery.P99()))
+	return t
 }
 
 // writeExports dumps the recorder's event stream to the requested

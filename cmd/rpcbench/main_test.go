@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"testing"
 
+	"archos/internal/faultplane"
+	"archos/internal/fsserver"
 	"archos/internal/obs"
 )
 
@@ -31,6 +33,37 @@ func TestClientLatencyTableGolden(t *testing.T) {
 	got := clientLatencyTable(rows).String()
 
 	golden := filepath.Join("testdata", "clients_table.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table drifted from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCrashSummaryTableGolden pins the -crash summary format: the
+// per-window crash breakdown, the WAL accounting, and the recovery
+// percentiles with one decimal. Regenerate with
+// `go test ./cmd/rpcbench -update`.
+func TestCrashSummaryTableGolden(t *testing.T) {
+	recovery := &obs.Histogram{}
+	for _, v := range []float64{512, 640, 1024, 1536, 2212} {
+		recovery.Observe(v)
+	}
+	cc := faultplane.CrashCounts{Points: 2600, Crashes: 5, OnRecv: 2, PreApply: 1, PreReply: 2}
+	st := fsserver.Stats{RecoveryReplayedOps: 1314}
+	st.Wire.Restarts = 5
+	st.Wire.LogDuplicates = 3
+	st.Wire.SessionsReestablished = 5
+	got := crashSummaryTable(cc, st, recovery).String()
+
+	golden := filepath.Join("testdata", "crash_table.golden")
 	if *update {
 		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
 			t.Fatal(err)

@@ -1,0 +1,177 @@
+package faultplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// CrashPoint names a window in the server's request path where a crash
+// schedule may kill the process. The windows bracket the write-ahead
+// log discipline of the file server: before the op is logged, after it
+// is logged but before it is applied, and after it is applied but
+// before the reply leaves — the classic at-most-once hazard windows.
+type CrashPoint int
+
+const (
+	// CrashOnRecv kills the server as a call frame is received, before
+	// anything about the op is durable.
+	CrashOnRecv CrashPoint = iota
+	// CrashPreApply kills the server after the op is appended to the
+	// write-ahead log but before it is applied to the live state.
+	CrashPreApply
+	// CrashPreReply kills the server after the op is logged and applied
+	// but before the reply frame is transmitted.
+	CrashPreReply
+	// CrashForced marks a manual kill (tests, tools); schedules never
+	// draw for it.
+	CrashForced
+)
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashOnRecv:
+		return "recv"
+	case CrashPreApply:
+		return "pre-apply"
+	case CrashPreReply:
+		return "pre-reply"
+	case CrashForced:
+		return "forced"
+	}
+	return fmt.Sprintf("point(%d)", int(p))
+}
+
+// Crasher is the interface the server consults at each crash window;
+// CrashPlane implements it.
+type Crasher interface {
+	CrashNow(p CrashPoint) bool
+}
+
+// CrashPolicy parameterises a seeded crash schedule: an independent
+// per-window probability that the server dies there, bounded by
+// MaxCrashes so a soak terminates. The zero CrashPolicy never crashes.
+type CrashPolicy struct {
+	// Seed fixes the PRNG stream; equal seeds and equal traffic give
+	// identical crash schedules.
+	Seed int64
+
+	// OnRecv, PreApply, and PreReply are the per-decision-point crash
+	// probabilities for the corresponding windows.
+	OnRecv   float64
+	PreApply float64
+	PreReply float64
+
+	// MaxCrashes bounds the total crashes injected; 0 means unlimited.
+	MaxCrashes int
+}
+
+// Validate checks the window probabilities for NaN and [0,1]
+// membership, returning a descriptive error naming the offending
+// field. NewCrash panics on exactly this error.
+func (p CrashPolicy) Validate() error {
+	for _, pr := range []struct {
+		name string
+		v    float64
+	}{
+		{"OnRecv", p.OnRecv}, {"PreApply", p.PreApply}, {"PreReply", p.PreReply},
+	} {
+		if err := checkProb(pr.name, pr.v); err != nil {
+			return err
+		}
+	}
+	if p.MaxCrashes < 0 {
+		return fmt.Errorf("faultplane: MaxCrashes = %d negative", p.MaxCrashes)
+	}
+	return nil
+}
+
+// ChaosCrash is the reference crash schedule for the crash soaks:
+// frequent enough that an andrew-mini replay sees several server
+// deaths — including in the post-log/pre-reply window — bounded so the
+// run converges.
+func ChaosCrash(seed int64) CrashPolicy {
+	return CrashPolicy{
+		Seed:       seed,
+		OnRecv:     0.003,
+		PreApply:   0.002,
+		PreReply:   0.003,
+		MaxCrashes: 6,
+	}
+}
+
+// CrashCounts reports what a crash plane has done; two same-seed runs
+// must produce equal CrashCounts.
+type CrashCounts struct {
+	Points   int // decision points drawn
+	Crashes  int
+	OnRecv   int
+	PreApply int
+	PreReply int
+}
+
+// CrashPlane is a seeded crash schedule. It is safe for concurrent
+// use; like Plane, the decision stream is a function of the seed and
+// the order CrashNow calls arrive, so it is reproducible exactly when
+// that order is (a single-pump drive).
+type CrashPlane struct {
+	mu     sync.Mutex
+	policy CrashPolicy
+	rng    *rand.Rand
+	counts CrashCounts
+}
+
+// NewCrash builds a crash plane from a policy, panicking on NaN or
+// out-of-range parameters (a policy is programmer-supplied
+// configuration, not runtime input).
+func NewCrash(p CrashPolicy) *CrashPlane {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &CrashPlane{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Policy returns the plane's configuration.
+func (c *CrashPlane) Policy() CrashPolicy { return c.policy }
+
+// Counts returns a snapshot of the crash counters.
+func (c *CrashPlane) Counts() CrashCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counts
+}
+
+// CrashNow draws the fate of one decision point. Exactly one PRNG
+// value is consumed per call — even after MaxCrashes is reached — so
+// the decision stream stays aligned with the point sequence.
+func (c *CrashPlane) CrashNow(p CrashPoint) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counts.Points++
+	u := c.rng.Float64()
+	if c.policy.MaxCrashes > 0 && c.counts.Crashes >= c.policy.MaxCrashes {
+		return false
+	}
+	var prob float64
+	switch p {
+	case CrashOnRecv:
+		prob = c.policy.OnRecv
+	case CrashPreApply:
+		prob = c.policy.PreApply
+	case CrashPreReply:
+		prob = c.policy.PreReply
+	}
+	if u >= prob {
+		return false
+	}
+	c.counts.Crashes++
+	switch p {
+	case CrashOnRecv:
+		c.counts.OnRecv++
+	case CrashPreApply:
+		c.counts.PreApply++
+	case CrashPreReply:
+		c.counts.PreReply++
+	}
+	return true
+}

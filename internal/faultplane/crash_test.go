@@ -1,0 +1,141 @@
+package faultplane
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCrashPlaneIsDeterministic(t *testing.T) {
+	// Two same-seed planes drawing the same point sequence must agree on
+	// every decision and report equal counts.
+	points := []CrashPoint{CrashOnRecv, CrashPreApply, CrashPreReply}
+	a := NewCrash(CrashPolicy{Seed: 11, OnRecv: 0.2, PreApply: 0.2, PreReply: 0.2})
+	b := NewCrash(CrashPolicy{Seed: 11, OnRecv: 0.2, PreApply: 0.2, PreReply: 0.2})
+	for i := 0; i < 3000; i++ {
+		p := points[i%len(points)]
+		if a.CrashNow(p) != b.CrashNow(p) {
+			t.Fatalf("decision %d diverged between same-seed planes", i)
+		}
+	}
+	if a.Counts() != b.Counts() {
+		t.Errorf("counts diverged: %+v vs %+v", a.Counts(), b.Counts())
+	}
+	if a.Counts().Crashes == 0 {
+		t.Error("no crashes at 20% per window over 3000 draws")
+	}
+}
+
+func TestCrashPlaneHonoursMaxCrashes(t *testing.T) {
+	c := NewCrash(CrashPolicy{Seed: 5, OnRecv: 1, PreApply: 1, PreReply: 1, MaxCrashes: 4})
+	crashes := 0
+	for i := 0; i < 100; i++ {
+		if c.CrashNow(CrashOnRecv) {
+			crashes++
+		}
+	}
+	if crashes != 4 {
+		t.Errorf("crashed %d times, want exactly MaxCrashes=4", crashes)
+	}
+	cc := c.Counts()
+	if cc.Crashes != 4 || cc.Points != 100 {
+		t.Errorf("counts = %+v, want 4 crashes over 100 points", cc)
+	}
+}
+
+func TestCrashPlaneDrawDisciplineSurvivesMaxCrashes(t *testing.T) {
+	// The PRNG consumes exactly one draw per point even after the bound
+	// is hit, so a bounded and an unbounded same-seed plane agree on
+	// every decision up to the bound.
+	bounded := NewCrash(CrashPolicy{Seed: 3, OnRecv: 0.5, MaxCrashes: 2})
+	free := NewCrash(CrashPolicy{Seed: 3, OnRecv: 0.5})
+	crashes := 0
+	for i := 0; i < 200; i++ {
+		fb := free.CrashNow(CrashOnRecv)
+		bb := bounded.CrashNow(CrashOnRecv)
+		if crashes < 2 && fb != bb {
+			t.Fatalf("draw %d: bounded plane diverged before reaching its bound", i)
+		}
+		if bb {
+			crashes++
+		}
+	}
+}
+
+func TestCrashPolicyValidate(t *testing.T) {
+	nan := math.NaN()
+	for name, p := range map[string]CrashPolicy{
+		"NaN OnRecv":          {OnRecv: nan},
+		"NaN PreApply":        {PreApply: nan},
+		"NaN PreReply":        {PreReply: nan},
+		"negative OnRecv":     {OnRecv: -0.1},
+		"PreReply above one":  {PreReply: 1.5},
+		"negative MaxCrashes": {MaxCrashes: -1},
+	} {
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "faultplane:") {
+			t.Errorf("%s: error %q does not name the package", name, err)
+		}
+	}
+	if err := (CrashPolicy{OnRecv: 0, PreApply: 1, PreReply: 0.5, MaxCrashes: 3}).Validate(); err != nil {
+		t.Errorf("valid policy rejected: %v", err)
+	}
+}
+
+func TestPolicyValidateRejectsNaNAndRange(t *testing.T) {
+	nan := math.NaN()
+	for name, p := range map[string]Policy{
+		"NaN Loss":          {Loss: nan},
+		"NaN Corrupt":       {Corrupt: nan},
+		"NaN Duplicate":     {Duplicate: nan},
+		"NaN Reorder":       {Reorder: nan},
+		"NaN DelayProb":     {DelayProb: nan},
+		"NaN BurstProb":     {BurstProb: nan},
+		"NaN BurstLoss":     {BurstLoss: nan},
+		"NaN DelayMax":      {DelayMicrosMax: nan},
+		"negative Loss":     {Loss: -0.01},
+		"Loss above one":    {Loss: 1.01},
+		"negative DelayMax": {DelayMicrosMax: -5},
+		"negative BurstLen": {BurstLen: -1},
+		"Duplicate above 1": {Duplicate: 2},
+	} {
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "faultplane:") {
+			t.Errorf("%s: error %q does not name the package", name, err)
+		}
+	}
+	if err := Chaos(1).Validate(); err != nil {
+		t.Errorf("Chaos policy rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalidPolicy(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("New(NaN Loss)", func() { New(Policy{Loss: math.NaN()}) })
+	assertPanics("NewCrash(PreApply=-1)", func() { NewCrash(CrashPolicy{PreApply: -1}) })
+}
+
+func TestCrashPointStrings(t *testing.T) {
+	for p, want := range map[CrashPoint]string{
+		CrashOnRecv: "recv", CrashPreApply: "pre-apply", CrashPreReply: "pre-reply", CrashForced: "forced",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), p.String(), want)
+		}
+	}
+}

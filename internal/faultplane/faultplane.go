@@ -12,6 +12,7 @@ package faultplane
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 )
@@ -56,7 +57,23 @@ type Policy struct {
 // reordering (corruption and delay leave the frame sequence intact).
 func (p Policy) CombinedDisruption() float64 { return p.Loss + p.Duplicate + p.Reorder }
 
-func (p Policy) validate() error {
+// checkProb rejects anything that is not a probability: NaN compares
+// false against every bound, so it must be named explicitly or it
+// slips through a plain range check and poisons every Decide.
+func checkProb(name string, v float64) error {
+	if math.IsNaN(v) {
+		return fmt.Errorf("faultplane: %s = NaN, want a probability in [0,1]", name)
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("faultplane: %s = %g outside [0,1]", name, v)
+	}
+	return nil
+}
+
+// Validate checks every probability for NaN and [0,1] membership and
+// every magnitude for negativity, returning a descriptive error naming
+// the offending field. New panics on exactly this error.
+func (p Policy) Validate() error {
 	for _, pr := range []struct {
 		name string
 		v    float64
@@ -65,12 +82,12 @@ func (p Policy) validate() error {
 		{"Reorder", p.Reorder}, {"DelayProb", p.DelayProb}, {"BurstProb", p.BurstProb},
 		{"BurstLoss", p.BurstLoss},
 	} {
-		if pr.v < 0 || pr.v > 1 {
-			return fmt.Errorf("faultplane: %s = %g outside [0,1]", pr.name, pr.v)
+		if err := checkProb(pr.name, pr.v); err != nil {
+			return err
 		}
 	}
-	if p.DelayMicrosMax < 0 {
-		return fmt.Errorf("faultplane: DelayMicrosMax = %g negative", p.DelayMicrosMax)
+	if math.IsNaN(p.DelayMicrosMax) || p.DelayMicrosMax < 0 {
+		return fmt.Errorf("faultplane: DelayMicrosMax = %g, want a non-negative duration", p.DelayMicrosMax)
 	}
 	if p.BurstLen < 0 {
 		return fmt.Errorf("faultplane: BurstLen = %d negative", p.BurstLen)
@@ -149,7 +166,7 @@ type Plane struct {
 // parameters (a policy is programmer-supplied configuration, not
 // runtime input).
 func New(p Policy) *Plane {
-	if err := p.validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	return &Plane{policy: p, rng: rand.New(rand.NewSource(p.Seed))}

@@ -1,0 +1,387 @@
+package fs
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// This file is the crash–recovery substrate for the decomposed server:
+// a write-ahead op log over the deterministic FS. The FS allocates
+// inode numbers and descriptors from counters, so replaying the same
+// op sequence against the same starting state reproduces every fd
+// number, every ino, and every byte — which is what lets Recover
+// rebuild a crashed server's state bit-identically (checked via
+// Fingerprint) and lets the server re-derive the replies it owed.
+
+// OpCode names a logged mutating operation. Stat and ReadDir are
+// queries — idempotent, safe to re-execute after a crash — and are
+// never logged. Read IS logged: it advances the descriptor's offset,
+// so dropping it from the log would skew every later read on that fd.
+type OpCode int
+
+const (
+	// OpInvalid is the zero OpCode; Apply rejects it.
+	OpInvalid OpCode = iota
+	OpMkdir
+	OpCreate
+	OpOpen
+	OpClose
+	OpRead
+	OpWrite
+	OpUnlink
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpMkdir:
+		return "mkdir"
+	case OpCreate:
+		return "create"
+	case OpOpen:
+		return "open"
+	case OpClose:
+		return "close"
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpUnlink:
+		return "unlink"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Record is one write-ahead log entry: the operation, its arguments,
+// and the RPC identity (Client, Call) that requested it. The identity
+// is what makes the log double as the durable at-most-once record — a
+// retransmission after a crash is recognised by (Client, Call), not by
+// any in-memory cache.
+type Record struct {
+	Seq    uint64 // log sequence number, assigned by Append
+	Op     OpCode
+	Path   string // Mkdir, Create, Open, Unlink
+	FD     int    // Close, Read, Write
+	N      int    // Read: requested byte count
+	Data   []byte // Write: payload
+	Client uint32
+	Call   uint32
+}
+
+// ApplyResult carries the operation's outputs: the allocated
+// descriptor (Open, Create), the byte count (Read, Write), and the
+// bytes read (Read).
+type ApplyResult struct {
+	FD   int
+	N    int
+	Data []byte
+}
+
+// Apply executes a logged operation against the file system,
+// dispatching to the same public methods the live request path uses.
+// Determinism of the FS makes Apply a replay primitive: the same
+// record sequence from the same state yields the same results — the
+// same fds, the same errors — every time.
+func (f *FS) Apply(r Record) (ApplyResult, error) {
+	switch r.Op {
+	case OpMkdir:
+		return ApplyResult{}, f.Mkdir(r.Path)
+	case OpCreate:
+		fdno, err := f.Create(r.Path)
+		return ApplyResult{FD: fdno}, err
+	case OpOpen:
+		fdno, err := f.Open(r.Path)
+		return ApplyResult{FD: fdno}, err
+	case OpClose:
+		return ApplyResult{}, f.Close(r.FD)
+	case OpRead:
+		buf := make([]byte, r.N)
+		n, err := f.Read(r.FD, buf)
+		return ApplyResult{N: n, Data: buf[:n]}, err
+	case OpWrite:
+		n, err := f.Write(r.FD, r.Data)
+		return ApplyResult{N: n}, err
+	case OpUnlink:
+		return ApplyResult{}, f.Unlink(r.Path)
+	}
+	return ApplyResult{}, fmt.Errorf("fs: cannot apply %v", r.Op)
+}
+
+// SessionRecord is the durable per-client at-most-once state: the last
+// call executed for the client, with the outcome needed to regenerate
+// its reply. One record per client suffices — the transport runs one
+// outstanding call per client, so only the latest call can ever be
+// retransmitted.
+type SessionRecord struct {
+	Client uint32
+	Call   uint32
+	Op     OpCode
+	Result ApplyResult
+	Err    string // the operation's error text; "" on success
+}
+
+// WALStats counts log activity.
+type WALStats struct {
+	Appends       int
+	Snapshots     int
+	SnapshotBytes int // size of the latest snapshot
+	Truncated     int // records dropped from the tail by snapshots
+}
+
+// WAL is the write-ahead op log: a snapshot of some past state plus
+// the tail of records appended since. The discipline is
+// append-before-apply — a record reaches the log before the op touches
+// the FS — so a crash at any point loses at most volatile state the
+// log can rebuild. The WAL lives outside the server process in this
+// model (stable storage); a crash destroys the FS and the reply cache
+// but never the log.
+//
+// Snapshot folds the tail into a new snapshot and truncates it. The
+// per-client session table is part of the snapshot, so truncation
+// cannot reopen the at-most-once window: a client's last call stays
+// answerable from the log no matter how many snapshots intervene.
+type WAL struct {
+	mu          sync.Mutex
+	cacheBlocks int
+	nextSeq     uint64
+	snapshot    []byte // gob-encoded snapState; nil until first Snapshot
+	snapSeq     uint64 // sequence number the snapshot covers through
+	tail        []Record
+	sessions    map[uint32]SessionRecord
+	stats       WALStats
+}
+
+// NewWAL creates an empty log for a file system with the given block
+// cache size (recovery from an empty log starts from New(cacheBlocks)).
+func NewWAL(cacheBlocks int) *WAL {
+	return &WAL{cacheBlocks: cacheBlocks, sessions: map[uint32]SessionRecord{}}
+}
+
+// Append assigns the next sequence number and makes the record
+// durable. It must be called before the op is applied.
+func (w *WAL) Append(r Record) Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.nextSeq++
+	r.Seq = w.nextSeq
+	w.tail = append(w.tail, r)
+	w.stats.Appends++
+	return r
+}
+
+// Commit records the outcome of an applied op in the client's session
+// slot. Called after Apply; a crash between Append and Commit leaves
+// the record in the tail, where recovery replays it and rebuilds the
+// session entry with the identical (deterministic) outcome.
+func (w *WAL) Commit(s SessionRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.sessions[s.Client] = s
+}
+
+// Session returns the client's durable at-most-once record.
+func (w *WAL) Session(client uint32) (SessionRecord, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s, ok := w.sessions[client]
+	return s, ok
+}
+
+// SinceSnapshot returns the number of records in the tail.
+func (w *WAL) SinceSnapshot() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.tail)
+}
+
+// Tail returns a copy of the un-snapshotted records.
+func (w *WAL) Tail() []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]Record, len(w.tail))
+	copy(out, w.tail)
+	return out
+}
+
+// Stats returns a snapshot of the log counters.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Snapshot capture types. Maps are flattened to sorted slices so the
+// encoding is a pure function of the logical state.
+type snapDirent struct {
+	Name string
+	Ino  uint64
+}
+
+type snapInode struct {
+	Ino      uint64
+	Kind     FileKind
+	Data     []byte
+	Children []snapDirent
+	Nlink    int
+}
+
+type snapFD struct {
+	FD     int
+	Ino    uint64
+	Offset int
+}
+
+type snapState struct {
+	CacheBlocks int
+	NextIno     uint64
+	NextFD      int
+	Inodes      []snapInode
+	FDs         []snapFD
+	Sessions    []SessionRecord
+	Seq         uint64
+}
+
+// Snapshot captures f — which must reflect every record in the log
+// through the tail — and truncates the tail. The session table rides
+// inside the snapshot.
+func (w *WAL) Snapshot(f *FS) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := snapState{
+		CacheBlocks: w.cacheBlocks,
+		NextIno:     f.nextIno,
+		NextFD:      f.nextFD,
+		Seq:         w.nextSeq,
+	}
+	inos := make([]uint64, 0, len(f.inodes))
+	for ino := range f.inodes {
+		inos = append(inos, ino)
+	}
+	sort.Slice(inos, func(i, j int) bool { return inos[i] < inos[j] })
+	for _, ino := range inos {
+		n := f.inodes[ino]
+		si := snapInode{Ino: n.ino, Kind: n.kind, Data: n.data, Nlink: n.nlink}
+		if n.kind == KindDir {
+			names := make([]string, 0, len(n.children))
+			for name := range n.children {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			si.Children = make([]snapDirent, 0, len(names))
+			for _, name := range names {
+				si.Children = append(si.Children, snapDirent{Name: name, Ino: n.children[name]})
+			}
+		}
+		st.Inodes = append(st.Inodes, si)
+	}
+	fdnos := make([]int, 0, len(f.fds))
+	for fdno := range f.fds {
+		fdnos = append(fdnos, fdno)
+	}
+	sort.Ints(fdnos)
+	for _, fdno := range fdnos {
+		d := f.fds[fdno]
+		st.FDs = append(st.FDs, snapFD{FD: fdno, Ino: d.ino, Offset: d.offset})
+	}
+	clients := make([]uint32, 0, len(w.sessions))
+	for c := range w.sessions {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		st.Sessions = append(st.Sessions, w.sessions[c])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return fmt.Errorf("fs: snapshot encode: %w", err)
+	}
+	w.snapshot = buf.Bytes()
+	w.snapSeq = w.nextSeq
+	w.stats.Snapshots++
+	w.stats.SnapshotBytes = buf.Len()
+	w.stats.Truncated += len(w.tail)
+	w.tail = nil
+	return nil
+}
+
+// restore rebuilds a file system from an encoded snapshot.
+func restore(snapshot []byte) (*FS, []SessionRecord, error) {
+	var st snapState
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&st); err != nil {
+		return nil, nil, fmt.Errorf("fs: snapshot decode: %w", err)
+	}
+	f := New(st.CacheBlocks)
+	f.inodes = make(map[uint64]*inode, len(st.Inodes))
+	for _, si := range st.Inodes {
+		n := &inode{ino: si.Ino, kind: si.Kind, data: si.Data, nlink: si.Nlink}
+		if si.Kind == KindDir {
+			n.children = make(map[string]uint64, len(si.Children))
+			for _, de := range si.Children {
+				n.children[de.Name] = de.Ino
+			}
+		}
+		f.inodes[si.Ino] = n
+	}
+	f.nextIno = st.NextIno
+	f.nextFD = st.NextFD
+	for _, sd := range st.FDs {
+		f.fds[sd.FD] = &fd{ino: sd.Ino, offset: sd.Offset}
+	}
+	return f, st.Sessions, nil
+}
+
+// Recover rebuilds the file system a crashed server lost: restore the
+// snapshot (or start empty), then replay the tail in sequence order
+// through Apply. Because the FS is deterministic, the rebuilt state is
+// bit-identical to the pre-crash state — same fingerprint, same fd
+// table, same counters-to-come. The WAL's session table is reset to
+// the recovered view (snapshot sessions overlaid with replayed tail
+// ops), which is exactly the at-most-once state the restarted server
+// answers retransmissions from.
+//
+// Returns the file system, the recovered sessions sorted by client,
+// and the number of tail records replayed.
+func Recover(w *WAL) (*FS, []SessionRecord, int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var f *FS
+	sessions := map[uint32]SessionRecord{}
+	if w.snapshot != nil {
+		restored, snapSessions, err := restore(w.snapshot)
+		if err != nil {
+			return nil, nil, 0, err
+		}
+		f = restored
+		for _, s := range snapSessions {
+			sessions[s.Client] = s
+		}
+	} else {
+		f = New(w.cacheBlocks)
+	}
+	for _, r := range w.tail {
+		res, err := f.Apply(r)
+		s := SessionRecord{Client: r.Client, Call: r.Call, Op: r.Op, Result: res}
+		if err != nil {
+			s.Err = err.Error()
+		}
+		sessions[s.Client] = s
+	}
+	w.sessions = sessions
+	out := make([]SessionRecord, 0, len(sessions))
+	clients := make([]uint32, 0, len(sessions))
+	for c := range sessions {
+		clients = append(clients, c)
+	}
+	sort.Slice(clients, func(i, j int) bool { return clients[i] < clients[j] })
+	for _, c := range clients {
+		out = append(out, sessions[c])
+	}
+	return f, out, len(w.tail), nil
+}
+
+// CacheBlocks returns the block-cache capacity the file system was
+// built with — the parameter recovery needs to rebuild an equivalent
+// FS.
+func (f *FS) CacheBlocks() int { return f.cache.capacity }

@@ -1,0 +1,213 @@
+package fs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// logged wraps an op through the WAL discipline the server uses:
+// append, then apply, then commit — so tests replay realistic logs.
+func logged(t *testing.T, w *WAL, f *FS, r Record) ApplyResult {
+	t.Helper()
+	r = w.Append(r)
+	res, err := f.Apply(r)
+	s := SessionRecord{Client: r.Client, Call: r.Call, Op: r.Op, Result: res}
+	if err != nil {
+		s.Err = err.Error()
+	}
+	w.Commit(s)
+	return res
+}
+
+// workout drives a mixed op sequence through the log: directories,
+// files, interleaved reads and writes (offsets matter), an unlink, and
+// descriptors deliberately left open so recovery must rebuild the fd
+// table, not just the tree.
+func workout(t *testing.T, w *WAL, f *FS) {
+	t.Helper()
+	call := uint32(0)
+	do := func(r Record) ApplyResult {
+		call++
+		r.Client, r.Call = 7, call
+		return logged(t, w, f, r)
+	}
+	do(Record{Op: OpMkdir, Path: "/a"})
+	do(Record{Op: OpMkdir, Path: "/a/b"})
+	fd1 := do(Record{Op: OpCreate, Path: "/a/b/x"}).FD
+	do(Record{Op: OpWrite, FD: fd1, Data: []byte("hello, ")})
+	do(Record{Op: OpWrite, FD: fd1, Data: []byte("world")})
+	do(Record{Op: OpClose, FD: fd1})
+	fd2 := do(Record{Op: OpOpen, Path: "/a/b/x"}).FD
+	do(Record{Op: OpRead, FD: fd2, N: 5}) // advances fd2's offset
+	fd3 := do(Record{Op: OpCreate, Path: "/a/y"}).FD
+	do(Record{Op: OpWrite, FD: fd3, Data: []byte("doomed")})
+	do(Record{Op: OpClose, FD: fd3})
+	do(Record{Op: OpUnlink, Path: "/a/y"})
+	// fd2 stays open with a non-zero offset.
+}
+
+func TestRecoverReplaysToIdenticalState(t *testing.T) {
+	w := NewWAL(64)
+	f := New(64)
+	workout(t, w, f)
+
+	g, sessions, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed == 0 {
+		t.Fatal("no records replayed from an unsnapshotted log")
+	}
+	if got, want := g.Fingerprint(), f.Fingerprint(); got != want {
+		t.Errorf("recovered fingerprint %s != live %s", got, want)
+	}
+	if got, want := g.OpenFDs(), f.OpenFDs(); got != want {
+		t.Errorf("recovered OpenFDs = %d, want %d", got, want)
+	}
+	// The fd left open must read the same remaining bytes in both.
+	want, _ := readRest(f)
+	got, _ := readRest(g)
+	if want != got {
+		t.Errorf("open descriptor state diverged: recovered reads %q, live reads %q", got, want)
+	}
+	if len(sessions) != 1 || sessions[0].Client != 7 {
+		t.Fatalf("sessions = %+v, want one record for client 7", sessions)
+	}
+}
+
+// readRest drains the one open descriptor both file systems hold (the
+// fd numbers match because allocation is counter-based and replayed).
+func readRest(f *FS) (string, error) {
+	for fdno := 1; fdno < 64; fdno++ {
+		buf := make([]byte, 64)
+		n, err := f.Read(fdno, buf)
+		if err == nil {
+			return string(buf[:n]), nil
+		}
+	}
+	return "", errors.New("no open descriptor")
+}
+
+func TestSnapshotTruncatesAndRecovers(t *testing.T) {
+	w := NewWAL(64)
+	f := New(64)
+	workout(t, w, f)
+	if w.SinceSnapshot() == 0 {
+		t.Fatal("expected a tail before snapshot")
+	}
+	if err := w.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if w.SinceSnapshot() != 0 {
+		t.Errorf("tail not truncated: %d records remain", w.SinceSnapshot())
+	}
+	// More traffic after the snapshot lands in the new tail.
+	fd := logged(t, w, f, Record{Op: OpCreate, Path: "/post", Client: 9, Call: 1}).FD
+	logged(t, w, f, Record{Op: OpWrite, FD: fd, Data: []byte("after snapshot"), Client: 9, Call: 2})
+
+	g, sessions, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 2 {
+		t.Errorf("replayed = %d, want 2 (only the post-snapshot tail)", replayed)
+	}
+	if got, want := g.Fingerprint(), f.Fingerprint(); got != want {
+		t.Errorf("recovered fingerprint %s != live %s", got, want)
+	}
+	// Sessions from before the snapshot survive the truncation: client
+	// 7's last call stays answerable.
+	byClient := map[uint32]SessionRecord{}
+	for _, s := range sessions {
+		byClient[s.Client] = s
+	}
+	if _, ok := byClient[7]; !ok {
+		t.Error("client 7's session lost across snapshot truncation")
+	}
+	if s := byClient[9]; s.Call != 2 || s.Op != OpWrite {
+		t.Errorf("client 9 session = %+v, want call 2 (write)", s)
+	}
+}
+
+func TestRecoverEmptyWAL(t *testing.T) {
+	w := NewWAL(32)
+	g, sessions, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed != 0 || len(sessions) != 0 {
+		t.Errorf("replayed=%d sessions=%d from an empty log", replayed, len(sessions))
+	}
+	if got, want := g.Fingerprint(), New(32).Fingerprint(); got != want {
+		t.Errorf("empty recovery fingerprint %s != fresh FS %s", got, want)
+	}
+	if g.CacheBlocks() != 32 {
+		t.Errorf("CacheBlocks = %d, want 32", g.CacheBlocks())
+	}
+}
+
+func TestRecoverReproducesLoggedErrors(t *testing.T) {
+	// A logged op that failed (mkdir over an existing directory) must
+	// fail identically on replay, reproducing the session's Err — the
+	// reply a retransmission would be owed.
+	w := NewWAL(16)
+	f := New(16)
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/d", Client: 3, Call: 1})
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/d", Client: 3, Call: 2}) // fails: exists
+
+	_, sessions, _, err := Recover(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 1 {
+		t.Fatalf("sessions = %+v, want one", sessions)
+	}
+	s := sessions[0]
+	if s.Call != 2 || s.Err == "" {
+		t.Errorf("session = %+v, want call 2 with the mkdir error recorded", s)
+	}
+	if _, wantErr := f.Apply(Record{Op: OpMkdir, Path: "/d"}); wantErr == nil || s.Err != wantErr.Error() {
+		t.Errorf("replayed error %q does not reproduce the live error %v", s.Err, wantErr)
+	}
+}
+
+func TestApplyRejectsUnknownOp(t *testing.T) {
+	f := New(8)
+	for _, op := range []OpCode{OpInvalid, OpCode(99)} {
+		if _, err := f.Apply(Record{Op: op}); err == nil {
+			t.Errorf("Apply(%v) succeeded, want error", op)
+		}
+	}
+}
+
+func TestWALStatsCount(t *testing.T) {
+	w := NewWAL(8)
+	f := New(8)
+	workout(t, w, f)
+	appends := w.Stats().Appends
+	if appends == 0 {
+		t.Fatal("no appends counted")
+	}
+	if err := w.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.Snapshots != 1 || st.Truncated != appends || st.SnapshotBytes == 0 {
+		t.Errorf("stats = %+v, want 1 snapshot truncating %d records with a non-empty image", st, appends)
+	}
+}
+
+func TestOpCodeStrings(t *testing.T) {
+	for op, want := range map[OpCode]string{
+		OpMkdir: "mkdir", OpCreate: "create", OpOpen: "open", OpClose: "close",
+		OpRead: "read", OpWrite: "write", OpUnlink: "unlink",
+	} {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(op), op.String(), want)
+		}
+	}
+	if s := OpCode(42).String(); s != fmt.Sprintf("op(%d)", 42) {
+		t.Errorf("unknown op string = %q", s)
+	}
+}

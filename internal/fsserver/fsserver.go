@@ -11,7 +11,9 @@ package fsserver
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"archos/internal/faultplane"
 	"archos/internal/fs"
 	"archos/internal/ipc"
 	"archos/internal/ipc/wire"
@@ -59,6 +61,11 @@ type Stats struct {
 	PayloadBytes   int64   // marshalled bytes, remote case
 	ServerRejected int     // frames the server's checksum rejected
 	DegradedOps    int     // ops that returned ErrUnavailable instead of wedging
+
+	// Crash–recovery accounting, remote case.
+	CrashesInjected     int // server process deaths (scheduled or forced)
+	Recoveries          int // restarts that replayed the WAL into a new epoch
+	RecoveryReplayedOps int // WAL tail records re-applied across all recoveries
 
 	// Wire is the merged client+server transport counter set (remote
 	// case): retries, duplicates suppressed, bad frames, backoff time.
@@ -116,56 +123,268 @@ func (d *Direct) Stats() Stats { return d.stats }
 
 // ---- Decomposed arrangement ----
 
-// Server wraps a file system behind wire RPC handlers.
+// Recovery cost model: restarting the server charges a fixed process
+// re-launch cost plus a per-replayed-record cost to the virtual clock.
+// Deterministic constants keep same-seed crash soaks byte-identical.
+const (
+	recoverBaseMicros  = 500
+	recoverPerOpMicros = 2
+)
+
+// defaultSnapshotEvery bounds the WAL tail: after this many appends the
+// server folds the tail into a snapshot, so recovery replays a bounded
+// suffix rather than the whole history.
+const defaultSnapshotEvery = 512
+
+// Server wraps a file system behind wire RPC handlers, with a
+// write-ahead op log that makes it crash-recoverable. Every mutating
+// operation is appended to the WAL before it is applied; the WAL (and
+// its snapshots) model stable storage and survive crashes, while the
+// FS, the wire server's reply cache, and the pending input queue die
+// with the process. On the first Poll after a crash the wire layer runs
+// this server's recovery hook: rebuild the FS from the log (Recover
+// replays the tail deterministically, so the rebuilt state is
+// bit-identical), bump the epoch, re-register the handlers, and charge
+// the downtime to the virtual clock.
 type Server struct {
-	FS   *fs.FS
 	Wire *wire.Server
+
+	// mu guards FS, wal, crasher, and the recovery counters. Lock
+	// ordering: wire cache-shard locks → mu → wire.Server's own lock;
+	// recovery never touches shard locks (the durable session table is
+	// consulted lazily via the dedup authority instead).
+	mu      sync.Mutex
+	FS      *fs.FS
+	wal     *fs.WAL
+	link    *wire.Link
+	crasher faultplane.Crasher
+
+	// SnapshotEvery is the WAL-tail length that triggers a snapshot.
+	SnapshotEvery int
+
+	recoveries  int
+	replayedOps int
 }
 
-// NewServer registers the file service on side of link.
+// NewServer registers the file service on side of link. The WAL opens
+// with a genesis snapshot of fsys, so recovery can rebuild whatever
+// state the server started with even before the first mutation.
 func NewServer(fsys *fs.FS, link *wire.Link, side wire.Endpoint) *Server {
-	s := &Server{FS: fsys, Wire: wire.NewServer(link, side)}
+	s := &Server{
+		FS:            fsys,
+		Wire:          wire.NewServer(link, side),
+		wal:           fs.NewWAL(fsys.CacheBlocks()),
+		link:          link,
+		SnapshotEvery: defaultSnapshotEvery,
+	}
+	if err := s.wal.Snapshot(fsys); err != nil {
+		panic(err) // gob over our own in-memory structs: cannot fail
+	}
+	s.Wire.OnRestart(s.recoverNow)
+	s.Wire.SetDedupAuthority(s.replayFor)
 	s.register()
 	return s
 }
 
+// SetCrasher attaches a crash schedule to both crash surfaces: the
+// wire server's receive and pre-reply windows and this server's
+// pre-apply window (after the WAL append, before the FS apply).
+func (s *Server) SetCrasher(c faultplane.Crasher) {
+	s.mu.Lock()
+	s.crasher = c
+	s.mu.Unlock()
+	s.Wire.SetCrasher(c)
+}
+
+// Crash kills the server immediately (the deterministic hook; seeded
+// schedules go through SetCrasher). It recovers on the next Poll.
+func (s *Server) Crash() { s.Wire.ForceCrash() }
+
+// Recoveries returns how many times the server has crashed and
+// recovered, and how many WAL records those recoveries replayed.
+func (s *Server) Recoveries() (recoveries, replayedOps int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recoveries, s.replayedOps
+}
+
+// CurrentFS returns the live file system. After a recovery this is the
+// rebuilt instance, not the one the server was constructed with —
+// always read final state through here in crash experiments.
+func (s *Server) CurrentFS() *fs.FS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.FS
+}
+
+// WALStats exposes the op log's counters.
+func (s *Server) WALStats() fs.WALStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.Stats()
+}
+
+// logApply is the write path discipline: append the record to the WAL,
+// then apply it to the FS, then commit the outcome to the client's
+// durable session slot. The pre-apply crash window sits between append
+// and apply — an op that dies there is durable but unapplied, and
+// recovery replays it. Caller identity comes from the frame header, so
+// the WAL doubles as the at-most-once record that survives crashes.
+func (s *Server) logApply(h wire.Header, r fs.Record) (fs.ApplyResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.Client = h.ClientID
+	r.Call = h.CallID
+	r = s.wal.Append(r)
+	if s.crasher != nil && s.crasher.CrashNow(faultplane.CrashPreApply) {
+		return fs.ApplyResult{}, wire.ErrServerCrashed
+	}
+	res, err := s.FS.Apply(r)
+	sess := fs.SessionRecord{Client: r.Client, Call: r.Call, Op: r.Op, Result: res}
+	if err != nil {
+		sess.Err = err.Error()
+	}
+	s.wal.Commit(sess)
+	if s.SnapshotEvery > 0 && s.wal.SinceSnapshot() >= s.SnapshotEvery {
+		if snapErr := s.wal.Snapshot(s.FS); snapErr != nil {
+			panic(snapErr)
+		}
+	}
+	return res, err
+}
+
+// resultsFor shapes an ApplyResult into the wire results the live
+// handler for op would have returned — the regeneration half of
+// answering a retransmission from the log.
+func resultsFor(op fs.OpCode, res fs.ApplyResult) []interface{} {
+	switch op {
+	case fs.OpOpen, fs.OpCreate:
+		return []interface{}{int64(res.FD)}
+	case fs.OpRead:
+		return []interface{}{res.Data}
+	case fs.OpWrite:
+		return []interface{}{int64(res.N)}
+	}
+	return nil
+}
+
+// procForOp echoes the procedure number into regenerated reply headers.
+var procForOp = map[fs.OpCode]uint32{
+	fs.OpMkdir:  ProcMkdir,
+	fs.OpCreate: ProcCreate,
+	fs.OpOpen:   ProcOpen,
+	fs.OpClose:  ProcClose,
+	fs.OpRead:   ProcRead,
+	fs.OpWrite:  ProcWrite,
+	fs.OpUnlink: ProcUnlink,
+}
+
+// replayFor is the wire server's dedup authority: on a reply-cache
+// miss (the cache was wiped by a restart, or the entry fell to LRU
+// eviction) it consults the WAL session table and regenerates the
+// reply the client is owed, stamped with the current epoch. The
+// handler never re-runs for a logged call.
+func (s *Server) replayFor(clientID uint32) (uint32, []byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.wal.Session(clientID)
+	if !ok {
+		return 0, nil, false
+	}
+	var results []interface{}
+	if sess.Err != "" {
+		results = []interface{}{false, sess.Err}
+	} else {
+		results = append([]interface{}{true}, resultsFor(sess.Op, sess.Result)...)
+	}
+	body, err := wire.Marshal(results...)
+	if err != nil {
+		return sess.Call, nil, true // suppress the duplicate; no reply to give
+	}
+	frame, err := wire.Encode(wire.Header{
+		Kind:     wire.KindReply,
+		CallID:   sess.Call,
+		ProcID:   procForOp[sess.Op],
+		ClientID: sess.Client,
+		Epoch:    s.Wire.Epoch(),
+	}, body)
+	if err != nil {
+		return sess.Call, nil, true
+	}
+	return sess.Call, frame, true
+}
+
+// recoverNow is the restart hook: rebuild the FS from the WAL, move
+// the wire server into its next epoch (invalidating the reply cache),
+// re-register the handlers, and charge the deterministic recovery
+// downtime to the virtual clock.
+func (s *Server) recoverNow() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fsys, _, replayed, err := fs.Recover(s.wal)
+	if err != nil {
+		panic(err) // stable storage decode failure: unrecoverable corruption
+	}
+	s.FS = fsys
+	s.recoveries++
+	s.replayedOps += replayed
+	s.Wire.Restart()
+	s.register()
+	micros := float64(recoverBaseMicros + recoverPerOpMicros*replayed)
+	s.link.AdvanceClock(micros)
+	rec := s.link.Recorder()
+	rec.Event("server", "recover", 0, 0,
+		fmt.Sprintf("epoch=%d replayed=%d micros=%g", s.Wire.Epoch(), replayed, micros))
+	rec.Observe("server.recovery", micros)
+}
+
+// register binds the file service. Mutating procedures go through the
+// WAL discipline (logApply); Stat and ReadDir are idempotent queries —
+// re-executing them after a crash is harmless, so they bypass the log.
+// Handlers read s.FS dynamically (never capture the pointer): recovery
+// swaps in the rebuilt file system under s.mu.
 func (s *Server) register() {
-	f := s.FS
-	s.Wire.Register(ProcOpen, func(a []interface{}) ([]interface{}, error) {
-		fd, err := f.Open(a[0].(string))
-		return []interface{}{int64(fd)}, err
+	s.Wire.RegisterH(ProcOpen, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		res, err := s.logApply(h, fs.Record{Op: fs.OpOpen, Path: a[0].(string)})
+		return []interface{}{int64(res.FD)}, err
 	})
-	s.Wire.Register(ProcCreate, func(a []interface{}) ([]interface{}, error) {
-		fd, err := f.Create(a[0].(string))
-		return []interface{}{int64(fd)}, err
+	s.Wire.RegisterH(ProcCreate, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		res, err := s.logApply(h, fs.Record{Op: fs.OpCreate, Path: a[0].(string)})
+		return []interface{}{int64(res.FD)}, err
 	})
-	s.Wire.Register(ProcClose, func(a []interface{}) ([]interface{}, error) {
-		return nil, f.Close(int(a[0].(int64)))
+	s.Wire.RegisterH(ProcClose, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		_, err := s.logApply(h, fs.Record{Op: fs.OpClose, FD: int(a[0].(int64))})
+		return nil, err
 	})
-	s.Wire.Register(ProcRead, func(a []interface{}) ([]interface{}, error) {
-		buf := make([]byte, int(a[1].(int64)))
-		n, err := f.Read(int(a[0].(int64)), buf)
-		return []interface{}{buf[:n]}, err
+	s.Wire.RegisterH(ProcRead, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		res, err := s.logApply(h, fs.Record{Op: fs.OpRead, FD: int(a[0].(int64)), N: int(a[1].(int64))})
+		return []interface{}{res.Data}, err
 	})
-	s.Wire.Register(ProcWrite, func(a []interface{}) ([]interface{}, error) {
-		n, err := f.Write(int(a[0].(int64)), a[1].([]byte))
-		return []interface{}{int64(n)}, err
+	s.Wire.RegisterH(ProcWrite, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		res, err := s.logApply(h, fs.Record{Op: fs.OpWrite, FD: int(a[0].(int64)), Data: a[1].([]byte)})
+		return []interface{}{int64(res.N)}, err
+	})
+	s.Wire.RegisterH(ProcMkdir, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		_, err := s.logApply(h, fs.Record{Op: fs.OpMkdir, Path: a[0].(string)})
+		return nil, err
+	})
+	s.Wire.RegisterH(ProcUnlink, func(h wire.Header, a []interface{}) ([]interface{}, error) {
+		_, err := s.logApply(h, fs.Record{Op: fs.OpUnlink, Path: a[0].(string)})
+		return nil, err
 	})
 	s.Wire.Register(ProcStat, func(a []interface{}) ([]interface{}, error) {
-		st, err := f.Stat(a[0].(string))
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		st, err := s.FS.Stat(a[0].(string))
 		if err != nil {
 			return nil, err
 		}
 		return []interface{}{st.Ino, int64(st.Kind), int64(st.Size), int64(st.Blocks), int64(st.Nlink)}, nil
 	})
-	s.Wire.Register(ProcMkdir, func(a []interface{}) ([]interface{}, error) {
-		return nil, f.Mkdir(a[0].(string))
-	})
-	s.Wire.Register(ProcUnlink, func(a []interface{}) ([]interface{}, error) {
-		return nil, f.Unlink(a[0].(string))
-	})
 	s.Wire.Register(ProcReadDir, func(a []interface{}) ([]interface{}, error) {
-		names, err := f.ReadDir(a[0].(string))
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		names, err := s.FS.ReadDir(a[0].(string))
 		if err != nil {
 			return nil, err
 		}
@@ -298,11 +517,13 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 		if errors.As(err, &remote) {
 			return nil, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
 		}
-		if errors.Is(err, wire.ErrCallFailed) || errors.Is(err, wire.ErrDeadlineExceeded) {
-			r.stats.DegradedOps++
-			return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
-		}
-		return nil, err
+		// Every other failure — exhausted retries, a blown deadline, an
+		// unmarshallable or oversized payload, a mangled reply — is the
+		// transport failing to carry the operation, not the operation
+		// failing: one typed ErrUnavailable, one degraded-op count, so
+		// callers have a single contract for "the service didn't answer".
+		r.stats.DegradedOps++
+		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
 	}
 	return out, nil
 }
@@ -390,7 +611,24 @@ func (r *Remote) ReadDir(path string) ([]string, error) {
 // BackoffMicros, DeadlineExceeded) are this Remote's own.
 func (r *Remote) Stats() Stats {
 	s := r.stats
-	s.Wire = r.client.Stats().Add(r.server.Wire.Stats())
-	s.ServerRejected = r.server.Wire.Stats().BadFrames
+	serverStats := r.server.Wire.Stats()
+	s.Wire = r.client.Stats().Add(serverStats)
+	s.ServerRejected = serverStats.BadFrames
+	s.CrashesInjected = serverStats.Crashes
+	s.Recoveries, s.RecoveryReplayedOps = r.server.Recoveries()
 	return s
 }
+
+// SetCrashPlane arms the decomposed server with a crash schedule (all
+// three windows: receive, pre-apply, pre-reply). Peers share the
+// server, so one plane covers them all. Nil disarms.
+func (r *Remote) SetCrashPlane(c faultplane.Crasher) { r.server.SetCrasher(c) }
+
+// Crash kills the server now; it recovers from the WAL on the next
+// operation.
+func (r *Remote) Crash() { r.server.Crash() }
+
+// ServerFS returns the service's live file system. After recoveries
+// this is the rebuilt instance — end-state checks (fingerprints) must
+// read it here, not through the FS the service was constructed with.
+func (r *Remote) ServerFS() *fs.FS { return r.server.CurrentFS() }

@@ -322,6 +322,21 @@ func flipBit(frame []byte, offset int) {
 	frame[p] ^= 1 << uint(offset%8)
 }
 
+// PurgeToward drops every frame pending in the shared direction queue
+// toward at — the input buffer a crashing server process loses with
+// its address space. Per-client reply queues (owned by the peers on
+// the other side) and held reordered frames (still in flight on the
+// wire) are the network's, not the process's, and survive the crash.
+// Returns the number of frames lost.
+func (l *Link) PurgeToward(at Endpoint) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q, _ := l.queues(opposite(at))
+	n := len(*q)
+	*q = nil
+	return n
+}
+
 // ErrEmpty is returned by Recv when no frame is pending.
 var ErrEmpty = errors.New("wire: no frame pending")
 

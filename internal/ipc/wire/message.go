@@ -28,10 +28,10 @@ const (
 
 const (
 	magic         = 0x5250 // "RP"
-	version       = 2      // v2 added ClientID for at-most-once delivery
-	headerBytes   = 20
+	version       = 3      // v2 added ClientID (at-most-once); v3 added Epoch (crash–recovery)
+	headerBytes   = 24
 	maxPayload    = 64 << 10
-	checksumStart = 16 // offset of the checksum field within the header
+	checksumStart = 20 // offset of the checksum field within the header
 )
 
 // Header describes a frame.
@@ -40,6 +40,7 @@ type Header struct {
 	CallID   uint32
 	ProcID   uint32 // procedure being invoked (calls) / echoed (replies)
 	ClientID uint32 // caller identity; keys the server's reply cache
+	Epoch    uint32 // server incarnation stamped into replies; 0 in calls
 	Payload  int    // payload length in bytes
 }
 
@@ -71,7 +72,7 @@ func Checksum(data []byte) uint16 {
 	return ^uint16(sum)
 }
 
-// Encode builds a frame: 16-byte header followed by the payload. The
+// Encode builds a frame: 24-byte header followed by the payload. The
 // checksum covers the header (with the checksum field zeroed) and the
 // payload.
 func Encode(h Header, payload []byte) ([]byte, error) {
@@ -85,8 +86,9 @@ func Encode(h Header, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(frame[4:8], h.CallID)
 	binary.BigEndian.PutUint32(frame[8:12], h.ProcID)
 	binary.BigEndian.PutUint32(frame[12:16], h.ClientID)
-	// frame[16:18] checksum, zero for now
-	binary.BigEndian.PutUint16(frame[18:20], uint16(len(payload)))
+	binary.BigEndian.PutUint32(frame[16:20], h.Epoch)
+	// frame[20:22] checksum, zero for now
+	binary.BigEndian.PutUint16(frame[22:24], uint16(len(payload)))
 	copy(frame[headerBytes:], payload)
 	binary.BigEndian.PutUint16(frame[checksumStart:checksumStart+2], Checksum(frame))
 	return frame, nil
@@ -109,7 +111,8 @@ func Decode(frame []byte) (Header, []byte, error) {
 		CallID:   binary.BigEndian.Uint32(frame[4:8]),
 		ProcID:   binary.BigEndian.Uint32(frame[8:12]),
 		ClientID: binary.BigEndian.Uint32(frame[12:16]),
-		Payload:  int(binary.BigEndian.Uint16(frame[18:20])),
+		Epoch:    binary.BigEndian.Uint32(frame[16:20]),
+		Payload:  int(binary.BigEndian.Uint16(frame[22:24])),
 	}
 	if len(frame) != headerBytes+h.Payload {
 		return Header{}, nil, ErrTruncated

@@ -6,11 +6,26 @@ import (
 	"strconv"
 	"sync"
 
+	"archos/internal/faultplane"
 	"archos/internal/obs"
 )
 
 // Handler implements one remote procedure: arguments in, results out.
 type Handler func(args []interface{}) ([]interface{}, error)
+
+// HandlerH is a header-aware handler: it additionally receives the
+// decoded call header, so a service can thread the caller's identity
+// (ClientID, CallID) into durable records — the file server's
+// write-ahead log keys its at-most-once state on exactly this pair.
+type HandlerH func(h Header, args []interface{}) ([]interface{}, error)
+
+// DedupAuthority is the server's durable at-most-once record, consulted
+// when the in-memory reply cache has no entry for a caller — after a
+// restart wiped the cache, or after LRU eviction narrowed the window.
+// It returns the client's last executed call ID and a regenerated reply
+// frame for it (nil when the reply cannot be encoded; the duplicate is
+// still suppressed). ok reports whether the client is known at all.
+type DedupAuthority func(clientID uint32) (callID uint32, frame []byte, ok bool)
 
 // Stats is the structured counter set of one side of a connection.
 // Server-side fields count frames arriving at and leaving the server;
@@ -22,13 +37,17 @@ type Stats struct {
 	BadFrames            int // frames the codec rejected (corruption, truncation)
 	EncodeErrors         int // replies lost to Marshal/Encode failures
 	DuplicatesSuppressed int // retransmitted calls answered from the reply cache
+	LogDuplicates        int // retransmitted calls answered from the durable log authority
 	StaleFrames          int // frames for a superseded call, discarded
 	RepliesEvicted       int // reply-cache entries evicted by the LRU bound
+	Crashes              int // times the server process died (injected or forced)
+	Restarts             int // times the server restarted into a new epoch
 
 	// Client side.
-	Retries          int     // retransmissions performed
-	BackoffMicros    float64 // virtual time spent backing off between retries
-	DeadlineExceeded int     // calls abandoned when the deadline budget ran out
+	Retries               int     // retransmissions performed
+	BackoffMicros         float64 // virtual time spent backing off between retries
+	DeadlineExceeded      int     // calls abandoned when the deadline budget ran out
+	SessionsReestablished int     // epoch bumps observed: sessions re-established with a restarted server
 }
 
 // Add returns the field-wise sum of two stat sets.
@@ -37,11 +56,15 @@ func (s Stats) Add(o Stats) Stats {
 	s.BadFrames += o.BadFrames
 	s.EncodeErrors += o.EncodeErrors
 	s.DuplicatesSuppressed += o.DuplicatesSuppressed
+	s.LogDuplicates += o.LogDuplicates
 	s.StaleFrames += o.StaleFrames
 	s.RepliesEvicted += o.RepliesEvicted
+	s.Crashes += o.Crashes
+	s.Restarts += o.Restarts
 	s.Retries += o.Retries
 	s.BackoffMicros += o.BackoffMicros
 	s.DeadlineExceeded += o.DeadlineExceeded
+	s.SessionsReestablished += o.SessionsReestablished
 	return s
 }
 
@@ -54,15 +77,32 @@ func (s Stats) Add(o Stats) Stats {
 // cache shard's lock; fresh calls additionally serialise on the
 // execution lock — the single-threaded server loop of the microkernel
 // model — so handlers never run concurrently.
+//
+// The server is mortal: a crash schedule (SetCrasher) or ForceCrash
+// kills it at a defined point — it stops serving, its reply cache and
+// pending input are lost — and the next Poll restarts it through the
+// OnRestart hook into a new epoch. Replies are stamped with the epoch,
+// so clients observe the restart; the reply cache is invalidated and
+// handlers must be re-registered by the restart hook; at-most-once
+// across the crash rests on the durable DedupAuthority.
 type Server struct {
 	link *Link
 	side Endpoint
 
-	// procs is written by Register and read by Poll; registration must
-	// complete before the first frame is served.
-	procs map[uint32]Handler
-
-	cache *replyCache
+	// mu guards the dispatch and lifecycle state: the handler table,
+	// the reply-cache pointer and geometry, the epoch, the crash flags,
+	// and the crash/restart/authority hooks.
+	mu         sync.Mutex
+	procs      map[uint32]HandlerH
+	cache      *replyCache
+	shards     int
+	perShard   int
+	epoch      uint32
+	crashed    bool
+	restarting bool
+	crasher    faultplane.Crasher
+	restart    func()
+	authority  DedupAuthority
 
 	// execMu serialises handler execution across all shards.
 	execMu sync.Mutex
@@ -71,28 +111,158 @@ type Server struct {
 	stats   Stats
 }
 
-// NewServer builds a server on side of link.
+// NewServer builds a server on side of link, in epoch 1.
 func NewServer(link *Link, side Endpoint) *Server {
 	return &Server{
-		link:  link,
-		side:  side,
-		procs: map[uint32]Handler{},
-		cache: newReplyCache(defaultCacheShards, defaultCachePerShard),
+		link:     link,
+		side:     side,
+		procs:    map[uint32]HandlerH{},
+		cache:    newReplyCache(defaultCacheShards, defaultCachePerShard),
+		shards:   defaultCacheShards,
+		perShard: defaultCachePerShard,
+		epoch:    1,
 	}
 }
 
-// Register binds a procedure ID to a handler. Registration is not safe
-// concurrently with Poll; bind every procedure before serving.
-func (s *Server) Register(proc uint32, h Handler) { s.procs[proc] = h }
+// Register binds a procedure ID to a handler.
+func (s *Server) Register(proc uint32, h Handler) {
+	s.RegisterH(proc, func(_ Header, args []interface{}) ([]interface{}, error) {
+		return h(args)
+	})
+}
+
+// RegisterH binds a procedure ID to a header-aware handler.
+func (s *Server) RegisterH(proc uint32, h HandlerH) {
+	s.mu.Lock()
+	s.procs[proc] = h
+	s.mu.Unlock()
+}
 
 // ConfigureReplyCache replaces the reply cache with one of the given
-// geometry (shard count × clients per shard). Call before serving;
-// replacing the cache mid-traffic forgets every at-most-once record.
+// geometry (shard count × clients per shard); restarts rebuild the
+// cache with the same geometry. Call before serving; replacing the
+// cache mid-traffic forgets every at-most-once record.
 func (s *Server) ConfigureReplyCache(shards, perShard int) {
+	s.mu.Lock()
 	s.cache = newReplyCache(shards, perShard)
+	s.shards, s.perShard = shards, perShard
+	s.mu.Unlock()
+}
+
+// SetCrasher attaches a crash schedule consulted at the CrashOnRecv
+// and CrashPreReply windows (services consult CrashPreApply themselves,
+// around their log append). Nil detaches.
+func (s *Server) SetCrasher(c faultplane.Crasher) {
+	s.mu.Lock()
+	s.crasher = c
+	s.mu.Unlock()
+}
+
+// OnRestart installs the restart hook run by the first Poll after a
+// crash. The hook owns recovery: it must call Restart (new epoch,
+// fresh cache, empty handler table), re-register every handler, and
+// rebuild whatever durable state the service keeps. Without a hook a
+// crashed server stays dead.
+func (s *Server) OnRestart(fn func()) {
+	s.mu.Lock()
+	s.restart = fn
+	s.mu.Unlock()
+}
+
+// SetDedupAuthority installs the durable at-most-once source consulted
+// on reply-cache misses. Nil detaches.
+func (s *Server) SetDedupAuthority(a DedupAuthority) {
+	s.mu.Lock()
+	s.authority = a
+	s.mu.Unlock()
+}
+
+// Epoch returns the server's incarnation number, stamped into every
+// reply it transmits.
+func (s *Server) Epoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Crashed reports whether the server is currently dead.
+func (s *Server) Crashed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.crashed
+}
+
+// ForceCrash kills the server immediately — the deterministic test and
+// tooling hook; the seeded schedules go through SetCrasher.
+func (s *Server) ForceCrash() { s.enterCrashed(faultplane.CrashForced) }
+
+// enterCrashed marks the server dead and drops its pending input: the
+// frames queued toward a dead process die with its address space.
+func (s *Server) enterCrashed(p faultplane.CrashPoint) {
+	s.mu.Lock()
+	s.crashed = true
+	s.mu.Unlock()
+	purged := s.link.PurgeToward(s.side)
+	s.count(func(st *Stats) { st.Crashes++ })
+	s.link.Recorder().Event("server", "crash", 0, 0,
+		"point="+p.String()+" purged="+strconv.Itoa(purged))
+}
+
+// crashPoint draws the attached crash schedule at window p and, when it
+// fires, kills the server. Reports whether the server just died.
+func (s *Server) crashPoint(p faultplane.CrashPoint) bool {
+	s.mu.Lock()
+	c := s.crasher
+	s.mu.Unlock()
+	if c == nil || !c.CrashNow(p) {
+		return false
+	}
+	s.enterCrashed(p)
+	return true
+}
+
+// Restart moves the server into its next epoch: the reply cache is
+// invalidated (rebuilt empty with the configured geometry) and the
+// handler table cleared for re-registration. Called by the restart
+// hook; the server resumes serving when the hook returns.
+func (s *Server) Restart() {
+	s.mu.Lock()
+	s.epoch++
+	epoch := s.epoch
+	s.procs = map[uint32]HandlerH{}
+	s.cache = newReplyCache(s.shards, s.perShard)
+	s.mu.Unlock()
+	s.count(func(st *Stats) { st.Restarts++ })
+	s.link.Recorder().Event("server", "restart", 0, 0, "epoch="+strconv.Itoa(int(epoch)))
+}
+
+// ensureAlive restarts a crashed server through the restart hook, if
+// one is installed. It reports whether the server may serve. While a
+// restart is in progress other pumps see the server as dead.
+func (s *Server) ensureAlive() bool {
+	s.mu.Lock()
+	if !s.crashed {
+		s.mu.Unlock()
+		return true
+	}
+	if s.restarting || s.restart == nil {
+		s.mu.Unlock()
+		return false
+	}
+	s.restarting = true
+	fn := s.restart
+	s.mu.Unlock()
+	fn()
+	s.mu.Lock()
+	s.crashed = false
+	s.restarting = false
+	s.mu.Unlock()
+	return true
 }
 
 // Stats returns a snapshot of the server's transport counters.
+// Counters are cumulative across crashes and restarts — the
+// observability plane outlives the process it observes.
 func (s *Server) Stats() Stats {
 	s.statsMu.Lock()
 	defer s.statsMu.Unlock()
@@ -108,13 +278,24 @@ func (s *Server) count(f func(*Stats)) {
 // ErrNoProc reports a call to an unregistered procedure.
 var ErrNoProc = errors.New("wire: no such procedure")
 
+// ErrServerCrashed is returned by a service handler to signal that a
+// crash schedule fired mid-operation: the server dies at that point —
+// no reply is sent, nothing is cached, and serving stops until the
+// restart hook runs.
+var ErrServerCrashed = errors.New("wire: server crashed")
+
 // Poll processes every pending frame, sending replies. Corrupted
 // frames are dropped silently (the client's retransmission recovers),
 // exactly as a checksum-verifying transport behaves. Retransmitted
-// calls are answered from the reply cache; stale calls are discarded.
-// Concurrent Polls cooperate: whichever goroutine pops a frame serves
-// it.
+// calls are answered from the reply cache — or, past the cache, from
+// the durable dedup authority; stale calls are discarded. A crashed
+// server is restarted first (via the OnRestart hook) and stops the
+// pump the moment a crash point fires. Concurrent Polls cooperate:
+// whichever goroutine pops a frame serves it.
 func (s *Server) Poll() {
+	if !s.ensureAlive() {
+		return
+	}
 	for {
 		frame, err := s.link.Recv(s.side)
 		if err != nil {
@@ -128,17 +309,30 @@ func (s *Server) Poll() {
 		if h.Kind != KindCall {
 			continue
 		}
-		s.dispatch(h, payload)
+		if s.crashPoint(faultplane.CrashOnRecv) {
+			return // died holding the frame; the client retransmits
+		}
+		if s.dispatch(h, payload) {
+			return // died mid-dispatch
+		}
 	}
 }
 
 // dispatch serves one decoded call under the owning cache shard's lock,
 // which makes the duplicate check and the execute-and-cache step one
 // atomic unit: two copies of a call racing through two Polls cannot
-// both miss the cache and run the handler twice.
-func (s *Server) dispatch(h Header, payload []byte) {
+// both miss the cache and run the handler twice. On a cache miss the
+// durable authority is consulted before executing, so a WAL-logged op
+// whose cache entry was evicted — or wiped by a restart — is never
+// re-executed. Returns true when the server crashed during dispatch.
+func (s *Server) dispatch(h Header, payload []byte) bool {
 	rec := s.link.Recorder()
-	shard := s.cache.shardFor(h.ClientID)
+	s.mu.Lock()
+	cache := s.cache
+	proc, procOK := s.procs[h.ProcID]
+	auth := s.authority
+	s.mu.Unlock()
+	shard := cache.shardFor(h.ClientID)
 	shard.mu.Lock()
 	defer shard.mu.Unlock()
 	if e, ok := shard.get(h.ClientID); ok {
@@ -152,49 +346,87 @@ func (s *Server) dispatch(h Header, payload []byte) {
 			if e.frame != nil {
 				s.link.Send(s.side, e.frame)
 			}
-			return
+			return false
 		}
 		if h.CallID < e.callID {
 			s.count(func(st *Stats) { st.StaleFrames++ })
 			rec.Event("server", "stale", h.ClientID, h.CallID, "")
-			return
+			return false
+		}
+	} else if auth != nil {
+		if callID, frame, ok := auth(h.ClientID); ok {
+			if h.CallID == callID {
+				// The op is in the durable log: serve the regenerated
+				// reply and refill the cache fast path. The handler
+				// must not run again.
+				s.count(func(st *Stats) { st.LogDuplicates++ })
+				rec.Event("server", "log_hit", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+				evicted := shard.put(h.ClientID, h.CallID, frame)
+				if evicted > 0 {
+					s.count(func(st *Stats) { st.RepliesEvicted += evicted })
+				}
+				if frame != nil {
+					s.link.Send(s.side, frame)
+				}
+				return false
+			}
+			if h.CallID < callID {
+				s.count(func(st *Stats) { st.StaleFrames++ })
+				rec.Event("server", "stale", h.ClientID, h.CallID, "")
+				return false
+			}
 		}
 	}
-	s.execute(rec, shard, h, payload)
+	return s.execute(rec, shard, proc, procOK, h, payload)
 }
 
 // execute runs the handler (serialised on execMu), caches the outcome
-// in the caller's shard, and transmits the reply. The shard lock is
-// held by the caller.
-func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, h Header, payload []byte) {
+// in the caller's shard, and transmits the reply stamped with the
+// server's epoch. The shard lock is held by the caller. Returns true
+// when the server crashed instead of replying — either the handler
+// aborted with ErrServerCrashed (the service's pre-apply window) or
+// the pre-reply window fired after the handler ran.
+func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, procOK bool, h Header, payload []byte) bool {
 	rec.Event("server", "execute", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
 	var execStart float64
 	if rec.Enabled() {
 		execStart = s.link.Clock()
 	}
 	var results []interface{}
-	proc, ok := s.procs[h.ProcID]
-	if !ok {
+	if !procOK {
 		results = []interface{}{false, ErrNoProc.Error()}
 	} else {
 		s.execMu.Lock()
 		args, err := Unmarshal(payload)
 		if err == nil {
 			var out []interface{}
-			out, err = proc(args)
+			out, err = proc(h, args)
 			if err == nil {
 				results = append([]interface{}{true}, out...)
 			}
 		}
 		s.execMu.Unlock()
+		if errors.Is(err, ErrServerCrashed) {
+			// The crash schedule fired inside the handler — between the
+			// service's log append and its apply. The op is durable in
+			// the log; the process is gone.
+			s.enterCrashed(faultplane.CrashPreApply)
+			return true
+		}
 		if err != nil {
 			results = []interface{}{false, err.Error()}
 		}
 	}
+	if s.crashPoint(faultplane.CrashPreReply) {
+		// Logged, applied — and dead before the reply could leave. The
+		// retransmission will be answered from the durable log by the
+		// restarted server.
+		return true
+	}
 	body, err := Marshal(results...)
 	var frame []byte
 	if err == nil {
-		frame, err = Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID}, body)
+		frame, err = Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()}, body)
 	}
 	if err != nil {
 		// The reply cannot be encoded, but the handler has run: cache
@@ -204,7 +436,7 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, h Header, payload
 			st.EncodeErrors++
 			st.RepliesEvicted += evicted
 		})
-		return
+		return false
 	}
 	evicted := shard.put(h.ClientID, h.CallID, frame)
 	if evicted > 0 {
@@ -217,6 +449,7 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, h Header, payload
 		// handlers are free and the reply transmission is the charge.
 		rec.Observe("server.execute", s.link.Clock()-execStart)
 	}
+	return false
 }
 
 // Client issues calls from one end of a link. Each Client is driven by
@@ -233,6 +466,11 @@ type Client struct {
 	ClientID uint32
 
 	nextID uint32
+
+	// epoch is the server incarnation last observed in a reply; a bump
+	// means the server crashed and restarted, and this client's session
+	// rode the durable log across the gap.
+	epoch uint32
 
 	// MaxRetries bounds retransmissions per call.
 	MaxRetries int
@@ -270,6 +508,10 @@ func (c *Client) Stats() Stats {
 	return c.stats
 }
 
+// Epoch returns the server incarnation last observed in a reply (0
+// before the first reply arrives).
+func (c *Client) Epoch() uint32 { return c.epoch }
+
 func (c *Client) count(f func(*Stats)) {
 	c.statsMu.Lock()
 	f(&c.stats)
@@ -302,10 +544,12 @@ func (c *Client) overDeadline(start float64) bool {
 
 // Call invokes proc with args against server, driving the server's
 // Poll between send and receive — the calling goroutine is the pump, so
-// concurrent callers pump for each other. Lost or corrupted frames are
-// retransmitted under capped exponential backoff; the server's reply
-// cache guarantees the handler runs at most once however many
-// retransmissions it takes. The deadline budget is checked on every
+// concurrent callers pump for each other (and whoever pumps first after
+// a crash restarts the server). Lost or corrupted frames — including
+// calls that died with a crashed server — are retransmitted under
+// capped exponential backoff; the server's reply cache and durable log
+// guarantee the handler runs at most once however many retransmissions
+// and server restarts it takes. The deadline budget is checked on every
 // attempt, including the first, and again before a success is returned,
 // so injected delay on attempt zero cannot blow the budget undetected.
 func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]interface{}, error) {
@@ -372,7 +616,9 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 // from earlier retransmissions, duplicates) are counted and skipped; an
 // empty queue returns ErrEmpty so the caller retransmits. Other
 // clients' replies are never seen here — the link routes them to their
-// own queues.
+// own queues. The reply's epoch stamp is tracked: a bump means the
+// server restarted since this client's last reply, and the session has
+// been re-established against the new incarnation.
 func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error) {
 	for {
 		frame, err := c.link.RecvClient(c.side, c.ClientID)
@@ -387,6 +633,14 @@ func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error)
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
 			c.count(func(st *Stats) { st.StaleFrames++ })
 			continue // duplicate or stale frame from an earlier retry
+		}
+		if h.Epoch != 0 {
+			if c.epoch != 0 && h.Epoch != c.epoch {
+				c.count(func(st *Stats) { st.SessionsReestablished++ })
+				rec.Event("client", "session_reestablish", c.ClientID, id,
+					"epoch="+strconv.Itoa(int(h.Epoch)))
+			}
+			c.epoch = h.Epoch
 		}
 		rec.Event("client", "recv_reply", c.ClientID, id, "")
 		vals, err := Unmarshal(payload)
