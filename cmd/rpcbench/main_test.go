@@ -77,3 +77,47 @@ func TestCrashSummaryTableGolden(t *testing.T) {
 		t.Errorf("table drifted from golden\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
+
+// TestReplicaSummaryTableGolden pins the -replicas table format: the
+// kill-schedule accounting, the shipping counters, and the promotion
+// and failover-gap percentiles. Regenerate with
+// `go test ./cmd/rpcbench -update`.
+func TestReplicaSummaryTableGolden(t *testing.T) {
+	promotion := &obs.Histogram{}
+	promotion.Observe(934)
+	failover := &obs.Histogram{}
+	for _, v := range []float64{812, 934, 1210} {
+		failover.Observe(v)
+	}
+	cc := faultplane.CrashCounts{Points: 1800, Crashes: 3, OnRecv: 1, PreApply: 0, PreReply: 2}
+	st := fsserver.Stats{Recoveries: 2}
+	st.Wire.LogDuplicates = 2
+	st.Wire.Failovers = 1
+	st.Wire.FencedReplies = 1
+	cst := fsserver.ClusterStats{
+		Backups:       1,
+		Failovers:     1,
+		PromotedEpoch: 4,
+		PrimarySeq:    67,
+		BackupSeq:     67,
+		ShipCalls:     67,
+		ShipFailures:  2,
+		Reships:       2,
+		LagOps:        1,
+	}
+	got := replicaSummaryTable(cc, st, cst, 0, promotion, failover).String()
+
+	golden := filepath.Join("testdata", "replicas_table.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("table drifted from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

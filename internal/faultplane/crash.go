@@ -48,6 +48,15 @@ type Crasher interface {
 	CrashNow(p CrashPoint) bool
 }
 
+// Fatalist is the optional second face of a crash schedule: after the
+// last crash it injected, is the process gone for good? A server whose
+// crasher reports Fatal() declines to restart — the failure mode a
+// replica set exists to survive. Schedules that never kill permanently
+// simply don't implement it.
+type Fatalist interface {
+	Fatal() bool
+}
+
 // CrashPolicy parameterises a seeded crash schedule: an independent
 // per-window probability that the server dies there, bounded by
 // MaxCrashes so a soak terminates. The zero CrashPolicy never crashes.
@@ -64,6 +73,11 @@ type CrashPolicy struct {
 
 	// MaxCrashes bounds the total crashes injected; 0 means unlimited.
 	MaxCrashes int
+
+	// FatalFrom, when positive, declares the N-th injected crash (and
+	// every later one) permanent: the plane's Fatal() turns true and the
+	// process never restarts. 0 means every crash is recoverable.
+	FatalFrom int
 }
 
 // Validate checks the window probabilities for NaN and [0,1]
@@ -83,6 +97,13 @@ func (p CrashPolicy) Validate() error {
 	if p.MaxCrashes < 0 {
 		return fmt.Errorf("faultplane: MaxCrashes = %d negative", p.MaxCrashes)
 	}
+	if p.FatalFrom < 0 {
+		return fmt.Errorf("faultplane: FatalFrom = %d negative", p.FatalFrom)
+	}
+	if p.FatalFrom > 0 && p.MaxCrashes > 0 && p.FatalFrom > p.MaxCrashes {
+		return fmt.Errorf("faultplane: FatalFrom = %d exceeds MaxCrashes = %d; the fatal crash can never fire",
+			p.FatalFrom, p.MaxCrashes)
+	}
 	return nil
 }
 
@@ -98,6 +119,17 @@ func ChaosCrash(seed int64) CrashPolicy {
 		PreReply:   0.003,
 		MaxCrashes: 6,
 	}
+}
+
+// ChaosKill is the reference kill-forever schedule for the failover
+// soaks: the same windows as ChaosCrash, but the third crash is
+// permanent — the primary recovers twice and then dies for good,
+// mid-run, so a backup must take over.
+func ChaosKill(seed int64) CrashPolicy {
+	p := ChaosCrash(seed)
+	p.MaxCrashes = 3
+	p.FatalFrom = 3
+	return p
 }
 
 // CrashCounts reports what a crash plane has done; two same-seed runs
@@ -139,6 +171,15 @@ func (c *CrashPlane) Counts() CrashCounts {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.counts
+}
+
+// Fatal reports whether the plane has injected its FatalFrom-th crash:
+// from that moment the process it schedules for is permanently dead.
+// CrashPlane thereby implements Fatalist.
+func (c *CrashPlane) Fatal() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.policy.FatalFrom > 0 && c.counts.Crashes >= c.policy.FatalFrom
 }
 
 // CrashNow draws the fate of one decision point. Exactly one PRNG

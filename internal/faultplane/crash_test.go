@@ -139,3 +139,47 @@ func TestCrashPointStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestFatalFromValidation(t *testing.T) {
+	bad := []CrashPolicy{
+		{FatalFrom: -1},
+		{MaxCrashes: 2, FatalFrom: 3}, // the fatal crash could never fire
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", p)
+		}
+	}
+	ok := CrashPolicy{MaxCrashes: 3, FatalFrom: 3}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("Validate rejected %+v: %v", ok, err)
+	}
+	if err := ChaosKill(1).Validate(); err != nil {
+		t.Errorf("ChaosKill preset invalid: %v", err)
+	}
+}
+
+func TestFatalTurnsTrueAtFatalFrom(t *testing.T) {
+	// The kill-forever contract: Fatal() is false until the FatalFrom-th
+	// crash has been injected, then true forever — the signal a server
+	// consults before declining to restart.
+	c := NewCrash(CrashPolicy{Seed: 3, OnRecv: 1, MaxCrashes: 2, FatalFrom: 2})
+	if c.Fatal() {
+		t.Fatal("Fatal before any crash")
+	}
+	c.CrashNow(CrashOnRecv) // crash 1
+	if c.Fatal() {
+		t.Fatal("Fatal after crash 1 of FatalFrom=2")
+	}
+	c.CrashNow(CrashOnRecv) // crash 2 — permanent
+	if !c.Fatal() {
+		t.Fatal("not Fatal after the FatalFrom-th crash")
+	}
+	// Recoverable schedules never turn fatal.
+	r := NewCrash(CrashPolicy{Seed: 3, OnRecv: 1, MaxCrashes: 2})
+	r.CrashNow(CrashOnRecv)
+	r.CrashNow(CrashOnRecv)
+	if r.Fatal() {
+		t.Error("schedule without FatalFrom reported Fatal")
+	}
+}

@@ -1,0 +1,117 @@
+package faultplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// PartitionPolicy parameterises a seeded link-partition schedule: with
+// probability Prob per frame the link partitions, and the partition
+// swallows that frame and the next Len-1 frames in either direction —
+// the primary–backup split a replication protocol must ride out. The
+// zero PartitionPolicy never partitions.
+type PartitionPolicy struct {
+	// Seed fixes the PRNG stream; equal seeds and equal traffic give
+	// identical partition schedules.
+	Seed int64
+
+	// Prob is the per-frame probability of a partition starting.
+	Prob float64
+
+	// Len is how many frames (including the triggering one) the
+	// partition swallows.
+	Len int
+
+	// MaxPartitions bounds the number of partitions injected; 0 means
+	// unlimited.
+	MaxPartitions int
+}
+
+// Validate checks Prob for NaN and [0,1] membership and the magnitudes
+// for negativity, returning a descriptive error naming the offending
+// field. NewPartition panics on exactly this error.
+func (p PartitionPolicy) Validate() error {
+	if err := checkProb("Prob", p.Prob); err != nil {
+		return err
+	}
+	if p.Len < 1 && p.Prob > 0 {
+		return fmt.Errorf("faultplane: Len = %d, want >= 1 when Prob > 0", p.Len)
+	}
+	if p.Len < 0 {
+		return fmt.Errorf("faultplane: Len = %d negative", p.Len)
+	}
+	if p.MaxPartitions < 0 {
+		return fmt.Errorf("faultplane: MaxPartitions = %d negative", p.MaxPartitions)
+	}
+	return nil
+}
+
+// ReplPartition is the reference partition schedule for the replication
+// link: occasional multi-frame splits, bounded so the shipping cursor's
+// catch-up is exercised without starving the soak.
+func ReplPartition(seed int64) PartitionPolicy {
+	return PartitionPolicy{Seed: seed, Prob: 0.02, Len: 6, MaxPartitions: 4}
+}
+
+// PartitionCounts reports what a partition plane has done; two
+// same-seed runs must produce equal PartitionCounts.
+type PartitionCounts struct {
+	Frames     int
+	Partitions int
+	Dropped    int
+}
+
+// PartitionPlane is a seeded partition injector implementing Injector;
+// attach it to the wire link between primary and backup. Like Plane,
+// exactly one PRNG value is consumed per frame, so the decision stream
+// stays aligned with the frame sequence.
+type PartitionPlane struct {
+	mu     sync.Mutex
+	policy PartitionPolicy
+	rng    *rand.Rand
+	left   int // frames the current partition still swallows
+	counts PartitionCounts
+}
+
+// NewPartition builds a partition plane from a policy, panicking on NaN
+// or out-of-range parameters (a policy is programmer-supplied
+// configuration, not runtime input).
+func NewPartition(p PartitionPolicy) *PartitionPlane {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &PartitionPlane{policy: p, rng: rand.New(rand.NewSource(p.Seed))}
+}
+
+// Policy returns the plane's configuration.
+func (pl *PartitionPlane) Policy() PartitionPolicy { return pl.policy }
+
+// Counts returns a snapshot of the partition counters.
+func (pl *PartitionPlane) Counts() PartitionCounts {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.counts
+}
+
+// Decide draws the fate of one frame: dropped while a partition is
+// open, possibly opening one, otherwise delivered untouched.
+func (pl *PartitionPlane) Decide(seq, frameBytes int) Decision {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.counts.Frames++
+	u := pl.rng.Float64()
+	if pl.left > 0 {
+		pl.left--
+		pl.counts.Dropped++
+		return Decision{Drop: true}
+	}
+	p := pl.policy
+	if u < p.Prob && (p.MaxPartitions == 0 || pl.counts.Partitions < p.MaxPartitions) {
+		pl.counts.Partitions++
+		pl.left = p.Len - 1
+		pl.counts.Dropped++
+		return Decision{Drop: true}
+	}
+	return Decision{}
+}

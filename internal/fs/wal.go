@@ -2,8 +2,10 @@ package fs
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"sync"
 )
@@ -68,6 +70,35 @@ type Record struct {
 	Data   []byte // Write: payload
 	Client uint32
 	Call   uint32
+	Sum    uint32 // checksum over the other fields, assigned by Append
+}
+
+// recordSum computes the record's integrity checksum over every field
+// but Sum itself, via a canonical byte encoding. A record whose stored
+// Sum disagrees was torn — partially persisted by a crash mid-append,
+// or damaged in shipping.
+func recordSum(r Record) uint32 {
+	h := crc32.NewIEEE()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], r.Seq)
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(int64(r.Op)))
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(len(r.Path)))
+	h.Write(b[:])
+	h.Write([]byte(r.Path))
+	binary.BigEndian.PutUint64(b[:], uint64(int64(r.FD)))
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(int64(r.N)))
+	h.Write(b[:])
+	binary.BigEndian.PutUint64(b[:], uint64(len(r.Data)))
+	h.Write(b[:])
+	h.Write(r.Data)
+	binary.BigEndian.PutUint32(b[:4], r.Client)
+	h.Write(b[:4])
+	binary.BigEndian.PutUint32(b[:4], r.Call)
+	h.Write(b[:4])
+	return h.Sum32()
 }
 
 // ApplyResult carries the operation's outputs: the allocated
@@ -128,6 +159,7 @@ type WALStats struct {
 	Snapshots     int
 	SnapshotBytes int // size of the latest snapshot
 	Truncated     int // records dropped from the tail by snapshots
+	TornTruncated int // torn final records discarded by Recover
 }
 
 // WAL is the write-ahead op log: a snapshot of some past state plus
@@ -151,6 +183,15 @@ type WAL struct {
 	tail        []Record
 	sessions    map[uint32]SessionRecord
 	stats       WALStats
+
+	// Replication: when shipping is enabled, every appended record is
+	// retained in shipBuf until AckShipped trims it — the suffix of the
+	// log a backup has not yet acknowledged. The ship buffer is part of
+	// the log (stable storage), independent of snapshot truncation: a
+	// snapshot folds the tail for recovery replay but must not drop
+	// records a backup still needs.
+	shipping bool
+	shipBuf  []Record
 }
 
 // NewWAL creates an empty log for a file system with the given block
@@ -159,16 +200,130 @@ func NewWAL(cacheBlocks int) *WAL {
 	return &WAL{cacheBlocks: cacheBlocks, sessions: map[uint32]SessionRecord{}}
 }
 
-// Append assigns the next sequence number and makes the record
-// durable. It must be called before the op is applied.
+// Append assigns the next sequence number, seals the record with its
+// checksum, and makes it durable. It must be called before the op is
+// applied.
 func (w *WAL) Append(r Record) Record {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.nextSeq++
 	r.Seq = w.nextSeq
+	r.Sum = recordSum(r)
 	w.tail = append(w.tail, r)
 	w.stats.Appends++
+	if w.shipping {
+		w.shipBuf = append(w.shipBuf, r)
+	}
 	return r
+}
+
+// EnableShipping turns on ship-buffer retention: from now on every
+// appended record stays available to RecordsSince until acknowledged.
+// The primary of a replica set enables this before serving.
+func (w *WAL) EnableShipping() {
+	w.mu.Lock()
+	w.shipping = true
+	w.mu.Unlock()
+}
+
+// AppendShipped appends a record shipped from a primary, preserving its
+// sequence number. The record must be the exact successor of the log's
+// last sequence number and must carry a valid checksum — a gap or a
+// damaged record is the replication bug this check exists to catch.
+func (w *WAL) AppendShipped(r Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if r.Seq != w.nextSeq+1 {
+		return fmt.Errorf("fs: shipped record seq %d, log expects %d", r.Seq, w.nextSeq+1)
+	}
+	if r.Sum != recordSum(r) {
+		return fmt.Errorf("fs: shipped record seq %d fails checksum", r.Seq)
+	}
+	w.nextSeq = r.Seq
+	w.tail = append(w.tail, r)
+	w.stats.Appends++
+	return nil
+}
+
+// RecordsSince returns a copy of the retained records with sequence
+// numbers above seq, in order — the batch to ship to a backup whose
+// acknowledged cursor stands at seq. Only meaningful with shipping
+// enabled.
+func (w *WAL) RecordsSince(seq uint64) []Record {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var out []Record
+	for _, r := range w.shipBuf {
+		if r.Seq > seq {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// AckShipped trims the ship buffer through seq: every backup has
+// acknowledged the log that far, so the primary no longer needs to
+// retain it for re-shipping.
+func (w *WAL) AckShipped(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	i := 0
+	for i < len(w.shipBuf) && w.shipBuf[i].Seq <= seq {
+		i++
+	}
+	w.shipBuf = w.shipBuf[i:]
+}
+
+// ShipBacklog returns how many appended records await acknowledgement.
+func (w *WAL) ShipBacklog() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.shipBuf)
+}
+
+// LastSeq returns the highest sequence number appended so far.
+func (w *WAL) LastSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextSeq
+}
+
+// TearFinalRecord simulates the torn write a crash mid-append leaves
+// behind: the last tail record loses the end of its payload (or, for a
+// payloadless op, just its integrity) without its checksum being
+// updated. Recovery must detect and truncate exactly this. Reports
+// whether there was a tail record to tear.
+func (w *WAL) TearFinalRecord() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.tail) == 0 {
+		return false
+	}
+	r := &w.tail[len(w.tail)-1]
+	if len(r.Data) > 0 {
+		r.Data = r.Data[:len(r.Data)/2]
+	} else {
+		r.Sum ^= 0xdeadbeef
+	}
+	return true
+}
+
+// EncodeRecords serialises a batch of records for shipping.
+func EncodeRecords(recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("fs: encode records: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRecords deserialises a shipped batch.
+func DecodeRecords(data []byte) ([]Record, error) {
+	var recs []Record
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return nil, fmt.Errorf("fs: decode records: %w", err)
+	}
+	return recs, nil
 }
 
 // Commit records the outcome of an applied op in the client's session
@@ -346,6 +501,26 @@ func restore(snapshot []byte) (*FS, []SessionRecord, error) {
 func Recover(w *WAL) (*FS, []SessionRecord, int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	// Integrity pass before anything is replayed. A torn FINAL record is
+	// the expected signature of a crash mid-append — the op never became
+	// durable, its client never got a reply, its retransmission will
+	// relog it — so recovery truncates it and proceeds. A torn record
+	// anywhere else means the log itself is damaged: replaying past the
+	// hole would diverge, so recovery refuses.
+	for i, r := range w.tail {
+		if r.Sum == recordSum(r) {
+			continue
+		}
+		if i != len(w.tail)-1 {
+			return nil, nil, 0, fmt.Errorf("fs: torn record mid-log at seq %d", r.Seq)
+		}
+		w.tail = w.tail[:i]
+		w.nextSeq = r.Seq - 1
+		if n := len(w.shipBuf); n > 0 && w.shipBuf[n-1].Seq == r.Seq {
+			w.shipBuf = w.shipBuf[:n-1]
+		}
+		w.stats.TornTruncated++
+	}
 	var f *FS
 	sessions := map[uint32]SessionRecord{}
 	if w.snapshot != nil {

@@ -211,3 +211,155 @@ func TestOpCodeStrings(t *testing.T) {
 		t.Errorf("unknown op string = %q", s)
 	}
 }
+
+func TestRecoverTruncatesTornFinalRecord(t *testing.T) {
+	// Satellite of the replication work: a crash mid-append leaves the
+	// last record partially persisted — payload cut short, checksum
+	// stale. Recovery must detect it, drop exactly that record, rewind
+	// the sequence counter, and replay the intact prefix.
+	f := New(64)
+	w := NewWAL(64)
+	workout(t, w, f)
+	before := w.LastSeq()
+	// The torn op: a write whose payload the crash cut in half.
+	r := w.Append(Record{Op: OpWrite, FD: 99, Data: []byte("never fully persisted"), Client: 7, Call: 99})
+	if !w.TearFinalRecord() {
+		t.Fatal("nothing to tear")
+	}
+	rec, _, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatalf("recovery refused a torn FINAL record: %v", err)
+	}
+	if replayed != int(before) {
+		t.Errorf("replayed %d records, want the intact prefix of %d", replayed, before)
+	}
+	if w.LastSeq() != before {
+		t.Errorf("LastSeq = %d after truncation, want %d (seq %d rewound)", w.LastSeq(), before, r.Seq)
+	}
+	if got := w.Stats().TornTruncated; got != 1 {
+		t.Errorf("TornTruncated = %d, want 1", got)
+	}
+	// The torn op never happened: state equals a clean replay of the
+	// prefix, and the next append reuses the rewound sequence number.
+	clean := New(64)
+	cw := NewWAL(64)
+	workout(t, cw, clean)
+	if rec.Fingerprint() != clean.Fingerprint() {
+		t.Error("recovered state diverged from the intact prefix")
+	}
+	if next := w.Append(Record{Op: OpMkdir, Path: "/after"}); next.Seq != before+1 {
+		t.Errorf("next append got seq %d, want %d", next.Seq, before+1)
+	}
+}
+
+func TestRecoverRefusesTornMidLogRecord(t *testing.T) {
+	// A bad checksum anywhere but the final record is not a crash
+	// signature — it is log damage. Replaying past it would diverge, so
+	// recovery must refuse rather than guess.
+	f := New(64)
+	w := NewWAL(64)
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/a", Client: 1, Call: 1})
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/a/b", Client: 1, Call: 2})
+	if !w.TearFinalRecord() {
+		t.Fatal("nothing to tear")
+	}
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/c", Client: 1, Call: 3})
+	if _, _, _, err := Recover(w); err == nil {
+		t.Fatal("recovery accepted a torn record mid-log")
+	}
+}
+
+func TestShippingCursorRetainsUntilAcked(t *testing.T) {
+	// The replication cursor: with shipping enabled, appended records
+	// stay available to RecordsSince across snapshots until AckShipped
+	// trims them — snapshot truncation serves recovery, not shipping.
+	f := New(64)
+	w := NewWAL(64)
+	w.EnableShipping()
+	for i := 0; i < 4; i++ {
+		logged(t, w, f, Record{Op: OpMkdir, Path: fmt.Sprintf("/d%d", i), Client: 1, Call: uint32(i + 1)})
+	}
+	if err := w.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ShipBacklog(); got != 4 {
+		t.Fatalf("backlog = %d after snapshot, want 4 (snapshots must not drop unshipped records)", got)
+	}
+	batch := w.RecordsSince(2)
+	if len(batch) != 2 || batch[0].Seq != 3 || batch[1].Seq != 4 {
+		t.Fatalf("RecordsSince(2) = %+v, want seqs 3 and 4", batch)
+	}
+	w.AckShipped(3)
+	if got := w.ShipBacklog(); got != 1 {
+		t.Errorf("backlog = %d after AckShipped(3), want 1", got)
+	}
+	w.AckShipped(4)
+	if got := w.ShipBacklog(); got != 0 {
+		t.Errorf("backlog = %d after full ack, want 0", got)
+	}
+	// Without EnableShipping nothing is retained (the single-server
+	// arrangement must not leak).
+	w2 := NewWAL(64)
+	w2.Append(Record{Op: OpMkdir, Path: "/x"})
+	if got := w2.ShipBacklog(); got != 0 {
+		t.Errorf("unshipped WAL retained %d records", got)
+	}
+}
+
+func TestAppendShippedEnforcesContiguityAndChecksum(t *testing.T) {
+	// The backup's append: only the exact successor with a valid
+	// checksum is accepted — a gap or a damaged record is a replication
+	// bug, not something to paper over.
+	src := New(64)
+	sw := NewWAL(64)
+	sw.EnableShipping()
+	logged(t, sw, src, Record{Op: OpMkdir, Path: "/a", Client: 1, Call: 1})
+	logged(t, sw, src, Record{Op: OpMkdir, Path: "/b", Client: 1, Call: 2})
+	recs := sw.RecordsSince(0)
+
+	bw := NewWAL(64)
+	if err := bw.AppendShipped(recs[1]); err == nil {
+		t.Error("gap accepted: seq 2 appended onto an empty log")
+	}
+	if err := bw.AppendShipped(recs[0]); err != nil {
+		t.Fatalf("contiguous shipped record rejected: %v", err)
+	}
+	damaged := recs[1]
+	damaged.Data = []byte("bitrot")
+	if err := bw.AppendShipped(damaged); err == nil {
+		t.Error("damaged shipped record accepted")
+	}
+	if err := bw.AppendShipped(recs[1]); err != nil {
+		t.Fatalf("valid successor rejected: %v", err)
+	}
+	if bw.LastSeq() != 2 {
+		t.Errorf("backup LastSeq = %d, want 2", bw.LastSeq())
+	}
+}
+
+func TestRecordBatchCodecRoundTrips(t *testing.T) {
+	f := New(64)
+	w := NewWAL(64)
+	w.EnableShipping()
+	workout(t, w, f)
+	recs := w.RecordsSince(0)
+	enc, err := EncodeRecords(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeRecords(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(dec), len(recs))
+	}
+	for i := range dec {
+		if dec[i].Sum != recordSum(dec[i]) {
+			t.Errorf("record %d lost integrity across the codec", i)
+		}
+	}
+	if _, err := DecodeRecords([]byte("not a batch")); err == nil {
+		t.Error("garbage decoded without error")
+	}
+}

@@ -159,6 +159,12 @@ type Server struct {
 	link    *wire.Link
 	crasher faultplane.Crasher
 
+	// repl, when non-nil, is the primary-side replication machinery: a
+	// record is shipped to every backup right after it is appended,
+	// before any crash window or the reply — so an acknowledged op is
+	// durable on the backups even if this process never runs again.
+	repl *replicator
+
 	// SnapshotEvery is the WAL-tail length that triggers a snapshot.
 	SnapshotEvery int
 
@@ -236,6 +242,13 @@ func (s *Server) logApply(h wire.Header, r fs.Record) (fs.ApplyResult, error) {
 	r.Client = h.ClientID
 	r.Call = h.CallID
 	r = s.wal.Append(r)
+	if s.repl != nil {
+		// Ship-before-apply: the record reaches the backups before this
+		// process enters any crash window past the append. A primary
+		// that dies anywhere after this line leaves the op durable on
+		// the replica set, so failover never loses an acknowledged op.
+		s.repl.ship(s.wal, s.Wire.Epoch())
+	}
 	if s.crasher != nil && s.crasher.CrashNow(faultplane.CrashPreApply) {
 		return fs.ApplyResult{}, wire.ErrServerCrashed
 	}
@@ -330,6 +343,12 @@ func (s *Server) recoverNow() {
 	s.replayedOps += replayed
 	s.Wire.Restart()
 	s.register()
+	if s.repl != nil {
+		// The restarted primary lost its volatile replication cursors;
+		// re-learn each backup's applied position and ship whatever the
+		// crash interrupted.
+		s.repl.resync(s.wal, s.Wire.Epoch())
+	}
 	micros := float64(recoverBaseMicros + recoverPerOpMicros*replayed)
 	s.link.AdvanceClock(micros)
 	rec := s.link.Recorder()
@@ -397,12 +416,21 @@ func (s *Server) register() {
 }
 
 // Remote is the decomposed arrangement's client: every operation is an
-// RPC to the user-level server.
+// RPC to the user-level server. A Remote built by Cluster.NewClient
+// spans a replica set instead of a single server: calls go through a
+// failover client that retries against a promoted backup when the
+// primary is permanently gone.
 type Remote struct {
 	client *wire.Client
 	server *Server
 	link   *wire.Link
 	cm     *kernel.CostModel
+
+	// Replicated mode (nil for the single-server arrangement): fo is
+	// the multi-endpoint wire caller, cluster the control plane behind
+	// its failover decisions.
+	fo      *wire.FailoverClient
+	cluster *Cluster
 
 	// rec, when non-nil, receives per-operation latency observations
 	// (classes "fsserver.op" and this client's LatencyClass). The wire
@@ -446,6 +474,12 @@ func NewRemoteOnLink(fsys *fs.FS, cm *kernel.CostModel, link *wire.Link) *Remote
 // the wire server's sharded reply cache keeps every caller in the
 // at-most-once window.
 func (r *Remote) NewPeer() *Remote {
+	if r.cluster != nil {
+		peer := r.cluster.NewClient()
+		peer.fo.Tune(r.client.MaxRetries, r.client.DeadlineMicros)
+		peer.rec = r.rec
+		return peer
+	}
 	client := wire.NewClient(r.link, wire.A)
 	client.MaxRetries = r.client.MaxRetries
 	client.DeadlineMicros = r.client.DeadlineMicros
@@ -465,6 +499,10 @@ func (r *Remote) NewPeer() *Remote {
 // before issuing traffic.
 func (r *Remote) SetRecorder(rec *obs.Recorder) {
 	r.rec = rec
+	if r.cluster != nil {
+		r.cluster.SetRecorder(rec)
+		return
+	}
 	r.link.SetRecorder(rec)
 }
 
@@ -481,6 +519,10 @@ func (r *Remote) LatencyClass() string {
 // calls unbounded). A call that exhausts either budget surfaces as
 // ErrUnavailable rather than wedging the caller.
 func (r *Remote) Tune(maxRetries int, deadlineMicros float64) {
+	if r.fo != nil {
+		r.fo.Tune(maxRetries, deadlineMicros)
+		return
+	}
 	r.client.MaxRetries = maxRetries
 	r.client.DeadlineMicros = deadlineMicros
 }
@@ -504,7 +546,13 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 	opMicros := 2*r.cm.SyscallMicros() + 2*r.cm.AddressSpaceSwitchMicros()
 	r.stats.VirtualMicros += opMicros
 	before := r.link.Clock()
-	out, err := r.client.Call(r.server.Wire, proc, args...)
+	var out []interface{}
+	var err error
+	if r.fo != nil {
+		out, err = r.fo.Call(proc, args...)
+	} else {
+		out, err = r.client.Call(r.server.Wire, proc, args...)
+	}
 	r.stats.WireMicros += r.link.Clock() - before
 	r.stats.VirtualMicros += r.link.Clock() - before
 	if r.rec.Enabled() && err == nil {
@@ -611,6 +659,14 @@ func (r *Remote) ReadDir(path string) ([]string, error) {
 // BackoffMicros, DeadlineExceeded) are this Remote's own.
 func (r *Remote) Stats() Stats {
 	s := r.stats
+	if r.cluster != nil {
+		serverStats := r.cluster.serverWireStats()
+		s.Wire = r.fo.Stats().Add(serverStats)
+		s.ServerRejected = serverStats.BadFrames
+		s.CrashesInjected = serverStats.Crashes
+		s.Recoveries, s.RecoveryReplayedOps = r.cluster.primary.Recoveries()
+		return s
+	}
 	serverStats := r.server.Wire.Stats()
 	s.Wire = r.client.Stats().Add(serverStats)
 	s.ServerRejected = serverStats.BadFrames
@@ -631,4 +687,15 @@ func (r *Remote) Crash() { r.server.Crash() }
 // ServerFS returns the service's live file system. After recoveries
 // this is the rebuilt instance — end-state checks (fingerprints) must
 // read it here, not through the FS the service was constructed with.
-func (r *Remote) ServerFS() *fs.FS { return r.server.CurrentFS() }
+// In replicated mode it is the active replica's file system: the
+// promoted backup's after a failover.
+func (r *Remote) ServerFS() *fs.FS {
+	if r.cluster != nil {
+		return r.cluster.ActiveFS()
+	}
+	return r.server.CurrentFS()
+}
+
+// Cluster returns the replica control plane behind this Remote, nil for
+// the single-server arrangement.
+func (r *Remote) Cluster() *Cluster { return r.cluster }

@@ -1,0 +1,631 @@
+package fsserver
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+
+	"archos/internal/faultplane"
+	"archos/internal/fs"
+	"archos/internal/ipc"
+	"archos/internal/ipc/wire"
+	"archos/internal/kernel"
+	"archos/internal/obs"
+)
+
+// This file is the replication layer over the decomposed file server:
+// a primary that ships its WAL to backups before acknowledging any
+// mutating op, backups that apply the shipped records eagerly, and a
+// control plane (Cluster) that promotes the most caught-up backup when
+// the primary dies for good. The WAL is the replication log; the v3
+// frame header's epoch is the fencing token; the shipped session table
+// is the dedup authority that keeps at-most-once across failover.
+
+// Procedure numbers of the replication service, carried on the
+// primary→backup links (disjoint from the client-facing file procs).
+const (
+	// ProcShip carries a batch of WAL records: args are the primary's
+	// epoch (uint32) and the gob-encoded batch ([]byte); the reply is
+	// the backup's applied sequence number (uint64) — the ack cursor.
+	ProcShip uint32 = iota + 100
+	// ProcReplSeq queries the backup's applied sequence number — how a
+	// restarted primary re-learns its shipping cursor.
+	ProcReplSeq
+)
+
+// Promotion cost model: deterministic virtual-time charges analogous to
+// the recovery constants — a promotion is a recovery plus a role
+// change.
+const (
+	promoteBaseMicros  = 800
+	promotePerOpMicros = 2
+)
+
+// Ship batching bounds: a catch-up after a partition moves the backlog
+// in chunks that fit comfortably in one wire frame.
+const (
+	maxShipRecords = 32
+	maxShipBytes   = 48 << 10
+)
+
+// replicaNet is the network model of the cluster's links: local
+// cross-address-space hops, like the single-server arrangement.
+var replicaNet = ipc.NetworkConfig{Name: "cluster-local", BandwidthMbps: 1e6, PerPacketLatencyMicros: 0}
+
+// ReplicaConfig parameterises a replica set. Like faultplane policies,
+// a config is programmer-supplied: Validate returns a descriptive
+// error and NewCluster panics on exactly that error.
+type ReplicaConfig struct {
+	// Backups is the number of backup replicas shipped to.
+	Backups int
+	// Failover enables promotion: with it off the cluster replicates
+	// for durability but never changes primaries.
+	Failover bool
+	// AckTimeoutMicros is the virtual-time deadline for one ship call;
+	// a backup that cannot ack within it leaves the op counted as
+	// lagging (shipped later by the catch-up cursor).
+	AckTimeoutMicros float64
+	// AckRetries bounds retransmissions per ship call.
+	AckRetries int
+}
+
+// DefaultReplicaConfig is the reference configuration: one backup,
+// failover on, a generous ack budget so chaos on the replication link
+// is ridden out rather than given up on.
+func DefaultReplicaConfig() ReplicaConfig {
+	return ReplicaConfig{Backups: 1, Failover: true, AckTimeoutMicros: 2e6, AckRetries: 64}
+}
+
+// Validate checks the configuration, returning a descriptive error
+// naming the offending field.
+func (c ReplicaConfig) Validate() error {
+	if c.Backups < 0 {
+		return fmt.Errorf("fsserver: Backups = %d negative", c.Backups)
+	}
+	if c.Failover && c.Backups == 0 {
+		return fmt.Errorf("fsserver: Failover enabled with zero backups — nothing to promote")
+	}
+	if math.IsNaN(c.AckTimeoutMicros) || c.AckTimeoutMicros <= 0 {
+		return fmt.Errorf("fsserver: AckTimeoutMicros = %g, want a positive duration", c.AckTimeoutMicros)
+	}
+	if c.AckRetries < 1 {
+		return fmt.Errorf("fsserver: AckRetries = %d, want >= 1", c.AckRetries)
+	}
+	return nil
+}
+
+// ReplStats counts the primary's shipping activity.
+type ReplStats struct {
+	ShipCalls    int // ship RPCs attempted
+	ShipFailures int // ship RPCs that exhausted their ack budget
+	ShipRecords  int // records acknowledged by backups
+	LagOps       int // ops acknowledged to the client while a backup lagged
+}
+
+// replicator is the primary-side shipping machinery: one wire client
+// per backup on a dedicated replication link, and the acked cursor per
+// backup. Methods are called with the owning Server's mu held, so the
+// cursor needs no lock of its own.
+type replicator struct {
+	clients []*wire.Client
+	peers   []*wire.Server
+	acked   []uint64
+	stats   ReplStats
+}
+
+// shipTo pushes records to backup i until its cursor reaches target or
+// the ack budget runs out, in bounded chunks.
+func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64) {
+	for rp.acked[i] < target {
+		batch := w.RecordsSince(rp.acked[i])
+		if len(batch) == 0 {
+			return
+		}
+		chunk := batch
+		if len(chunk) > maxShipRecords {
+			chunk = chunk[:maxShipRecords]
+		}
+		bytes := 0
+		for j, r := range chunk {
+			bytes += len(r.Data) + len(r.Path)
+			if bytes > maxShipBytes && j > 0 {
+				chunk = chunk[:j]
+				break
+			}
+		}
+		payload, err := fs.EncodeRecords(chunk)
+		if err != nil {
+			rp.stats.ShipFailures++
+			return
+		}
+		rp.stats.ShipCalls++
+		out, err := rp.clients[i].Call(rp.peers[i], ProcShip, epoch, payload)
+		if err != nil {
+			rp.stats.ShipFailures++
+			return
+		}
+		seq := out[0].(uint64)
+		if seq <= rp.acked[i] {
+			// The backup refused to advance (promoted, or a sequence
+			// check failed); retrying the same chunk would spin.
+			rp.stats.ShipFailures++
+			return
+		}
+		rp.stats.ShipRecords += int(seq - rp.acked[i])
+		rp.acked[i] = seq
+	}
+}
+
+// ship pushes every unacknowledged record to every backup and trims the
+// ship buffer through the slowest cursor. A backup that cannot be
+// reached within the ack budget leaves its cursor behind — the op is
+// still acknowledged to the client (semi-synchronous replication), the
+// lag is counted, and the next ship's catch-up closes it.
+func (rp *replicator) ship(w *fs.WAL, epoch uint32) {
+	target := w.LastSeq()
+	minAcked := target
+	lagged := false
+	for i := range rp.clients {
+		rp.shipTo(i, w, epoch, target)
+		if rp.acked[i] < target {
+			lagged = true
+		}
+		if rp.acked[i] < minAcked {
+			minAcked = rp.acked[i]
+		}
+	}
+	if lagged {
+		rp.stats.LagOps++
+	}
+	w.AckShipped(minAcked)
+}
+
+// resync re-learns every backup's applied position — the cursor a
+// primary restart lost — and ships whatever the crash interrupted.
+func (rp *replicator) resync(w *fs.WAL, epoch uint32) {
+	for i := range rp.clients {
+		out, err := rp.clients[i].Call(rp.peers[i], ProcReplSeq)
+		if err != nil {
+			rp.stats.ShipFailures++
+			continue
+		}
+		rp.acked[i] = out[0].(uint64)
+	}
+	rp.ship(w, epoch)
+}
+
+// lag returns how far the slowest backup's cursor trails the log.
+func (rp *replicator) lag(w *fs.WAL) uint64 {
+	var min uint64 = math.MaxUint64
+	for _, a := range rp.acked {
+		if a < min {
+			min = a
+		}
+	}
+	if len(rp.acked) == 0 || min > w.LastSeq() {
+		return 0
+	}
+	return w.LastSeq() - min
+}
+
+// Backup is one replica: it applies the primary's shipped WAL records
+// eagerly into its own WAL and file system, and can promote itself —
+// catch-up replay, epoch adoption, handler registration — when the
+// control plane declares the primary permanently dead. Its
+// client-facing wire server stays silent (no handlers) until
+// promotion.
+type Backup struct {
+	Repl *wire.Server // backup end of the replication link
+
+	mu           sync.Mutex
+	srv          *Server // client-facing server; registered at promotion
+	wal          *fs.WAL
+	appliedSeq   uint64
+	primaryEpoch uint32 // highest primary epoch witnessed in ship calls
+	promoted     bool
+
+	// Sequence audit: violations count gaps or checksum failures in the
+	// shipped stream (must be zero in a correct run); reships count
+	// records received twice and skipped (retransmitted ships — benign).
+	seqViolations int
+	reships       int
+}
+
+// newBackup builds an idle backup: genesis-snapshotted WAL mirroring
+// the primary's, replication handlers registered, client-facing server
+// silent.
+func newBackup(blocks int, clientLink, replLink *wire.Link) *Backup {
+	fsys := fs.New(blocks)
+	wal := fs.NewWAL(blocks)
+	if err := wal.Snapshot(fsys); err != nil {
+		panic(err)
+	}
+	b := &Backup{
+		Repl: wire.NewServer(replLink, wire.B),
+		wal:  wal,
+		srv: &Server{
+			FS:            fsys,
+			Wire:          wire.NewServer(clientLink, wire.B),
+			wal:           wal,
+			link:          clientLink,
+			SnapshotEvery: defaultSnapshotEvery,
+		},
+	}
+	b.registerRepl()
+	return b
+}
+
+// registerRepl binds the replication procedures on the backup's end of
+// the replication link.
+func (b *Backup) registerRepl() {
+	b.Repl.Register(ProcShip, func(a []interface{}) ([]interface{}, error) {
+		epoch := a[0].(uint32)
+		recs, err := fs.DecodeRecords(a[1].([]byte))
+		if err != nil {
+			return nil, err
+		}
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.promoted {
+			// A deposed primary limping back must not write into the
+			// new primary's log — the replication-plane face of epoch
+			// fencing.
+			return nil, fmt.Errorf("fsserver: backup promoted (epoch %d); ship rejected", b.srv.Wire.Epoch())
+		}
+		if epoch > b.primaryEpoch {
+			b.primaryEpoch = epoch
+		}
+		for _, r := range recs {
+			if r.Seq <= b.appliedSeq {
+				b.reships++ // retransmitted ship; already applied
+				continue
+			}
+			if r.Seq != b.appliedSeq+1 {
+				b.seqViolations++
+				return nil, fmt.Errorf("fsserver: ship gap: got seq %d, applied through %d", r.Seq, b.appliedSeq)
+			}
+			if err := b.wal.AppendShipped(r); err != nil {
+				b.seqViolations++
+				return nil, err
+			}
+			res, aerr := b.srv.FS.Apply(r)
+			sess := fs.SessionRecord{Client: r.Client, Call: r.Call, Op: r.Op, Result: res}
+			if aerr != nil {
+				// An op that failed on the primary fails identically
+				// here — the error is part of the replicated outcome,
+				// not a replication failure.
+				sess.Err = aerr.Error()
+			}
+			b.wal.Commit(sess)
+			b.appliedSeq = r.Seq
+		}
+		if b.srv.SnapshotEvery > 0 && b.wal.SinceSnapshot() >= b.srv.SnapshotEvery {
+			if err := b.wal.Snapshot(b.srv.FS); err != nil {
+				panic(err)
+			}
+		}
+		return []interface{}{b.appliedSeq}, nil
+	})
+	b.Repl.Register(ProcReplSeq, func(a []interface{}) ([]interface{}, error) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return []interface{}{b.appliedSeq}, nil
+	})
+}
+
+// AppliedSeq returns how far this backup has applied the shipped log.
+func (b *Backup) AppliedSeq() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.appliedSeq
+}
+
+// Promoted reports whether this backup has taken over as primary.
+func (b *Backup) Promoted() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.promoted
+}
+
+// promote turns the backup into the serving primary: recover from its
+// own WAL (catch-up replay; heals a torn tail exactly as a primary
+// restart would), adopt an epoch past every primary epoch it witnessed
+// so stale replies are fenced, install the dedup authority over the
+// shipped session table, and register the file service. Idempotent.
+func (b *Backup) promote() uint32 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.promoted {
+		return b.srv.Wire.Epoch()
+	}
+	fsys, _, replayed, err := fs.Recover(b.wal)
+	if err != nil {
+		panic(err) // shipped log failed integrity mid-stream: unrecoverable
+	}
+	s := b.srv
+	s.mu.Lock()
+	s.FS = fsys
+	s.mu.Unlock()
+	next := b.primaryEpoch
+	if e := s.Wire.Epoch(); e > next {
+		next = e
+	}
+	s.Wire.AdoptEpoch(next + 1)
+	s.Wire.OnRestart(s.recoverNow)
+	s.Wire.SetDedupAuthority(s.replayFor)
+	s.register()
+	b.promoted = true
+	micros := float64(promoteBaseMicros + promotePerOpMicros*replayed)
+	s.link.AdvanceClock(micros)
+	rec := s.link.Recorder()
+	rec.Event("server", "promote", 0, 0,
+		fmt.Sprintf("epoch=%d applied=%d replayed=%d micros=%g", s.Wire.Epoch(), b.appliedSeq, replayed, micros))
+	rec.Observe("server.promotion", micros)
+	return s.Wire.Epoch()
+}
+
+// ClusterStats is the replica set's counter surface.
+type ClusterStats struct {
+	Backups        int
+	Failovers      int
+	PromotedEpoch  uint32 // epoch of the promoted backup; 0 while the primary serves
+	ShipCalls      int
+	ShipFailures   int
+	ShipRecords    int
+	LagOps         int
+	Reships        int
+	SeqViolations  int
+	PrimarySeq     uint64 // records appended at the primary
+	BackupSeq      uint64 // highest applied sequence across backups
+	ReplicationLag uint64 // primary appends not yet applied by the slowest backup
+}
+
+// Cluster wires a primary and N backups into one replicated file
+// service: the primary ships its WAL on dedicated replication links;
+// clients reach every replica through per-replica links under one
+// FailoverClient. The Cluster is the control plane — in a distributed
+// system a lease or consensus service; here a deterministic in-process
+// stand-in — that decides when a backup may promote.
+type Cluster struct {
+	cfg ReplicaConfig
+	cm  *kernel.CostModel
+
+	clock       *wire.VClock
+	primary     *Server
+	primaryLink *wire.Link
+	backups     []*Backup
+	backupLinks []*wire.Link // client↔backup, one per backup
+	replLinks   []*wire.Link // primary↔backup, one per backup
+
+	mu        sync.Mutex
+	active    int // 0 = primary, i+1 = backups[i]
+	failovers int
+}
+
+// NewCluster builds a replica set over fresh links sharing one virtual
+// clock, with cfg.Backups idle backups receiving the primary's WAL. It
+// panics on an invalid configuration (Validate's error).
+func NewCluster(blocks int, cm *kernel.CostModel, cfg ReplicaConfig) *Cluster {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	clock := wire.NewVClock()
+	primaryLink := wire.NewLinkOnClock(replicaNet, clock)
+	c := &Cluster{
+		cfg:         cfg,
+		cm:          cm,
+		clock:       clock,
+		primary:     NewServer(fs.New(blocks), primaryLink, wire.B),
+		primaryLink: primaryLink,
+	}
+	c.primary.wal.EnableShipping()
+	rp := &replicator{acked: make([]uint64, cfg.Backups)}
+	for i := 0; i < cfg.Backups; i++ {
+		replLink := wire.NewLinkOnClock(replicaNet, clock)
+		backupLink := wire.NewLinkOnClock(replicaNet, clock)
+		b := newBackup(blocks, backupLink, replLink)
+		ship := wire.NewClient(replLink, wire.A)
+		ship.MaxRetries = cfg.AckRetries
+		ship.DeadlineMicros = cfg.AckTimeoutMicros
+		c.backups = append(c.backups, b)
+		c.backupLinks = append(c.backupLinks, backupLink)
+		c.replLinks = append(c.replLinks, replLink)
+		rp.clients = append(rp.clients, ship)
+		rp.peers = append(rp.peers, b.Repl)
+	}
+	c.primary.repl = rp
+	return c
+}
+
+// NewClient builds a Remote spanning the whole replica set: one wire
+// client per replica link sharing a single identity, call sequence, and
+// epoch fence, failing over to a promoted backup when the primary is
+// permanently gone. Each call to NewClient is an independent concurrent
+// caller (the replicated analogue of NewPeer).
+func (c *Cluster) NewClient() *Remote {
+	clients := []*wire.Client{wire.NewClient(c.primaryLink, wire.A)}
+	servers := []*wire.Server{c.primary.Wire}
+	for i, b := range c.backups {
+		clients = append(clients, wire.NewClient(c.backupLinks[i], wire.A))
+		servers = append(servers, b.srv.Wire)
+	}
+	for _, cl := range clients {
+		cl.MaxRetries = 32
+	}
+	fo := wire.NewFailoverClient(clients, servers)
+	fo.OnFailover(c.Failover)
+	return &Remote{
+		client:  clients[0],
+		server:  c.primary,
+		link:    c.primaryLink,
+		cm:      c.cm,
+		fo:      fo,
+		cluster: c,
+	}
+}
+
+// Failover is the promotion decision: if a failover has already
+// happened, route to the promoted backup; if the primary is permanently
+// down and failover is enabled, promote the most caught-up backup and
+// route there; otherwise -1 — the primary may yet recover, keep
+// retrying it. Installed as every FailoverClient's hook; idempotent and
+// safe for concurrent callers.
+func (c *Cluster) Failover() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.active != 0 {
+		return c.active
+	}
+	if !c.cfg.Failover {
+		return -1
+	}
+	if !c.primary.Wire.PermanentlyDown() {
+		return -1
+	}
+	pick := -1
+	var best uint64
+	for i, b := range c.backups {
+		if applied := b.AppliedSeq(); pick < 0 || applied > best {
+			pick, best = i, applied
+		}
+	}
+	if pick < 0 {
+		return -1
+	}
+	epoch := c.backups[pick].promote()
+	c.active = pick + 1
+	c.failovers++
+	c.primaryLink.Recorder().Event("cluster", "failover", 0, 0,
+		"to=backup"+strconv.Itoa(pick)+" epoch="+strconv.Itoa(int(epoch)))
+	return c.active
+}
+
+// Primary returns the original primary server.
+func (c *Cluster) Primary() *Server { return c.primary }
+
+// Backup returns the i-th backup.
+func (c *Cluster) Backup(i int) *Backup { return c.backups[i] }
+
+// PrimaryLink returns the client↔primary link (for fault planes).
+func (c *Cluster) PrimaryLink() *wire.Link { return c.primaryLink }
+
+// BackupLink returns the client↔backup link of backup i.
+func (c *Cluster) BackupLink(i int) *wire.Link { return c.backupLinks[i] }
+
+// ReplLink returns the primary↔backup replication link of backup i.
+func (c *Cluster) ReplLink(i int) *wire.Link { return c.replLinks[i] }
+
+// ActiveFS returns the file system of the replica currently serving:
+// the primary's, or the promoted backup's after a failover.
+func (c *Cluster) ActiveFS() *fs.FS {
+	c.mu.Lock()
+	active := c.active
+	c.mu.Unlock()
+	if active == 0 {
+		return c.primary.CurrentFS()
+	}
+	return c.backups[active-1].srv.CurrentFS()
+}
+
+// SetRecorder attaches one recorder to every link in the cluster; build
+// it on the cluster's clock (Clock) so all links trace one timeline.
+func (c *Cluster) SetRecorder(rec *obs.Recorder) {
+	c.primaryLink.SetRecorder(rec)
+	for i := range c.backups {
+		c.backupLinks[i].SetRecorder(rec)
+		c.replLinks[i].SetRecorder(rec)
+	}
+}
+
+// Clock returns the shared virtual clock of the cluster's links.
+func (c *Cluster) Clock() *wire.VClock { return c.clock }
+
+// SetCrashPlane arms the primary with a crash schedule. Schedules whose
+// Fatalist face reports a permanent crash are what make failover fire.
+func (c *Cluster) SetCrashPlane(cr faultplane.Crasher) { c.primary.SetCrasher(cr) }
+
+// permanentCrash is the crasher KillPrimaryForever installs: it never
+// fires on its own but declares any crash fatal.
+type permanentCrash struct{}
+
+func (permanentCrash) CrashNow(faultplane.CrashPoint) bool { return false }
+func (permanentCrash) Fatal() bool                         { return true }
+
+// KillPrimaryForever kills the primary deterministically and marks the
+// death permanent — the manual counterpart of a FatalFrom schedule.
+func (c *Cluster) KillPrimaryForever() {
+	c.primary.SetCrasher(permanentCrash{})
+	c.primary.Crash()
+}
+
+// Stats snapshots the replica set's counters.
+func (c *Cluster) Stats() ClusterStats {
+	c.mu.Lock()
+	active := c.active
+	failovers := c.failovers
+	c.mu.Unlock()
+	st := ClusterStats{
+		Backups:   len(c.backups),
+		Failovers: failovers,
+	}
+	if active > 0 {
+		st.PromotedEpoch = c.backups[active-1].srv.Wire.Epoch()
+	}
+	c.primary.mu.Lock()
+	rp := c.primary.repl
+	st.ShipCalls = rp.stats.ShipCalls
+	st.ShipFailures = rp.stats.ShipFailures
+	st.ShipRecords = rp.stats.ShipRecords
+	st.LagOps = rp.stats.LagOps
+	st.PrimarySeq = c.primary.wal.LastSeq()
+	st.ReplicationLag = rp.lag(c.primary.wal)
+	c.primary.mu.Unlock()
+	for _, b := range c.backups {
+		b.mu.Lock()
+		if b.appliedSeq > st.BackupSeq {
+			st.BackupSeq = b.appliedSeq
+		}
+		st.Reships += b.reships
+		st.SeqViolations += b.seqViolations
+		b.mu.Unlock()
+	}
+	return st
+}
+
+// ReplicationLag returns how many primary appends the slowest backup
+// has yet to apply — the gauge the metrics registry exposes.
+func (c *Cluster) ReplicationLag() float64 {
+	c.primary.mu.Lock()
+	defer c.primary.mu.Unlock()
+	return float64(c.primary.repl.lag(c.primary.wal))
+}
+
+// Audit checks the replicated log discipline after a run: the shipped
+// stream must have applied strictly in sequence on every backup (no
+// gaps, no checksum failures, no record applied twice — retransmitted
+// ships are skipped and counted, not re-applied).
+func (c *Cluster) Audit() error {
+	for i, b := range c.backups {
+		b.mu.Lock()
+		violations, applied := b.seqViolations, b.appliedSeq
+		b.mu.Unlock()
+		if violations > 0 {
+			return fmt.Errorf("fsserver: backup %d: %d sequence violations", i, violations)
+		}
+		if applied > c.primary.wal.LastSeq() && !b.Promoted() {
+			return fmt.Errorf("fsserver: backup %d applied %d past primary log %d", i, applied, c.primary.wal.LastSeq())
+		}
+	}
+	return nil
+}
+
+// serverWireStats merges the client-facing wire counters of every
+// replica — the server half of the replicated transport picture.
+func (c *Cluster) serverWireStats() wire.Stats {
+	st := c.primary.Wire.Stats()
+	for _, b := range c.backups {
+		st = st.Add(b.srv.Wire.Stats())
+	}
+	return st
+}

@@ -1,0 +1,361 @@
+package fsserver
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/faultplane"
+	"archos/internal/fs"
+	"archos/internal/ipc/wire"
+	"archos/internal/kernel"
+	"archos/internal/obs"
+)
+
+func TestReplicaConfigValidate(t *testing.T) {
+	if err := DefaultReplicaConfig().Validate(); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	nan := 0.0
+	nan /= nan
+	bad := []struct {
+		name string
+		cfg  ReplicaConfig
+		want string
+	}{
+		{"negative backups", ReplicaConfig{Backups: -1, AckTimeoutMicros: 1, AckRetries: 1}, "Backups"},
+		{"failover without backups", ReplicaConfig{Backups: 0, Failover: true, AckTimeoutMicros: 1, AckRetries: 1}, "zero backups"},
+		{"zero ack timeout", ReplicaConfig{Backups: 1, AckTimeoutMicros: 0, AckRetries: 1}, "AckTimeoutMicros"},
+		{"NaN ack timeout", ReplicaConfig{Backups: 1, AckTimeoutMicros: nan, AckRetries: 1}, "AckTimeoutMicros"},
+		{"zero ack retries", ReplicaConfig{Backups: 1, AckTimeoutMicros: 1, AckRetries: 0}, "AckRetries"},
+	}
+	for _, c := range bad {
+		err := c.cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", c.name, err, c.want)
+		}
+		// NewCluster panics on exactly the validation error.
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewCluster did not panic", c.name)
+				}
+			}()
+			NewCluster(64, kernel.NewCostModel(arch.R3000), c.cfg)
+		}()
+	}
+}
+
+func TestReplicationShipsEveryMutation(t *testing.T) {
+	// Fault-free baseline: every logged op reaches the backup before its
+	// reply reaches the client, so the backup's applied cursor tracks the
+	// primary's log exactly and the ship buffer drains to nothing.
+	cm := kernel.NewCostModel(arch.R3000)
+	cluster := NewCluster(256, cm, DefaultReplicaConfig())
+	remote := cluster.NewClient()
+	if _, err := DefaultAndrewMini().Run(remote); err != nil {
+		t.Fatal(err)
+	}
+	st := cluster.Stats()
+	if st.PrimarySeq == 0 || st.BackupSeq != st.PrimarySeq {
+		t.Errorf("backup applied %d of %d primary records", st.BackupSeq, st.PrimarySeq)
+	}
+	if st.ReplicationLag != 0 {
+		t.Errorf("ReplicationLag = %d after a quiescent run, want 0", st.ReplicationLag)
+	}
+	if st.ShipFailures != 0 || st.LagOps != 0 {
+		t.Errorf("fault-free run shipped with failures: %+v", st)
+	}
+	if st.SeqViolations != 0 || st.Reships != 0 {
+		t.Errorf("fault-free run had sequence anomalies: %+v", st)
+	}
+	if err := cluster.Audit(); err != nil {
+		t.Error(err)
+	}
+	// The backup's eagerly-applied state already equals the primary's.
+	if got, want := cluster.Backup(0).srv.CurrentFS().Fingerprint(), cluster.Primary().CurrentFS().Fingerprint(); got != want {
+		t.Error("backup state diverged from primary state in a fault-free run")
+	}
+}
+
+func TestKillPrimaryForeverFailsOver(t *testing.T) {
+	// The deterministic failover path: the primary dies permanently
+	// between ops, the next op fails over to the promoted backup, and
+	// the service keeps answering with no state lost.
+	cm := kernel.NewCostModel(arch.R3000)
+	cluster := NewCluster(64, cm, DefaultReplicaConfig())
+	remote := cluster.NewClient()
+
+	if err := remote.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := remote.Create("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("survives the primary's permanent death")
+	if _, err := remote.Write(fd, payload); err != nil {
+		t.Fatal(err)
+	}
+	cluster.KillPrimaryForever()
+	// Every op after the death is served by the promoted backup.
+	if err := remote.Close(fd); err != nil {
+		t.Fatalf("close across failover: %v", err)
+	}
+	st, err := remote.Stat("/d/f")
+	if err != nil || st.Size != len(payload) {
+		t.Fatalf("stat across failover: %+v, %v", st, err)
+	}
+	got, err := cluster.ActiveFS().ReadFile("/d/f")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("promoted state = %q (err %v), want the payload", got, err)
+	}
+	cst := cluster.Stats()
+	if cst.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", cst.Failovers)
+	}
+	if cst.PromotedEpoch < 2 {
+		t.Errorf("PromotedEpoch = %d, want >= 2 (fencing the dead primary's epoch 1)", cst.PromotedEpoch)
+	}
+	if !cluster.Backup(0).Promoted() {
+		t.Error("backup not marked promoted")
+	}
+	if err := cluster.Audit(); err != nil {
+		t.Error(err)
+	}
+	if ws := remote.Stats().Wire; ws.Failovers != 1 {
+		t.Errorf("client observed %d failovers, want 1", ws.Failovers)
+	}
+}
+
+// killAtPreReply fires permanently at the k-th pre-reply draw: the op is
+// logged, shipped, and applied — and the primary is dead before the
+// reply leaves, forever.
+type killAtPreReply struct {
+	k     int
+	n     int
+	fired bool
+}
+
+func (c *killAtPreReply) CrashNow(p faultplane.CrashPoint) bool {
+	if p != faultplane.CrashPreReply {
+		return false
+	}
+	c.n++
+	if c.n == c.k {
+		c.fired = true
+		return true
+	}
+	return false
+}
+
+func (c *killAtPreReply) Fatal() bool { return c.fired }
+
+func TestDedupHoldsAcrossPromotion(t *testing.T) {
+	// The at-most-once hazard, replicated edition: the primary executes
+	// a write, ships it, and dies permanently before replying. The
+	// client retransmits, gives up on the primary, and the same call ID
+	// lands on the promoted backup — which has never served this client,
+	// so its reply cache is as empty as any eviction could make it. The
+	// shipped WAL session table must answer the retransmission; the
+	// handler must not run again.
+	cm := kernel.NewCostModel(arch.R3000)
+	cluster := NewCluster(64, cm, DefaultReplicaConfig())
+	remote := cluster.NewClient()
+	// Pre-reply draws: one per executed call. create=1, write=2.
+	cluster.SetCrashPlane(&killAtPreReply{k: 2})
+
+	fd, err := remote.Create("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("acknowledged exactly once, by whichever replica answers")
+	n, err := remote.Write(fd, payload)
+	if err != nil || n != len(payload) {
+		t.Fatalf("write across failover: n=%d err=%v", n, err)
+	}
+	got, err := cluster.ActiveFS().ReadFile("/f")
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Errorf("file = %q (err %v), want the payload exactly once", got, err)
+	}
+	cst := cluster.Stats()
+	if cst.Failovers != 1 {
+		t.Errorf("Failovers = %d, want 1", cst.Failovers)
+	}
+	bst := cluster.Backup(0).srv.Wire.Stats()
+	if bst.LogDuplicates != 1 {
+		t.Errorf("backup LogDuplicates = %d, want 1 (retransmit answered from the shipped WAL)", bst.LogDuplicates)
+	}
+	if bst.Served != 0 {
+		t.Errorf("backup executed %d fresh calls for the retransmission, want 0", bst.Served)
+	}
+	if err := cluster.Audit(); err != nil {
+		t.Error(err)
+	}
+	// The regenerated reply carries the promoted epoch; the client's
+	// fence has adopted it.
+	if fence := remote.fo.Fence().Max(); fence < 2 {
+		t.Errorf("client fence = %d, want the promoted epoch (>= 2)", fence)
+	}
+}
+
+func TestReplicationPartitionCatchUp(t *testing.T) {
+	// A seeded partition plane on the replication link swallows ship
+	// frames; the ack budget rides most partitions out, and the shipping
+	// cursor re-ships whatever a blown budget left behind — by the end of
+	// the run the backup has applied everything, exactly once.
+	cm := kernel.NewCostModel(arch.R3000)
+	cluster := NewCluster(256, cm, DefaultReplicaConfig())
+	part := faultplane.NewPartition(faultplane.ReplPartition(1991))
+	cluster.ReplLink(0).SetFaultPlane(part)
+	remote := cluster.NewClient()
+	if _, err := DefaultAndrewMini().Run(remote); err != nil {
+		t.Fatal(err)
+	}
+	pc := part.Counts()
+	if pc.Partitions == 0 {
+		t.Fatalf("partition schedule never fired: %+v", pc)
+	}
+	st := cluster.Stats()
+	if st.BackupSeq != st.PrimarySeq || st.ReplicationLag != 0 {
+		t.Errorf("backup applied %d of %d (lag %d) after partitions healed",
+			st.BackupSeq, st.PrimarySeq, st.ReplicationLag)
+	}
+	if st.SeqViolations != 0 {
+		t.Errorf("SeqViolations = %d, want 0", st.SeqViolations)
+	}
+	if err := cluster.Audit(); err != nil {
+		t.Error(err)
+	}
+	t.Logf("partitions=%d dropped=%d shipCalls=%d shipFailures=%d reships=%d lagOps=%d",
+		pc.Partitions, pc.Dropped, st.ShipCalls, st.ShipFailures, st.Reships, st.LagOps)
+}
+
+// failoverRun replays the script against a replica set under chaos on
+// the client–primary link plus a kill-forever crash schedule on the
+// primary, returning everything needed to assert convergence and
+// byte-reproducibility.
+func failoverRun(t *testing.T, cm *kernel.CostModel, seed int64, record bool) (string, Stats, ClusterStats, faultplane.CrashCounts, float64, []obs.Event) {
+	t.Helper()
+	cluster := NewCluster(256, cm, DefaultReplicaConfig())
+	cluster.PrimaryLink().SetFaultPlane(faultplane.New(faultplane.Chaos(seed)))
+	crash := faultplane.NewCrash(faultplane.ChaosKill(seed))
+	cluster.SetCrashPlane(crash)
+	remote := cluster.NewClient()
+	var rec *obs.Recorder
+	if record {
+		rec = obs.NewRecorder(cluster.Clock())
+		remote.SetRecorder(rec)
+	}
+	if _, err := DefaultAndrewMini().Run(remote); err != nil {
+		t.Fatalf("failover soak (seed %d) failed: %v", seed, err)
+	}
+	if err := cluster.Audit(); err != nil {
+		t.Errorf("seed %d: %v", seed, err)
+	}
+	final := remote.ServerFS()
+	if final.OpenFDs() != 0 {
+		t.Errorf("failover soak (seed %d) leaked %d descriptors", seed, final.OpenFDs())
+	}
+	var events []obs.Event
+	if rec != nil {
+		events = rec.Events()
+	}
+	return final.Fingerprint(), remote.Stats(), cluster.Stats(), crash.Counts(), cluster.Clock().Clock(), events
+}
+
+func TestFailoverSoakConvergesToMonolithic(t *testing.T) {
+	// The acceptance soak: chaos faults on the client–primary link, the
+	// primary crashing on a kill-forever schedule (two recoveries, then
+	// permanent death mid-run), a backup promoting itself — and the
+	// replicated service's final state must still be byte-identical to
+	// the fault-free monolithic run, with zero duplicate executions.
+	cm := kernel.NewCostModel(arch.R3000)
+	want := cleanMonolithicFingerprint(t, cm)
+	for _, seed := range []int64{1991, 42, 7} {
+		got, st, cst, cc, _, _ := failoverRun(t, cm, seed, false)
+		if got != want {
+			t.Errorf("seed %d: replicated state diverged from fault-free monolithic state", seed)
+		}
+		if cc.Crashes != 3 {
+			t.Errorf("seed %d: kill schedule fired %d crashes, want 3 (the third permanent)", seed, cc.Crashes)
+		}
+		if cst.Failovers != 1 {
+			t.Errorf("seed %d: Failovers = %d, want exactly 1", seed, cst.Failovers)
+		}
+		if cst.PromotedEpoch < 2 {
+			t.Errorf("seed %d: PromotedEpoch = %d, want >= 2", seed, cst.PromotedEpoch)
+		}
+		if cst.SeqViolations != 0 {
+			t.Errorf("seed %d: %d sequence violations in the shipped stream", seed, cst.SeqViolations)
+		}
+		if st.DegradedOps != 0 {
+			t.Errorf("seed %d: %d ops degraded despite failover", seed, st.DegradedOps)
+		}
+		if st.Wire.Failovers != 1 {
+			t.Errorf("seed %d: client counted %d failovers, want 1", seed, st.Wire.Failovers)
+		}
+		t.Logf("seed %d: crashes=%d failover@epoch=%d shipCalls=%d shipFailures=%d reships=%d logDups=%d",
+			seed, cc.Crashes, cst.PromotedEpoch, cst.ShipCalls, cst.ShipFailures, cst.Reships, st.Wire.LogDuplicates)
+	}
+}
+
+func TestFailoverSoakIsBitReproducible(t *testing.T) {
+	// Same seed, same crashes, same promotion, same bytes: fingerprint,
+	// stats, cluster counters, crash counts, the shared virtual clock,
+	// and the full event stream must match between two runs.
+	cm := kernel.NewCostModel(arch.R3000)
+	fp1, st1, cst1, cc1, clock1, ev1 := failoverRun(t, cm, 1991, true)
+	fp2, st2, cst2, cc2, clock2, ev2 := failoverRun(t, cm, 1991, true)
+	if fp1 != fp2 {
+		t.Error("same seed produced different file-system states")
+	}
+	if st1 != st2 {
+		t.Errorf("same seed produced different stats:\n%+v\n%+v", st1, st2)
+	}
+	if cst1 != cst2 {
+		t.Errorf("same seed produced different cluster stats:\n%+v\n%+v", cst1, cst2)
+	}
+	if cc1 != cc2 {
+		t.Errorf("same seed produced different crash counts:\n%+v\n%+v", cc1, cc2)
+	}
+	if clock1 != clock2 {
+		t.Errorf("same seed produced different virtual clocks: %v vs %v", clock1, clock2)
+	}
+	if len(ev1) == 0 || !reflect.DeepEqual(ev1, ev2) {
+		t.Errorf("same seed produced different event streams (%d vs %d events)", len(ev1), len(ev2))
+	}
+}
+
+func TestDeposedPrimaryShipIsRejected(t *testing.T) {
+	// Replication-plane fencing: once a backup has promoted itself, a
+	// ship call from a deposed primary must be refused, not applied.
+	cm := kernel.NewCostModel(arch.R3000)
+	cluster := NewCluster(64, cm, DefaultReplicaConfig())
+	remote := cluster.NewClient()
+	if err := remote.Mkdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	cluster.KillPrimaryForever()
+	if err := remote.Mkdir("/d2"); err != nil { // promotes the backup
+		t.Fatal(err)
+	}
+	// A zombie primary trying to ship now must get an error back; the
+	// cursor query stays answerable (it is read-only).
+	ship := wire.NewClient(cluster.ReplLink(0), wire.A)
+	if _, err := ship.Call(cluster.Backup(0).Repl, ProcReplSeq); err != nil {
+		t.Fatalf("seq query should still answer: %v", err)
+	}
+	payload, err := fs.EncodeRecords([]fs.Record{{Seq: 99, Op: fs.OpMkdir, Path: "/zombie"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ship.Call(cluster.Backup(0).Repl, ProcShip, uint32(1), payload); err == nil {
+		t.Fatal("promoted backup accepted a ship from a deposed primary")
+	}
+	if _, err := cluster.ActiveFS().Stat("/zombie"); err == nil {
+		t.Error("zombie ship mutated the promoted state")
+	}
+}

@@ -33,7 +33,7 @@ type Link struct {
 	mu    sync.Mutex
 	aToB  [][]byte
 	bToA  [][]byte
-	clock float64 // µs of accumulated wire time
+	clock *VClock // virtual wire time; may be shared by several links
 
 	// per-client reply queues, indexed by receiving endpoint then by
 	// the client ID parsed (best-effort, pre-checksum) from the frame.
@@ -60,9 +60,47 @@ type Link struct {
 	nextClient uint32
 }
 
-// NewLink builds a link with the given network characteristics.
+// NewLink builds a link with the given network characteristics and its
+// own private virtual clock.
 func NewLink(net ipc.NetworkConfig) *Link {
-	return &Link{Net: net, corrupt: map[int]bool{}, drop: map[int]bool{}}
+	return NewLinkOnClock(net, NewVClock())
+}
+
+// NewLinkOnClock builds a link that charges its wire time to the given
+// shared clock. A replicated service's links — client↔primary,
+// client↔backup, primary↔backup — all tick one timeline, so an event on
+// any link is ordered against events on every other.
+func NewLinkOnClock(net ipc.NetworkConfig, clock *VClock) *Link {
+	if clock == nil {
+		clock = NewVClock()
+	}
+	return &Link{Net: net, clock: clock, corrupt: map[int]bool{}, drop: map[int]bool{}}
+}
+
+// VClock is a shared virtual-time source in microseconds. Every link
+// created on the same VClock advances and reads the same timeline; the
+// lock order is always link → clock, never the reverse.
+type VClock struct {
+	mu     sync.Mutex
+	micros float64
+}
+
+// NewVClock builds a clock at time zero.
+func NewVClock() *VClock { return &VClock{} }
+
+// Clock returns the current virtual time; VClock satisfies obs.Clock.
+func (v *VClock) Clock() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.micros
+}
+
+// add advances the clock by d and returns the new reading.
+func (v *VClock) add(d float64) float64 {
+	v.mu.Lock()
+	v.micros += d
+	defer v.mu.Unlock()
+	return v.micros
 }
 
 // CorruptFrame arranges for the n-th transmitted frame (1-based) to
@@ -111,17 +149,17 @@ func (l *Link) Recorder() *obs.Recorder {
 
 // Clock returns accumulated wire time in microseconds.
 func (l *Link) Clock() float64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.clock
+	return l.clock.Clock()
 }
+
+// VClock returns the link's virtual clock, for sharing with further
+// links (NewLinkOnClock) or recorders.
+func (l *Link) VClock() *VClock { return l.clock }
 
 // AdvanceClock charges extra virtual time to the link — the client's
 // retransmission backoff lives on the same clock as the wire itself.
 func (l *Link) AdvanceClock(micros float64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.clock += micros
+	l.clock.add(micros)
 }
 
 // allocClientID hands out distinct caller identities on this link.
@@ -130,6 +168,18 @@ func (l *Link) allocClientID() uint32 {
 	defer l.mu.Unlock()
 	l.nextClient++
 	return l.nextClient
+}
+
+// adoptClientID teaches the link about a caller identity allocated on
+// another link, so reply routing (which validates IDs against the
+// allocation high-water mark) accepts it here — the multi-endpoint
+// client keeps one identity across every link it spans.
+func (l *Link) adoptClientID(id uint32) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id > l.nextClient {
+		l.nextClient = id
+	}
 }
 
 // Endpoint names a side of the link.
@@ -240,7 +290,7 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.seq++
-	l.clock += l.Net.PacketMicros(len(frame))
+	now := l.clock.add(l.Net.PacketMicros(len(frame)))
 	// Tracing happens inside the link lock with the clock in hand
 	// (EventAt), so the event's timestamp and the frame's position in
 	// the decision stream can never disagree. All of it is skipped when
@@ -249,21 +299,23 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	if l.obs != nil {
 		var kind MsgKind
 		kind, callID, clientID = headerFields(frame)
-		l.obs.EventAt(l.clock, "link", "send", clientID, callID,
+		l.obs.EventAt(now, "link", "send", clientID, callID,
 			"kind="+kind.String()+" bytes="+strconv.Itoa(len(frame)))
 	}
 	var d faultplane.Decision
 	if l.plane != nil {
 		d = l.plane.Decide(l.seq, len(frame))
 	}
-	l.clock += d.DelayMicros
-	if l.obs != nil && d.DelayMicros > 0 {
-		l.obs.EventAt(l.clock, "fault", "delay", clientID, callID,
-			"micros="+strconv.FormatFloat(d.DelayMicros, 'g', -1, 64))
+	if d.DelayMicros > 0 {
+		now = l.clock.add(d.DelayMicros)
+		if l.obs != nil {
+			l.obs.EventAt(now, "fault", "delay", clientID, callID,
+				"micros="+strconv.FormatFloat(d.DelayMicros, 'g', -1, 64))
+		}
 	}
 	if l.drop[l.seq] || d.Drop {
 		if l.obs != nil {
-			l.obs.EventAt(l.clock, "fault", "drop", clientID, callID, "")
+			l.obs.EventAt(now, "fault", "drop", clientID, callID, "")
 		}
 		return
 	}
@@ -277,14 +329,14 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 			flipBit(out, d.CorruptOffset)
 		}
 		if l.obs != nil {
-			l.obs.EventAt(l.clock, "fault", "corrupt", clientID, callID, "")
+			l.obs.EventAt(now, "fault", "corrupt", clientID, callID, "")
 		}
 	}
 	_, held := l.queues(from)
 	delivered := 0
 	if d.Reorder {
 		if l.obs != nil {
-			l.obs.EventAt(l.clock, "fault", "reorder", clientID, callID, "")
+			l.obs.EventAt(now, "fault", "reorder", clientID, callID, "")
 		}
 		*held = append(*held, out)
 	} else {
@@ -294,9 +346,9 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	if d.Duplicate {
 		dup := make([]byte, len(out))
 		copy(dup, out)
-		l.clock += l.Net.PacketMicros(len(out)) // the copy occupies the wire too
+		now = l.clock.add(l.Net.PacketMicros(len(out))) // the copy occupies the wire too
 		if l.obs != nil {
-			l.obs.EventAt(l.clock, "fault", "duplicate", clientID, callID, "")
+			l.obs.EventAt(now, "fault", "duplicate", clientID, callID, "")
 		}
 		l.deliver(from, dup)
 		delivered++

@@ -48,6 +48,8 @@ type Stats struct {
 	BackoffMicros         float64 // virtual time spent backing off between retries
 	DeadlineExceeded      int     // calls abandoned when the deadline budget ran out
 	SessionsReestablished int     // epoch bumps observed: sessions re-established with a restarted server
+	FencedReplies         int     // replies discarded because their epoch predates the fence
+	Failovers             int     // endpoint switches performed by a FailoverClient
 }
 
 // Add returns the field-wise sum of two stat sets.
@@ -65,6 +67,8 @@ func (s Stats) Add(o Stats) Stats {
 	s.BackoffMicros += o.BackoffMicros
 	s.DeadlineExceeded += o.DeadlineExceeded
 	s.SessionsReestablished += o.SessionsReestablished
+	s.FencedReplies += o.FencedReplies
+	s.Failovers += o.Failovers
 	return s
 }
 
@@ -185,11 +189,43 @@ func (s *Server) Epoch() uint32 {
 	return s.epoch
 }
 
+// AdoptEpoch raises the server's epoch to at least e. A backup
+// promoting itself adopts one past the highest primary epoch it
+// witnessed, so its replies dominate every stale reply the dead
+// primary could have left in flight (the v3 header's fencing token).
+// A lower e is ignored — epochs only move forward.
+func (s *Server) AdoptEpoch(e uint32) {
+	s.mu.Lock()
+	if e > s.epoch {
+		s.epoch = e
+	}
+	s.mu.Unlock()
+}
+
 // Crashed reports whether the server is currently dead.
 func (s *Server) Crashed() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.crashed
+}
+
+// PermanentlyDown reports whether the server is dead and will never
+// serve again: crashed with no restart hook, or crashed under a
+// schedule that declared the crash fatal (faultplane.Fatalist). This is
+// the failure-detector predicate a backup consults before promoting —
+// in this in-process model it stands in for the lease or quorum a
+// distributed system would use.
+func (s *Server) PermanentlyDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.crashed {
+		return false
+	}
+	if s.restart == nil {
+		return true
+	}
+	f, ok := s.crasher.(faultplane.Fatalist)
+	return ok && f.Fatal()
 }
 
 // ForceCrash kills the server immediately — the deterministic test and
@@ -246,6 +282,12 @@ func (s *Server) ensureAlive() bool {
 		return true
 	}
 	if s.restarting || s.restart == nil {
+		s.mu.Unlock()
+		return false
+	}
+	if f, ok := s.crasher.(faultplane.Fatalist); ok && f.Fatal() {
+		// The schedule declared this crash fatal: the process never
+		// comes back, no matter how many pumps arrive.
 		s.mu.Unlock()
 		return false
 	}
@@ -472,6 +514,12 @@ type Client struct {
 	// rode the durable log across the gap.
 	epoch uint32
 
+	// Fence, when set, is the cross-server epoch fence shared by the
+	// clients of one multi-endpoint caller: replies whose epoch predates
+	// the highest epoch the caller has seen anywhere are discarded — a
+	// deposed primary cannot answer a call the promoted backup owns.
+	Fence *EpochFence
+
 	// MaxRetries bounds retransmissions per call.
 	MaxRetries int
 	// InitialBackoffMicros and MaxBackoffMicros shape the capped
@@ -553,12 +601,19 @@ func (c *Client) overDeadline(start float64) bool {
 // attempt, including the first, and again before a success is returned,
 // so injected delay on attempt zero cannot blow the budget undetected.
 func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]interface{}, error) {
+	c.nextID++
+	return c.call(server, c.nextID, proc, args...)
+}
+
+// call is Call with the call ID chosen by the caller — the form the
+// failover client uses to retransmit one logical call, same ID, against
+// a different endpoint, so the new primary's dedup machinery recognises
+// it as the same operation.
+func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{}) ([]interface{}, error) {
 	payload, err := Marshal(args...)
 	if err != nil {
 		return nil, err
 	}
-	c.nextID++
-	id := c.nextID
 	frame, err := Encode(Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID}, payload)
 	if err != nil {
 		return nil, err
@@ -633,6 +688,15 @@ func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error)
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
 			c.count(func(st *Stats) { st.StaleFrames++ })
 			continue // duplicate or stale frame from an earlier retry
+		}
+		if h.Epoch != 0 && c.Fence != nil && !c.Fence.Admit(h.Epoch) {
+			// A reply from a server incarnation older than one this
+			// caller has already heard from — a deposed primary's stale
+			// answer. Fenced off, never surfaced.
+			c.count(func(st *Stats) { st.FencedReplies++ })
+			rec.Event("client", "fenced", c.ClientID, id,
+				"epoch="+strconv.Itoa(int(h.Epoch)))
+			continue
 		}
 		if h.Epoch != 0 {
 			if c.epoch != 0 && h.Epoch != c.epoch {

@@ -150,6 +150,15 @@ func flattenStruct(prefix string, v reflect.Value, out map[string]float64) {
 	}
 }
 
+// GaugeSource adapts a single instantaneous reading — a replication
+// lag, a queue depth, a backlog — to a Source exposing it under name.
+// Unlike the counter adapters, the value may go down as well as up.
+func GaugeSource(name string, read func() float64) Source {
+	return func() map[string]float64 {
+		return map[string]float64{name: read()}
+	}
+}
+
 // CounterSetSource adapts a trace.CounterSet to a Source.
 func CounterSetSource(cs *trace.CounterSet) Source {
 	return func() map[string]float64 {
