@@ -20,18 +20,21 @@ type MsgKind uint8
 
 const (
 	// KindCall carries a request; KindReply a response; KindAck a bare
-	// acknowledgement.
+	// acknowledgement; KindBatch a container of coalesced frames (the
+	// link's batching seam — never seen by clients or servers, the link
+	// splits it back into its sub-frames on delivery).
 	KindCall MsgKind = iota + 1
 	KindReply
 	KindAck
+	KindBatch
 )
 
 const (
 	magic         = 0x5250 // "RP"
 	version       = 3      // v2 added ClientID (at-most-once); v3 added Epoch (crash–recovery)
 	headerBytes   = 24
-	maxPayload    = 64 << 10
-	checksumStart = 20 // offset of the checksum field within the header
+	maxPayload    = 1<<16 - 1 // the header's length field is 16 bits; a payload must fit it exactly
+	checksumStart = 20        // offset of the checksum field within the header
 )
 
 // Header describes a frame.
@@ -58,7 +61,14 @@ var (
 // intensive and not compute intensive; each checksum addition is paired
 // with a load."
 func Checksum(data []byte) uint16 {
-	var sum uint32
+	return fold(addWords(0, data))
+}
+
+// addWords accumulates data into a running ones-complement sum as
+// big-endian 16-bit words, padding a trailing odd byte high. Callers
+// splitting a buffer must split at even offsets to preserve word
+// alignment.
+func addWords(sum uint32, data []byte) uint32 {
 	n := len(data)
 	for i := 0; i+1 < n; i += 2 {
 		sum += uint32(data[i])<<8 | uint32(data[i+1])
@@ -66,10 +76,25 @@ func Checksum(data []byte) uint16 {
 	if n%2 == 1 {
 		sum += uint32(data[n-1]) << 8
 	}
+	return sum
+}
+
+// fold reduces the running sum to ones-complement 16 bits.
+func fold(sum uint32) uint16 {
 	for sum>>16 != 0 {
 		sum = (sum & 0xFFFF) + sum>>16
 	}
 	return ^uint16(sum)
+}
+
+// frameChecksum computes the frame's checksum with the checksum field
+// treated as zero — what Encode stores and Decode verifies — without
+// copying the frame. The field sits at an even offset wholly inside
+// the header, so skipping its word keeps the rest aligned.
+func frameChecksum(frame []byte) uint16 {
+	sum := addWords(0, frame[:checksumStart])
+	sum = addWords(sum, frame[checksumStart+2:])
+	return fold(sum)
 }
 
 // Encode builds a frame: 24-byte header followed by the payload. The
@@ -79,7 +104,39 @@ func Encode(h Header, payload []byte) ([]byte, error) {
 	if len(payload) > maxPayload {
 		return nil, ErrTooLarge
 	}
-	frame := make([]byte, headerBytes+len(payload))
+	return AppendEncode(make([]byte, 0, headerBytes+len(payload)), h, payload)
+}
+
+// AppendEncode appends a complete frame for h and payload to dst and
+// returns the extended slice — the pooled-buffer variant of Encode.
+// The frame must start at dst's beginning: pass a zero-length slice
+// (dst[:0] of a recycled buffer) or nil.
+func AppendEncode(dst []byte, h Header, payload []byte) ([]byte, error) {
+	frame := BeginFrame(dst)
+	frame = append(frame, payload...)
+	return FinishFrame(frame, h)
+}
+
+// BeginFrame appends a zeroed frame header to dst, to be followed by
+// payload bytes appended by the caller and sealed by FinishFrame. The
+// header must land at offset 0: dst is nil or a zero-length slice.
+func BeginFrame(dst []byte) []byte {
+	var zero [headerBytes]byte
+	return append(dst, zero[:]...)
+}
+
+// FinishFrame seals a frame begun with BeginFrame: the header fields
+// and checksum are written in place, the payload being whatever the
+// caller appended between the two calls. h.Payload is ignored; the
+// actual appended length is used.
+func FinishFrame(frame []byte, h Header) ([]byte, error) {
+	if len(frame) < headerBytes {
+		return nil, ErrTruncated
+	}
+	payload := len(frame) - headerBytes
+	if payload > maxPayload {
+		return nil, ErrTooLarge
+	}
 	binary.BigEndian.PutUint16(frame[0:2], magic)
 	frame[2] = version
 	frame[3] = byte(h.Kind)
@@ -87,15 +144,15 @@ func Encode(h Header, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(frame[8:12], h.ProcID)
 	binary.BigEndian.PutUint32(frame[12:16], h.ClientID)
 	binary.BigEndian.PutUint32(frame[16:20], h.Epoch)
-	// frame[20:22] checksum, zero for now
-	binary.BigEndian.PutUint16(frame[22:24], uint16(len(payload)))
-	copy(frame[headerBytes:], payload)
-	binary.BigEndian.PutUint16(frame[checksumStart:checksumStart+2], Checksum(frame))
+	frame[checksumStart], frame[checksumStart+1] = 0, 0
+	binary.BigEndian.PutUint16(frame[22:24], uint16(payload))
+	binary.BigEndian.PutUint16(frame[checksumStart:checksumStart+2], frameChecksum(frame))
 	return frame, nil
 }
 
 // Decode parses and verifies a frame, returning the header and a view
-// of the payload.
+// of the payload. Verification recomputes the checksum in place (the
+// stored field is skipped, not zeroed), so decoding allocates nothing.
 func Decode(frame []byte) (Header, []byte, error) {
 	if len(frame) < headerBytes {
 		return Header{}, nil, ErrTruncated
@@ -117,12 +174,8 @@ func Decode(frame []byte) (Header, []byte, error) {
 	if len(frame) != headerBytes+h.Payload {
 		return Header{}, nil, ErrTruncated
 	}
-	// Verify: recompute with the checksum field zeroed.
 	got := binary.BigEndian.Uint16(frame[checksumStart : checksumStart+2])
-	scratch := make([]byte, len(frame))
-	copy(scratch, frame)
-	scratch[checksumStart], scratch[checksumStart+1] = 0, 0
-	if Checksum(scratch) != got {
+	if frameChecksum(frame) != got {
 		return Header{}, nil, ErrBadChecksum
 	}
 	return h, frame[headerBytes:], nil
@@ -136,6 +189,8 @@ func (k MsgKind) String() string {
 		return "reply"
 	case KindAck:
 		return "ack"
+	case KindBatch:
+		return "batch"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
