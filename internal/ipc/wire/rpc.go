@@ -438,16 +438,19 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, pr
 	if !procOK {
 		results = []interface{}{false, ErrNoProc.Error()}
 	} else {
-		s.execMu.Lock()
+		// Decode outside the execution lock: Unmarshal only reads the
+		// payload, so serialising it with other handlers just stretches
+		// the critical section by the decode's allocation work.
 		args, err := Unmarshal(payload)
 		if err == nil {
 			var out []interface{}
+			s.execMu.Lock()
 			out, err = proc(h, args)
+			s.execMu.Unlock()
 			if err == nil {
 				results = append([]interface{}{true}, out...)
 			}
 		}
-		s.execMu.Unlock()
 		if errors.Is(err, ErrServerCrashed) {
 			// The crash schedule fired inside the handler — between the
 			// service's log append and its apply. The op is durable in
