@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"archos/internal/faultplane"
@@ -151,12 +152,16 @@ func TestRecvClientKeepsOtherClientsReplies(t *testing.T) {
 
 	// c2 collects first; c1's reply must survive it.
 	for _, c := range []*Client{c2, c1} {
-		out, err := c.awaitReply(nil, 1)
+		payload, err := c.awaitReplyFrame(nil, 1)
 		if err != nil {
 			t.Fatalf("client %d: %v", c.ClientID, err)
 		}
-		if want := fmt.Sprintf("for-%d", c.ClientID); out[0].(string) != want {
-			t.Errorf("client %d received %q, want %q", c.ClientID, out[0], want)
+		a := NewArgs(payload)
+		if !a.Bool() {
+			t.Fatalf("client %d: reply not ok", c.ClientID)
+		}
+		if want := fmt.Sprintf("for-%d", c.ClientID); a.String() != want || a.Err() != nil {
+			t.Errorf("client %d received the wrong reply (want %q, err %v)", c.ClientID, want, a.Err())
 		}
 		if st := c.Stats(); st.StaleFrames != 0 {
 			t.Errorf("client %d discarded %d frames as stale", c.ClientID, st.StaleFrames)
@@ -340,9 +345,9 @@ func TestManyClientsConcurrentChaosEcho(t *testing.T) {
 	plane := faultplane.New(faultplane.Chaos(1991))
 	link.SetFaultPlane(plane)
 	server := NewServer(link, B)
-	executions := 0 // guarded by the server's execution lock
+	var executions atomic.Int64 // handlers for distinct clients run concurrently
 	server.Register(1, func(args []interface{}) ([]interface{}, error) {
-		executions++
+		executions.Add(1)
 		return args, nil
 	})
 
@@ -379,8 +384,8 @@ func TestManyClientsConcurrentChaosEcho(t *testing.T) {
 	if t.Failed() {
 		return
 	}
-	if executions != nClients*calls {
-		t.Errorf("handler executed %d times for %d calls — at-most-once violated", executions, nClients*calls)
+	if executions.Load() != nClients*calls {
+		t.Errorf("handler executed %d times for %d calls — at-most-once violated", executions.Load(), nClients*calls)
 	}
 	c := plane.Counts()
 	if c.Dropped == 0 || c.Duplicated == 0 || c.Reordered == 0 || c.Corrupted == 0 {

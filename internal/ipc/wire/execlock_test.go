@@ -8,11 +8,14 @@ import (
 
 // TestBoxedCallAllocsSteady pins the end-to-end allocation count of a
 // small boxed call. Measured at 17 allocs/op with Unmarshal inside the
-// execution critical section; hoisting the decode out of the lock must
-// not add any (it moves work, it does not create it), and this bound
-// keeps the boxed path from quietly regressing while the raw path takes
-// over the hot traffic.
+// execution critical section; after the hoist and the pooled-frame work
+// it measures 7 (the boxing itself — []interface{} on both sides —
+// plus the delivered reply frame). The bound holds the boxed path at
+// that level while the raw path takes over the hot traffic.
 func TestBoxedCallAllocsSteady(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
 	link := NewLink(ipc.Ethernet10)
 	client := NewClient(link, A)
 	server := NewServer(link, B)
@@ -25,7 +28,7 @@ func TestBoxedCallAllocsSteady(t *testing.T) {
 		}
 	})
 	t.Logf("allocs/op for small boxed call: %.1f", allocs)
-	if allocs > 17 {
-		t.Errorf("small boxed call allocates %.1f times per op, want <= 17 (the pre-hoist measurement)", allocs)
+	if allocs > 9 {
+		t.Errorf("small boxed call allocates %.1f times per op, want <= 9 (measured 7; pre-hoist reflective path was 17)", allocs)
 	}
 }

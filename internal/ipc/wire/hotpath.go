@@ -21,21 +21,33 @@ var bufPool = sync.Pool{
 	},
 }
 
+// hdrPool recycles the *[]byte boxes the buffer pool traffics in:
+// without it every putBuf would heap-allocate a fresh slice header to
+// hand to sync.Pool, costing an allocation to save one. Headers cycle
+// between the two pools — getBuf frees a header that the next putBuf
+// reuses — so the steady state allocates neither buffers nor boxes.
+var hdrPool = sync.Pool{New: func() interface{} { return new([]byte) }}
+
 // maxPooledBuf bounds what returns to the pool: a frame is at most
 // header + maxPayload, anything bigger is a batching container that
 // grew unusually — let the GC have it.
 const maxPooledBuf = headerBytes + maxPayload
 
 func getBuf() []byte {
-	return (*bufPool.Get().(*[]byte))[:0]
+	p := bufPool.Get().(*[]byte)
+	b := *p
+	*p = nil
+	hdrPool.Put(p)
+	return b[:0]
 }
 
 func putBuf(b []byte) {
 	if cap(b) == 0 || cap(b) > maxPooledBuf {
 		return
 	}
-	b = b[:0]
-	bufPool.Put(&b)
+	p := hdrPool.Get().(*[]byte)
+	*p = b[:0]
+	bufPool.Put(p)
 }
 
 // CallArgs builds one call's argument payload directly into a pooled
@@ -90,6 +102,16 @@ func (w *CallArgs) release() {
 	}
 	callArgsPool.Put(w)
 }
+
+// rawCall carries the cursor and builder handed to a raw handler. The
+// pair is pooled and passed by pointer so neither escapes to the heap
+// per call; a handler must not retain either past its return.
+type rawCall struct {
+	args Args
+	rep  Reply
+}
+
+var rawCallPool = sync.Pool{New: func() interface{} { return new(rawCall) }}
 
 // Reply builds a raw handler's results directly into the reply frame,
 // header space and the ok flag already written by the dispatcher. The

@@ -319,8 +319,12 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 		}
 		return
 	}
-	out := make([]byte, len(frame))
-	copy(out, frame)
+	// The in-flight copy (the sender may reuse its buffer immediately)
+	// comes from the frame pool; the terminal consumer recycles it — the
+	// server's pump after dispatch, the client's reply filter for
+	// discarded frames. An accepted reply is the exception: its payload
+	// is handed to the caller as a view and the buffer is never reused.
+	out := append(getBuf(), frame...)
 	if l.corrupt[l.seq] || d.Corrupt {
 		if l.corrupt[l.seq] {
 			flipBit(out, 0)
@@ -344,8 +348,7 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 		delivered++
 	}
 	if d.Duplicate {
-		dup := make([]byte, len(out))
-		copy(dup, out)
+		dup := append(getBuf(), out...)
 		now = l.clock.add(l.Net.PacketMicros(len(out))) // the copy occupies the wire too
 		if l.obs != nil {
 			l.obs.EventAt(now, "fault", "duplicate", clientID, callID, "")
@@ -385,6 +388,9 @@ func (l *Link) PurgeToward(at Endpoint) int {
 	defer l.mu.Unlock()
 	q, _ := l.queues(opposite(at))
 	n := len(*q)
+	for _, f := range *q {
+		putBuf(f)
+	}
 	*q = nil
 	return n
 }
@@ -409,9 +415,23 @@ func (l *Link) Recv(at Endpoint) ([]byte, error) {
 	if len(*q) == 0 {
 		return nil, ErrEmpty
 	}
-	f := (*q)[0]
-	*q = (*q)[1:]
+	f := popFrame(q)
 	return f, nil
+}
+
+// popFrame dequeues the head frame. Draining the queue rewinds the
+// slice to its backing array's head instead of sliding forward, so the
+// steady state — queue emptied every pump — reuses one array forever
+// rather than reallocating on every append.
+func popFrame(q *[][]byte) []byte {
+	f := (*q)[0]
+	(*q)[0] = nil
+	if len(*q) == 1 {
+		*q = (*q)[:0]
+	} else {
+		*q = (*q)[1:]
+	}
+	return f
 }
 
 // RecvClient returns the next frame addressed to the given client at
@@ -427,8 +447,8 @@ func (l *Link) RecvClient(at Endpoint, clientID uint32) ([]byte, error) {
 		l.flushHeld(from)
 	}
 	if frames := l.clientQ[at][clientID]; len(frames) > 0 {
-		f := frames[0]
-		l.clientQ[at][clientID] = frames[1:]
+		f := popFrame(&frames)
+		l.clientQ[at][clientID] = frames
 		return f, nil
 	}
 	// Damaged frames that could not be routed sit in the shared queue;
@@ -436,8 +456,7 @@ func (l *Link) RecvClient(at Endpoint, clientID uint32) ([]byte, error) {
 	// belongs to the server on this side.
 	q, _ := l.queues(from)
 	if len(*q) > 0 && !looksLikeCall((*q)[0]) {
-		f := (*q)[0]
-		*q = (*q)[1:]
+		f := popFrame(q)
 		return f, nil
 	}
 	return nil, ErrEmpty

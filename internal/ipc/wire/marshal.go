@@ -228,9 +228,13 @@ func Unmarshal(data []byte) ([]interface{}, error) {
 // once at the end — so a decode sequence needs exactly one check.
 //
 // Getters return views, not copies: Bytes aliases the underlying
-// stream. That is safe for received frames (the link never reuses
-// delivered frame memory) and is the point — the hot path copies
-// payload bytes zero times between frame and handler.
+// stream — the point being that the hot path copies payload bytes zero
+// times between frame and handler. Lifetime follows the stream's
+// owner: a server-side handler's argument views expire when the
+// handler returns (the pump recycles the call frame afterwards), so a
+// handler that keeps bytes must copy them; a client's result cursor
+// views a delivered reply frame that is never reused and stays valid
+// as long as the caller holds it.
 type Args struct {
 	data []byte
 	off  int

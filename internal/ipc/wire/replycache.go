@@ -80,9 +80,17 @@ func (s *cacheShard) get(clientID uint32) (*cacheEntry, bool) {
 // put records the client's latest executed call, evicting the least
 // recently used client when the shard is full. It returns how many
 // entries were evicted. The shard lock must be held.
+//
+// Replaced and evicted reply frames are recycled into the frame-buffer
+// pool: the cache held their only reference — the link copies frames on
+// Send, so a cached frame that has been transmitted (even several
+// times, for duplicates) shares no memory with anything in flight.
 func (s *cacheShard) put(clientID, callID uint32, frame []byte) int {
 	if el, ok := s.entries[clientID]; ok {
 		e := el.Value.(*cacheEntry)
+		if e.frame != nil {
+			putBuf(e.frame)
+		}
 		e.callID = callID
 		e.frame = frame
 		s.lru.MoveToFront(el)
@@ -92,6 +100,9 @@ func (s *cacheShard) put(clientID, callID uint32, frame []byte) int {
 	for s.lru.Len() >= s.cap {
 		oldest := s.lru.Back()
 		s.lru.Remove(oldest)
+		if old := oldest.Value.(*cacheEntry); old.frame != nil {
+			putBuf(old.frame)
+		}
 		delete(s.entries, oldest.Value.(*cacheEntry).clientID)
 		evicted++
 	}

@@ -19,6 +19,14 @@ type Handler func(args []interface{}) ([]interface{}, error)
 // write-ahead log keys its at-most-once state on exactly this pair.
 type HandlerH func(h Header, args []interface{}) ([]interface{}, error)
 
+// RawHandler is the zero-allocation form of a handler: arguments are
+// read from a typed cursor in signature order and results appended to
+// the reply builder the same way — no boxed []interface{} on either
+// side, and the results land directly in the reply frame. A handler
+// that detects bad arguments may simply return; the dispatcher checks
+// the cursor's Err and converts the decode fault into an error reply.
+type RawHandler func(h Header, args *Args, rep *Reply) error
+
 // DedupAuthority is the server's durable at-most-once record, consulted
 // when the in-memory reply cache has no entry for a caller — after a
 // restart wiped the cache, or after LRU eviction narrowed the window.
@@ -77,10 +85,14 @@ func (s Stats) Add(o Stats) Stats {
 // per-client reply cache answers retransmitted calls without re-running
 // the handler, so non-idempotent procedures survive a lossy wire. The
 // pump is goroutine-safe: any number of client goroutines may drive
-// Poll concurrently. Duplicate suppression runs under only the owning
-// cache shard's lock; fresh calls additionally serialise on the
-// execution lock — the single-threaded server loop of the microkernel
-// model — so handlers never run concurrently.
+// Poll concurrently. Both duplicate suppression and handler execution
+// run under only the owning cache shard's lock — the shard is the
+// execution shard, so one client's calls are serialised (check-then-
+// execute stays one atomic unit) while different clients' handlers run
+// concurrently. Handlers that share state must provide their own
+// synchronisation; a service that needs a global order on mutating ops
+// already has one in its log (the file server's WAL sequences applies
+// under the service's own lock).
 //
 // The server is mortal: a crash schedule (SetCrasher) or ForceCrash
 // kills it at a defined point — it stops serving, its reply cache and
@@ -98,6 +110,7 @@ type Server struct {
 	// and the crash/restart/authority hooks.
 	mu         sync.Mutex
 	procs      map[uint32]HandlerH
+	rawProcs   map[uint32]RawHandler
 	cache      *replyCache
 	shards     int
 	perShard   int
@@ -107,9 +120,6 @@ type Server struct {
 	crasher    faultplane.Crasher
 	restart    func()
 	authority  DedupAuthority
-
-	// execMu serialises handler execution across all shards.
-	execMu sync.Mutex
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -121,6 +131,7 @@ func NewServer(link *Link, side Endpoint) *Server {
 		link:     link,
 		side:     side,
 		procs:    map[uint32]HandlerH{},
+		rawProcs: map[uint32]RawHandler{},
 		cache:    newReplyCache(defaultCacheShards, defaultCachePerShard),
 		shards:   defaultCacheShards,
 		perShard: defaultCachePerShard,
@@ -139,6 +150,17 @@ func (s *Server) Register(proc uint32, h Handler) {
 func (s *Server) RegisterH(proc uint32, h HandlerH) {
 	s.mu.Lock()
 	s.procs[proc] = h
+	delete(s.rawProcs, proc)
+	s.mu.Unlock()
+}
+
+// RegisterRaw binds a procedure ID to a zero-allocation handler — the
+// hot-path registration. A raw binding replaces any boxed one for the
+// same procedure and vice versa.
+func (s *Server) RegisterRaw(proc uint32, h RawHandler) {
+	s.mu.Lock()
+	s.rawProcs[proc] = h
+	delete(s.procs, proc)
 	s.mu.Unlock()
 }
 
@@ -266,6 +288,7 @@ func (s *Server) Restart() {
 	s.epoch++
 	epoch := s.epoch
 	s.procs = map[uint32]HandlerH{}
+	s.rawProcs = map[uint32]RawHandler{}
 	s.cache = newReplyCache(s.shards, s.perShard)
 	s.mu.Unlock()
 	s.count(func(st *Stats) { st.Restarts++ })
@@ -346,15 +369,23 @@ func (s *Server) Poll() {
 		h, payload, err := Decode(frame)
 		if err != nil {
 			s.count(func(st *Stats) { st.BadFrames++ })
+			putBuf(frame)
 			continue
 		}
 		if h.Kind != KindCall {
+			putBuf(frame)
 			continue
 		}
 		if s.crashPoint(faultplane.CrashOnRecv) {
+			putBuf(frame)
 			return // died holding the frame; the client retransmits
 		}
-		if s.dispatch(h, payload) {
+		crashed := s.dispatch(h, payload)
+		// The call frame's life ends with its dispatch: handlers see the
+		// payload only as views that expire when they return, so the
+		// buffer can rejoin the pool.
+		putBuf(frame)
+		if crashed {
 			return // died mid-dispatch
 		}
 	}
@@ -371,7 +402,8 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 	rec := s.link.Recorder()
 	s.mu.Lock()
 	cache := s.cache
-	proc, procOK := s.procs[h.ProcID]
+	proc := s.procs[h.ProcID]
+	raw := s.rawProcs[h.ProcID]
 	auth := s.authority
 	s.mu.Unlock()
 	shard := cache.shardFor(h.ClientID)
@@ -419,59 +451,34 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 			}
 		}
 	}
-	return s.execute(rec, shard, proc, procOK, h, payload)
+	return s.execute(rec, shard, proc, raw, h, payload)
 }
 
-// execute runs the handler (serialised on execMu), caches the outcome
-// in the caller's shard, and transmits the reply stamped with the
-// server's epoch. The shard lock is held by the caller. Returns true
-// when the server crashed instead of replying — either the handler
-// aborted with ErrServerCrashed (the service's pre-apply window) or
-// the pre-reply window fired after the handler ran.
-func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, procOK bool, h Header, payload []byte) bool {
-	rec.Event("server", "execute", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+// execute runs the handler (under the caller-held shard lock — one
+// client's calls are serialised, different clients' are not), caches
+// the outcome in the caller's shard, and transmits the reply stamped
+// with the server's epoch. Returns true when the server crashed
+// instead of replying — either the handler aborted with
+// ErrServerCrashed (the service's pre-apply window) or the pre-reply
+// window fired after the handler ran.
+func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, raw RawHandler, h Header, payload []byte) bool {
 	var execStart float64
 	if rec.Enabled() {
+		// The attrs string is built only when a recorder is attached —
+		// with tracing off the hot path performs no formatting.
+		rec.Event("server", "execute", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
 		execStart = s.link.Clock()
 	}
-	var results []interface{}
-	if !procOK {
-		results = []interface{}{false, ErrNoProc.Error()}
-	} else {
-		// Decode outside the execution lock: Unmarshal only reads the
-		// payload, so serialising it with other handlers just stretches
-		// the critical section by the decode's allocation work.
-		args, err := Unmarshal(payload)
-		if err == nil {
-			var out []interface{}
-			s.execMu.Lock()
-			out, err = proc(h, args)
-			s.execMu.Unlock()
-			if err == nil {
-				results = append([]interface{}{true}, out...)
-			}
-		}
-		if errors.Is(err, ErrServerCrashed) {
-			// The crash schedule fired inside the handler — between the
-			// service's log append and its apply. The op is durable in
-			// the log; the process is gone.
-			s.enterCrashed(faultplane.CrashPreApply)
-			return true
-		}
-		if err != nil {
-			results = []interface{}{false, err.Error()}
-		}
-	}
-	if s.crashPoint(faultplane.CrashPreReply) {
-		// Logged, applied — and dead before the reply could leave. The
-		// retransmission will be answered from the durable log by the
-		// restarted server.
-		return true
-	}
-	body, err := Marshal(results...)
 	var frame []byte
-	if err == nil {
-		frame, err = Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()}, body)
+	var err error
+	var crashed bool
+	if raw != nil {
+		frame, err, crashed = s.executeRaw(raw, h, payload)
+	} else {
+		frame, err, crashed = s.executeBoxed(proc, h, payload)
+	}
+	if crashed {
+		return true
 	}
 	if err != nil {
 		// The reply cannot be encoded, but the handler has run: cache
@@ -495,6 +502,92 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, pr
 		rec.Observe("server.execute", s.link.Clock()-execStart)
 	}
 	return false
+}
+
+// executeBoxed runs a reflective handler and encodes its reply — the
+// compatibility path. A nil proc means the procedure is not registered
+// in either table.
+func (s *Server) executeBoxed(proc HandlerH, h Header, payload []byte) (frame []byte, encErr error, crashed bool) {
+	var results []interface{}
+	if proc == nil {
+		results = []interface{}{false, ErrNoProc.Error()}
+	} else {
+		// Decode before the handler: Unmarshal only reads the payload
+		// and needs none of the handler's ordering guarantees.
+		args, err := Unmarshal(payload)
+		if err == nil {
+			var out []interface{}
+			out, err = proc(h, args)
+			if err == nil {
+				results = append([]interface{}{true}, out...)
+			}
+		}
+		if errors.Is(err, ErrServerCrashed) {
+			// The crash schedule fired inside the handler — between the
+			// service's log append and its apply. The op is durable in
+			// the log; the process is gone.
+			s.enterCrashed(faultplane.CrashPreApply)
+			return nil, nil, true
+		}
+		if err != nil {
+			results = []interface{}{false, err.Error()}
+		}
+	}
+	if s.crashPoint(faultplane.CrashPreReply) {
+		// Logged, applied — and dead before the reply could leave. The
+		// retransmission will be answered from the durable log by the
+		// restarted server.
+		return nil, nil, true
+	}
+	body, err := Marshal(results...)
+	if err == nil {
+		frame, err = Encode(Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()}, body)
+	}
+	return frame, err, false
+}
+
+// executeRaw runs a zero-allocation handler: the reply is built in
+// place in a pooled frame buffer — ok flag, then whatever results the
+// handler appends — and sealed with the header written over the space
+// reserved by BeginFrame. The crash windows and the error-reply wire
+// format are identical to the boxed path, so a procedure can migrate
+// between the two without clients noticing.
+func (s *Server) executeRaw(raw RawHandler, h Header, payload []byte) (frame []byte, encErr error, crashed bool) {
+	rc := rawCallPool.Get().(*rawCall)
+	rc.args = NewArgs(payload)
+	rc.rep = Reply{frame: AppendBool(BeginFrame(getBuf()), true)}
+	err := raw(h, &rc.args, &rc.rep)
+	if err == nil && rc.args.Err() != nil {
+		// The handler mis-decoded (or ignored a malformed stream): the
+		// decode fault is the call's error.
+		err = rc.args.Err()
+	}
+	// The cursor views the call frame and the builder the reply frame;
+	// both die with this dispatch, so the carrier must not pin them in
+	// the pool.
+	replyFrame := rc.rep.frame
+	*rc = rawCall{}
+	rawCallPool.Put(rc)
+	if errors.Is(err, ErrServerCrashed) {
+		putBuf(replyFrame)
+		s.enterCrashed(faultplane.CrashPreApply)
+		return nil, nil, true
+	}
+	if err != nil {
+		// Rebuild the payload as the error reply [false, message] on the
+		// same buffer, discarding any partial results.
+		replyFrame = AppendString(AppendBool(BeginFrame(replyFrame[:0]), false), err.Error())
+	}
+	if s.crashPoint(faultplane.CrashPreReply) {
+		putBuf(replyFrame)
+		return nil, nil, true
+	}
+	frame, ferr := FinishFrame(replyFrame, Header{Kind: KindReply, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()})
+	if ferr != nil {
+		putBuf(replyFrame)
+		return nil, ferr, false
+	}
+	return frame, nil, false
 }
 
 // Client issues calls from one end of a link. Each Client is driven by
@@ -613,17 +706,47 @@ func (c *Client) Call(server *Server, proc uint32, args ...interface{}) ([]inter
 // a different endpoint, so the new primary's dedup machinery recognises
 // it as the same operation.
 func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{}) ([]interface{}, error) {
-	payload, err := Marshal(args...)
+	buf := getBuf()
+	payload, err := AppendMarshal(buf, args...)
+	if err != nil {
+		putBuf(buf)
+		return nil, err
+	}
+	frame, err := AppendEncode(getBuf(), Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID}, payload)
+	putBuf(payload)
 	if err != nil {
 		return nil, err
 	}
-	frame, err := Encode(Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID}, payload)
+	results, err := c.drive(server, id, proc, frame)
+	putBuf(frame) // Send copies; once the retry loop is over the frame is ours again
 	if err != nil {
 		return nil, err
 	}
+	vals, err := Unmarshal(results)
+	if err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// okFlagBytes is the encoded size of the ok flag leading every reply
+// payload: one tag byte plus a one-byte bool body.
+const okFlagBytes = 2
+
+// drive transmits a sealed call frame and runs the retransmission loop
+// — capped exponential backoff, deadline budget, reply-protocol
+// decode — until the call concludes. On success it returns the reply's
+// result stream: the payload past the leading ok flag, ready for
+// Unmarshal (the boxed path) or an Args cursor (the raw path). The
+// returned bytes view the delivered frame, which the link never
+// reuses. Frame bytes are not retained: the caller may recycle frame
+// when drive returns.
+func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]byte, error) {
 	rec := c.link.Recorder()
 	start := c.link.Clock()
-	rec.Event("client", "call_start", c.ClientID, id, "proc="+strconv.Itoa(int(proc)))
+	if rec.Enabled() {
+		rec.Event("client", "call_start", c.ClientID, id, "proc="+strconv.Itoa(int(proc)))
+	}
 	backoff := c.InitialBackoffMicros
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
 		if c.overDeadline(start) {
@@ -646,13 +769,28 @@ func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{
 		}
 		c.link.Send(c.side, frame)
 		server.Poll()
-		reply, err := c.awaitReply(rec, id)
+		payload, err := c.awaitReplyFrame(rec, id)
 		if errors.Is(err, ErrEmpty) {
 			continue // lost or corrupted somewhere: resend
 		}
 		if err != nil {
 			rec.Event("client", "call_end", c.ClientID, id, "status=error")
 			return nil, err
+		}
+		// The reply protocol: a leading ok flag, then results on success
+		// or the error message on handler failure.
+		a := NewArgs(payload)
+		if ok := a.Bool(); !ok {
+			if a.Err() != nil {
+				rec.Event("client", "call_end", c.ClientID, id, "status=error")
+				return nil, ErrBadEncoding
+			}
+			msg := "unknown"
+			if s := a.String(); a.Err() == nil {
+				msg = s
+			}
+			rec.Event("client", "call_end", c.ClientID, id, "status=error")
+			return nil, &RemoteError{Msg: msg}
 		}
 		if c.overDeadline(start) {
 			// The reply arrived, but the budget is spent — the caller
@@ -663,21 +801,22 @@ func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{
 		}
 		rec.Observe("call.roundtrip", c.link.Clock()-start)
 		rec.Event("client", "call_end", c.ClientID, id, "status=ok")
-		return reply, nil
+		return payload[okFlagBytes:], nil
 	}
 	rec.Event("client", "call_end", c.ClientID, id, "status=exhausted")
 	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
 }
 
-// awaitReply drains this client's receive queue until the reply to call
-// id appears. Damaged frames and frames for other calls (stale replies
-// from earlier retransmissions, duplicates) are counted and skipped; an
-// empty queue returns ErrEmpty so the caller retransmits. Other
-// clients' replies are never seen here — the link routes them to their
-// own queues. The reply's epoch stamp is tracked: a bump means the
-// server restarted since this client's last reply, and the session has
-// been re-established against the new incarnation.
-func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error) {
+// awaitReplyFrame drains this client's receive queue until the reply to
+// call id appears, returning its verified payload. Damaged frames and
+// frames for other calls (stale replies from earlier retransmissions,
+// duplicates) are counted and skipped; an empty queue returns ErrEmpty
+// so the caller retransmits. Other clients' replies are never seen here
+// — the link routes them to their own queues. The reply's epoch stamp
+// is tracked: a bump means the server restarted since this client's
+// last reply, and the session has been re-established against the new
+// incarnation.
+func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, error) {
 	for {
 		frame, err := c.link.RecvClient(c.side, c.ClientID)
 		if err != nil {
@@ -686,17 +825,20 @@ func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error)
 		h, payload, err := Decode(frame)
 		if err != nil {
 			c.count(func(st *Stats) { st.BadFrames++ })
+			putBuf(frame) // damaged: nobody will ever read it
 			continue
 		}
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
 			c.count(func(st *Stats) { st.StaleFrames++ })
-			continue // duplicate or stale frame from an earlier retry
+			putBuf(frame) // a superseded call's reply: terminally stale
+			continue
 		}
 		if h.Epoch != 0 && c.Fence != nil && !c.Fence.Admit(h.Epoch) {
 			// A reply from a server incarnation older than one this
 			// caller has already heard from — a deposed primary's stale
 			// answer. Fenced off, never surfaced.
 			c.count(func(st *Stats) { st.FencedReplies++ })
+			putBuf(frame)
 			rec.Event("client", "fenced", c.ClientID, id,
 				"epoch="+strconv.Itoa(int(h.Epoch)))
 			continue
@@ -710,26 +852,31 @@ func (c *Client) awaitReply(rec *obs.Recorder, id uint32) ([]interface{}, error)
 			c.epoch = h.Epoch
 		}
 		rec.Event("client", "recv_reply", c.ClientID, id, "")
-		vals, err := Unmarshal(payload)
-		if err != nil {
-			return nil, err
-		}
-		if len(vals) == 0 {
-			return nil, ErrBadEncoding
-		}
-		okFlag, isBool := vals[0].(bool)
-		if !isBool {
-			return nil, ErrBadEncoding
-		}
-		if !okFlag {
-			msg := "unknown"
-			if len(vals) > 1 {
-				if s, ok := vals[1].(string); ok {
-					msg = s
-				}
-			}
-			return nil, &RemoteError{Msg: msg}
-		}
-		return vals[1:], nil
+		return payload, nil
 	}
+}
+
+// CallRaw invokes proc against server with the arguments staged in w —
+// the zero-allocation counterpart of Call. The builder must come from
+// this client's NewCallArgs; CallRaw seals it into the call frame,
+// drives the same retransmission machinery as Call, and recycles the
+// builder win or lose. On success the returned cursor is positioned at
+// the first result; it views link-delivered memory that is never
+// reused, so the caller may hold it as long as it likes (Bytes results
+// alias that memory — copy them to keep them past the reply).
+func (c *Client) CallRaw(server *Server, proc uint32, w *CallArgs) (Args, error) {
+	c.nextID++
+	id := c.nextID
+	frame, err := FinishFrame(w.frame, Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID})
+	if err != nil {
+		w.release()
+		return Args{}, err
+	}
+	w.frame = frame
+	results, err := c.drive(server, id, proc, frame)
+	w.release()
+	if err != nil {
+		return Args{}, err
+	}
+	return NewArgs(results), nil
 }
