@@ -357,61 +357,125 @@ func (s *Server) recoverNow() {
 	rec.Observe("server.recovery", micros)
 }
 
-// register binds the file service. Mutating procedures go through the
+// register binds the file service through the raw handler path — the
+// stubs a compiler would emit, reading arguments with a typed cursor
+// and building replies in place. Mutating procedures go through the
 // WAL discipline (logApply); Stat and ReadDir are idempotent queries —
 // re-executing them after a crash is harmless, so they bypass the log.
-// Handlers read s.FS dynamically (never capture the pointer): recovery
-// swaps in the rebuilt file system under s.mu.
+// Every handler checks the cursor before logApply: a mutation must
+// never be logged off a malformed argument stream. Handlers read s.FS
+// dynamically (never capture the pointer): recovery swaps in the
+// rebuilt file system under s.mu.
 func (s *Server) register() {
-	s.Wire.RegisterH(ProcOpen, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		res, err := s.logApply(h, fs.Record{Op: fs.OpOpen, Path: a[0].(string)})
-		return []interface{}{int64(res.FD)}, err
+	s.Wire.RegisterRaw(ProcOpen, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		res, err := s.logApply(h, fs.Record{Op: fs.OpOpen, Path: path})
+		if err != nil {
+			return err
+		}
+		rep.Int64(int64(res.FD))
+		return nil
 	})
-	s.Wire.RegisterH(ProcCreate, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		res, err := s.logApply(h, fs.Record{Op: fs.OpCreate, Path: a[0].(string)})
-		return []interface{}{int64(res.FD)}, err
+	s.Wire.RegisterRaw(ProcCreate, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		res, err := s.logApply(h, fs.Record{Op: fs.OpCreate, Path: path})
+		if err != nil {
+			return err
+		}
+		rep.Int64(int64(res.FD))
+		return nil
 	})
-	s.Wire.RegisterH(ProcClose, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		_, err := s.logApply(h, fs.Record{Op: fs.OpClose, FD: int(a[0].(int64))})
-		return nil, err
+	s.Wire.RegisterRaw(ProcClose, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		fd := a.Int64()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		_, err := s.logApply(h, fs.Record{Op: fs.OpClose, FD: int(fd)})
+		return err
 	})
-	s.Wire.RegisterH(ProcRead, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		res, err := s.logApply(h, fs.Record{Op: fs.OpRead, FD: int(a[0].(int64)), N: int(a[1].(int64))})
-		return []interface{}{res.Data}, err
+	s.Wire.RegisterRaw(ProcRead, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		fd, n := a.Int64(), a.Int64()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		res, err := s.logApply(h, fs.Record{Op: fs.OpRead, FD: int(fd), N: int(n)})
+		if err != nil {
+			return err
+		}
+		rep.Bytes(res.Data)
+		return nil
 	})
-	s.Wire.RegisterH(ProcWrite, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		res, err := s.logApply(h, fs.Record{Op: fs.OpWrite, FD: int(a[0].(int64)), Data: a[1].([]byte)})
-		return []interface{}{int64(res.N)}, err
+	s.Wire.RegisterRaw(ProcWrite, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		fd := a.Int64()
+		// The cursor's view expires when this handler returns, but the
+		// WAL retains the record as stable storage — copy the payload
+		// out of the call frame before logging it.
+		data := append([]byte(nil), a.Bytes()...)
+		if err := a.Err(); err != nil {
+			return err
+		}
+		res, err := s.logApply(h, fs.Record{Op: fs.OpWrite, FD: int(fd), Data: data})
+		if err != nil {
+			return err
+		}
+		rep.Int64(int64(res.N))
+		return nil
 	})
-	s.Wire.RegisterH(ProcMkdir, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		_, err := s.logApply(h, fs.Record{Op: fs.OpMkdir, Path: a[0].(string)})
-		return nil, err
+	s.Wire.RegisterRaw(ProcMkdir, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		_, err := s.logApply(h, fs.Record{Op: fs.OpMkdir, Path: path})
+		return err
 	})
-	s.Wire.RegisterH(ProcUnlink, func(h wire.Header, a []interface{}) ([]interface{}, error) {
-		_, err := s.logApply(h, fs.Record{Op: fs.OpUnlink, Path: a[0].(string)})
-		return nil, err
+	s.Wire.RegisterRaw(ProcUnlink, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
+		_, err := s.logApply(h, fs.Record{Op: fs.OpUnlink, Path: path})
+		return err
 	})
-	s.Wire.Register(ProcStat, func(a []interface{}) ([]interface{}, error) {
+	s.Wire.RegisterRaw(ProcStat, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		st, err := s.FS.Stat(a[0].(string))
+		st, err := s.FS.Stat(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		return []interface{}{st.Ino, int64(st.Kind), int64(st.Size), int64(st.Blocks), int64(st.Nlink)}, nil
+		rep.Uint64(st.Ino)
+		rep.Int64(int64(st.Kind))
+		rep.Int64(int64(st.Size))
+		rep.Int64(int64(st.Blocks))
+		rep.Int64(int64(st.Nlink))
+		return nil
 	})
-	s.Wire.Register(ProcReadDir, func(a []interface{}) ([]interface{}, error) {
+	s.Wire.RegisterRaw(ProcReadDir, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		path := a.String()
+		if err := a.Err(); err != nil {
+			return err
+		}
 		s.mu.Lock()
 		defer s.mu.Unlock()
-		names, err := s.FS.ReadDir(a[0].(string))
+		names, err := s.FS.ReadDir(path)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out := make([]interface{}, len(names))
-		for i, n := range names {
-			out[i] = n
+		for _, n := range names {
+			rep.String(n)
 		}
-		return out, nil
+		return nil
 	})
 }
 
@@ -576,78 +640,243 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 	return out, nil
 }
 
+// callRaw drives one operation through the pooled raw call path — the
+// decomposed arrangement's hot path against a single server. The
+// accounting (2 syscalls + 2 address-space switches, wire time on the
+// virtual clock) and the error contract are identical to call; only the
+// marshalling changes, from boxed []interface{} to in-place frames.
+// The replicated arrangement (r.fo != nil) keeps the boxed path: the
+// failover client owns retry routing across endpoints, and the two
+// generations share one wire format, so the server side serves both.
+func (r *Remote) callRaw(proc uint32, w *wire.CallArgs) (wire.Args, error) {
+	r.stats.Ops++
+	r.stats.Syscalls += 2
+	r.stats.ASSwitches += 2
+	opMicros := 2*r.cm.SyscallMicros() + 2*r.cm.AddressSpaceSwitchMicros()
+	r.stats.VirtualMicros += opMicros
+	before := r.link.Clock()
+	res, err := r.client.CallRaw(r.server.Wire, proc, w)
+	r.stats.WireMicros += r.link.Clock() - before
+	r.stats.VirtualMicros += r.link.Clock() - before
+	if r.rec.Enabled() && err == nil {
+		opMicros += r.link.Clock() - before
+		r.rec.Observe("fsserver.op", opMicros)
+		r.rec.Observe(r.LatencyClass(), opMicros)
+	}
+	if err != nil {
+		var remote *wire.RemoteError
+		if errors.As(err, &remote) {
+			return wire.Args{}, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
+		}
+		r.stats.DegradedOps++
+		return wire.Args{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return res, nil
+}
+
+// resultFault folds a poisoned result cursor — a reply whose shape the
+// stub could not decode — into the transport-failure contract: one
+// typed ErrUnavailable, one degraded-op count, same as call.
+func (r *Remote) resultFault(res *wire.Args) error {
+	if err := res.Err(); err != nil {
+		r.stats.DegradedOps++
+		return fmt.Errorf("%w: %v", ErrUnavailable, err)
+	}
+	return nil
+}
+
 func (r *Remote) Open(path string) (int, error) {
-	out, err := r.call(ProcOpen, path)
+	if r.fo != nil {
+		out, err := r.call(ProcOpen, path)
+		if err != nil {
+			return -1, err
+		}
+		return int(out[0].(int64)), nil
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcOpen, w)
 	if err != nil {
 		return -1, err
 	}
-	return int(out[0].(int64)), nil
+	fd := int(res.Int64())
+	if err := r.resultFault(&res); err != nil {
+		return -1, err
+	}
+	return fd, nil
 }
 
 func (r *Remote) Create(path string) (int, error) {
-	out, err := r.call(ProcCreate, path)
+	if r.fo != nil {
+		out, err := r.call(ProcCreate, path)
+		if err != nil {
+			return -1, err
+		}
+		return int(out[0].(int64)), nil
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcCreate, w)
 	if err != nil {
 		return -1, err
 	}
-	return int(out[0].(int64)), nil
+	fd := int(res.Int64())
+	if err := r.resultFault(&res); err != nil {
+		return -1, err
+	}
+	return fd, nil
 }
 
 func (r *Remote) Close(fd int) error {
-	_, err := r.call(ProcClose, int64(fd))
-	return err
+	if r.fo != nil {
+		_, err := r.call(ProcClose, int64(fd))
+		return err
+	}
+	w := r.client.NewCallArgs()
+	w.Int64(int64(fd))
+	res, err := r.callRaw(ProcClose, w)
+	if err != nil {
+		return err
+	}
+	return r.resultFault(&res)
 }
 
 func (r *Remote) Read(fd, n int) ([]byte, error) {
-	out, err := r.call(ProcRead, int64(fd), int64(n))
+	if r.fo != nil {
+		out, err := r.call(ProcRead, int64(fd), int64(n))
+		if err != nil {
+			return nil, err
+		}
+		data := out[0].([]byte)
+		r.stats.PayloadBytes += int64(len(data))
+		return data, nil
+	}
+	w := r.client.NewCallArgs()
+	w.Int64(int64(fd))
+	w.Int64(int64(n))
+	res, err := r.callRaw(ProcRead, w)
 	if err != nil {
 		return nil, err
 	}
-	data := out[0].([]byte)
+	// The returned slice views the delivered reply frame — which is
+	// never reused — so the read path moves the payload client-side
+	// with zero copies.
+	data := res.Bytes()
+	if err := r.resultFault(&res); err != nil {
+		return nil, err
+	}
 	r.stats.PayloadBytes += int64(len(data))
 	return data, nil
 }
 
 func (r *Remote) Write(fd int, data []byte) (int, error) {
 	r.stats.PayloadBytes += int64(len(data))
-	out, err := r.call(ProcWrite, int64(fd), data)
+	if r.fo != nil {
+		out, err := r.call(ProcWrite, int64(fd), data)
+		if err != nil {
+			return 0, err
+		}
+		return int(out[0].(int64)), nil
+	}
+	w := r.client.NewCallArgs()
+	w.Int64(int64(fd))
+	w.Bytes(data)
+	res, err := r.callRaw(ProcWrite, w)
 	if err != nil {
 		return 0, err
 	}
-	return int(out[0].(int64)), nil
+	n := int(res.Int64())
+	if err := r.resultFault(&res); err != nil {
+		return 0, err
+	}
+	return n, nil
 }
 
 func (r *Remote) Stat(path string) (fs.Stat, error) {
-	out, err := r.call(ProcStat, path)
+	if r.fo != nil {
+		out, err := r.call(ProcStat, path)
+		if err != nil {
+			return fs.Stat{}, err
+		}
+		return fs.Stat{
+			Ino:    out[0].(uint64),
+			Kind:   fs.FileKind(out[1].(int64)),
+			Size:   int(out[2].(int64)),
+			Blocks: int(out[3].(int64)),
+			Nlink:  int(out[4].(int64)),
+		}, nil
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcStat, w)
 	if err != nil {
 		return fs.Stat{}, err
 	}
-	return fs.Stat{
-		Ino:    out[0].(uint64),
-		Kind:   fs.FileKind(out[1].(int64)),
-		Size:   int(out[2].(int64)),
-		Blocks: int(out[3].(int64)),
-		Nlink:  int(out[4].(int64)),
-	}, nil
+	st := fs.Stat{
+		Ino:    res.Uint64(),
+		Kind:   fs.FileKind(res.Int64()),
+		Size:   int(res.Int64()),
+		Blocks: int(res.Int64()),
+		Nlink:  int(res.Int64()),
+	}
+	if err := r.resultFault(&res); err != nil {
+		return fs.Stat{}, err
+	}
+	return st, nil
 }
 
 func (r *Remote) Mkdir(path string) error {
-	_, err := r.call(ProcMkdir, path)
-	return err
+	if r.fo != nil {
+		_, err := r.call(ProcMkdir, path)
+		return err
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcMkdir, w)
+	if err != nil {
+		return err
+	}
+	return r.resultFault(&res)
 }
 
 func (r *Remote) Unlink(path string) error {
-	_, err := r.call(ProcUnlink, path)
-	return err
+	if r.fo != nil {
+		_, err := r.call(ProcUnlink, path)
+		return err
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcUnlink, w)
+	if err != nil {
+		return err
+	}
+	return r.resultFault(&res)
 }
 
 func (r *Remote) ReadDir(path string) ([]string, error) {
-	out, err := r.call(ProcReadDir, path)
+	if r.fo != nil {
+		out, err := r.call(ProcReadDir, path)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(out))
+		for i, v := range out {
+			names[i] = v.(string)
+		}
+		return names, nil
+	}
+	w := r.client.NewCallArgs()
+	w.String(path)
+	res, err := r.callRaw(ProcReadDir, w)
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, len(out))
-	for i, v := range out {
-		names[i] = v.(string)
+	var names []string
+	for res.More() {
+		names = append(names, res.String())
+	}
+	if err := r.resultFault(&res); err != nil {
+		return nil, err
 	}
 	return names, nil
 }
