@@ -13,6 +13,8 @@
 //	rpcbench -chaos -crash   # the same, with seeded server crashes and WAL recovery
 //	rpcbench -clients 4      # N concurrent clients sharing one decomposed service
 //	rpcbench -clients 4 -chaos  # the same, on a faulty link
+//	rpcbench -clients 4 -batch  # the same, with opportunistic frame batching on the link
+//	rpcbench -chaos -batch   # chaos soak with batching: containers drop and corrupt whole
 //	rpcbench -replicas 1 -seed 13  # failover soak: primary killed for good mid-run, a backup promotes
 //	rpcbench -chaos -trace out.json -jsonl out.jsonl  # export the virtual-time trace
 package main
@@ -45,6 +47,7 @@ func main() {
 	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
 	clients := flag.Int("clients", 0, "run N concurrent clients against one shared decomposed file service")
 	replicas := flag.Int("replicas", 0, "replicate the file service across N backups and run the failover soak: chaos on the client–primary link, a kill-forever crash schedule on the primary, a backup promoting mid-run")
+	batch := flag.Bool("batch", false, "enable opportunistic frame batching on the link: frames staged between receiver polls coalesce into one container transfer")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (with -chaos or -clients)")
 	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL (with -chaos or -clients)")
 	flag.Parse()
@@ -54,11 +57,11 @@ func main() {
 		return
 	}
 	if *clients > 0 {
-		printClients(*clients, *chaos, *seed, *traceOut, *jsonlOut)
+		printClients(*clients, *chaos, *batch, *seed, *traceOut, *jsonlOut)
 		return
 	}
 	if *chaos || *crash {
-		printChaos(*seed, *crash, *traceOut, *jsonlOut)
+		printChaos(*seed, *crash, *batch, *traceOut, *jsonlOut)
 		return
 	}
 
@@ -81,7 +84,7 @@ func main() {
 // the WAL append and the reply — and recovery must hold the same
 // end-state identity. Same seed, same output — down to the virtual
 // clock.
-func printChaos(seed int64, crash bool, traceOut, jsonlOut string) {
+func printChaos(seed int64, crash, batch bool, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 
 	clean := fs.New(256)
@@ -93,6 +96,9 @@ func printChaos(seed int64, crash bool, traceOut, jsonlOut string) {
 	link := wire.NewLink(ipc.NetworkConfig{Name: "chaos-local", BandwidthMbps: 1e6})
 	plane := faultplane.New(faultplane.Chaos(seed))
 	link.SetFaultPlane(plane)
+	if batch {
+		link.EnableBatching(true)
+	}
 	fsys := fs.New(256)
 	remote := fsserver.NewRemoteOnLink(fsys, cm, link)
 	var crashPlane *faultplane.CrashPlane
@@ -112,6 +118,9 @@ func printChaos(seed int64, crash bool, traceOut, jsonlOut string) {
 	counts := plane.Counts()
 	st := remote.Stats()
 	fmt.Printf("Chaos soak: andrew-mini over the decomposed file service (seed %d)\n", seed)
+	if batch {
+		fmt.Println("link batching: on — staged frames coalesce per receiver poll; a container drops and corrupts whole")
+	}
 	if crashPlane != nil {
 		cp := crashPlane.Policy()
 		fmt.Printf("crash schedule: recv %.1f%%, pre-apply %.1f%%, pre-reply %.1f%% per window, max %d crashes\n",
@@ -139,6 +148,11 @@ func printChaos(seed int64, crash bool, traceOut, jsonlOut string) {
 	add("backoff µs", fmt.Sprintf("%.0f", st.Wire.BackoffMicros))
 	add("replies served", st.Wire.Served)
 	add("degraded ops", st.DegradedOps)
+	if batch {
+		batches, coalesced := link.BatchStats()
+		add("batch containers", batches)
+		add("frames coalesced", coalesced)
+	}
 	fmt.Println(t)
 
 	if crashPlane != nil {
@@ -300,7 +314,7 @@ func writeExports(rec *obs.Recorder, traceOut, jsonlOut string) {
 // policy. Reports aggregate throughput, per-client latency, and
 // verifies the combined final state against the same scripts replayed
 // sequentially on the fault-free monolithic arrangement.
-func printClients(n int, chaos bool, seed int64, traceOut, jsonlOut string) {
+func printClients(n int, chaos, batch bool, seed int64, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 	script := func(i int) fsserver.AndrewMini {
 		a := fsserver.DefaultAndrewMini()
@@ -324,6 +338,9 @@ func printClients(n int, chaos bool, seed int64, traceOut, jsonlOut string) {
 		plane = faultplane.New(faultplane.Chaos(seed))
 		link.SetFaultPlane(plane)
 	}
+	if batch {
+		link.EnableBatching(true)
+	}
 	fsys := fs.New(256)
 	base := fsserver.NewRemoteOnLink(fsys, cm, link)
 	// Attach the recorder before spawning peers so every client inherits
@@ -343,6 +360,9 @@ func printClients(n int, chaos bool, seed int64, traceOut, jsonlOut string) {
 	fmt.Printf("Concurrent clients: %d × andrew-mini over one shared decomposed file service", n)
 	if chaos {
 		fmt.Printf(" (chaos seed %d)", seed)
+	}
+	if batch {
+		fmt.Print(" (batching)")
 	}
 	fmt.Println()
 
@@ -386,6 +406,15 @@ func printClients(n int, chaos bool, seed int64, traceOut, jsonlOut string) {
 		float64(totalOps)/wall.Seconds(), link.Clock())
 	fmt.Printf("server: %d served, %d duplicates suppressed, %d bad frames, %d replies evicted\n",
 		server.Served, server.DuplicatesSuppressed, server.BadFrames, server.RepliesEvicted)
+	if batch {
+		batches, coalesced := link.BatchStats()
+		avg := 0.0
+		if batches > 0 {
+			avg = float64(coalesced) / float64(batches)
+		}
+		fmt.Printf("batching: %d containers carried %d frames (%.1f frames/container)\n",
+			batches, coalesced, avg)
+	}
 	if plane != nil {
 		c := plane.Counts()
 		fmt.Printf("fault plane: %d frames, %d dropped, %d corrupted, %d duplicated, %d reordered\n",

@@ -53,6 +53,22 @@ type Link struct {
 	// probabilistic fault plane; nil means a clean wire.
 	plane faultplane.Injector
 
+	// Opportunistic batching (off by default): Send stages eligible
+	// frames instead of transmitting, and the receiver's poll flushes
+	// everything staged in its direction as one KindBatch container —
+	// one per-packet charge amortised over every coalesced frame, the
+	// way a NIC coalesces interrupts. Staged frames are pooled copies;
+	// stagedBytes tracks the container payload each direction has
+	// accumulated so a flush never overflows maxPayload.
+	batching    bool
+	stageAB     [][]byte
+	stageBA     [][]byte
+	stagedBytes [2]int
+
+	// batch telemetry: containers transmitted and frames they carried.
+	batchesSent     int
+	framesCoalesced int
+
 	// observability recorder; nil means tracing disabled (the zero-cost
 	// path: no header parsing, no event appends).
 	obs *obs.Recorder
@@ -206,6 +222,36 @@ func (l *Link) queues(from Endpoint) (q, held *[][]byte) {
 	return &l.bToA, &l.heldBA
 }
 
+// stage returns the batching stage for frames sent by from.
+func (l *Link) stage(from Endpoint) *[][]byte {
+	if from == A {
+		return &l.stageAB
+	}
+	return &l.stageBA
+}
+
+// EnableBatching turns opportunistic frame coalescing on or off.
+// Disabling flushes anything still staged, so no frame is stranded.
+// Off by default: batching changes how many wire transfers a workload
+// performs, so deterministic goldens opt in explicitly.
+func (l *Link) EnableBatching(on bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.batching && !on {
+		l.flushBatchLocked(A)
+		l.flushBatchLocked(B)
+	}
+	l.batching = on
+}
+
+// BatchStats reports how many containers this link has transmitted and
+// how many frames they coalesced.
+func (l *Link) BatchStats() (batches, frames int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.batchesSent, l.framesCoalesced
+}
+
 // routeClientID extracts the client ID of a well-formed reply frame
 // without verifying the checksum — the routing a demultiplexer can do
 // before integrity is known. Damaged routing fields simply misroute the
@@ -252,8 +298,26 @@ func looksLikeCall(frame []byte) bool {
 // deliver routes one in-flight frame to its receive queue: replies with
 // a known client ID go to that client's queue; everything else — calls,
 // acks, frames damaged beyond routing — goes to the shared direction
-// queue. Callers hold l.mu.
+// queue. An intact batch container splits here — the receiving NIC's
+// half of coalescing — and each coalesced frame routes independently; a
+// damaged container cannot be split (its lengths are untrustworthy) and
+// falls through whole to the shared queue, where a receiver counts the
+// checksum failure, so corruption costs the entire batch exactly as
+// dropping the container loses it. Callers hold l.mu.
 func (l *Link) deliver(from Endpoint, frame []byte) {
+	if payload, ok := batchPayload(frame); ok {
+		for i := 0; i+4 <= len(payload); {
+			n := int(binary.BigEndian.Uint32(payload[i:]))
+			i += 4
+			if i+n > len(payload) {
+				break // unreachable behind the checksum; drop the tail
+			}
+			l.deliver(from, append(getBuf(), payload[i:i+n]...))
+			i += n
+		}
+		putBuf(frame)
+		return
+	}
 	to := opposite(from)
 	if id, ok := routeClientID(frame); ok && id >= 1 && id <= l.nextClient {
 		if l.clientQ[to] == nil {
@@ -264,6 +328,20 @@ func (l *Link) deliver(from Endpoint, frame []byte) {
 	}
 	q, _ := l.queues(from)
 	*q = append(*q, frame)
+}
+
+// batchPayload returns the verified payload of an intact KindBatch
+// container, or ok=false for every other frame (including a damaged
+// container, which must be delivered whole so the damage is observed).
+func batchPayload(frame []byte) ([]byte, bool) {
+	if len(frame) < headerBytes || MsgKind(frame[3]) != KindBatch {
+		return nil, false
+	}
+	h, payload, err := Decode(frame)
+	if err != nil || h.Kind != KindBatch {
+		return nil, false
+	}
+	return payload, true
 }
 
 // flushHeld pushes every held (reordered) frame in the direction out
@@ -286,9 +364,80 @@ func (l *Link) flushHeld(from Endpoint) {
 // when the original is simultaneously reordered; reordered frames
 // arrive behind the next frame sent the same way; injected delay
 // advances the virtual clock.
+//
+// With batching enabled, an eligible frame is staged instead: it waits,
+// copied but uncharged, until the receiving side polls, and then rides
+// a single container transfer with everything else staged meanwhile.
+// Frames too large to share a container (and anything that would
+// overflow one) flush the stage first, preserving send order.
 func (l *Link) Send(from Endpoint, frame []byte) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.batching {
+		entry := 4 + len(frame)
+		d := int(from)
+		if l.stagedBytes[d]+entry > maxPayload {
+			l.flushBatchLocked(from)
+		}
+		if entry <= maxPayload {
+			if l.obs != nil {
+				kind, callID, clientID := headerFields(frame)
+				l.obs.EventAt(l.clock.Clock(), "link", "stage", clientID, callID,
+					"kind="+kind.String()+" bytes="+strconv.Itoa(len(frame)))
+			}
+			st := l.stage(from)
+			*st = append(*st, append(getBuf(), frame...))
+			l.stagedBytes[d] += entry
+			return
+		}
+		// An oversized frame travels alone, behind what was staged.
+	}
+	l.transmitLocked(from, frame, false)
+}
+
+// flushBatchLocked transmits everything staged in the direction as one
+// KindBatch container (a lone staged frame skips the container and
+// degenerates to a plain transmission). The container is one wire unit:
+// one per-packet charge, one fault-plane decision — drop loses the
+// whole batch, corruption damages it whole. Callers hold l.mu.
+func (l *Link) flushBatchLocked(from Endpoint) {
+	st := l.stage(from)
+	staged := *st
+	if len(staged) == 0 {
+		return
+	}
+	*st = (*st)[:0]
+	l.stagedBytes[from] = 0
+	if len(staged) == 1 {
+		l.transmitLocked(from, staged[0], true)
+		return
+	}
+	payload := getBuf()
+	for _, f := range staged {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(f)))
+		payload = append(payload, f...)
+		putBuf(f)
+	}
+	container, err := AppendEncode(getBuf(), Header{Kind: KindBatch}, payload)
+	putBuf(payload)
+	if err != nil {
+		panic(err) // staging bounds the payload; cannot happen
+	}
+	l.batchesSent++
+	l.framesCoalesced += len(staged)
+	if l.obs != nil {
+		l.obs.Observe("wire.batch.frames", float64(len(staged)))
+		l.obs.Observe("wire.batch.bytes", float64(len(container)))
+	}
+	l.transmitLocked(from, container, true)
+}
+
+// transmitLocked is the wire proper: virtual-time charge, fault
+// decisions, and delivery for one transmitted unit. owned marks a frame
+// the link already holds a pooled copy of (a flushed stage or a built
+// container); an unowned frame is copied first, because the sender may
+// reuse its buffer the moment Send returns. Callers hold l.mu.
+func (l *Link) transmitLocked(from Endpoint, frame []byte, owned bool) {
 	l.seq++
 	now := l.clock.add(l.Net.PacketMicros(len(frame)))
 	// Tracing happens inside the link lock with the clock in hand
@@ -317,6 +466,9 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 		if l.obs != nil {
 			l.obs.EventAt(now, "fault", "drop", clientID, callID, "")
 		}
+		if owned {
+			putBuf(frame)
+		}
 		return
 	}
 	// The in-flight copy (the sender may reuse its buffer immediately)
@@ -324,7 +476,12 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 	// server's pump after dispatch, the client's reply filter for
 	// discarded frames. An accepted reply is the exception: its payload
 	// is handed to the caller as a view and the buffer is never reused.
-	out := append(getBuf(), frame...)
+	// An owned frame is already the link's pooled copy and goes out as
+	// it is.
+	out := frame
+	if !owned {
+		out = append(getBuf(), frame...)
+	}
 	if l.corrupt[l.seq] || d.Corrupt {
 		if l.corrupt[l.seq] {
 			flipBit(out, 0)
@@ -412,6 +569,11 @@ func (l *Link) Recv(at Endpoint) ([]byte, error) {
 		// degrades to plain delay rather than loss.
 		l.flushHeld(from)
 	}
+	if len(*q) == 0 && l.batching {
+		// The receiver polling is what moves a staged batch: flush
+		// whatever has coalesced in this direction since the last poll.
+		l.flushBatchLocked(from)
+	}
 	if len(*q) == 0 {
 		return nil, ErrEmpty
 	}
@@ -445,6 +607,9 @@ func (l *Link) RecvClient(at Endpoint, clientID uint32) ([]byte, error) {
 	from := opposite(at)
 	if len(l.clientQ[at][clientID]) == 0 {
 		l.flushHeld(from)
+	}
+	if len(l.clientQ[at][clientID]) == 0 && l.batching {
+		l.flushBatchLocked(from)
 	}
 	if frames := l.clientQ[at][clientID]; len(frames) > 0 {
 		f := popFrame(&frames)
