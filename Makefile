@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build test race bench bench-compare fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Regenerate the committed RPC hot-path benchmark trajectory. Run this
+# (and commit the result) whenever a change legitimately moves the hot
+# path; CI replays bench-compare against the committed file.
+bench:
+	$(GO) run ./cmd/rpcbench -bench -benchout BENCH_rpc.json
+
+# Fail if the hot path regressed against the committed trajectory:
+# >20% slower ns/op on any class, or any allocs/op increase.
+bench-compare:
+	$(GO) run ./cmd/rpcbench -bench -benchcompare BENCH_rpc.json
+
+# Short fuzz passes over the wire codec's three fuzz targets; native Go
+# fuzzing runs one target per invocation.
+fuzz-smoke:
+	$(GO) test ./internal/ipc/wire/ -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=10s
+	$(GO) test ./internal/ipc/wire/ -run='^$$' -fuzz='^FuzzUnmarshal$$' -fuzztime=10s
+	$(GO) test ./internal/ipc/wire/ -run='^$$' -fuzz='^FuzzMarshalRoundTrip$$' -fuzztime=10s

@@ -50,8 +50,15 @@ func main() {
 	batch := flag.Bool("batch", false, "enable opportunistic frame batching on the link: frames staged between receiver polls coalesce into one container transfer")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (with -chaos or -clients)")
 	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL (with -chaos or -clients)")
+	bench := flag.Bool("bench", false, "measure the RPC hot-path benchmark trajectory (ns/op, allocs/op, B/op per call class plus deterministic virtual-time percentiles)")
+	benchout := flag.String("benchout", "", "with -bench, write the measurements as JSON to this file")
+	benchcompare := flag.String("benchcompare", "", "with -bench, compare against this baseline JSON and exit nonzero on a ns/op (>20%) or allocs/op (any) regression")
 	flag.Parse()
 
+	if *bench {
+		runBench(*benchout, *benchcompare)
+		return
+	}
 	if *replicas > 0 {
 		printReplicas(*replicas, *seed, *traceOut, *jsonlOut)
 		return

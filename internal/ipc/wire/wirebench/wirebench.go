@@ -1,0 +1,168 @@
+// Package wirebench holds the RPC hot-path benchmark probes behind the
+// committed benchmark trajectory (BENCH_rpc.json). Each probe is a
+// plain func(*testing.B) so the same measurement runs two ways: as a
+// standard `go test -bench` benchmark (bench_test.go wraps them) and
+// programmatically through testing.Benchmark from `rpcbench -bench`,
+// which records the results and compares them against the committed
+// baseline in CI.
+package wirebench
+
+import (
+	"sync"
+	"testing"
+
+	"archos/internal/ipc"
+	"archos/internal/ipc/wire"
+)
+
+// CodecSmall times the specialized codec round trip for a small call's
+// worth of values — append into a warm buffer, read back through the
+// cursor — with no transport attached. This is the layer the
+// allocation tests pin at zero.
+func CodecSmall(b *testing.B) {
+	buf := make([]byte, 0, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		buf = wire.AppendUint32(buf, 7)
+		buf = wire.AppendInt64(buf, -12345)
+		buf = wire.AppendBool(buf, true)
+		a := wire.NewArgs(buf)
+		if a.Uint32() != 7 || a.Int64() != -12345 || !a.Bool() || a.Err() != nil {
+			b.Fatal("codec round trip failed")
+		}
+	}
+}
+
+// newEcho builds a clean link with an echo server registered on the
+// raw path at proc 1 and the boxed path at proc 2.
+func newEcho() (*wire.Link, *wire.Server) {
+	link := wire.NewLink(ipc.Ethernet10)
+	server := wire.NewServer(link, wire.B)
+	server.RegisterRaw(1, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		rep.Int64(a.Int64())
+		return a.Err()
+	})
+	server.Register(2, func(args []interface{}) ([]interface{}, error) {
+		return args, nil
+	})
+	server.RegisterRaw(3, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+		rep.Bytes(a.Bytes())
+		return a.Err()
+	})
+	return link, server
+}
+
+// RawCallSmall times the end-to-end raw call path: pooled frames,
+// typed appenders, sharded execution, one int64 each way.
+func RawCallSmall(b *testing.B) {
+	link, server := newEcho()
+	client := wire.NewClient(link, wire.A)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := client.NewCallArgs()
+		w.Int64(7)
+		res, err := client.CallRaw(server, 1, w)
+		if err != nil || res.Int64() != 7 || res.Err() != nil {
+			b.Fatal("raw call failed")
+		}
+	}
+}
+
+// BoxedCallSmall times the reflective []interface{} path over the same
+// transport — the convenience API the raw path exists to beat.
+func BoxedCallSmall(b *testing.B) {
+	link, server := newEcho()
+	client := wire.NewClient(link, wire.A)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := client.Call(server, 2, int64(7))
+		if err != nil || out[0].(int64) != 7 {
+			b.Fatal("boxed call failed")
+		}
+	}
+}
+
+// RawCall1K times the raw path carrying a 1 KiB payload each way — the
+// bulk-data shape, where the reply view (zero-copy client side) earns
+// its keep.
+func RawCall1K(b *testing.B) {
+	link, server := newEcho()
+	client := wire.NewClient(link, wire.A)
+	payload := make([]byte, 1024)
+	b.SetBytes(2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := client.NewCallArgs()
+		w.Bytes(payload)
+		res, err := client.CallRaw(server, 3, w)
+		if err != nil || len(res.Bytes()) != 1024 || res.Err() != nil {
+			b.Fatal("bulk call failed")
+		}
+	}
+}
+
+// Throughput returns a probe driving n concurrent clients against one
+// server whose handler does real work — a checksum pass over 2 KiB,
+// the kind of per-call computation a file service performs under its
+// execution lock. With sharded true the server keeps its default
+// per-client execution shards, so distinct clients' handlers run
+// concurrently; with false it is reconfigured to a single shard — one
+// lock, the pre-sharding global-execution arrangement — and every
+// handler serializes behind it. The pair measures what sharding buys
+// under contention; the gap scales with available cores (a single-core
+// machine can only show the reduced lock traffic, not the
+// parallelism). ns/op is per call across all clients.
+func Throughput(sharded bool, n int) func(*testing.B) {
+	return func(b *testing.B) {
+		link, server := newEcho()
+		work := make([]byte, 2048)
+		for i := range work {
+			work[i] = byte(i)
+		}
+		server.RegisterRaw(4, func(h wire.Header, a *wire.Args, rep *wire.Reply) error {
+			v := a.Int64()
+			if err := a.Err(); err != nil {
+				return err
+			}
+			var sum uint16
+			for j := 0; j < 4; j++ {
+				sum = wire.Checksum(work)
+			}
+			rep.Int64(v + int64(sum&1))
+			return nil
+		})
+		if !sharded {
+			server.ConfigureReplyCache(1, 1024)
+		}
+		clients := make([]*wire.Client, n)
+		for i := range clients {
+			clients[i] = wire.NewClient(link, wire.A)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var wg sync.WaitGroup
+		per := b.N/n + 1
+		for _, c := range clients {
+			wg.Add(1)
+			go func(c *wire.Client) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					w := c.NewCallArgs()
+					w.Int64(int64(i))
+					res, err := c.CallRaw(server, 4, w)
+					if err != nil || res.Err() != nil {
+						b.Error("throughput call failed")
+						return
+					}
+					_ = res.Int64()
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+}
