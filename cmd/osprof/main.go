@@ -10,6 +10,8 @@
 //	osprof -chaos -seed 7    # profile under the reference fault policy
 //	osprof -trace out.json   # also export a Chrome trace_event file
 //	osprof -jsonl out.jsonl  # also export the raw event stream
+//	osprof -allocs           # also report host-side heap allocs/op
+//	                         # (machine-local, not deterministic)
 package main
 
 import (
@@ -33,7 +35,13 @@ func main() {
 	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL")
+	allocs := flag.Bool("allocs", false, "also report host-side Go heap allocation for the run (machine-local; excluded from the deterministic default output)")
 	flag.Parse()
+
+	var meter *obs.AllocMeter
+	if *allocs {
+		meter = obs.NewAllocMeter()
+	}
 
 	cm := kernel.NewCostModel(arch.R3000)
 	link := wire.NewLink(ipc.NetworkConfig{Name: "prof-local", BandwidthMbps: 1e6})
@@ -46,6 +54,9 @@ func main() {
 	rec := obs.NewRecorder(link)
 	remote.SetRecorder(rec)
 
+	if meter != nil {
+		meter.Reset() // measure the replay, not the setup above
+	}
 	ops, err := fsserver.DefaultAndrewMini().Run(remote)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "profile run failed:", err)
@@ -69,6 +80,12 @@ func main() {
 		reg.Register("fault", obs.StructSource(func() interface{} { return plane.Counts() }))
 	}
 	fmt.Println(reg.Snapshot().Table("Metrics registry snapshot"))
+
+	if meter != nil {
+		alloc := obs.NewRegistry()
+		alloc.Register("goheap", meter.PerOpSource(func() float64 { return float64(ops) }))
+		fmt.Println(alloc.Snapshot().Table("Host allocation (real heap, machine-local)"))
+	}
 
 	fmt.Printf("virtual time %.0f µs, %d trace events\n", link.Clock(), rec.EventCount())
 	if *traceOut != "" {

@@ -1,0 +1,61 @@
+package obs
+
+import "runtime"
+
+// AllocMeter measures Go heap allocation across an interval of real
+// execution — the host-side cost of running the simulation, as opposed
+// to the virtual-time costs every other source reports. Reset marks
+// the start of the interval; Source reads cumulative mallocs and bytes
+// since the mark, and PerOpSource divides them by an operation count
+// so a workload replay reports allocs/op alongside its virtual-time
+// metrics.
+//
+// Allocation counts come from runtime.ReadMemStats, so they are
+// machine- and runtime-version-local and NOT deterministic across
+// runs; callers that promise byte-identical output (the soak CLIs'
+// default modes) must keep these metrics behind an opt-in flag.
+type AllocMeter struct {
+	base runtime.MemStats
+}
+
+// NewAllocMeter returns a meter with its mark set to now.
+func NewAllocMeter() *AllocMeter {
+	m := &AllocMeter{}
+	m.Reset()
+	return m
+}
+
+// Reset moves the mark to now.
+func (m *AllocMeter) Reset() {
+	runtime.ReadMemStats(&m.base)
+}
+
+// read returns heap mallocs and allocated bytes since the mark.
+func (m *AllocMeter) read() (mallocs, bytes float64) {
+	var now runtime.MemStats
+	runtime.ReadMemStats(&now)
+	return float64(now.Mallocs - m.base.Mallocs), float64(now.TotalAlloc - m.base.TotalAlloc)
+}
+
+// Source exposes the cumulative interval counters.
+func (m *AllocMeter) Source() Source {
+	return func() map[string]float64 {
+		mallocs, bytes := m.read()
+		return map[string]float64{"mallocs": mallocs, "bytes": bytes}
+	}
+}
+
+// PerOpSource exposes the interval counters divided by ops() — the
+// operation count for the same interval — as allocs_per_op and
+// bytes_per_op, alongside the raw totals.
+func (m *AllocMeter) PerOpSource(ops func() float64) Source {
+	return func() map[string]float64 {
+		mallocs, bytes := m.read()
+		out := map[string]float64{"mallocs": mallocs, "bytes": bytes}
+		if n := ops(); n > 0 {
+			out["allocs_per_op"] = mallocs / n
+			out["bytes_per_op"] = bytes / n
+		}
+		return out
+	}
+}
