@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare fuzz-smoke
+.PHONY: build test race bench bench-load bench-compare fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,10 +17,19 @@ race:
 bench:
 	$(GO) run ./cmd/rpcbench -bench -benchout BENCH_rpc.json
 
-# Fail if the hot path regressed against the committed trajectory:
-# >20% slower ns/op on any class, or any allocs/op increase.
+# Regenerate the committed overload-soak trajectory (virtual time, so
+# the file is byte-identical for the same seed). Run this (and commit
+# the result) whenever a change legitimately moves the soak.
+bench-load:
+	$(GO) run ./cmd/rpcbench -load -loadout BENCH_load.json
+
+# Fail if the hot path regressed against the committed trajectory
+# (>20% slower ns/op on any class, or any allocs/op increase), or if
+# defended goodput under overload dropped >20% against the committed
+# soak — or the undefended collapse disappeared.
 bench-compare:
 	$(GO) run ./cmd/rpcbench -bench -benchcompare BENCH_rpc.json
+	$(GO) run ./cmd/rpcbench -load -loadcompare BENCH_load.json
 
 # Short fuzz passes over the wire codec's three fuzz targets; native Go
 # fuzzing runs one target per invocation.

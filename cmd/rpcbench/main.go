@@ -17,6 +17,7 @@
 //	rpcbench -chaos -batch   # chaos soak with batching: containers drop and corrupt whole
 //	rpcbench -replicas 1 -seed 13  # failover soak: primary killed for good mid-run, a backup promotes
 //	rpcbench -chaos -trace out.json -jsonl out.jsonl  # export the virtual-time trace
+//	rpcbench -load -loadout BENCH_load.json  # paired overload soak: collapse without the controls, recovery with them
 package main
 
 import (
@@ -53,10 +54,17 @@ func main() {
 	bench := flag.Bool("bench", false, "measure the RPC hot-path benchmark trajectory (ns/op, allocs/op, B/op per call class plus deterministic virtual-time percentiles)")
 	benchout := flag.String("benchout", "", "with -bench, write the measurements as JSON to this file")
 	benchcompare := flag.String("benchcompare", "", "with -bench, compare against this baseline JSON and exit nonzero on a ns/op (>20%) or allocs/op (any) regression")
+	load := flag.Bool("load", false, "run the open-loop overload soak twice (controls off, controls on) and print the paired throughput-vs-p99 curves")
+	loadout := flag.String("loadout", "", "with -load, write both runs as JSON to this file")
+	loadcompare := flag.String("loadcompare", "", "with -load, compare against this baseline JSON and exit nonzero on a >20% goodput-under-overload regression")
 	flag.Parse()
 
 	if *bench {
 		runBench(*benchout, *benchcompare)
+		return
+	}
+	if *load {
+		runLoad(*seed, *loadout, *loadcompare)
 		return
 	}
 	if *replicas > 0 {

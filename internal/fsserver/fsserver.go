@@ -60,7 +60,14 @@ type Stats struct {
 	WireMicros     float64 // portion on the (local) wire, remote case
 	PayloadBytes   int64   // marshalled bytes, remote case
 	ServerRejected int     // frames the server's checksum rejected
-	DegradedOps    int     // ops that returned ErrUnavailable instead of wedging
+	DegradedOps    int     // ops that returned ErrUnavailable (transport exhausted)
+
+	// Overload accounting, remote case: refusals are split from
+	// transport failures because they mean opposite things — an
+	// overloaded service is alive and protecting itself.
+	OverloadedOps    int // ops the service shed as ErrOverloaded (provably not executed on a clean wire)
+	BreakerFastFails int // ops failed locally as ErrDegraded while the circuit breaker was open
+	BreakerOpens     int // times the breaker tripped open
 
 	// Crash–recovery accounting, remote case.
 	CrashesInjected     int // server process deaths (scheduled or forced)
@@ -501,6 +508,11 @@ type Remote struct {
 	// layers below pick the recorder up from the link themselves.
 	rec *obs.Recorder
 
+	// br, when non-nil, is the overload circuit breaker (EnableBreaker):
+	// repeated ErrOverloaded answers trip it, and while it is open ops
+	// fail fast and locally as ErrDegraded.
+	br *breaker
+
 	stats Stats
 }
 
@@ -591,17 +603,115 @@ func (r *Remote) Tune(maxRetries int, deadlineMicros float64) {
 	r.client.DeadlineMicros = deadlineMicros
 }
 
+// SetExpiry installs this client's absolute virtual-time deadline (µs,
+// 0 clears): propagated in every call header for the server's
+// deadline-aware shedding, and enforced locally before every
+// (re)transmission. Callers running against a per-op SLA re-stamp it
+// before each op.
+func (r *Remote) SetExpiry(micros float64) {
+	if r.fo != nil {
+		r.fo.SetExpiry(micros)
+		return
+	}
+	r.client.Expiry = micros
+}
+
+// SetBudget installs the retry budget retransmissions are paid from
+// (nil clears). Peers may share one budget — the per-process
+// formulation that stops N clients amplifying an overloaded server.
+func (r *Remote) SetBudget(b *wire.RetryBudget) {
+	if r.fo != nil {
+		r.fo.SetBudget(b)
+		return
+	}
+	r.client.Budget = b
+}
+
+// EnableBreaker arms the overload circuit breaker: threshold
+// consecutive ErrOverloaded answers open it, and while open every op
+// fails fast as ErrDegraded for a cooldown of cooldownMicros scaled by
+// a seeded per-client jitter draw; the first op after the cooldown
+// probes the service and its outcome closes or re-opens the breaker.
+// threshold <= 0 disarms.
+func (r *Remote) EnableBreaker(threshold int, cooldownMicros float64) {
+	if threshold <= 0 {
+		r.br = nil
+		return
+	}
+	r.br = newBreaker(threshold, cooldownMicros, r.client.ClientID)
+}
+
 // ErrRemote adapts remote failures.
 var ErrRemote = errors.New("fsserver: remote error")
 
 // ErrUnavailable reports an operation abandoned because the transport
-// exhausted its retry or deadline budget — the decomposed service's
-// graceful-degradation signal. The operation may or may not have
-// executed on the server; at-most-once semantics guarantee only that it
-// executed no more than once.
+// exhausted its retry or deadline budget — frames lost faster than the
+// budget could recover. The operation may or may not have executed on
+// the server; at-most-once semantics guarantee only that it executed
+// no more than once. Overload refusals are NOT folded in here: they
+// surface as the typed ErrOverloaded (the server shed the op) or
+// ErrDegraded (this client's breaker refused to send it), each with
+// its own counter, because "the wire lost it" and "the service
+// declined it" call for opposite reactions — retry elsewhere versus
+// back off.
 var ErrUnavailable = errors.New("fsserver: service unavailable")
 
+// ErrOverloaded reports an operation the service refused under
+// overload: every attempt was shed by admission control, or the op's
+// expiry passed before it could be (re)sent. On a clean wire the op
+// provably did not execute — nothing ran, nothing was logged.
+var ErrOverloaded = errors.New("fsserver: service overloaded")
+
+// ErrDegraded reports an operation failed fast and locally by the
+// circuit breaker: the service shed so many consecutive ops that this
+// client stopped asking for the duration of a seeded cooldown. The op
+// was never marshalled or transmitted.
+var ErrDegraded = errors.New("fsserver: service degraded (breaker open)")
+
+// breakerFastFail consults the breaker before an op touches the wire;
+// a true return means the op must fail fast as ErrDegraded.
+func (r *Remote) breakerFastFail() bool {
+	if r.br == nil || r.br.allow(r.link.Clock()) {
+		return false
+	}
+	r.stats.Ops++
+	r.stats.BreakerFastFails++
+	return true
+}
+
+// mapCallError folds one concluded call's failure into the service
+// error taxonomy and feeds the breaker: a RemoteError proves the
+// service alive (it executed and said no) and closes the breaker; an
+// overload refusal counts toward tripping it; everything else is the
+// transport failing, which says nothing about the server's admission
+// queues.
+func (r *Remote) mapCallError(err error) error {
+	var remote *wire.RemoteError
+	if errors.As(err, &remote) {
+		if r.br != nil {
+			r.br.onAlive()
+		}
+		return fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
+	}
+	if errors.Is(err, wire.ErrOverloaded) {
+		r.stats.OverloadedOps++
+		if r.br != nil {
+			r.br.onOverload(r.link.Clock())
+			r.stats.BreakerOpens = r.br.opens
+		}
+		return fmt.Errorf("%w: %v", ErrOverloaded, err)
+	}
+	r.stats.DegradedOps++
+	if r.br != nil {
+		r.br.onOther()
+	}
+	return fmt.Errorf("%w: %v", ErrUnavailable, err)
+}
+
 func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
+	if r.breakerFastFail() {
+		return nil, ErrDegraded
+	}
 	r.stats.Ops++
 	// "Each invocation of an operating system service via an RPC
 	// requires at least two system calls and two context switches."
@@ -625,17 +735,10 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 		r.rec.Observe(r.LatencyClass(), opMicros)
 	}
 	if err != nil {
-		var remote *wire.RemoteError
-		if errors.As(err, &remote) {
-			return nil, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
-		}
-		// Every other failure — exhausted retries, a blown deadline, an
-		// unmarshallable or oversized payload, a mangled reply — is the
-		// transport failing to carry the operation, not the operation
-		// failing: one typed ErrUnavailable, one degraded-op count, so
-		// callers have a single contract for "the service didn't answer".
-		r.stats.DegradedOps++
-		return nil, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		return nil, r.mapCallError(err)
+	}
+	if r.br != nil {
+		r.br.onAlive()
 	}
 	return out, nil
 }
@@ -649,6 +752,10 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 // failover client owns retry routing across endpoints, and the two
 // generations share one wire format, so the server side serves both.
 func (r *Remote) callRaw(proc uint32, w *wire.CallArgs) (wire.Args, error) {
+	if r.breakerFastFail() {
+		w.Abandon()
+		return wire.Args{}, ErrDegraded
+	}
 	r.stats.Ops++
 	r.stats.Syscalls += 2
 	r.stats.ASSwitches += 2
@@ -664,12 +771,10 @@ func (r *Remote) callRaw(proc uint32, w *wire.CallArgs) (wire.Args, error) {
 		r.rec.Observe(r.LatencyClass(), opMicros)
 	}
 	if err != nil {
-		var remote *wire.RemoteError
-		if errors.As(err, &remote) {
-			return wire.Args{}, fmt.Errorf("%w: %s", ErrRemote, remote.Msg)
-		}
-		r.stats.DegradedOps++
-		return wire.Args{}, fmt.Errorf("%w: %v", ErrUnavailable, err)
+		return wire.Args{}, r.mapCallError(err)
+	}
+	if r.br != nil {
+		r.br.onAlive()
 	}
 	return res, nil
 }

@@ -124,8 +124,15 @@ func TestBackoffChargesVirtualClock(t *testing.T) {
 	if _, err := client.Call(server, 1); err != nil {
 		t.Fatal(err)
 	}
-	// Three retries: 50 + 100 + 200 µs of capped exponential backoff.
-	if want := 50 + 100 + 200.0; client.Stats().BackoffMicros != want {
+	// Three retries: 50 + 100 + 200 µs of capped exponential backoff,
+	// each pause scaled by the client's deterministic jitter draw in
+	// [0.5, 1.5) — recompute the same sequence here.
+	j := newJitterRand(client.ClientID)
+	want := 0.0
+	for _, base := range []float64{50, 100, 200} {
+		want += base * (0.5 + j.float64())
+	}
+	if client.Stats().BackoffMicros != want {
 		t.Errorf("backoff = %.0f µs, want %.0f", client.Stats().BackoffMicros, want)
 	}
 	if link.Clock() < client.Stats().BackoffMicros {

@@ -152,7 +152,7 @@ func TestRecvClientKeepsOtherClientsReplies(t *testing.T) {
 
 	// c2 collects first; c1's reply must survive it.
 	for _, c := range []*Client{c2, c1} {
-		payload, err := c.awaitReplyFrame(nil, 1)
+		payload, _, err := c.awaitReplyFrame(nil, 1)
 		if err != nil {
 			t.Fatalf("client %d: %v", c.ClientID, err)
 		}

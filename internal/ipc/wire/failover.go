@@ -119,6 +119,24 @@ func (f *FailoverClient) Tune(maxRetries int, deadlineMicros float64) {
 	}
 }
 
+// SetExpiry applies an absolute virtual-time expiry to every
+// underlying client (see Client.Expiry); 0 clears it. Callers running
+// against an SLA re-stamp it per call.
+func (f *FailoverClient) SetExpiry(micros float64) {
+	for _, c := range f.clients {
+		c.Expiry = micros
+	}
+}
+
+// SetBudget shares one retry budget across every underlying client, so
+// a failover episode cannot multiply the caller's retransmissions
+// beyond what its successes have funded.
+func (f *FailoverClient) SetBudget(b *RetryBudget) {
+	for _, c := range f.clients {
+		c.Budget = b
+	}
+}
+
 // Stats sums the transport counters of every underlying client and adds
 // the failover count.
 func (f *FailoverClient) Stats() Stats {
@@ -134,7 +152,10 @@ func (f *FailoverClient) Stats() Stats {
 
 // transportFailure reports whether err means "the endpoint did not
 // answer" (retry elsewhere is sound) as opposed to "the service
-// answered with an error" (failover must not mask it).
+// answered with an error" (failover must not mask it). ErrOverloaded
+// is deliberately neither: an overloaded server is alive and saying
+// "not now" — failing over would stampede the backups with exactly the
+// load the primary just shed.
 func transportFailure(err error) bool {
 	return errors.Is(err, ErrCallFailed) || errors.Is(err, ErrDeadlineExceeded)
 }

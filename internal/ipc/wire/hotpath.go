@@ -95,6 +95,12 @@ func (w *CallArgs) String(v string) { w.frame = AppendString(w.frame, v) }
 // Bytes appends a byte-buffer argument.
 func (w *CallArgs) Bytes(v []byte) { w.frame = AppendBytes(w.frame, v) }
 
+// Abandon returns an unissued builder to the pools without sending —
+// the escape hatch for a caller that stages arguments and then decides
+// not to place the call (a fast-failing circuit breaker, say). Never
+// call it after CallRaw, which releases the builder itself.
+func (w *CallArgs) Abandon() { w.release() }
+
 // release returns the builder (and its buffer) to the pools.
 func (w *CallArgs) release() {
 	if cap(w.frame) > maxPooledBuf {

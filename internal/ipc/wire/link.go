@@ -134,6 +134,15 @@ func (l *Link) DropFrame(n int) {
 	l.drop[n] = true
 }
 
+// Frames returns how many frames have been transmitted so far — the
+// 1-based sequence the per-frame fault hooks key on, so a test can aim
+// DropFrame/CorruptFrame at "the next frame" mid-run.
+func (l *Link) Frames() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
 // SetFaultPlane attaches a probabilistic fault injector (package
 // faultplane); it composes with the deterministic per-frame hooks. Pass
 // nil to detach. The link's lock serialises Decide calls even with many
@@ -252,10 +261,11 @@ func (l *Link) BatchStats() (batches, frames int) {
 	return l.batchesSent, l.framesCoalesced
 }
 
-// routeClientID extracts the client ID of a well-formed reply frame
-// without verifying the checksum — the routing a demultiplexer can do
-// before integrity is known. Damaged routing fields simply misroute the
-// frame; the receiver's checksum rejects it there.
+// routeClientID extracts the client ID of a well-formed reply or
+// reject frame without verifying the checksum — the routing a
+// demultiplexer can do before integrity is known. Damaged routing
+// fields simply misroute the frame; the receiver's checksum rejects it
+// there.
 func routeClientID(frame []byte) (uint32, bool) {
 	if len(frame) < headerBytes {
 		return 0, false
@@ -263,7 +273,7 @@ func routeClientID(frame []byte) (uint32, bool) {
 	if binary.BigEndian.Uint16(frame[0:2]) != magic || frame[2] != version {
 		return 0, false
 	}
-	if MsgKind(frame[3]) != KindReply {
+	if k := MsgKind(frame[3]); k != KindReply && k != KindReject {
 		return 0, false
 	}
 	return binary.BigEndian.Uint32(frame[12:16]), true

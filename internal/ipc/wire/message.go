@@ -22,19 +22,34 @@ const (
 	// KindCall carries a request; KindReply a response; KindAck a bare
 	// acknowledgement; KindBatch a container of coalesced frames (the
 	// link's batching seam — never seen by clients or servers, the link
-	// splits it back into its sub-frames on delivery).
+	// splits it back into its sub-frames on delivery); KindReject an
+	// overload rejection — the server declining a call without
+	// executing it (no handler run, no log append, nothing cached).
 	KindCall MsgKind = iota + 1
 	KindReply
 	KindAck
 	KindBatch
+	KindReject
 )
 
 const (
 	magic         = 0x5250 // "RP"
-	version       = 3      // v2 added ClientID (at-most-once); v3 added Epoch (crash–recovery)
-	headerBytes   = 24
+	version       = 4      // v2 added ClientID (at-most-once); v3 added Epoch (crash–recovery); v4 added Expiry (deadline propagation)
+	headerBytes   = 28
 	maxPayload    = 1<<16 - 1 // the header's length field is 16 bits; a payload must fit it exactly
-	checksumStart = 20        // offset of the checksum field within the header
+	checksumStart = 24        // offset of the checksum field within the header
+)
+
+// Reject reason codes — the single payload byte of a KindReject frame.
+const (
+	// RejectBusy: the call's execution shard had no admission-queue
+	// room. The op did not execute; a retransmission may be admitted
+	// once the queue drains.
+	RejectBusy byte = iota + 1
+	// RejectExpired: the call's propagated deadline had already passed
+	// when the server looked at it. Executing it would have been pure
+	// waste — the caller stopped waiting — so it was shed instead.
+	RejectExpired
 )
 
 // Header describes a frame.
@@ -44,6 +59,7 @@ type Header struct {
 	ProcID   uint32 // procedure being invoked (calls) / echoed (replies)
 	ClientID uint32 // caller identity; keys the server's reply cache
 	Epoch    uint32 // server incarnation stamped into replies; 0 in calls
+	Expiry   uint32 // absolute virtual-time deadline (µs) propagated with calls; 0 = none
 	Payload  int    // payload length in bytes
 }
 
@@ -144,8 +160,9 @@ func FinishFrame(frame []byte, h Header) ([]byte, error) {
 	binary.BigEndian.PutUint32(frame[8:12], h.ProcID)
 	binary.BigEndian.PutUint32(frame[12:16], h.ClientID)
 	binary.BigEndian.PutUint32(frame[16:20], h.Epoch)
+	binary.BigEndian.PutUint32(frame[20:24], h.Expiry)
 	frame[checksumStart], frame[checksumStart+1] = 0, 0
-	binary.BigEndian.PutUint16(frame[22:24], uint16(payload))
+	binary.BigEndian.PutUint16(frame[26:28], uint16(payload))
 	binary.BigEndian.PutUint16(frame[checksumStart:checksumStart+2], frameChecksum(frame))
 	return frame, nil
 }
@@ -169,7 +186,8 @@ func Decode(frame []byte) (Header, []byte, error) {
 		ProcID:   binary.BigEndian.Uint32(frame[8:12]),
 		ClientID: binary.BigEndian.Uint32(frame[12:16]),
 		Epoch:    binary.BigEndian.Uint32(frame[16:20]),
-		Payload:  int(binary.BigEndian.Uint16(frame[22:24])),
+		Expiry:   binary.BigEndian.Uint32(frame[20:24]),
+		Payload:  int(binary.BigEndian.Uint16(frame[26:28])),
 	}
 	if len(frame) != headerBytes+h.Payload {
 		return Header{}, nil, ErrTruncated
@@ -191,6 +209,8 @@ func (k MsgKind) String() string {
 		return "ack"
 	case KindBatch:
 		return "batch"
+	case KindReject:
+		return "reject"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -1,0 +1,128 @@
+package wire
+
+import "sync"
+
+// The overload-control plane of the wire layer. Under offered load
+// beyond capacity, a transport with unconditional retries and
+// unconditional execution turns a transient burst into a metastable
+// state: queues fill with requests nobody is waiting for anymore, every
+// execution is wasted work, and each waster spawns retransmissions that
+// keep the queues full after the burst has passed. Three mechanisms
+// break the feedback loop:
+//
+//   - Deadline propagation: a call's frame header carries the caller's
+//     absolute virtual-time deadline (Header.Expiry), so every layer
+//     downstream can tell a live request from a dead one.
+//   - Admission control: the server bounds its per-shard admission
+//     queue and sheds expired or unadmittable calls with a cheap
+//     KindReject frame — no handler execution, no log append, nothing
+//     cached.
+//   - Retry budgets: a client's retransmissions are paid for by its
+//     successes (a token bucket earning a fraction per success), so N
+//     clients cannot multiply an overloaded server's arrival rate.
+
+// AdmissionConfig parameterises the server's admission control. The
+// zero value disables both mechanisms — the pre-overload-plane
+// behavior, and the default.
+type AdmissionConfig struct {
+	// MaxShardQueue bounds how many calls may be admitted concurrently
+	// per execution shard (waiting for the shard lock or executing
+	// under it). A call arriving at a full shard is shed with
+	// RejectBusy. 0 = unbounded.
+	MaxShardQueue int
+	// ShedExpired, when set, rejects any call whose propagated deadline
+	// (Header.Expiry) has already passed at dispatch, with
+	// RejectExpired — before any lock is taken or any handler runs.
+	ShedExpired bool
+}
+
+// RetryBudget is a token bucket that makes retransmissions a fraction
+// of successes rather than a multiple of failures. Each successful
+// call earns Ratio tokens (capped at Burst); each retransmission
+// spends one. When the bucket is empty the client abandons the call
+// instead of retrying — under server overload, retries are the fuel of
+// the metastable state, and the budget cuts the fuel line. Safe for
+// concurrent use, so one budget may be shared by several clients (the
+// per-process budget of the classic formulation) or held per client.
+type RetryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+
+	earned, spent, denied int
+}
+
+// NewRetryBudget builds a budget earning ratio tokens per success,
+// holding at most burst. The bucket starts full, so a cold client can
+// ride out early losses before its first success.
+func NewRetryBudget(ratio, burst float64) *RetryBudget {
+	if burst < 1 {
+		burst = 1
+	}
+	return &RetryBudget{ratio: ratio, burst: burst, tokens: burst}
+}
+
+// Earn credits one success.
+func (b *RetryBudget) Earn() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.earned++
+	b.mu.Unlock()
+}
+
+// Spend takes one token for a retransmission, reporting whether the
+// budget allowed it.
+func (b *RetryBudget) Spend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens >= 1 {
+		b.tokens--
+		b.spent++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// Tokens returns the current balance.
+func (b *RetryBudget) Tokens() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Counts reports successes credited, retries paid for, and retries
+// denied since construction.
+func (b *RetryBudget) Counts() (earned, spent, denied int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.earned, b.spent, b.denied
+}
+
+// jitterRand is a tiny splitmix64 PRNG used to jitter client backoff.
+// It is seeded from the client ID alone, so every client's jitter
+// sequence is deterministic (same-seed soaks stay byte-reproducible)
+// yet distinct from every other client's — N clients that lose frames
+// to one burst do not retransmit in lockstep and re-collide forever.
+type jitterRand struct{ state uint64 }
+
+func newJitterRand(clientID uint32) jitterRand {
+	// splitmix64's recommended seeding: any nonzero scramble of the ID.
+	return jitterRand{state: 0x9E3779B97F4A7C15 ^ (uint64(clientID)+1)*0xBF58476D1CE4E5B9}
+}
+
+// float64 returns the next draw in [0, 1).
+func (j *jitterRand) float64() float64 {
+	j.state += 0x9E3779B97F4A7C15
+	z := j.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

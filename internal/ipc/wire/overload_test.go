@@ -1,0 +1,356 @@
+package wire
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"archos/internal/ipc"
+)
+
+// TestShedExpiredCall: a call whose propagated deadline has already
+// passed is rejected — no handler execution, nothing cached — and the
+// client surfaces it as ErrOverloaded.
+func TestShedExpiredCall(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, executions := countingServer(link)
+	server.SetAdmission(AdmissionConfig{ShedExpired: true})
+	link.AdvanceClock(10_000) // the clock is well past any small expiry
+
+	// Craft the frame by hand so the client's own pre-send shed cannot
+	// intercept: the server must be the one to refuse it.
+	payload, _ := Marshal()
+	frame, err := Encode(Header{Kind: KindCall, CallID: 1, ProcID: 1, ClientID: client.ClientID, Expiry: 1}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send(A, frame)
+	server.Poll()
+	if *executions != 0 {
+		t.Fatalf("expired call executed %d times, want 0", *executions)
+	}
+	if st := server.Stats(); st.ShedExpired != 1 || st.Served != 0 {
+		t.Errorf("shedExpired = %d served = %d, want 1 and 0", st.ShedExpired, st.Served)
+	}
+	if _, reason, err := client.awaitReplyFrame(nil, 1); err != nil || reason != RejectExpired {
+		t.Errorf("reject reason = %d err = %v, want RejectExpired", reason, err)
+	}
+}
+
+// TestShedDoesNotPoisonReplyCache: after a call is shed, a later
+// retransmission of the same call ID must be served as a fresh call —
+// the shed left no at-most-once record to confuse dedup — and it must
+// execute exactly once.
+func TestShedDoesNotPoisonReplyCache(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, executions := countingServer(link)
+	server.SetAdmission(AdmissionConfig{ShedExpired: true})
+	link.AdvanceClock(10_000)
+
+	payload, _ := Marshal()
+	expired, err := Encode(Header{Kind: KindCall, CallID: 1, ProcID: 1, ClientID: client.ClientID, Expiry: 1}, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	link.Send(A, expired)
+	server.Poll()
+	if *executions != 0 {
+		t.Fatalf("expired call executed %d times, want 0", *executions)
+	}
+	// Drain the reject so it cannot be mistaken for the retry's answer.
+	if _, reason, err := client.awaitReplyFrame(nil, 1); err != nil || reason != RejectExpired {
+		t.Fatalf("reject reason = %d err = %v, want RejectExpired", reason, err)
+	}
+
+	// The retransmission carries a live deadline (or none): it must be
+	// admitted, executed once, and answered normally.
+	client.nextID = 0 // the crafted frame used call ID 1; reuse it
+	out, err := client.Call(server, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].(int64) != 1 || *executions != 1 {
+		t.Errorf("retransmit after shed: result %v, executions %d; want 1 and 1", out[0], *executions)
+	}
+	if st := server.Stats(); st.DuplicatesSuppressed != 0 {
+		t.Errorf("duplicates suppressed = %d, want 0 (the shed must not have cached anything)", st.DuplicatesSuppressed)
+	}
+}
+
+// TestShedQueueFull: with a one-deep admission queue, a second client
+// hitting the same execution shard while the first client's handler is
+// blocked inside it is shed with RejectBusy, not queued.
+func TestShedQueueFull(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	c1 := NewClient(link, A)
+	c2 := NewClient(link, A)
+	server := NewServer(link, B)
+	server.ConfigureReplyCache(1, 8) // one shard: both clients collide
+	server.SetAdmission(AdmissionConfig{MaxShardQueue: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	server.Register(1, func(args []interface{}) ([]interface{}, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c1.Call(server, 1); err != nil {
+			t.Errorf("c1: %v", err)
+		}
+	}()
+	<-entered // c1's handler now holds the only admission slot
+
+	c2.MaxRetries = 0 // one attempt: the reject must surface directly
+	_, err := c2.Call(server, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("c2 err = %v, want ErrOverloaded", err)
+	}
+	close(release)
+	wg.Wait()
+
+	st := server.Stats()
+	if st.ShedQueueFull != 1 {
+		t.Errorf("shedQueueFull = %d, want 1", st.ShedQueueFull)
+	}
+	if got := c2.Stats(); got.Rejects != 1 {
+		t.Errorf("c2 rejects = %d, want 1", got.Rejects)
+	}
+	if depth := server.QueueDepth(); depth != 0 {
+		t.Errorf("queue depth = %d after quiesce, want 0", depth)
+	}
+}
+
+// TestClientShedsLocallyPastExpiry: a call whose expiry has already
+// passed never touches the wire — ErrOverloaded, ShedLocal, zero
+// transmissions.
+func TestClientShedsLocallyPastExpiry(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, executions := countingServer(link)
+	link.AdvanceClock(500)
+	client.Expiry = 100 // already in the past
+
+	_, err := client.Call(server, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if *executions != 0 {
+		t.Errorf("executions = %d, want 0", *executions)
+	}
+	st := client.Stats()
+	if st.ShedLocal != 1 || st.Retries != 0 {
+		t.Errorf("shedLocal = %d retries = %d, want 1 and 0", st.ShedLocal, st.Retries)
+	}
+	if sent := link.Frames(); sent != 0 {
+		t.Errorf("frames on the wire = %d, want 0 (shed before send)", sent)
+	}
+}
+
+// TestLateReplyStillSucceeds: Expiry governs shedding, not delivered
+// replies — an answer that arrives after the expiry is still returned
+// (the op executed; the caller's SLA scoring is who penalises it).
+func TestLateReplyStillSucceeds(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, executions := countingServer(link)
+	server.SetServiceCharge(1000) // the handler alone blows the expiry
+	client.Expiry = link.Clock() + 200
+
+	out, err := client.Call(server, 1)
+	if err != nil {
+		t.Fatalf("late reply returned %v, want success", err)
+	}
+	if out[0].(int64) != 1 || *executions != 1 {
+		t.Errorf("result %v executions %d, want 1 and 1", out[0], *executions)
+	}
+}
+
+// TestServiceChargeConsumesVirtualTime: each executed handler advances
+// the clock by the configured charge; cache hits do not.
+func TestServiceChargeConsumesVirtualTime(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, _ := countingServer(link)
+	server.SetServiceCharge(5000) // far above the ~400 µs of wire charges
+
+	before := link.Clock()
+	if _, err := client.Call(server, 1); err != nil {
+		t.Fatal(err)
+	}
+	executed := link.Clock() - before
+	if executed < 5000 {
+		t.Errorf("first call advanced %.0f µs, want ≥ 5000 (the service charge)", executed)
+	}
+
+	// A retransmission answered from the cache must not pay the charge:
+	// replay call 1's frame and compare the clock delta.
+	payload, _ := Marshal()
+	dup, _ := Encode(Header{Kind: KindCall, CallID: 1, ProcID: 1, ClientID: client.ClientID}, payload)
+	before = link.Clock()
+	link.Send(A, dup)
+	server.Poll()
+	if delta := link.Clock() - before; delta >= 5000 {
+		t.Errorf("cache hit advanced %.0f µs, want < 5000 (no service charge)", delta)
+	}
+	if server.Stats().DuplicatesSuppressed != 1 {
+		t.Errorf("duplicates suppressed = %d, want 1", server.Stats().DuplicatesSuppressed)
+	}
+}
+
+// TestRetryBudgetBoundsRetransmissions: with an empty budget, a lossy
+// wire gets exactly one transmission per call — the retry is denied and
+// the call abandoned as ErrCallFailed (no rejects seen: a transport
+// failure, not overload).
+func TestRetryBudgetBoundsRetransmissions(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	client := NewClient(link, A)
+	server, executions := countingServer(link)
+	client.Budget = NewRetryBudget(0.25, 1)
+	client.Budget.Spend() // drain the initial burst allowance
+
+	link.DropFrame(1) // the only transmission is lost
+	_, err := client.Call(server, 1)
+	if !errors.Is(err, ErrCallFailed) {
+		t.Fatalf("err = %v, want ErrCallFailed", err)
+	}
+	if errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v must not be ErrOverloaded: nothing was rejected", err)
+	}
+	st := client.Stats()
+	if st.Retries != 0 || st.RetryBudgetDenied != 1 {
+		t.Errorf("retries = %d denied = %d, want 0 and 1", st.Retries, st.RetryBudgetDenied)
+	}
+	if *executions != 0 {
+		t.Errorf("executions = %d, want 0", *executions)
+	}
+
+	// Successes refund the budget: four earn 4 × 0.25 = one token, so
+	// the next loss may retry once.
+	for i := 0; i < 4; i++ {
+		if _, err := client.Call(server, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	link.DropFrame(link.Frames() + 1) // lose the next call's first attempt
+	if _, err := client.Call(server, 1); err != nil {
+		t.Fatalf("funded retry failed: %v", err)
+	}
+	if st := client.Stats(); st.Retries != 1 {
+		t.Errorf("retries = %d, want 1 (funded by successes)", st.Retries)
+	}
+}
+
+// TestAllRejectsSurfacesOverloaded: when every attempt is answered
+// with RejectBusy, exhaustion is ErrOverloaded — the op provably never
+// executed — not the generic ErrCallFailed.
+func TestAllRejectsSurfacesOverloaded(t *testing.T) {
+	link := NewLink(ipc.Ethernet10)
+	c1 := NewClient(link, A)
+	c2 := NewClient(link, A)
+	server := NewServer(link, B)
+	server.ConfigureReplyCache(1, 8)
+	server.SetAdmission(AdmissionConfig{MaxShardQueue: 1})
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	server.Register(1, func(args []interface{}) ([]interface{}, error) {
+		close(entered)
+		<-release
+		return nil, nil
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c1.Call(server, 1); err != nil {
+			t.Errorf("c1: %v", err)
+		}
+	}()
+	<-entered
+
+	c2.MaxRetries = 3 // four attempts, four rejects
+	_, err := c2.Call(server, 1)
+	if !errors.Is(err, ErrOverloaded) {
+		t.Errorf("err = %v, want ErrOverloaded", err)
+	}
+	if st := c2.Stats(); st.Rejects != 4 {
+		t.Errorf("rejects = %d, want 4", st.Rejects)
+	}
+	close(release)
+	wg.Wait()
+}
+
+// TestBackoffJitterDesynchronizes: two clients with identical loss
+// patterns must back off for different amounts of virtual time — the
+// per-client jitter breaks the lockstep — while each client's own
+// sequence is a pure function of its ClientID (rebuild it and the
+// total reproduces exactly).
+func TestBackoffJitterDesynchronizes(t *testing.T) {
+	total := func(clientID uint32) float64 {
+		j := newJitterRand(clientID)
+		sum := 0.0
+		for _, base := range []float64{50, 100, 200} {
+			sum += base * (0.5 + j.float64())
+		}
+		return sum
+	}
+
+	link := NewLink(ipc.Ethernet10)
+	server, _ := countingServer(link)
+	backoffs := map[uint32]float64{}
+	for i := 0; i < 2; i++ {
+		c := NewClient(link, A)
+		c.MaxRetries = 4
+		// Lose this client's first three transmissions: a dropped call
+		// produces no reply, so they are three consecutive frames.
+		base := link.Frames()
+		for n := 1; n <= 3; n++ {
+			link.DropFrame(base + n)
+		}
+		if _, err := c.Call(server, 1); err != nil {
+			t.Fatal(err)
+		}
+		got := c.Stats().BackoffMicros
+		if want := total(c.ClientID); got != want {
+			t.Errorf("client %d backoff = %.3f, want %.3f (deterministic per ID)", c.ClientID, got, want)
+		}
+		backoffs[c.ClientID] = got
+	}
+	seen := map[float64]bool{}
+	for id, b := range backoffs {
+		if seen[b] {
+			t.Fatalf("client %d backed off identically to another client (%.3f µs): retransmits are in lockstep", id, b)
+		}
+		seen[b] = true
+	}
+}
+
+// TestRetryBudgetSharedAcrossClients: one budget, two clients — a
+// spend by either is visible to both, the per-process formulation.
+func TestRetryBudgetSharedAcrossClients(t *testing.T) {
+	b := NewRetryBudget(0.5, 2)
+	if !b.Spend() || !b.Spend() {
+		t.Fatal("burst of 2 must fund two retries")
+	}
+	if b.Spend() {
+		t.Fatal("third spend must be denied")
+	}
+	b.Earn()
+	b.Earn() // two successes × 0.5 = one token
+	if !b.Spend() {
+		t.Fatal("earned token must fund a retry")
+	}
+	earned, spent, denied := b.Counts()
+	if earned != 2 || spent != 3 || denied != 1 {
+		t.Errorf("counts = %d/%d/%d, want 2/3/1", earned, spent, denied)
+	}
+}

@@ -3,6 +3,7 @@ package wire
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // Defaults for the server's reply cache: 8 shards of 128 clients keeps
@@ -43,6 +44,13 @@ type cacheShard struct {
 	cap     int
 	entries map[uint32]*list.Element
 	lru     *list.List // front = most recently used
+
+	// queued counts calls admitted to this shard and not yet finished
+	// (waiting for mu or executing under it) — the admission queue the
+	// server's MaxShardQueue bounds. Atomic because admission is judged
+	// before the shard lock is taken: shedding must not wait behind the
+	// very queue it exists to bound.
+	queued atomic.Int32
 }
 
 func newReplyCache(shards, perShard int) *replyCache {

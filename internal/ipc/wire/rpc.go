@@ -50,6 +50,8 @@ type Stats struct {
 	RepliesEvicted       int // reply-cache entries evicted by the LRU bound
 	Crashes              int // times the server process died (injected or forced)
 	Restarts             int // times the server restarted into a new epoch
+	ShedExpired          int // calls shed unexecuted: their propagated deadline had passed
+	ShedQueueFull        int // calls shed unexecuted: the shard admission queue was full
 
 	// Client side.
 	Retries               int     // retransmissions performed
@@ -58,6 +60,9 @@ type Stats struct {
 	SessionsReestablished int     // epoch bumps observed: sessions re-established with a restarted server
 	FencedReplies         int     // replies discarded because their epoch predates the fence
 	Failovers             int     // endpoint switches performed by a FailoverClient
+	ShedLocal             int     // calls shed client-side: expiry passed before a (re)transmission
+	Rejects               int     // KindReject frames received from an overloaded server
+	RetryBudgetDenied     int     // retransmissions the retry budget refused to pay for
 }
 
 // Add returns the field-wise sum of two stat sets.
@@ -71,12 +76,17 @@ func (s Stats) Add(o Stats) Stats {
 	s.RepliesEvicted += o.RepliesEvicted
 	s.Crashes += o.Crashes
 	s.Restarts += o.Restarts
+	s.ShedExpired += o.ShedExpired
+	s.ShedQueueFull += o.ShedQueueFull
 	s.Retries += o.Retries
 	s.BackoffMicros += o.BackoffMicros
 	s.DeadlineExceeded += o.DeadlineExceeded
 	s.SessionsReestablished += o.SessionsReestablished
 	s.FencedReplies += o.FencedReplies
 	s.Failovers += o.Failovers
+	s.ShedLocal += o.ShedLocal
+	s.Rejects += o.Rejects
+	s.RetryBudgetDenied += o.RetryBudgetDenied
 	return s
 }
 
@@ -107,7 +117,7 @@ type Server struct {
 
 	// mu guards the dispatch and lifecycle state: the handler table,
 	// the reply-cache pointer and geometry, the epoch, the crash flags,
-	// and the crash/restart/authority hooks.
+	// the admission policy, and the crash/restart/authority hooks.
 	mu         sync.Mutex
 	procs      map[uint32]HandlerH
 	rawProcs   map[uint32]RawHandler
@@ -120,6 +130,8 @@ type Server struct {
 	crasher    faultplane.Crasher
 	restart    func()
 	authority  DedupAuthority
+	admission  AdmissionConfig
+	charge     float64
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -173,6 +185,43 @@ func (s *Server) ConfigureReplyCache(shards, perShard int) {
 	s.cache = newReplyCache(shards, perShard)
 	s.shards, s.perShard = shards, perShard
 	s.mu.Unlock()
+}
+
+// SetAdmission installs the server's admission policy (see
+// AdmissionConfig). The zero config — the default — disables shedding
+// entirely. Admission survives restarts: the policy belongs to the
+// deployment, not the incarnation.
+func (s *Server) SetAdmission(cfg AdmissionConfig) {
+	s.mu.Lock()
+	s.admission = cfg
+	s.mu.Unlock()
+}
+
+// SetServiceCharge makes each executed handler consume micros of
+// virtual time. In this model handlers are otherwise free on the
+// clock, so an overloaded server could never fall behind; the charge
+// gives it a finite capacity (1e6/micros calls per virtual second)
+// that open-loop load can saturate. Cache hits and sheds are never
+// charged — that difference is exactly what shedding saves. 0 (the
+// default) restores the free-handler model.
+func (s *Server) SetServiceCharge(micros float64) {
+	s.mu.Lock()
+	s.charge = micros
+	s.mu.Unlock()
+}
+
+// QueueDepth reports how many calls are currently admitted across all
+// execution shards (waiting for a shard lock or executing under one) —
+// the queue-depth gauge of the overload plane.
+func (s *Server) QueueDepth() int {
+	s.mu.Lock()
+	cache := s.cache
+	s.mu.Unlock()
+	n := 0
+	for i := range cache.shards {
+		n += int(cache.shards[i].queued.Load())
+	}
+	return n
 }
 
 // SetCrasher attaches a crash schedule consulted at the CrashOnRecv
@@ -398,6 +447,15 @@ func (s *Server) Poll() {
 // durable authority is consulted before executing, so a WAL-logged op
 // whose cache entry was evicted — or wiped by a restart — is never
 // re-executed. Returns true when the server crashed during dispatch.
+//
+// Admission control runs first, before any lock: an already-expired
+// call is shed (the caller stopped waiting — executing it would be
+// pure waste), and a call arriving at a full shard queue is shed
+// rather than queued without bound. A shed call is answered with a
+// cheap KindReject frame and touches neither the reply cache nor any
+// durable state — in particular it can never poison the at-most-once
+// record, so a later retransmission of the same call ID is served as a
+// fresh call.
 func (s *Server) dispatch(h Header, payload []byte) bool {
 	rec := s.link.Recorder()
 	s.mu.Lock()
@@ -405,8 +463,26 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 	proc := s.procs[h.ProcID]
 	raw := s.rawProcs[h.ProcID]
 	auth := s.authority
+	adm := s.admission
+	charge := s.charge
 	s.mu.Unlock()
+	if adm.ShedExpired && h.Expiry != 0 && s.link.Clock() >= float64(h.Expiry) {
+		s.count(func(st *Stats) { st.ShedExpired++ })
+		rec.Event("server", "shed_expired", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+		s.reject(h, RejectExpired)
+		return false
+	}
 	shard := cache.shardFor(h.ClientID)
+	if adm.MaxShardQueue > 0 {
+		if shard.queued.Add(1) > int32(adm.MaxShardQueue) {
+			shard.queued.Add(-1)
+			s.count(func(st *Stats) { st.ShedQueueFull++ })
+			rec.Event("server", "shed_busy", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+			s.reject(h, RejectBusy)
+			return false
+		}
+		defer shard.queued.Add(-1)
+	}
 	shard.mu.Lock()
 	defer shard.mu.Unlock()
 	if e, ok := shard.get(h.ClientID); ok {
@@ -451,7 +527,24 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 			}
 		}
 	}
-	return s.execute(rec, shard, proc, raw, h, payload)
+	return s.execute(rec, shard, proc, raw, h, payload, charge)
+}
+
+// reject declines a call without executing it: a one-byte KindReject
+// frame naming the reason, stamped with the server's epoch so fencing
+// applies to rejections too. The frame is built in a pooled buffer and
+// recycled immediately (Send copies) — a shed costs one small frame
+// and touches neither the reply cache nor any durable state, which is
+// what makes shedding cheaper than serving.
+func (s *Server) reject(h Header, reason byte) {
+	buf := append(BeginFrame(getBuf()), reason)
+	frame, err := FinishFrame(buf, Header{Kind: KindReject, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()})
+	if err != nil {
+		putBuf(buf)
+		return
+	}
+	s.link.Send(s.side, frame)
+	putBuf(frame)
 }
 
 // execute runs the handler (under the caller-held shard lock — one
@@ -461,7 +554,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 // instead of replying — either the handler aborted with
 // ErrServerCrashed (the service's pre-apply window) or the pre-reply
 // window fired after the handler ran.
-func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, raw RawHandler, h Header, payload []byte) bool {
+func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, raw RawHandler, h Header, payload []byte, charge float64) bool {
 	var execStart float64
 	if rec.Enabled() {
 		// The attrs string is built only when a recorder is attached —
@@ -476,6 +569,12 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, ra
 		frame, err, crashed = s.executeRaw(raw, h, payload)
 	} else {
 		frame, err, crashed = s.executeBoxed(proc, h, payload)
+	}
+	if !crashed && charge > 0 {
+		// The opt-in service charge: the handler ran, so its virtual
+		// service time is consumed — whether the reply is good, bad, or
+		// unencodable. Cache hits and sheds never reach this point.
+		s.link.AdvanceClock(charge)
 	}
 	if crashed {
 		return true
@@ -628,6 +727,27 @@ type Client struct {
 	// is the shared medium's, so other callers' traffic counts against
 	// the budget — as wall time on a real wire would.
 	DeadlineMicros float64
+	// Expiry, when positive, is the caller's absolute virtual-time
+	// deadline (µs) for the next call: stamped into the call header so
+	// the server's deadline-aware shedding can see the caller's
+	// remaining budget, and checked before every (re)transmission — a
+	// call whose expiry has already passed is shed locally as
+	// ErrOverloaded without touching the wire. Unlike DeadlineMicros it
+	// never fails a delivered reply: a late answer is still an answer
+	// (the op executed); it is the caller's SLA scoring, not the
+	// transport, that penalises the lateness. Open-loop load sessions
+	// set it per call.
+	Expiry float64
+	// Budget, when set, is the retry budget every retransmission must
+	// be paid from; an empty budget abandons the call instead of
+	// retrying. Sharing one budget among the clients of a process
+	// gives the classic formulation: the process's retries are a
+	// fraction of its successes.
+	Budget *RetryBudget
+
+	// jitter derives this client's deterministic backoff jitter from
+	// its ClientID (seeded lazily, so zero-value Clients work too).
+	jitter jitterRand
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -635,13 +755,15 @@ type Client struct {
 
 // NewClient builds a client on side of link.
 func NewClient(link *Link, side Endpoint) *Client {
+	id := link.allocClientID()
 	return &Client{
 		link:                 link,
 		side:                 side,
-		ClientID:             link.allocClientID(),
+		ClientID:             id,
 		MaxRetries:           3,
 		InitialBackoffMicros: 50,
 		MaxBackoffMicros:     1600,
+		jitter:               newJitterRand(id),
 	}
 }
 
@@ -669,6 +791,15 @@ var ErrCallFailed = errors.New("wire: call failed after retries")
 // deadline budget.
 var ErrDeadlineExceeded = errors.New("wire: call deadline exceeded")
 
+// ErrOverloaded reports a call the service refused to execute under
+// overload: every transmitted attempt was answered with a KindReject
+// (admission-queue full or deadline-expired shed), or the call's
+// expiry passed before a (re)transmission could leave and it was shed
+// locally. On a clean wire the op provably did not execute — no
+// handler ran, nothing was logged or cached — so the caller may score
+// it as refused work, not lost work.
+var ErrOverloaded = errors.New("wire: overloaded")
+
 // RemoteError carries a server-side failure back to the caller.
 type RemoteError struct{ Msg string }
 
@@ -684,6 +815,32 @@ func (c *Client) deadlineErr(proc uint32, start float64) error {
 // its virtual-time budget.
 func (c *Client) overDeadline(start float64) bool {
 	return c.DeadlineMicros > 0 && c.link.Clock()-start >= c.DeadlineMicros
+}
+
+// expiryStamp derives the absolute deadline propagated in a call
+// header: Expiry when the caller set one, else now+DeadlineMicros,
+// else 0 (no deadline). Saturated to the 32-bit header field — about
+// 71 virtual minutes, beyond every soak's horizon.
+func (c *Client) expiryStamp() uint32 {
+	e := c.Expiry
+	if e <= 0 {
+		if c.DeadlineMicros <= 0 {
+			return 0
+		}
+		e = c.link.Clock() + c.DeadlineMicros
+	}
+	if e >= float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	if e < 1 {
+		return 1
+	}
+	return uint32(e)
+}
+
+// overExpiry reports whether the caller's absolute expiry has passed.
+func (c *Client) overExpiry() bool {
+	return c.Expiry > 0 && c.link.Clock() >= c.Expiry
 }
 
 // Call invokes proc with args against server, driving the server's
@@ -712,7 +869,7 @@ func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{
 		putBuf(buf)
 		return nil, err
 	}
-	frame, err := AppendEncode(getBuf(), Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID}, payload)
+	frame, err := AppendEncode(getBuf(), Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID, Expiry: c.expiryStamp()}, payload)
 	putBuf(payload)
 	if err != nil {
 		return nil, err
@@ -734,34 +891,63 @@ func (c *Client) call(server *Server, id uint32, proc uint32, args ...interface{
 const okFlagBytes = 2
 
 // drive transmits a sealed call frame and runs the retransmission loop
-// — capped exponential backoff, deadline budget, reply-protocol
-// decode — until the call concludes. On success it returns the reply's
-// result stream: the payload past the leading ok flag, ready for
-// Unmarshal (the boxed path) or an Args cursor (the raw path). The
-// returned bytes view the delivered frame, which the link never
-// reuses. Frame bytes are not retained: the caller may recycle frame
-// when drive returns.
+// — capped exponential backoff with seed-derived jitter, deadline
+// budget, expiry shedding, retry budget, reply-protocol decode — until
+// the call concludes. On success it returns the reply's result stream:
+// the payload past the leading ok flag, ready for Unmarshal (the boxed
+// path) or an Args cursor (the raw path). The returned bytes view the
+// delivered frame, which the link never reuses. Frame bytes are not
+// retained: the caller may recycle frame when drive returns.
 func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]byte, error) {
 	rec := c.link.Recorder()
 	start := c.link.Clock()
 	if rec.Enabled() {
 		rec.Event("client", "call_start", c.ClientID, id, "proc="+strconv.Itoa(int(proc)))
 	}
+	if c.jitter.state == 0 {
+		c.jitter = newJitterRand(c.ClientID)
+	}
 	backoff := c.InitialBackoffMicros
+	rejected := 0
 	for attempt := 0; attempt <= c.MaxRetries; attempt++ {
+		if c.overExpiry() {
+			// The caller's absolute deadline passed before this
+			// (re)transmission left: nobody downstream would want the
+			// answer, so the call is shed here — zero wire traffic, and
+			// on a clean wire provably unexecuted.
+			c.count(func(st *Stats) { st.ShedLocal++ })
+			rec.Event("client", "call_end", c.ClientID, id, "status=shed_local")
+			return nil, fmt.Errorf("%w (proc %d, expired before send)", ErrOverloaded, proc)
+		}
 		if c.overDeadline(start) {
 			rec.Event("client", "call_end", c.ClientID, id, "status=deadline")
 			return nil, c.deadlineErr(proc, start)
 		}
 		if attempt > 0 {
+			if c.Budget != nil && !c.Budget.Spend() {
+				// Out of retry tokens: abandoning beats amplifying. With
+				// rejects in this call's history the server is shedding —
+				// surface it as overload; otherwise the wire is just lossy.
+				c.count(func(st *Stats) { st.RetryBudgetDenied++ })
+				rec.Event("client", "call_end", c.ClientID, id, "status=budget")
+				if rejected > 0 {
+					return nil, fmt.Errorf("%w (proc %d, retry budget exhausted after %d rejects)", ErrOverloaded, proc, rejected)
+				}
+				return nil, fmt.Errorf("%w (proc %d, retry budget exhausted)", ErrCallFailed, proc)
+			}
+			// Jitter desynchronises the fleet: each client scales every
+			// pause by a deterministic per-client draw in [0.5, 1.5), so
+			// N clients that lost frames to one burst do not retransmit
+			// in lockstep and re-collide forever.
+			pause := backoff * (0.5 + c.jitter.float64())
 			c.count(func(st *Stats) {
 				st.Retries++
-				st.BackoffMicros += backoff
+				st.BackoffMicros += pause
 			})
 			rec.Event("client", "retransmit", c.ClientID, id,
-				"attempt="+strconv.Itoa(attempt)+" backoff="+strconv.FormatFloat(backoff, 'g', -1, 64))
-			rec.Observe("call.backoff", backoff)
-			c.link.AdvanceClock(backoff)
+				"attempt="+strconv.Itoa(attempt)+" backoff="+strconv.FormatFloat(pause, 'g', -1, 64))
+			rec.Observe("call.backoff", pause)
+			c.link.AdvanceClock(pause)
 			backoff *= 2
 			if backoff > c.MaxBackoffMicros {
 				backoff = c.MaxBackoffMicros
@@ -769,13 +955,27 @@ func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]
 		}
 		c.link.Send(c.side, frame)
 		server.Poll()
-		payload, err := c.awaitReplyFrame(rec, id)
+		payload, reason, err := c.awaitReplyFrame(rec, id)
 		if errors.Is(err, ErrEmpty) {
 			continue // lost or corrupted somewhere: resend
 		}
 		if err != nil {
 			rec.Event("client", "call_end", c.ClientID, id, "status=error")
 			return nil, err
+		}
+		if reason != 0 {
+			// The server shed this attempt without executing it. Busy
+			// sheds may clear once the queue drains, expired sheds once
+			// the caller re-stamps — either way the next attempt (if the
+			// budget and expiry allow one) is a fresh admission try.
+			rejected++
+			c.count(func(st *Stats) { st.Rejects++ })
+			continue
+		}
+		if c.Budget != nil {
+			// A delivered reply is a completed request — whatever it
+			// says — and completions are what fund future retries.
+			c.Budget.Earn()
 		}
 		// The reply protocol: a leading ok flag, then results on success
 		// or the error message on handler failure.
@@ -804,29 +1004,52 @@ func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]
 		return payload[okFlagBytes:], nil
 	}
 	rec.Event("client", "call_end", c.ClientID, id, "status=exhausted")
+	if rejected > 0 {
+		return nil, fmt.Errorf("%w (proc %d, %d rejects)", ErrOverloaded, proc, rejected)
+	}
 	return nil, fmt.Errorf("%w (proc %d)", ErrCallFailed, proc)
 }
 
-// awaitReplyFrame drains this client's receive queue until the reply to
-// call id appears, returning its verified payload. Damaged frames and
-// frames for other calls (stale replies from earlier retransmissions,
-// duplicates) are counted and skipped; an empty queue returns ErrEmpty
-// so the caller retransmits. Other clients' replies are never seen here
-// — the link routes them to their own queues. The reply's epoch stamp
-// is tracked: a bump means the server restarted since this client's
-// last reply, and the session has been re-established against the new
-// incarnation.
-func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, error) {
+// awaitReplyFrame drains this client's receive queue until the reply
+// to call id appears, returning its verified payload — or, for a
+// KindReject answering this call, a nonzero reject reason. Damaged
+// frames and frames for other calls (stale replies from earlier
+// retransmissions, duplicates) are counted and skipped; an empty queue
+// returns ErrEmpty so the caller retransmits. Other clients' replies
+// are never seen here — the link routes them to their own queues. The
+// reply's epoch stamp is tracked: a bump means the server restarted
+// since this client's last reply, and the session has been
+// re-established against the new incarnation. Rejects are fenced like
+// replies (a deposed primary cannot shed a call the promoted backup
+// owns) but never advance the session epoch — nothing was executed.
+func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, byte, error) {
 	for {
 		frame, err := c.link.RecvClient(c.side, c.ClientID)
 		if err != nil {
-			return nil, err // ErrEmpty: nothing arrived
+			return nil, 0, err // ErrEmpty: nothing arrived
 		}
 		h, payload, err := Decode(frame)
 		if err != nil {
 			c.count(func(st *Stats) { st.BadFrames++ })
 			putBuf(frame) // damaged: nobody will ever read it
 			continue
+		}
+		if h.Kind == KindReject && h.CallID == id && h.ClientID == c.ClientID {
+			if h.Epoch != 0 && c.Fence != nil && !c.Fence.Admit(h.Epoch) {
+				c.count(func(st *Stats) { st.FencedReplies++ })
+				putBuf(frame)
+				rec.Event("client", "fenced", c.ClientID, id,
+					"epoch="+strconv.Itoa(int(h.Epoch)))
+				continue
+			}
+			reason := RejectBusy
+			if len(payload) >= 1 {
+				reason = payload[0]
+			}
+			putBuf(frame) // the reason byte is all there was to read
+			rec.Event("client", "rejected", c.ClientID, id,
+				"reason="+strconv.Itoa(int(reason)))
+			return nil, reason, nil
 		}
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
 			c.count(func(st *Stats) { st.StaleFrames++ })
@@ -852,7 +1075,7 @@ func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, error) {
 			c.epoch = h.Epoch
 		}
 		rec.Event("client", "recv_reply", c.ClientID, id, "")
-		return payload, nil
+		return payload, 0, nil
 	}
 }
 
@@ -867,7 +1090,7 @@ func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, error) {
 func (c *Client) CallRaw(server *Server, proc uint32, w *CallArgs) (Args, error) {
 	c.nextID++
 	id := c.nextID
-	frame, err := FinishFrame(w.frame, Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID})
+	frame, err := FinishFrame(w.frame, Header{Kind: KindCall, CallID: id, ProcID: proc, ClientID: c.ClientID, Expiry: c.expiryStamp()})
 	if err != nil {
 		w.release()
 		return Args{}, err

@@ -1,0 +1,774 @@
+package workload
+
+// The open-loop load generator: a discrete-event simulation, on the
+// wire's virtual clock, of up to a million independent sessions
+// pressing metadata operations onto the real decomposed file service —
+// real frames through the real codec, admission control, reply cache,
+// and WAL, not a queueing model of them. "Open loop" is the property
+// that matters for overload: arrivals are scheduled by the workload's
+// own arrival process (bursty session activations over a diurnal ramp,
+// with a configurable overload burst), not by completions, so a slow
+// server does not slow its offered load — the regime where retry
+// storms turn a transient burst into a metastable collapse.
+//
+// Each logical op is one RPC: a Mkdir (mutation) or Stat (read) on a
+// Zipf-popular path. Sessions multiplex onto a bounded pool of wire
+// client identities (a connection pool), one outstanding call per
+// identity, so the server's per-client at-most-once window holds.
+// Client behaviour mirrors wire.Client's discipline: an absolute
+// deadline stamped into the frame header (when deadline propagation is
+// on), jittered retransmission backoff, a shared retry budget, and —
+// above the transport — the application-level re-issue: a user whose
+// request failed presses the button again, with a fresh deadline and a
+// fresh call ID. Re-issues are what dedup cannot absorb, and what
+// sustains collapse when the server keeps executing work whose callers
+// have already given up.
+//
+// Everything is seeded and single-threaded: same seed, same arrival
+// schedule, same byte-identical result — and the arrival process draws
+// from its own PRNG stream, so toggling the overload controls changes
+// the service's behaviour under a load that is provably the same.
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"archos/internal/fs"
+	"archos/internal/fsserver"
+	"archos/internal/ipc"
+	"archos/internal/ipc/wire"
+)
+
+// LoadControls selects which overload defences the run arms. The zero
+// value is the undefended configuration: no deadline in the frame
+// header, no server-side shedding, unlimited retransmissions.
+type LoadControls struct {
+	// PropagateDeadline stamps each call's absolute deadline into the
+	// frame header, giving the server grounds to shed expired work.
+	PropagateDeadline bool `json:"propagate_deadline"`
+	// ShedExpired arms the server's deadline-aware admission check.
+	ShedExpired bool `json:"shed_expired"`
+	// MaxShardQueue bounds the server's per-shard admission queue
+	// (0 = unbounded). It only bites under concurrent dispatch; the
+	// single-threaded soak's pressure valve is deadline shedding.
+	MaxShardQueue int `json:"max_shard_queue"`
+	// RetryBudgetRatio funds retransmissions at this fraction of
+	// completions (0 = unlimited retransmissions).
+	RetryBudgetRatio float64 `json:"retry_budget_ratio"`
+	// RetryBudgetBurst is the budget's bucket depth.
+	RetryBudgetBurst int `json:"retry_budget_burst"`
+}
+
+// ControlsOn is the defended configuration: deadlines propagate, the
+// server sheds expired work, and retransmissions are budgeted.
+func ControlsOn() LoadControls {
+	return LoadControls{
+		PropagateDeadline: true,
+		ShedExpired:       true,
+		RetryBudgetRatio:  0.1,
+		RetryBudgetBurst:  8,
+	}
+}
+
+// ControlsOff is the undefended configuration.
+func ControlsOff() LoadControls { return LoadControls{} }
+
+// LoadConfig parameterises one open-loop run. All times are virtual
+// microseconds; all rates are per virtual second.
+type LoadConfig struct {
+	Seed     int64 `json:"seed"`
+	Sessions int   `json:"sessions"` // logical session identity space (up to 1e6)
+
+	Paths         int     `json:"paths"`          // path universe size
+	ZipfS         float64 `json:"zipf_s"`         // path popularity skew (>1)
+	WriteFraction float64 `json:"write_fraction"` // fraction of ops that are Mkdir; rest Stat
+
+	DurationMicros float64 `json:"duration_micros"`
+	BaseRate       float64 `json:"base_rate"`   // offered ops/sec at the diurnal trough
+	DiurnalAmp     float64 `json:"diurnal_amp"` // peak adds amp*base halfway through the run
+	BurstFactor    float64 `json:"burst_factor"`
+	BurstStart     float64 `json:"burst_start_micros"`
+	BurstEnd       float64 `json:"burst_end_micros"`
+
+	ParetoAlpha float64 `json:"pareto_alpha"` // session burst-size tail exponent
+	BurstCap    int     `json:"burst_cap"`    // largest single session burst
+	IntraGap    float64 `json:"intra_gap_micros"`
+
+	ServiceMicros    float64 `json:"service_micros"` // per-executed-op charge; capacity = 1e6/this
+	DeadlineMicros   float64 `json:"deadline_micros"`
+	RetransmitMicros float64 `json:"retransmit_micros"`
+	TransportRetries int     `json:"transport_retries"` // retransmissions per issue
+	ReissueMax       int     `json:"reissue_max"`       // application-level re-issues per op
+	ReissueDelay     float64 `json:"reissue_delay_micros"`
+	MaxInFlight      int     `json:"max_in_flight"` // connection-pool size
+
+	WindowMicros float64 `json:"window_micros"` // curve bucket width
+	CacheBlocks  int     `json:"cache_blocks"`  // server file-system size
+
+	Controls LoadControls `json:"controls"`
+}
+
+// DefaultLoadConfig sizes a run that collapses without the controls
+// and recovers with them: capacity 10k ops/s (100 µs service charge),
+// 60% baseline utilisation, and a 4× burst through the middle that
+// outruns capacity long enough for every queued op to blow its 20 ms
+// deadline.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Seed:     1991,
+		Sessions: 100_000,
+
+		Paths:         4096,
+		ZipfS:         1.2,
+		WriteFraction: 0.3,
+
+		DurationMicros: 2_000_000,
+		BaseRate:       6000,
+		DiurnalAmp:     0.25,
+		BurstFactor:    4,
+		BurstStart:     500_000,
+		BurstEnd:       800_000,
+
+		ParetoAlpha: 1.5,
+		BurstCap:    64,
+		IntraGap:    200,
+
+		ServiceMicros:    100,
+		DeadlineMicros:   20_000,
+		RetransmitMicros: 8_000,
+		TransportRetries: 2,
+		ReissueMax:       2,
+		ReissueDelay:     10_000,
+		MaxInFlight:      512,
+
+		WindowMicros: 100_000,
+		CacheBlocks:  512,
+
+		Controls: ControlsOff(),
+	}
+}
+
+// LoadPoint is one time bucket of the throughput-vs-latency curve.
+type LoadPoint struct {
+	TMicros   float64 `json:"t_micros"` // bucket start
+	Offered   int     `json:"offered"`  // fresh arrivals scheduled in the bucket
+	Done      int     `json:"done"`     // replies delivered in the bucket, any latency
+	Goodput   int     `json:"goodput"`  // replies delivered within their deadline
+	Failed    int     `json:"failed"`   // ops given up in the bucket
+	Shed      int     `json:"shed"`     // reject frames seen in the bucket
+	P99Micros float64 `json:"p99_micros"`
+}
+
+// LoadResult is one run's outcome: aggregate counters, the per-window
+// curve, and the evidence needed to check the run against a monolithic
+// replay.
+type LoadResult struct {
+	Curve []LoadPoint `json:"curve"`
+
+	Offered         int `json:"offered"`  // fresh arrivals
+	Reissues        int `json:"reissues"` // application-level re-issues
+	Issued          int `json:"issued"`   // call frames for distinct (op, incarnation)
+	Retransmits     int `json:"retransmits"`
+	ClientDropped   int `json:"client_dropped"` // arrivals that found no free connection
+	Executed        int `json:"executed"`       // op incarnations the server answered
+	Goodput         int `json:"goodput"`        // answered within deadline
+	Failed          int `json:"failed"`
+	Rejected        int `json:"rejected"` // ops failed by a reject frame
+	Timeouts        int `json:"timeouts"`
+	BudgetDenied    int `json:"budget_denied"`
+	SessionsTouched int `json:"sessions_touched"`
+
+	CapacityPerSec float64 `json:"capacity_per_sec"`
+	ClockMicros    float64 `json:"clock_micros"`
+
+	// Fingerprint digests the server's final file-system state;
+	// AcceptedMkdirs is the sorted set of directories whose creation the
+	// service provably executed (a reply — success or name collision —
+	// came back for a Mkdir on that path). Replaying the set on a fresh
+	// monolithic arrangement must reproduce Fingerprint exactly: the
+	// overload plane may refuse work, but everything it accepted took
+	// effect exactly once.
+	Fingerprint    string   `json:"fingerprint"`
+	AcceptedMkdirs []string `json:"accepted_mkdirs"`
+
+	ServerStats wire.Stats `json:"server_stats"`
+}
+
+// ReplayAccepted re-runs every accepted mutation against mkdir — a
+// fresh monolithic service, typically — so the caller can compare
+// fingerprints. The load paths are single-component siblings, so the
+// set replays order-independently; any error is a real divergence.
+func (r *LoadResult) ReplayAccepted(mkdir func(string) error) error {
+	for _, p := range r.AcceptedMkdirs {
+		if err := mkdir(p); err != nil {
+			return fmt.Errorf("replay of accepted mkdir %s: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// op states.
+const (
+	opInFlight = iota + 1
+	opDone
+	opFailed
+)
+
+// pending is one frame waiting in the NIC queue.
+type pending struct {
+	ci    int
+	frame []byte
+}
+
+// flight is one incarnation's transport record: which op and which of
+// its incarnations the call ID belongs to, and how many responses the
+// incarnation is still owed. Late responses to an abandoned
+// incarnation route here and prove execution without being allowed to
+// complete the op's current incarnation.
+type flight struct {
+	op   *lop
+	gen  int
+	sent int // transmissions of this incarnation
+	seen int // responses drained for it
+}
+
+// lop is one logical operation (and its re-issued incarnations).
+type lop struct {
+	session int
+	proc    uint32
+	path    string
+	payload []byte
+
+	arrival  float64 // this incarnation's scheduled issue time
+	deadline float64
+
+	state    int
+	gen      int // incarnation counter; stale timers check it
+	conn     int // pool index, -1 when not holding a connection
+	callID   uint32
+	frame    []byte
+	fl       *flight // current incarnation's transport record
+	attempts int
+	backoff  float64
+	reissues int
+	answered bool // some incarnation got a reply (op executed)
+}
+
+// event kinds.
+const (
+	evActivate = iota
+	evArrive
+	evRetx
+	evTimeout
+	evServe
+)
+
+type levent struct {
+	t    float64
+	seq  int // tie-break, preserving scheduling order
+	kind int
+	op   *lop
+	gen  int
+}
+
+type eventHeap []levent
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(levent)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// loadRun is the live state of one simulation.
+type loadRun struct {
+	cfg    LoadConfig
+	link   *wire.Link
+	srv    *fsserver.Server
+	budget *wire.RetryBudget
+
+	// arrive drives the arrival process, behave everything the client
+	// does about failures — separate streams so the offered load is
+	// byte-identical across control settings.
+	arrive *rand.Rand
+	behave *rand.Rand
+	zipf   *rand.Zipf
+
+	events eventHeap
+	seq    int
+
+	connID  []uint32 // pool index -> wire client ID
+	nextCID []uint32 // pool index -> next call ID
+	free    []int
+	flights map[uint64]*flight
+	drainQ  []int // pool indexes with responses owed this round
+	inDrain []bool
+
+	// sendQ is the NIC queue between the clients and the server: frames
+	// wait here and a chain of serve events feeds them to the server one
+	// at a time, each charged at the service rate — so client timers
+	// genuinely race server completions on the shared clock, instead of
+	// every call resolving in the instant it was issued.
+	sendQ    []pending
+	sendHead int
+	serving  bool
+
+	touched []bool
+	nTouch  int
+
+	accepted map[string]bool
+
+	res  *LoadResult
+	lats [][]float64 // per-window completion latencies
+}
+
+// RunLoad executes one open-loop run and returns its result. Same
+// config, same result, bit for bit.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Sessions < 1 || cfg.Paths < 2 || cfg.ZipfS <= 1 {
+		return nil, fmt.Errorf("workload: load config needs sessions ≥ 1, paths ≥ 2, zipf s > 1")
+	}
+	if cfg.ServiceMicros <= 0 || cfg.BaseRate <= 0 || cfg.DurationMicros <= 0 ||
+		cfg.DeadlineMicros <= 0 || cfg.RetransmitMicros <= 0 || cfg.WindowMicros <= 0 ||
+		cfg.MaxInFlight < 1 || cfg.ParetoAlpha <= 1 {
+		return nil, fmt.Errorf("workload: load config has a non-positive rate, time, or pool size")
+	}
+
+	r := &loadRun{
+		cfg: cfg,
+		// The wire itself is effectively free (a fat local link):
+		// capacity comes from the service charge alone, so the
+		// collapse-vs-recovery comparison is about scheduling, not
+		// bandwidth.
+		link:     wire.NewLink(ipc.NetworkConfig{Name: "load", BandwidthMbps: 1e6}),
+		arrive:   rand.New(rand.NewSource(cfg.Seed)),
+		behave:   rand.New(rand.NewSource(cfg.Seed ^ 0x6c6f6164)), // "load"
+		flights:  map[uint64]*flight{},
+		touched:  make([]bool, cfg.Sessions),
+		accepted: map[string]bool{},
+		res:      &LoadResult{CapacityPerSec: 1e6 / cfg.ServiceMicros},
+	}
+	r.zipf = rand.NewZipf(r.arrive, cfg.ZipfS, 1, uint64(cfg.Paths-1))
+
+	fsys := fs.New(cfg.CacheBlocks)
+	r.srv = fsserver.NewServer(fsys, r.link, wire.B)
+	r.srv.Wire.SetServiceCharge(cfg.ServiceMicros)
+	if cfg.Controls.ShedExpired || cfg.Controls.MaxShardQueue > 0 {
+		r.srv.Wire.SetAdmission(wire.AdmissionConfig{
+			MaxShardQueue: cfg.Controls.MaxShardQueue,
+			ShedExpired:   cfg.Controls.ShedExpired,
+		})
+	}
+	// Every pool identity must stay inside the at-most-once window for
+	// the whole run — eviction would re-execute a retransmission.
+	r.srv.Wire.ConfigureReplyCache(32, cfg.MaxInFlight/32+2)
+	if cfg.Controls.RetryBudgetRatio > 0 {
+		r.budget = wire.NewRetryBudget(cfg.Controls.RetryBudgetRatio, float64(cfg.Controls.RetryBudgetBurst))
+	}
+
+	r.connID = make([]uint32, cfg.MaxInFlight)
+	r.nextCID = make([]uint32, cfg.MaxInFlight)
+	r.inDrain = make([]bool, cfg.MaxInFlight)
+	r.free = make([]int, 0, cfg.MaxInFlight)
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		// NewClient registers the identity with the link's reply router;
+		// the pool drives the protocol itself and keeps only the ID.
+		r.connID[i] = wire.NewClient(r.link, wire.A).ClientID
+		r.free = append(r.free, i)
+	}
+
+	r.push(levent{t: 0, kind: evActivate})
+	for r.events.Len() > 0 {
+		e := heap.Pop(&r.events).(levent)
+		if now := r.link.Clock(); now < e.t {
+			r.link.AdvanceClock(e.t - now)
+		}
+		switch e.kind {
+		case evActivate:
+			r.activate(e.t)
+		case evArrive:
+			r.issue(e.op)
+		case evRetx:
+			r.retx(e.op, e.gen)
+		case evTimeout:
+			r.timeout(e.op, e.gen)
+		case evServe:
+			r.serve()
+		}
+	}
+	// Belt and braces: one final poll and a sweep of every pool queue.
+	// The serve chain answered every transmission before the heap could
+	// empty, so this finds nothing — unless the protocol grew a leak.
+	r.srv.Wire.Poll()
+	for i := range r.connID {
+		r.queueDrain(i)
+	}
+	r.drain()
+
+	r.finish()
+	return r.res, nil
+}
+
+// rate is the offered-load intensity at virtual time t: the diurnal
+// ramp (trough at the endpoints, peak mid-run) times the burst window.
+func (r *loadRun) rate(t float64) float64 {
+	c := r.cfg
+	v := c.BaseRate * (1 + c.DiurnalAmp*0.5*(1-math.Cos(2*math.Pi*t/c.DurationMicros)))
+	if t >= c.BurstStart && t < c.BurstEnd {
+		v *= c.BurstFactor
+	}
+	return v
+}
+
+// activate fires one session: it wakes, issues a heavy-tailed burst of
+// ops, and the process schedules its next activation so the op rate
+// tracks rate(t).
+func (r *loadRun) activate(t float64) {
+	c := r.cfg
+	if t < c.DurationMicros {
+		session := r.arrive.Intn(c.Sessions)
+		if !r.touched[session] {
+			r.touched[session] = true
+			r.nTouch++
+		}
+		k := r.burstSize()
+		for i := 0; i < k; i++ {
+			arrival := t + float64(i)*c.IntraGap
+			if arrival >= c.DurationMicros {
+				break
+			}
+			proc := fsserver.ProcStat
+			if r.arrive.Float64() < c.WriteFraction {
+				proc = fsserver.ProcMkdir
+			}
+			op := &lop{
+				session:  session,
+				proc:     proc,
+				path:     fmt.Sprintf("/z%05d", r.zipf.Uint64()),
+				arrival:  arrival,
+				deadline: arrival + c.DeadlineMicros,
+				conn:     -1,
+			}
+			r.res.Offered++
+			r.point(arrival).Offered++
+			r.push(levent{t: arrival, kind: evArrive, op: op})
+		}
+		// Mean burst size of the (uncapped) Pareto, so activations are
+		// paced to deliver rate(t) ops per second.
+		meanBurst := c.ParetoAlpha / (c.ParetoAlpha - 1)
+		r.push(levent{t: t + r.arrive.ExpFloat64()*meanBurst*1e6/r.rate(t), kind: evActivate})
+	}
+}
+
+// burstSize draws a Pareto(1, alpha) burst, capped.
+func (r *loadRun) burstSize() int {
+	u := r.arrive.Float64()
+	if u == 0 {
+		return r.cfg.BurstCap
+	}
+	k := int(math.Pow(u, -1/r.cfg.ParetoAlpha))
+	if k < 1 {
+		k = 1
+	}
+	if k > r.cfg.BurstCap {
+		k = r.cfg.BurstCap
+	}
+	return k
+}
+
+// issue places one incarnation of an op onto the wire: grab a
+// connection, seal the frame (deadline stamped if propagation is on),
+// transmit, and arm the retransmission and deadline timers.
+func (r *loadRun) issue(op *lop) {
+	now := r.link.Clock()
+	if len(r.free) == 0 {
+		r.res.ClientDropped++
+		r.fail(op, now, false)
+		return
+	}
+	ci := r.free[len(r.free)-1]
+	r.free = r.free[:len(r.free)-1]
+	r.nextCID[ci]++
+
+	op.conn = ci
+	op.callID = r.nextCID[ci]
+	op.state = opInFlight
+	op.attempts = 1
+	op.backoff = r.cfg.RetransmitMicros
+	op.fl = &flight{op: op, gen: op.gen}
+	if op.payload == nil {
+		p, err := wire.Marshal(op.path)
+		if err != nil {
+			panic(err) // a string argument always marshals
+		}
+		op.payload = p
+	}
+	var expiry uint32
+	if r.cfg.Controls.PropagateDeadline {
+		expiry = uint32(op.deadline)
+	}
+	frame, err := wire.Encode(wire.Header{
+		Kind:     wire.KindCall,
+		CallID:   op.callID,
+		ProcID:   op.proc,
+		ClientID: r.connID[ci],
+		Expiry:   expiry,
+	}, op.payload)
+	if err != nil {
+		panic(err) // bounded payload over our own codec: cannot fail
+	}
+	op.frame = frame
+	r.flights[flightKey(r.connID[ci], op.callID)] = op.fl
+	r.send(op)
+	r.res.Issued++
+	r.push(levent{t: now + op.backoff*(0.5+r.behave.Float64()), kind: evRetx, op: op, gen: op.gen})
+	r.push(levent{t: op.deadline, kind: evTimeout, op: op, gen: op.gen})
+}
+
+// send enqueues the sealed frame on the NIC queue and kicks the serve
+// chain if the server is idle.
+func (r *loadRun) send(op *lop) {
+	op.fl.sent++
+	r.sendQ = append(r.sendQ, pending{ci: op.conn, frame: op.frame})
+	if !r.serving {
+		r.serving = true
+		r.push(levent{t: r.link.Clock(), kind: evServe})
+	}
+}
+
+// serve feeds exactly one queued frame to the server. The server
+// executes it (charging the service time to the shared clock), sheds
+// it, or answers it from the reply cache; the response drains in the
+// same round. A non-empty queue schedules the next serve at the new
+// clock, so the server works the backlog serially at the service rate
+// — the FIFO queueing delay every overload mechanism here is about.
+func (r *loadRun) serve() {
+	if r.sendHead >= len(r.sendQ) {
+		r.serving = false
+		return
+	}
+	p := r.sendQ[r.sendHead]
+	r.sendHead++
+	if r.sendHead == len(r.sendQ) {
+		r.sendQ = r.sendQ[:0]
+		r.sendHead = 0
+	}
+	r.link.Send(wire.A, p.frame)
+	r.srv.Wire.Poll()
+	r.queueDrain(p.ci)
+	r.drain()
+	if r.sendHead < len(r.sendQ) {
+		r.push(levent{t: r.link.Clock(), kind: evServe})
+	} else {
+		r.serving = false
+	}
+}
+
+func (r *loadRun) queueDrain(ci int) {
+	if !r.inDrain[ci] {
+		r.inDrain[ci] = true
+		r.drainQ = append(r.drainQ, ci)
+	}
+}
+
+// retx fires the retransmission timer for one incarnation. It only
+// ever retransmits: the same sealed frame, same call ID, same stamped
+// deadline — the transport never forges a fresh deadline for stale
+// work — and when the retries or the budget run out it simply stops
+// sending copies. Giving up belongs to the deadline timer alone: a
+// caller waits out its full patience before pressing the button again.
+func (r *loadRun) retx(op *lop, gen int) {
+	if op.state != opInFlight || op.gen != gen {
+		return
+	}
+	now := r.link.Clock()
+	if now >= op.deadline || op.attempts > r.cfg.TransportRetries {
+		return
+	}
+	if r.budget != nil && !r.budget.Spend() {
+		r.res.BudgetDenied++
+		return
+	}
+	op.attempts++
+	r.res.Retransmits++
+	r.send(op)
+	if op.backoff *= 2; op.backoff > 4*r.cfg.RetransmitMicros {
+		op.backoff = 4 * r.cfg.RetransmitMicros
+	}
+	r.push(levent{t: now + op.backoff*(0.5+r.behave.Float64()), kind: evRetx, op: op, gen: gen})
+}
+
+// timeout fires at the incarnation's deadline: if no response settled
+// the op by then, the caller gives up — and, re-issues permitting,
+// presses the button again.
+func (r *loadRun) timeout(op *lop, gen int) {
+	if op.state != opInFlight || op.gen != gen {
+		return
+	}
+	r.res.Timeouts++
+	r.fail(op, r.link.Clock(), false)
+}
+
+// fail ends one incarnation: release the connection, score the
+// failure, and — sessions being sessions — schedule the re-issue if
+// the op has presses left. The re-issue is a fresh call: new call ID,
+// new deadline, a fresh draw on the service.
+func (r *loadRun) fail(op *lop, now float64, rejected bool) {
+	op.state = opFailed
+	r.res.Failed++
+	r.point(now).Failed++
+	if rejected {
+		r.res.Rejected++
+	}
+	r.release(op)
+	if op.reissues < r.cfg.ReissueMax {
+		op.reissues++
+		op.gen++
+		op.frame = nil
+		r.res.Reissues++
+		op.arrival = now + r.cfg.ReissueDelay*(0.5+r.behave.Float64())
+		op.deadline = op.arrival + r.cfg.DeadlineMicros
+		r.push(levent{t: op.arrival, kind: evArrive, op: op})
+	}
+}
+
+func (r *loadRun) release(op *lop) {
+	if op.conn >= 0 {
+		r.free = append(r.free, op.conn)
+		op.conn = -1
+	}
+}
+
+// drain routes every response delivered this round to its op. Replies
+// — success or remote error — prove execution and earn the budget;
+// rejects prove the opposite.
+func (r *loadRun) drain() {
+	for len(r.drainQ) > 0 {
+		ci := r.drainQ[len(r.drainQ)-1]
+		r.drainQ = r.drainQ[:len(r.drainQ)-1]
+		r.inDrain[ci] = false
+		for {
+			frame, err := r.link.RecvClient(wire.A, r.connID[ci])
+			if err != nil {
+				break
+			}
+			h, _, derr := wire.Decode(frame)
+			if derr != nil {
+				continue // clean link: unreachable
+			}
+			key := flightKey(h.ClientID, h.CallID)
+			fl, ok := r.flights[key]
+			if !ok {
+				continue
+			}
+			fl.seen++
+			op := fl.op
+			live := fl.gen == op.gen && op.state == opInFlight
+			now := r.link.Clock()
+			switch h.Kind {
+			case wire.KindReply:
+				if r.budget != nil {
+					r.budget.Earn()
+				}
+				if !op.answered {
+					op.answered = true
+					r.res.Executed++
+					if op.proc == fsserver.ProcMkdir {
+						r.accepted[op.path] = true
+					}
+				}
+				if live {
+					op.state = opDone
+					r.release(op)
+					lat := now - op.arrival
+					p := r.point(now)
+					p.Done++
+					if now <= op.deadline {
+						p.Goodput++
+						r.res.Goodput++
+					}
+					idx := r.winIdx(now)
+					r.lats[idx] = append(r.lats[idx], lat)
+				}
+			case wire.KindReject:
+				r.point(now).Shed++
+				if live {
+					r.fail(op, now, true)
+				}
+			}
+			if fl.seen == fl.sent && (fl.gen != op.gen || op.state != opInFlight) {
+				delete(r.flights, key)
+			}
+		}
+	}
+}
+
+// finish assembles the result.
+func (r *loadRun) finish() {
+	res := r.res
+	res.SessionsTouched = r.nTouch
+	res.ClockMicros = r.link.Clock()
+	res.ServerStats = r.srv.Wire.Stats()
+	res.Fingerprint = r.srv.CurrentFS().Fingerprint()
+	res.AcceptedMkdirs = make([]string, 0, len(r.accepted))
+	for p := range r.accepted {
+		res.AcceptedMkdirs = append(res.AcceptedMkdirs, p)
+	}
+	sort.Strings(res.AcceptedMkdirs)
+	for i := range res.Curve {
+		res.Curve[i].P99Micros = p99(r.lats[i])
+	}
+}
+
+// p99 is the 99th-percentile of one window's completion latencies.
+func p99(lats []float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	return s[(len(s)*99)/100]
+}
+
+func (r *loadRun) push(e levent) {
+	e.seq = r.seq
+	r.seq++
+	heap.Push(&r.events, e)
+}
+
+// winIdx returns the curve bucket for time t, growing the curve as the
+// drain tail runs past the configured duration.
+func (r *loadRun) winIdx(t float64) int {
+	idx := int(t / r.cfg.WindowMicros)
+	if idx < 0 {
+		idx = 0
+	}
+	for len(r.res.Curve) <= idx {
+		r.res.Curve = append(r.res.Curve, LoadPoint{
+			TMicros: float64(len(r.res.Curve)) * r.cfg.WindowMicros,
+		})
+		r.lats = append(r.lats, nil)
+	}
+	return idx
+}
+
+func (r *loadRun) point(t float64) *LoadPoint {
+	return &r.res.Curve[r.winIdx(t)]
+}
+
+func flightKey(clientID, callID uint32) uint64 {
+	return uint64(clientID)<<32 | uint64(callID)
+}

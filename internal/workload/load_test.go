@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"archos/internal/arch"
+	"archos/internal/fs"
+	"archos/internal/fsserver"
+	"archos/internal/kernel"
+)
+
+// tailWindows sums a metric over the curve windows in [from, to).
+func tailWindows(res *LoadResult, from, to float64, f func(LoadPoint) int) int {
+	sum := 0
+	for _, p := range res.Curve {
+		if p.TMicros >= from && p.TMicros < to {
+			sum += f(p)
+		}
+	}
+	return sum
+}
+
+// TestOverloadCollapseAndRecovery is the headline soak: the same
+// seeded open-loop load — a 4× burst through the middle of the run —
+// against the undefended and the defended service. Undefended, the
+// burst tips the service into metastable collapse: it executes work
+// whose callers have given up, their re-issues keep the queue past the
+// deadline horizon, and goodput stays near zero long after the burst
+// has ended. Defended, expired work is shed at ~zero cost, goodput
+// tracks capacity through the burst, and the service recovers to
+// baseline when the burst passes.
+func TestOverloadCollapseAndRecovery(t *testing.T) {
+	cfg := DefaultLoadConfig()
+
+	cfg.Controls = ControlsOff()
+	off, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Controls = ControlsOn()
+	on, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The two runs face the same offered load, drawn from a dedicated
+	// arrival PRNG stream.
+	if off.Offered != on.Offered {
+		t.Fatalf("offered load differs across control settings: %d vs %d", off.Offered, on.Offered)
+	}
+	t.Logf("off: %+v", summarize(off))
+	t.Logf("on:  %+v", summarize(on))
+	for i := range off.Curve {
+		p := off.Curve[i]
+		t.Logf("off win %4.1fs offered=%4d done=%4d good=%4d failed=%4d shed=%4d p99=%6.0f",
+			p.TMicros/1e6, p.Offered, p.Done, p.Goodput, p.Failed, p.Shed, p.P99Micros)
+	}
+	for i := range on.Curve {
+		p := on.Curve[i]
+		t.Logf("on  win %4.1fs offered=%4d done=%4d good=%4d failed=%4d shed=%4d p99=%6.0f",
+			p.TMicros/1e6, p.Offered, p.Done, p.Goodput, p.Failed, p.Shed, p.P99Micros)
+	}
+
+	// Tail of the run: burst long over, arrivals back under capacity.
+	tail0, tail1 := 1_500_000.0, 2_000_000.0
+	offTailGood := tailWindows(off, tail0, tail1, func(p LoadPoint) int { return p.Goodput })
+	offTailOffered := tailWindows(off, tail0, tail1, func(p LoadPoint) int { return p.Offered })
+	onTailGood := tailWindows(on, tail0, tail1, func(p LoadPoint) int { return p.Goodput })
+
+	// Undefended: metastable — goodput stays collapsed post-burst.
+	if offTailOffered == 0 {
+		t.Fatal("no offered load in the tail; config broken")
+	}
+	if lim := offTailOffered / 10; offTailGood > lim {
+		t.Errorf("undefended tail goodput = %d of %d offered; expected collapse (< %d)",
+			offTailGood, offTailOffered, lim)
+	}
+	// Defended: recovered — tail goodput back to a healthy fraction of
+	// the same offered load.
+	if lim := (offTailOffered * 8) / 10; onTailGood < lim {
+		t.Errorf("defended tail goodput = %d of %d offered; expected recovery (> %d)",
+			onTailGood, offTailOffered, lim)
+	}
+
+	// The defences actually fired, and only on the defended run.
+	if off.ServerStats.ShedExpired != 0 || off.Rejected != 0 {
+		t.Errorf("undefended run shed work: %d expired, %d rejected ops",
+			off.ServerStats.ShedExpired, off.Rejected)
+	}
+	if on.ServerStats.ShedExpired == 0 || on.Rejected == 0 {
+		t.Errorf("defended run never shed: stats %+v, rejected %d", on.ServerStats, on.Rejected)
+	}
+	// Undefended the server burns capacity executing everything ever
+	// sent; defended it executes strictly less.
+	if on.ServerStats.Served >= off.ServerStats.Served {
+		t.Errorf("defended server executed %d ops, undefended %d; shedding saved nothing",
+			on.ServerStats.Served, off.ServerStats.Served)
+	}
+}
+
+type soakSummary struct {
+	Offered, Reissues, Executed, Goodput, Failed, Rejected, Timeouts, Dropped int
+	Sessions, Served                                                         int
+}
+
+func summarize(r *LoadResult) soakSummary {
+	return soakSummary{
+		Offered: r.Offered, Reissues: r.Reissues, Executed: r.Executed,
+		Goodput: r.Goodput, Failed: r.Failed, Rejected: r.Rejected,
+		Timeouts: r.Timeouts, Dropped: r.ClientDropped,
+		Sessions: r.SessionsTouched, Served: r.ServerStats.Served,
+	}
+}
+
+// TestLoadRunIsDeterministic: same config, byte-identical result —
+// curve, stats, fingerprint, accepted set, final clock.
+func TestLoadRunIsDeterministic(t *testing.T) {
+	for _, controls := range []LoadControls{ControlsOff(), ControlsOn()} {
+		cfg := DefaultLoadConfig()
+		cfg.DurationMicros = 1_000_000
+		cfg.Controls = controls
+		a, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("controls %+v: same seed produced different results", controls)
+		}
+	}
+}
+
+// TestLoadAcceptedMatchesMonolithic: whatever the overload plane did —
+// shed, reject, deny retries — the set of mutations the service
+// accepted replays on a fresh monolithic arrangement to the identical
+// file-system fingerprint. Refusing work must never corrupt accepted
+// work, under either control setting.
+func TestLoadAcceptedMatchesMonolithic(t *testing.T) {
+	cm := kernel.NewCostModel(arch.R3000)
+	for _, controls := range []LoadControls{ControlsOff(), ControlsOn()} {
+		cfg := DefaultLoadConfig()
+		cfg.DurationMicros = 1_200_000
+		cfg.Controls = controls
+		res, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clean := fs.New(cfg.CacheBlocks)
+		direct := fsserver.NewDirect(clean, cm)
+		if err := res.ReplayAccepted(direct.Mkdir); err != nil {
+			t.Fatalf("controls %+v: %v", controls, err)
+		}
+		if got := clean.Fingerprint(); got != res.Fingerprint {
+			t.Errorf("controls %+v: accepted-op replay diverged from the service's state", controls)
+		}
+	}
+}
+
+// TestLoadMillionSessions: the generator carries a million-session
+// identity space without breaking a sweat — and the arrival process
+// actually spreads across it.
+func TestLoadMillionSessions(t *testing.T) {
+	cfg := DefaultLoadConfig()
+	cfg.Sessions = 1_000_000
+	cfg.DurationMicros = 1_000_000
+	cfg.Controls = ControlsOn()
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SessionsTouched < 500 {
+		t.Errorf("only %d sessions activated", res.SessionsTouched)
+	}
+	if res.Offered == 0 || res.Executed == 0 {
+		t.Errorf("run did nothing: %+v", summarize(res))
+	}
+}
