@@ -8,6 +8,8 @@
 //
 //	osprof                   # fault-free profile
 //	osprof -chaos -seed 7    # profile under the reference fault policy
+//	osprof -critpath         # critical-path attribution of a replicated
+//	                         # chaos+crash soak: per-layer cost table
 //	osprof -trace out.json   # also export a Chrome trace_event file
 //	osprof -jsonl out.jsonl  # also export the raw event stream
 //	osprof -allocs           # also report host-side heap allocs/op
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"archos/internal/arch"
 	"archos/internal/faultplane"
@@ -32,11 +35,22 @@ import (
 
 func main() {
 	chaos := flag.Bool("chaos", false, "run the profile under the reference chaos fault policy")
-	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
+	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos and -critpath")
+	critpath := flag.Bool("critpath", false, "critical-path attribution of a replicated chaos+crash soak")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run")
 	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL")
 	allocs := flag.Bool("allocs", false, "also report host-side Go heap allocation for the run (machine-local; excluded from the deterministic default output)")
 	flag.Parse()
+
+	if *critpath {
+		out, err := critpathReport(*seed, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "critpath run failed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+		return
+	}
 
 	var meter *obs.AllocMeter
 	if *allocs {
@@ -102,6 +116,49 @@ func main() {
 			fmt.Printf("jsonl events written to %s\n", *jsonlOut)
 		}
 	}
+}
+
+// critpathReport runs the andrew-mini script against a replicated
+// cluster under chaos and a kill-forever crash schedule — the
+// hardest-weather arrangement the repo has — and folds every completed
+// RPC's span into the per-layer critical-path table: where each op's
+// virtual time went, segment by segment, with per-segment percentiles.
+// Everything is on the shared virtual clock, so the report is
+// byte-reproducible per seed (the golden test and the CI cmp step both
+// lean on this). Replication-infrastructure procs are excluded from
+// the fold; their cost appears inside the ops that waited on them, as
+// the repl-stall segment.
+func critpathReport(seed int64, backups int) (string, error) {
+	cm := kernel.NewCostModel(arch.R3000)
+	cfg := fsserver.DefaultReplicaConfig()
+	cfg.Backups = backups
+	cluster := fsserver.NewCluster(256, cm, cfg)
+	// A per-op service charge makes handler execution cost virtual time
+	// (as in the load soaks), so the service segment is a real quantity
+	// rather than the cost model's free handler.
+	cluster.SetServiceCharge(50)
+	cluster.PrimaryLink().SetFaultPlane(faultplane.New(faultplane.Chaos(seed)))
+	cluster.SetCrashPlane(faultplane.NewCrash(faultplane.ChaosKill(seed)))
+	remote := cluster.NewClient()
+	rec := obs.NewRecorder(cluster.Clock())
+	remote.SetRecorder(rec)
+
+	ops, err := fsserver.DefaultAndrewMini().Run(remote)
+	if err != nil {
+		return "", err
+	}
+
+	cp := obs.CriticalPath(rec.Events(), func(proc uint32) bool {
+		return proc < fsserver.ProcShip
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Critical-path attribution: andrew-mini over the replicated file service (seed %d, %d backup(s))\n",
+		seed, backups)
+	fmt.Fprintf(&b, "service ops: %d; spans folded: %d, incomplete: %d\n\n", ops, cp.Ops, cp.Skipped)
+	fmt.Fprintln(&b, cp.Table("Where each completed op's virtual time went"))
+	fmt.Fprintf(&b, "virtual time %.0f µs, %d trace events (bit-for-bit reproducible for seed %d)\n",
+		cluster.Clock().Clock(), rec.EventCount(), seed)
+	return b.String(), nil
 }
 
 // breakdownTable splits the run's virtual time across the layers the

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestCritpathReportGolden pins the -critpath report byte for byte:
+// the replicated chaos+crash soak on the default seed must fold into
+// exactly this per-layer cost table, run after run, machine after
+// machine. Regenerate with `go test ./cmd/osprof -update`.
+func TestCritpathReportGolden(t *testing.T) {
+	got, err := critpathReport(1991, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "critpath.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("critpath report drifted from golden\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestCritpathReportDeterministic: two runs on the same seed are
+// byte-identical; a different seed genuinely changes the report.
+func TestCritpathReportDeterministic(t *testing.T) {
+	a, err := critpathReport(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := critpathReport(7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same-seed critpath reports differ")
+	}
+	c, err := critpathReport(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds produced identical critpath reports")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"archos/internal/arch"
@@ -54,6 +55,7 @@ var benchProbes = []struct {
 }{
 	{"codec/small", wirebench.CodecSmall},
 	{"call/raw-small", wirebench.RawCallSmall},
+	{"call/raw-small-traced", wirebench.RawCallSmallTraced},
 	{"call/boxed-small", wirebench.BoxedCallSmall},
 	{"call/raw-1k", wirebench.RawCall1K},
 	{"throughput/8-clients-sharded", wirebench.Throughput(true, 8)},
@@ -143,7 +145,9 @@ func virtualTimePercentiles() map[string]map[string]float64 {
 // more than benchTolerance slower in ns/op, or allocating more per op,
 // is a regression. Benchmarks new since the baseline pass (the
 // trajectory grows); benchmarks missing from cur fail (coverage must
-// not silently shrink).
+// not silently shrink). Additionally, any "-traced" probe allocating
+// more per op than its untraced sibling in the same run fails: tracing
+// must be free on the hot path.
 func compareBench(path string, cur benchFile) bool {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -179,6 +183,27 @@ func compareBench(path string, cur benchFile) bool {
 		default:
 			fmt.Printf("ok         %-34s ns/op %.0f -> %.0f, allocs/op %d -> %d\n",
 				b.Name, b.NsPerOp, c.NsPerOp, b.AllocsPerOp, c.AllocsPerOp)
+		}
+	}
+	// Same-run rule, independent of the baseline: a traced probe paying
+	// allocations its untraced sibling doesn't is an instrumentation
+	// regression even if the baseline hasn't caught up yet.
+	for _, c := range cur.Benchmarks {
+		sibling, isTraced := strings.CutSuffix(c.Name, "-traced")
+		if !isTraced {
+			continue
+		}
+		s, found := curBy[sibling]
+		if !found {
+			continue
+		}
+		if c.AllocsPerOp > s.AllocsPerOp {
+			fmt.Printf("REGRESSION %-34s allocs/op %d vs %s's %d (tracing must be free)\n",
+				c.Name, c.AllocsPerOp, sibling, s.AllocsPerOp)
+			ok = false
+		} else {
+			fmt.Printf("ok         %-34s allocs/op %d matches %s (tracing is free)\n",
+				c.Name, c.AllocsPerOp, sibling)
 		}
 	}
 	if ok {

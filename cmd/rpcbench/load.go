@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"archos/internal/obs"
 	"archos/internal/trace"
 	"archos/internal/workload"
 )
@@ -31,10 +32,11 @@ type loadFile struct {
 	Defended   *workload.LoadResult `json:"defended"`
 }
 
-// runLoad executes the paired soak, prints the curves, writes loadout
-// if given, and compares against loadcompare if given (exiting nonzero
-// on regression).
-func runLoad(seed int64, loadout, loadcompare string) {
+// runLoad executes the paired soak, prints the curves, the flight
+// recorder's anomaly log, and the per-run critical-path attribution,
+// writes loadout/flightdump if given, and compares against loadcompare
+// if given (exiting nonzero on regression).
+func runLoad(seed int64, loadout, loadcompare, flightdump string) {
 	cfg := workload.DefaultLoadConfig()
 	cfg.Seed = seed
 
@@ -99,9 +101,33 @@ func runLoad(seed int64, loadout, loadcompare string) {
 	add("accepted mkdirs", len(off.AcceptedMkdirs), len(on.AcceptedMkdirs))
 	fmt.Println(s)
 
+	// The always-on flight recorder: what tripped, when, and — from the
+	// ring snapshotted at the first trigger — where each completed op's
+	// virtual time went in the lead-up. The two tables diff directly:
+	// the undefended run's time pools in queue-wait and reply-wait, the
+	// defended run's in service and (cheap) sheds.
+	printAnomalies("undefended", off)
+	printAnomalies("defended", on)
+	fmt.Println(critpathTable("undefended", off))
+	fmt.Println(critpathTable("defended", on))
+
 	fmt.Printf("fingerprints: undefended %s, defended %s (each replays from its accepted set)\n",
 		off.Fingerprint[:12], on.Fingerprint[:12])
 	fmt.Printf("virtual time %.0f µs (bit-for-bit reproducible for seed %d)\n", on.ClockMicros, seed)
+
+	if flightdump != "" {
+		for _, d := range []struct {
+			name string
+			res  *workload.LoadResult
+		}{{"undefended", off}, {"defended", on}} {
+			path := fmt.Sprintf("%s-%s.jsonl", flightdump, d.name)
+			if err := writeFlightDump(path, flightEvents(d.res)); err != nil {
+				fmt.Fprintln(os.Stderr, "flight dump failed:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("flight dump (%s) written to %s\n", d.name, path)
+		}
+	}
 
 	if loadout != "" {
 		data, err := json.MarshalIndent(cur, "", "  ")
@@ -120,6 +146,53 @@ func runLoad(seed int64, loadout, loadcompare string) {
 			os.Exit(1)
 		}
 	}
+}
+
+// printAnomalies lists a run's flight-recorder incident log: each
+// trigger onset with the vital signs of the window that tripped it.
+func printAnomalies(name string, res *workload.LoadResult) {
+	if len(res.Anomalies) == 0 {
+		fmt.Printf("anomalies (%s): none\n", name)
+		return
+	}
+	for _, a := range res.Anomalies {
+		fmt.Printf("anomaly (%s): %s at t=%.1fs (window %d: offered %d, goodput %d, shed %d)\n",
+			name, a.Kind, a.TMicros/1e6, a.Window, a.Offered, a.Goodput, a.Shed)
+	}
+	fmt.Printf("flight ring (%s): %d events retained, %d overwritten; dump snapshotted at first trigger\n",
+		name, res.TraceRetained, res.TraceDropped)
+}
+
+// flightEvents picks the postmortem evidence for a run: the ring as of
+// the first anomaly when one fired (the lead-up to the incident), the
+// end-of-run tail otherwise.
+func flightEvents(res *workload.LoadResult) []obs.Event {
+	if res.AnomalyDump != nil {
+		return res.AnomalyDump
+	}
+	return res.TraceTail
+}
+
+// critpathTable folds a run's flight evidence into the per-layer cost
+// attribution of its completed ops.
+func critpathTable(name string, res *workload.LoadResult) *trace.Table {
+	cp := obs.CriticalPath(flightEvents(res), nil)
+	return cp.Table(fmt.Sprintf("Critical path (%s): %d completed ops in the flight window, %d incomplete",
+		name, cp.Ops, cp.Skipped))
+}
+
+// writeFlightDump writes the evidence as JSONL, one event per line —
+// the byte-reproducible artifact the CI determinism step compares.
+func writeFlightDump(path string, events []obs.Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // overloadGoodput sums goodput over the overload regime: every window

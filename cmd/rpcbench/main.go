@@ -57,6 +57,7 @@ func main() {
 	load := flag.Bool("load", false, "run the open-loop overload soak twice (controls off, controls on) and print the paired throughput-vs-p99 curves")
 	loadout := flag.String("loadout", "", "with -load, write both runs as JSON to this file")
 	loadcompare := flag.String("loadcompare", "", "with -load, compare against this baseline JSON and exit nonzero on a >20% goodput-under-overload regression")
+	flightdump := flag.String("flightdump", "", "with -load, write each run's flight-recorder dump as <prefix>-{undefended,defended}.jsonl")
 	flag.Parse()
 
 	if *bench {
@@ -64,7 +65,7 @@ func main() {
 		return
 	}
 	if *load {
-		runLoad(*seed, *loadout, *loadcompare)
+		runLoad(*seed, *loadout, *loadcompare, *flightdump)
 		return
 	}
 	if *replicas > 0 {

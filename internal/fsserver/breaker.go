@@ -1,6 +1,10 @@
 package fsserver
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"archos/internal/obs"
+)
 
 // breaker is a per-Remote circuit breaker over the overload signal.
 // When the service sheds this client's ops threshold times in a row,
@@ -14,6 +18,11 @@ import "math/rand"
 // probes staggered rather than in lockstep, and every run is
 // deterministic per seed.
 //
+// Every state transition — open, probe, close — is recorded: a
+// breaker flipping under load is precisely the anomaly a flight
+// recorder exists to explain. The events never touch the PRNG or the
+// clock, so an attached recorder cannot perturb the run.
+//
 // A Remote is driven by one goroutine, so the breaker needs no lock;
 // the probe slot is free because calls are sequential.
 type breaker struct {
@@ -24,6 +33,9 @@ type breaker struct {
 	open        bool
 	openUntil   float64 // virtual time the next probe may leave
 	rng         *rand.Rand
+
+	rec      *obs.Recorder // transition events; nil = silent
+	clientID uint32
 
 	opens     int
 	fastFails int
@@ -36,7 +48,15 @@ func newBreaker(threshold int, cooldownMicros float64, clientID uint32) *breaker
 	return &breaker{
 		threshold: float64(threshold),
 		cooldown:  cooldownMicros,
+		clientID:  clientID,
 		rng:       rand.New(rand.NewSource(int64(clientID))),
+	}
+}
+
+// setRecorder attaches the Remote's recorder for transition events.
+func (b *breaker) setRecorder(rec *obs.Recorder) {
+	if b != nil {
+		b.rec = rec
 	}
 }
 
@@ -44,7 +64,12 @@ func newBreaker(threshold int, cooldownMicros float64, clientID uint32) *breaker
 // cooling it fails fast; once the cooldown passes, the next op is
 // admitted as the probe.
 func (b *breaker) allow(now float64) bool {
-	if !b.open || now >= b.openUntil {
+	if !b.open {
+		return true
+	}
+	if now >= b.openUntil {
+		b.rec.Emit(obs.Event{Layer: "breaker", Name: "probe", Client: b.clientID,
+			Val: float64(b.opens)})
 		return true
 	}
 	b.fastFails++
@@ -60,6 +85,8 @@ func (b *breaker) onOverload(now float64) {
 		b.open = true
 		b.opens++
 		b.openUntil = now + b.cooldown*(0.5+b.rng.Float64())
+		b.rec.Emit(obs.Event{Layer: "breaker", Name: "open", Client: b.clientID,
+			Dur: b.openUntil - now, Val: float64(b.opens)})
 	}
 }
 
@@ -67,6 +94,10 @@ func (b *breaker) onOverload(now float64) {
 // a server-side error (the service executed and said no). The breaker
 // closes and the shed streak resets.
 func (b *breaker) onAlive() {
+	if b.open {
+		b.rec.Emit(obs.Event{Layer: "breaker", Name: "close", Client: b.clientID,
+			Val: float64(b.opens)})
+	}
 	b.consecutive = 0
 	b.open = false
 }

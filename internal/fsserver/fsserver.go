@@ -249,12 +249,21 @@ func (s *Server) logApply(h wire.Header, r fs.Record) (fs.ApplyResult, error) {
 	r.Client = h.ClientID
 	r.Call = h.CallID
 	r = s.wal.Append(r)
+	if rec := s.link.Recorder(); rec.Enabled() {
+		// The WAL append is free on the virtual clock — this model
+		// charges service time, not log writes — so the event carries a
+		// zero duration: an honest 0-width critical-path segment. Val is
+		// the durable sequence number, the cross-node trace context the
+		// backups key their apply events on.
+		rec.Emit(obs.Event{Layer: "wal", Name: "append",
+			Client: r.Client, Call: r.Call, Val: float64(r.Seq)})
+	}
 	if s.repl != nil {
 		// Ship-before-apply: the record reaches the backups before this
 		// process enters any crash window past the append. A primary
 		// that dies anywhere after this line leaves the op durable on
 		// the replica set, so failover never loses an acknowledged op.
-		s.repl.ship(s.wal, s.Wire.Epoch())
+		s.repl.ship(s.wal, s.Wire.Epoch(), r.Client, r.Call)
 	}
 	if s.crasher != nil && s.crasher.CrashNow(faultplane.CrashPreApply) {
 		return fs.ApplyResult{}, wire.ErrServerCrashed
@@ -575,6 +584,7 @@ func (r *Remote) NewPeer() *Remote {
 // before issuing traffic.
 func (r *Remote) SetRecorder(rec *obs.Recorder) {
 	r.rec = rec
+	r.br.setRecorder(rec)
 	if r.cluster != nil {
 		r.cluster.SetRecorder(rec)
 		return
@@ -639,6 +649,7 @@ func (r *Remote) EnableBreaker(threshold int, cooldownMicros float64) {
 		return
 	}
 	r.br = newBreaker(threshold, cooldownMicros, r.client.ClientID)
+	r.br.setRecorder(r.rec)
 }
 
 // ErrRemote adapts remote failures.

@@ -105,7 +105,10 @@ func TestSpanCausalChain(t *testing.T) {
 		return -1
 	}
 
-	start := find("client", "call_start", fmt.Sprintf("proc=%d", ProcMkdir))
+	start := find("client", "call_start", "")
+	if got := span[start].Proc; got != ProcMkdir {
+		t.Errorf("call_start proc = %d, want %d", got, ProcMkdir)
+	}
 	sendCall := find("link", "send", "kind=call")
 	delay := find("fault", "delay", "")
 	dup := find("fault", "duplicate", "")

@@ -8,8 +8,8 @@ import (
 	"archos/internal/arch"
 	"archos/internal/fs"
 	"archos/internal/ipc"
-	"archos/internal/kernel"
 	"archos/internal/ipc/wire"
+	"archos/internal/kernel"
 )
 
 // shedRemote builds a decomposed arrangement on an Ethernet-class link

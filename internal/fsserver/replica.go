@@ -106,17 +106,24 @@ type ReplStats struct {
 // replicator is the primary-side shipping machinery: one wire client
 // per backup on a dedicated replication link, and the acked cursor per
 // backup. Methods are called with the owning Server's mu held, so the
-// cursor needs no lock of its own.
+// cursor needs no lock of its own. The primary link carries the
+// cluster's recorder; ship spans are keyed on the client op that
+// triggered them (the trace context the WAL records carry), so a trace
+// shows the replication stall inside the op that paid for it.
 type replicator struct {
 	clients []*wire.Client
 	peers   []*wire.Server
 	acked   []uint64
 	stats   ReplStats
+	link    *wire.Link // primary link: shared clock + recorder for ship spans
 }
 
 // shipTo pushes records to backup i until its cursor reaches target or
-// the ack budget runs out, in bounded chunks.
-func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64) {
+// the ack budget runs out, in bounded chunks. client/call identify the
+// op whose acknowledgement is waiting on this ship (0,0 for catch-up
+// traffic with no waiting op).
+func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64, client, call uint32) {
+	rec := rp.link.Recorder()
 	for rp.acked[i] < target {
 		batch := w.RecordsSince(rp.acked[i])
 		if len(batch) == 0 {
@@ -140,9 +147,17 @@ func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64) {
 			return
 		}
 		rp.stats.ShipCalls++
+		var t0 float64
+		if rec.Enabled() {
+			t0 = rp.link.Clock()
+		}
 		out, err := rp.clients[i].Call(rp.peers[i], ProcShip, epoch, payload)
 		if err != nil {
 			rp.stats.ShipFailures++
+			if rec.Enabled() {
+				rec.Emit(obs.Event{Layer: "repl", Name: "ship_fail",
+					Client: client, Call: call, Val: float64(i)})
+			}
 			return
 		}
 		seq := out[0].(uint64)
@@ -154,6 +169,13 @@ func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64) {
 		}
 		rp.stats.ShipRecords += int(seq - rp.acked[i])
 		rp.acked[i] = seq
+		if rec.Enabled() {
+			now := rp.link.Clock()
+			rec.EmitAt(obs.Event{T: now, Layer: "repl", Name: "ship",
+				Client: client, Call: call, Dur: now - t0, Val: float64(i)})
+			rec.EmitAt(obs.Event{T: now, Layer: "repl", Name: "ack",
+				Client: client, Call: call, Val: float64(seq)})
+		}
 	}
 }
 
@@ -161,13 +183,15 @@ func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64) {
 // ship buffer through the slowest cursor. A backup that cannot be
 // reached within the ack budget leaves its cursor behind — the op is
 // still acknowledged to the client (semi-synchronous replication), the
-// lag is counted, and the next ship's catch-up closes it.
-func (rp *replicator) ship(w *fs.WAL, epoch uint32) {
+// lag is counted, and the next ship's catch-up closes it. The residual
+// lag lands in the repl.lag histogram — the distribution companion of
+// the point-in-time gauge.
+func (rp *replicator) ship(w *fs.WAL, epoch uint32, client, call uint32) {
 	target := w.LastSeq()
 	minAcked := target
 	lagged := false
 	for i := range rp.clients {
-		rp.shipTo(i, w, epoch, target)
+		rp.shipTo(i, w, epoch, target, client, call)
 		if rp.acked[i] < target {
 			lagged = true
 		}
@@ -177,6 +201,9 @@ func (rp *replicator) ship(w *fs.WAL, epoch uint32) {
 	}
 	if lagged {
 		rp.stats.LagOps++
+	}
+	if rec := rp.link.Recorder(); rec.Enabled() {
+		rec.Observe("repl.lag", float64(target-minAcked))
 	}
 	w.AckShipped(minAcked)
 }
@@ -192,7 +219,7 @@ func (rp *replicator) resync(w *fs.WAL, epoch uint32) {
 		}
 		rp.acked[i] = out[0].(uint64)
 	}
-	rp.ship(w, epoch)
+	rp.ship(w, epoch, 0, 0)
 }
 
 // lag returns how far the slowest backup's cursor trails the log.
@@ -276,6 +303,10 @@ func (b *Backup) registerRepl() {
 		if epoch > b.primaryEpoch {
 			b.primaryEpoch = epoch
 		}
+		// The backup's client-facing link carries the cluster recorder;
+		// apply events keyed on the shipped record's trace context stitch
+		// the backup half of the replication span onto the client op.
+		rec := b.srv.link.Recorder()
 		for _, r := range recs {
 			if r.Seq <= b.appliedSeq {
 				b.reships++ // retransmitted ship; already applied
@@ -299,6 +330,10 @@ func (b *Backup) registerRepl() {
 			}
 			b.wal.Commit(sess)
 			b.appliedSeq = r.Seq
+			if rec.Enabled() {
+				rec.Emit(obs.Event{Layer: "repl", Name: "apply",
+					Client: r.Client, Call: r.Call, Val: float64(r.Seq)})
+			}
 		}
 		if b.srv.SnapshotEvery > 0 && b.wal.SinceSnapshot() >= b.srv.SnapshotEvery {
 			if err := b.wal.Snapshot(b.srv.FS); err != nil {
@@ -420,7 +455,7 @@ func NewCluster(blocks int, cm *kernel.CostModel, cfg ReplicaConfig) *Cluster {
 		primaryLink: primaryLink,
 	}
 	c.primary.wal.EnableShipping()
-	rp := &replicator{acked: make([]uint64, cfg.Backups)}
+	rp := &replicator{acked: make([]uint64, cfg.Backups), link: primaryLink}
 	for i := 0; i < cfg.Backups; i++ {
 		replLink := wire.NewLinkOnClock(replicaNet, clock)
 		backupLink := wire.NewLinkOnClock(replicaNet, clock)
@@ -528,13 +563,27 @@ func (c *Cluster) ActiveFS() *fs.FS {
 	return c.backups[active-1].srv.CurrentFS()
 }
 
-// SetRecorder attaches one recorder to every link in the cluster; build
-// it on the cluster's clock (Clock) so all links trace one timeline.
+// SetRecorder attaches one recorder to every client-facing link in the
+// cluster; build it on the cluster's clock (Clock) so all links trace
+// one timeline. The replication links deliberately stay silent: their
+// ship clients reuse the per-link client-ID space, so their generic
+// client/link events would collide with application spans. Replication
+// is traced instead by the explicit repl ship/ack/apply events, keyed
+// on the trace context the WAL records carry across nodes.
 func (c *Cluster) SetRecorder(rec *obs.Recorder) {
 	c.primaryLink.SetRecorder(rec)
 	for i := range c.backups {
 		c.backupLinks[i].SetRecorder(rec)
-		c.replLinks[i].SetRecorder(rec)
+	}
+}
+
+// SetServiceCharge arms the per-executed-op virtual service charge on
+// every replica's client-facing server, so a promoted backup serves at
+// the same rate the deposed primary did.
+func (c *Cluster) SetServiceCharge(micros float64) {
+	c.primary.Wire.SetServiceCharge(micros)
+	for _, b := range c.backups {
+		b.srv.Wire.SetServiceCharge(micros)
 	}
 }
 

@@ -3,7 +3,6 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
-	"strconv"
 	"sync"
 
 	"archos/internal/faultplane"
@@ -392,8 +391,8 @@ func (l *Link) Send(from Endpoint, frame []byte) {
 		if entry <= maxPayload {
 			if l.obs != nil {
 				kind, callID, clientID := headerFields(frame)
-				l.obs.EventAt(l.clock.Clock(), "link", "stage", clientID, callID,
-					"kind="+kind.String()+" bytes="+strconv.Itoa(len(frame)))
+				l.obs.EmitAt(obs.Event{T: l.clock.Clock(), Layer: "link", Name: "stage",
+					Client: clientID, Call: callID, Val: float64(len(frame)), Attrs: kindAttr(kind)})
 			}
 			st := l.stage(from)
 			*st = append(*st, append(getBuf(), frame...))
@@ -438,6 +437,8 @@ func (l *Link) flushBatchLocked(from Endpoint) {
 	if l.obs != nil {
 		l.obs.Observe("wire.batch.frames", float64(len(staged)))
 		l.obs.Observe("wire.batch.bytes", float64(len(container)))
+		l.obs.EmitAt(obs.Event{T: l.clock.Clock(), Layer: "link", Name: "flush",
+			Val: float64(len(staged))})
 	}
 	l.transmitLocked(from, container, true)
 }
@@ -449,17 +450,20 @@ func (l *Link) flushBatchLocked(from Endpoint) {
 // reuse its buffer the moment Send returns. Callers hold l.mu.
 func (l *Link) transmitLocked(from Endpoint, frame []byte, owned bool) {
 	l.seq++
-	now := l.clock.add(l.Net.PacketMicros(len(frame)))
+	wireMicros := l.Net.PacketMicros(len(frame))
+	now := l.clock.add(wireMicros)
 	// Tracing happens inside the link lock with the clock in hand
-	// (EventAt), so the event's timestamp and the frame's position in
+	// (EmitAt), so the event's timestamp and the frame's position in
 	// the decision stream can never disagree. All of it is skipped when
-	// no recorder is attached.
+	// no recorder is attached, and the typed fields keep it free of
+	// allocation when one is.
 	var callID, clientID uint32
 	if l.obs != nil {
 		var kind MsgKind
 		kind, callID, clientID = headerFields(frame)
-		l.obs.EventAt(now, "link", "send", clientID, callID,
-			"kind="+kind.String()+" bytes="+strconv.Itoa(len(frame)))
+		l.obs.EmitAt(obs.Event{T: now, Layer: "link", Name: "send",
+			Client: clientID, Call: callID,
+			Dur: wireMicros, Val: float64(len(frame)), Attrs: kindAttr(kind)})
 	}
 	var d faultplane.Decision
 	if l.plane != nil {
@@ -468,8 +472,8 @@ func (l *Link) transmitLocked(from Endpoint, frame []byte, owned bool) {
 	if d.DelayMicros > 0 {
 		now = l.clock.add(d.DelayMicros)
 		if l.obs != nil {
-			l.obs.EventAt(now, "fault", "delay", clientID, callID,
-				"micros="+strconv.FormatFloat(d.DelayMicros, 'g', -1, 64))
+			l.obs.EmitAt(obs.Event{T: now, Layer: "fault", Name: "delay",
+				Client: clientID, Call: callID, Dur: d.DelayMicros})
 		}
 	}
 	if l.drop[l.seq] || d.Drop {

@@ -214,3 +214,22 @@ func (k MsgKind) String() string {
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
+
+// kindAttr preformats the "kind=…" attribute of a link event. These
+// are compile-time constants, so tracing a frame's kind on the
+// zero-alloc hot path costs nothing.
+func kindAttr(k MsgKind) string {
+	switch k {
+	case KindCall:
+		return "kind=call"
+	case KindReply:
+		return "kind=reply"
+	case KindAck:
+		return "kind=ack"
+	case KindBatch:
+		return "kind=batch"
+	case KindReject:
+		return "kind=reject"
+	}
+	return "kind=unknown"
+}

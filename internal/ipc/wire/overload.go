@@ -1,6 +1,10 @@
 package wire
 
-import "sync"
+import (
+	"sync"
+
+	"archos/internal/obs"
+)
 
 // The overload-control plane of the wire layer. Under offered load
 // beyond capacity, a transport with unconditional retries and
@@ -49,8 +53,19 @@ type RetryBudget struct {
 	ratio  float64
 	burst  float64
 	tokens float64
+	rec    *obs.Recorder
 
 	earned, spent, denied int
+}
+
+// SetRecorder attaches a recorder: every denial — the moment the
+// budget refuses to fund a retransmission — emits an overload event
+// with the denial count, so a trace shows exactly when the fuel line
+// was cut. A nil recorder detaches.
+func (b *RetryBudget) SetRecorder(rec *obs.Recorder) {
+	b.mu.Lock()
+	b.rec = rec
+	b.mu.Unlock()
 }
 
 // NewRetryBudget builds a budget earning ratio tokens per success,
@@ -85,6 +100,7 @@ func (b *RetryBudget) Spend() bool {
 		return true
 	}
 	b.denied++
+	b.rec.Emit(obs.Event{Layer: "overload", Name: "budget_denied", Val: float64(b.denied)})
 	return false
 }
 

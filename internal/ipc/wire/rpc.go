@@ -468,7 +468,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 	s.mu.Unlock()
 	if adm.ShedExpired && h.Expiry != 0 && s.link.Clock() >= float64(h.Expiry) {
 		s.count(func(st *Stats) { st.ShedExpired++ })
-		rec.Event("server", "shed_expired", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+		rec.Emit(obs.Event{Layer: "server", Name: "shed_expired", Client: h.ClientID, Call: h.CallID, Proc: h.ProcID})
 		s.reject(h, RejectExpired)
 		return false
 	}
@@ -477,14 +477,31 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 		if shard.queued.Add(1) > int32(adm.MaxShardQueue) {
 			shard.queued.Add(-1)
 			s.count(func(st *Stats) { st.ShedQueueFull++ })
-			rec.Event("server", "shed_busy", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+			rec.Emit(obs.Event{Layer: "server", Name: "shed_busy", Client: h.ClientID, Call: h.CallID, Proc: h.ProcID})
 			s.reject(h, RejectBusy)
 			return false
 		}
 		defer shard.queued.Add(-1)
 	}
+	// Queue-wait: time spent between admission and winning the shard
+	// lock. On a single-goroutine drive the virtual clock cannot move
+	// while we block, so this reads 0 — honest in the model, where only
+	// service charges and wire time advance the clock; under concurrent
+	// clients another client's in-flight service charge does advance it,
+	// and the wait becomes visible.
+	var qEnter float64
+	if rec.Enabled() {
+		qEnter = s.link.Clock()
+	}
 	shard.mu.Lock()
 	defer shard.mu.Unlock()
+	if rec.Enabled() {
+		now := s.link.Clock()
+		rec.EmitAt(obs.Event{T: now, Layer: "server", Name: "queue_wait",
+			Client: h.ClientID, Call: h.CallID, Proc: h.ProcID,
+			Dur: now - qEnter, Val: float64(shard.queued.Load())})
+		rec.Observe("server.queue", now-qEnter)
+	}
 	if e, ok := shard.get(h.ClientID); ok {
 		if h.CallID == e.callID {
 			// Duplicate of the last executed call: resend the cached
@@ -492,7 +509,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 			// EncodeErrors path) suppresses the execution but sends
 			// nothing — there is no reply frame to resend.
 			s.count(func(st *Stats) { st.DuplicatesSuppressed++ })
-			rec.Event("server", "cache_hit", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+			rec.Emit(obs.Event{Layer: "server", Name: "cache_hit", Client: h.ClientID, Call: h.CallID, Proc: h.ProcID})
 			if e.frame != nil {
 				s.link.Send(s.side, e.frame)
 			}
@@ -500,7 +517,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 		}
 		if h.CallID < e.callID {
 			s.count(func(st *Stats) { st.StaleFrames++ })
-			rec.Event("server", "stale", h.ClientID, h.CallID, "")
+			rec.Emit(obs.Event{Layer: "server", Name: "stale", Client: h.ClientID, Call: h.CallID})
 			return false
 		}
 	} else if auth != nil {
@@ -510,7 +527,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 				// reply and refill the cache fast path. The handler
 				// must not run again.
 				s.count(func(st *Stats) { st.LogDuplicates++ })
-				rec.Event("server", "log_hit", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
+				rec.Emit(obs.Event{Layer: "server", Name: "log_hit", Client: h.ClientID, Call: h.CallID, Proc: h.ProcID})
 				evicted := shard.put(h.ClientID, h.CallID, frame)
 				if evicted > 0 {
 					s.count(func(st *Stats) { st.RepliesEvicted += evicted })
@@ -522,7 +539,7 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 			}
 			if h.CallID < callID {
 				s.count(func(st *Stats) { st.StaleFrames++ })
-				rec.Event("server", "stale", h.ClientID, h.CallID, "")
+				rec.Emit(obs.Event{Layer: "server", Name: "stale", Client: h.ClientID, Call: h.CallID})
 				return false
 			}
 		}
@@ -537,6 +554,11 @@ func (s *Server) dispatch(h Header, payload []byte) bool {
 // and touches neither the reply cache nor any durable state, which is
 // what makes shedding cheaper than serving.
 func (s *Server) reject(h Header, reason byte) {
+	if rec := s.link.Recorder(); rec.Enabled() {
+		rec.Emit(obs.Event{Layer: "server", Name: "reject",
+			Client: h.ClientID, Call: h.CallID, Proc: h.ProcID,
+			Val: float64(reason), Attrs: rejectAttr(reason)})
+	}
 	buf := append(BeginFrame(getBuf()), reason)
 	frame, err := FinishFrame(buf, Header{Kind: KindReject, CallID: h.CallID, ProcID: h.ProcID, ClientID: h.ClientID, Epoch: s.Epoch()})
 	if err != nil {
@@ -545,6 +567,18 @@ func (s *Server) reject(h Header, reason byte) {
 	}
 	s.link.Send(s.side, frame)
 	putBuf(frame)
+}
+
+// rejectAttr preformats the reason attribute of a reject event —
+// constant strings so shed storms trace without allocation.
+func rejectAttr(reason byte) string {
+	switch reason {
+	case RejectBusy:
+		return "reason=busy"
+	case RejectExpired:
+		return "reason=expired"
+	}
+	return "reason=unknown"
 }
 
 // execute runs the handler (under the caller-held shard lock — one
@@ -557,10 +591,8 @@ func (s *Server) reject(h Header, reason byte) {
 func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, raw RawHandler, h Header, payload []byte, charge float64) bool {
 	var execStart float64
 	if rec.Enabled() {
-		// The attrs string is built only when a recorder is attached —
-		// with tracing off the hot path performs no formatting.
-		rec.Event("server", "execute", h.ClientID, h.CallID, "proc="+strconv.Itoa(int(h.ProcID)))
 		execStart = s.link.Clock()
+		rec.EmitAt(obs.Event{T: execStart, Layer: "server", Name: "execute", Client: h.ClientID, Call: h.CallID, Proc: h.ProcID})
 	}
 	var frame []byte
 	var err error
@@ -579,6 +611,15 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, ra
 	if crashed {
 		return true
 	}
+	if rec.Enabled() {
+		// Service time on the virtual clock: handler plus the opt-in
+		// charge, stamped before the reply's own wire time so the
+		// critical-path fold attributes transmission to the link layer.
+		now := s.link.Clock()
+		rec.EmitAt(obs.Event{T: now, Layer: "server", Name: "served",
+			Client: h.ClientID, Call: h.CallID, Proc: h.ProcID, Dur: now - execStart})
+		rec.Observe("server.execute", now-execStart)
+	}
 	if err != nil {
 		// The reply cannot be encoded, but the handler has run: cache
 		// the execution anyway so retransmissions cannot repeat it.
@@ -595,11 +636,6 @@ func (s *Server) execute(rec *obs.Recorder, shard *cacheShard, proc HandlerH, ra
 	}
 	s.link.Send(s.side, frame)
 	s.count(func(st *Stats) { st.Served++ }) // after the send: Served means "reply transmitted"
-	if rec.Enabled() {
-		// Handler-plus-reply time on the virtual clock: in this model
-		// handlers are free and the reply transmission is the charge.
-		rec.Observe("server.execute", s.link.Clock()-execStart)
-	}
 	return false
 }
 
@@ -902,7 +938,7 @@ func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]
 	rec := c.link.Recorder()
 	start := c.link.Clock()
 	if rec.Enabled() {
-		rec.Event("client", "call_start", c.ClientID, id, "proc="+strconv.Itoa(int(proc)))
+		rec.EmitAt(obs.Event{T: start, Layer: "client", Name: "call_start", Client: c.ClientID, Call: id, Proc: proc})
 	}
 	if c.jitter.state == 0 {
 		c.jitter = newJitterRand(c.ClientID)
@@ -944,8 +980,9 @@ func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]
 				st.Retries++
 				st.BackoffMicros += pause
 			})
-			rec.Event("client", "retransmit", c.ClientID, id,
-				"attempt="+strconv.Itoa(attempt)+" backoff="+strconv.FormatFloat(pause, 'g', -1, 64))
+			rec.Emit(obs.Event{Layer: "client", Name: "retransmit",
+				Client: c.ClientID, Call: id, Proc: proc,
+				Dur: pause, Val: float64(attempt)})
 			rec.Observe("call.backoff", pause)
 			c.link.AdvanceClock(pause)
 			backoff *= 2
@@ -999,8 +1036,12 @@ func (c *Client) drive(server *Server, id uint32, proc uint32, frame []byte) ([]
 			rec.Event("client", "call_end", c.ClientID, id, "status=deadline")
 			return nil, c.deadlineErr(proc, start)
 		}
-		rec.Observe("call.roundtrip", c.link.Clock()-start)
-		rec.Event("client", "call_end", c.ClientID, id, "status=ok")
+		if rec.Enabled() {
+			rt := c.link.Clock() - start
+			rec.Observe("call.roundtrip", rt)
+			rec.Emit(obs.Event{Layer: "client", Name: "call_end",
+				Client: c.ClientID, Call: id, Proc: proc, Dur: rt, Attrs: "status=ok"})
+		}
 		return payload[okFlagBytes:], nil
 	}
 	rec.Event("client", "call_end", c.ClientID, id, "status=exhausted")
@@ -1038,8 +1079,7 @@ func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, byte, er
 			if h.Epoch != 0 && c.Fence != nil && !c.Fence.Admit(h.Epoch) {
 				c.count(func(st *Stats) { st.FencedReplies++ })
 				putBuf(frame)
-				rec.Event("client", "fenced", c.ClientID, id,
-					"epoch="+strconv.Itoa(int(h.Epoch)))
+				rec.Emit(obs.Event{Layer: "client", Name: "fenced", Client: c.ClientID, Call: id, Val: float64(h.Epoch)})
 				continue
 			}
 			reason := RejectBusy
@@ -1047,8 +1087,8 @@ func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, byte, er
 				reason = payload[0]
 			}
 			putBuf(frame) // the reason byte is all there was to read
-			rec.Event("client", "rejected", c.ClientID, id,
-				"reason="+strconv.Itoa(int(reason)))
+			rec.Emit(obs.Event{Layer: "client", Name: "rejected",
+				Client: c.ClientID, Call: id, Val: float64(reason), Attrs: rejectAttr(reason)})
 			return nil, reason, nil
 		}
 		if h.Kind != KindReply || h.CallID != id || h.ClientID != c.ClientID {
@@ -1062,15 +1102,13 @@ func (c *Client) awaitReplyFrame(rec *obs.Recorder, id uint32) ([]byte, byte, er
 			// answer. Fenced off, never surfaced.
 			c.count(func(st *Stats) { st.FencedReplies++ })
 			putBuf(frame)
-			rec.Event("client", "fenced", c.ClientID, id,
-				"epoch="+strconv.Itoa(int(h.Epoch)))
+			rec.Emit(obs.Event{Layer: "client", Name: "fenced", Client: c.ClientID, Call: id, Val: float64(h.Epoch)})
 			continue
 		}
 		if h.Epoch != 0 {
 			if c.epoch != 0 && h.Epoch != c.epoch {
 				c.count(func(st *Stats) { st.SessionsReestablished++ })
-				rec.Event("client", "session_reestablish", c.ClientID, id,
-					"epoch="+strconv.Itoa(int(h.Epoch)))
+				rec.Emit(obs.Event{Layer: "client", Name: "session_reestablish", Client: c.ClientID, Call: id, Val: float64(h.Epoch)})
 			}
 			c.epoch = h.Epoch
 		}

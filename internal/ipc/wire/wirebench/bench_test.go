@@ -5,10 +5,11 @@ import "testing"
 // Standard-benchmark wrappers over the probes, so `go test -bench .`
 // measures exactly what `rpcbench -bench` records into BENCH_rpc.json.
 
-func BenchmarkCodecSmall(b *testing.B)     { CodecSmall(b) }
-func BenchmarkRawCallSmall(b *testing.B)   { RawCallSmall(b) }
-func BenchmarkBoxedCallSmall(b *testing.B) { BoxedCallSmall(b) }
-func BenchmarkRawCall1K(b *testing.B)      { RawCall1K(b) }
+func BenchmarkCodecSmall(b *testing.B)         { CodecSmall(b) }
+func BenchmarkRawCallSmall(b *testing.B)       { RawCallSmall(b) }
+func BenchmarkRawCallSmallTraced(b *testing.B) { RawCallSmallTraced(b) }
+func BenchmarkBoxedCallSmall(b *testing.B)     { BoxedCallSmall(b) }
+func BenchmarkRawCall1K(b *testing.B)          { RawCall1K(b) }
 
 func BenchmarkThroughput8Sharded(b *testing.B)    { Throughput(true, 8)(b) }
 func BenchmarkThroughput8GlobalLock(b *testing.B) { Throughput(false, 8)(b) }

@@ -13,6 +13,7 @@ import (
 
 	"archos/internal/ipc"
 	"archos/internal/ipc/wire"
+	"archos/internal/obs"
 )
 
 // CodecSmall times the specialized codec round trip for a small call's
@@ -67,6 +68,36 @@ func RawCallSmall(b *testing.B) {
 		res, err := client.CallRaw(server, 1, w)
 		if err != nil || res.Int64() != 7 || res.Err() != nil {
 			b.Fatal("raw call failed")
+		}
+	}
+}
+
+// RawCallSmallTraced times the identical raw call path with the flight
+// recorder attached and recording every span event — the measurement
+// behind the zero-overhead-tracing claim. The trajectory compare fails
+// if this probe allocates more per op than its untraced sibling: the
+// instrumentation must ride the hot path for free.
+func RawCallSmallTraced(b *testing.B) {
+	link, server := newEcho()
+	link.SetRecorder(obs.NewFlightRecorder(link, 1<<12))
+	client := wire.NewClient(link, wire.A)
+	// Warm-up: the recorder's first use of each histogram class inserts
+	// into a map — setup cost, not per-op cost.
+	for i := 0; i < 64; i++ {
+		w := client.NewCallArgs()
+		w.Int64(7)
+		if _, err := client.CallRaw(server, 1, w); err != nil {
+			b.Fatal("traced warm-up call failed")
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := client.NewCallArgs()
+		w.Int64(7)
+		res, err := client.CallRaw(server, 1, w)
+		if err != nil || res.Int64() != 7 || res.Err() != nil {
+			b.Fatal("traced raw call failed")
 		}
 	}
 }

@@ -58,10 +58,19 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		default:
 			ce.Scope = "t"
 		}
-		if e.Attrs != "" || e.Call != 0 {
+		if e.Attrs != "" || e.Call != 0 || e.Proc != 0 || e.Dur != 0 || e.Val != 0 {
 			ce.Args = map[string]string{}
 			if e.Call != 0 {
 				ce.Args["call"] = fmt.Sprintf("%d", e.Call)
+			}
+			if e.Proc != 0 {
+				ce.Args["proc"] = fmt.Sprintf("%d", e.Proc)
+			}
+			if e.Dur != 0 {
+				ce.Args["dur"] = fmt.Sprintf("%g", e.Dur)
+			}
+			if e.Val != 0 {
+				ce.Args["val"] = fmt.Sprintf("%g", e.Val)
 			}
 			if e.Attrs != "" {
 				ce.Args["attrs"] = e.Attrs

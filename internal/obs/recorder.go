@@ -11,6 +11,12 @@
 // Everything is nil-safe: a nil *Recorder (observability disabled)
 // makes every recording call a no-op without conditionals at the call
 // site, so the instrumented hot paths cost nothing when tracing is off.
+//
+// Retention is bounded: the recorder is a ring. It grows lazily up to
+// its capacity and then overwrites the oldest events, so an always-on
+// recorder under a 10^6-session soak holds the most recent window in
+// fixed memory — a flight recorder. Dropped() counts the overwritten
+// prefix.
 package obs
 
 import (
@@ -52,6 +58,13 @@ func (m *ManualClock) Advance(d float64) {
 // the server's execute or cache hit to the reply's delivery. Seq is a
 // recorder-global sequence number: the total order events were
 // recorded in, which on a single-goroutine drive is the causal order.
+//
+// Proc, Dur, and Val are typed attributes for the hot path: recording
+// them costs no allocation, where formatting them into Attrs would.
+// Dur is a duration in virtual µs (a span segment: a backoff sleep, a
+// frame's wire time, a handler's service time); Val is a dimensionless
+// auxiliary (bytes, a backup index, a WAL sequence, a reject reason).
+// Attrs is reserved for cold-path events and constant strings.
 type Event struct {
 	Seq    uint64  `json:"seq"`
 	T      float64 `json:"t"` // virtual µs
@@ -59,8 +72,17 @@ type Event struct {
 	Name   string  `json:"name"`
 	Client uint32  `json:"client,omitempty"`
 	Call   uint32  `json:"call,omitempty"`
+	Proc   uint32  `json:"proc,omitempty"`
+	Dur    float64 `json:"dur,omitempty"`   // segment duration, virtual µs
+	Val    float64 `json:"val,omitempty"`   // auxiliary value (bytes, seq, reason…)
 	Attrs  string  `json:"attrs,omitempty"` // preformatted "k=v k=v", deterministic
 }
+
+// DefaultEventCap is the ring capacity of a recorder built with
+// NewRecorder: large enough that every existing chaos/crash/failover
+// soak fits without wrapping (their full traces stay byte-identical),
+// small enough to bound an always-on recorder to tens of MB.
+const DefaultEventCap = 1 << 18
 
 // Recorder collects events and histograms. Create one per experiment
 // with the virtual clock the traced layers share (usually the wire
@@ -69,16 +91,32 @@ type Event struct {
 type Recorder struct {
 	clock Clock // immutable after construction; nil stamps events at 0
 
-	mu     sync.Mutex
-	seq    uint64
-	events []Event
-	hists  map[string]*Histogram
+	mu      sync.Mutex
+	seq     uint64
+	cap     int
+	head    int // index of the oldest event once the ring is full
+	dropped uint64
+	ring    []Event
+	hists   map[string]*Histogram
 }
 
 // NewRecorder builds a recorder stamping events from clock (nil for a
-// sequence-only recorder).
+// sequence-only recorder). Storage grows lazily up to DefaultEventCap
+// and then wraps.
 func NewRecorder(clock Clock) *Recorder {
-	return &Recorder{clock: clock}
+	return &Recorder{clock: clock, cap: DefaultEventCap}
+}
+
+// NewFlightRecorder builds a recorder whose ring is preallocated at
+// the given capacity: recording never allocates, so it can stay
+// attached to the zero-alloc hot path, and memory is fixed up front —
+// the always-on configuration for load soaks. capacity ≤ 0 falls back
+// to DefaultEventCap.
+func NewFlightRecorder(clock Clock, capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultEventCap
+	}
+	return &Recorder{clock: clock, cap: capacity, ring: make([]Event, 0, capacity)}
 }
 
 // Enabled reports whether the recorder actually records — the nil
@@ -95,28 +133,62 @@ func (r *Recorder) now() float64 {
 	return r.clock.Clock()
 }
 
+// Emit records a fully-typed event stamped with the recorder's clock
+// (e.T is overwritten; e.Seq is assigned). Safe on a nil recorder.
+// This is the hot-path form: with constant Layer/Name strings and the
+// numeric fields it performs no allocation.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	e.T = r.now()
+	r.record(e)
+}
+
+// EmitAt records a fully-typed event with the caller's timestamp — the
+// form used by a caller that already holds the clock's own lock
+// (wire.Link records from inside Send with the link clock in hand).
+func (r *Recorder) EmitAt(e Event) {
+	if r == nil {
+		return
+	}
+	r.record(e)
+}
+
 // Event appends an event stamped with the recorder's clock. Safe on a
 // nil recorder.
 func (r *Recorder) Event(layer, name string, client, call uint32, attrs string) {
 	if r == nil {
 		return
 	}
-	r.EventAt(r.now(), layer, name, client, call, attrs)
+	r.record(Event{T: r.now(), Layer: layer, Name: name, Client: client, Call: call, Attrs: attrs})
 }
 
-// EventAt appends an event with an explicit timestamp — the form used
-// by a caller that already holds the clock's own lock (wire.Link
-// records from inside Send with the link clock in hand).
+// EventAt appends an event with an explicit timestamp.
 func (r *Recorder) EventAt(t float64, layer, name string, client, call uint32, attrs string) {
 	if r == nil {
 		return
 	}
+	r.record(Event{T: t, Layer: layer, Name: name, Client: client, Call: call, Attrs: attrs})
+}
+
+// record assigns the sequence number and appends into the ring,
+// overwriting the oldest event once full. Wrapping is as deterministic
+// as recording: same event stream in, same retained window out.
+func (r *Recorder) record(e Event) {
 	r.mu.Lock()
 	r.seq++
-	r.events = append(r.events, Event{
-		Seq: r.seq, T: t, Layer: layer, Name: name,
-		Client: client, Call: call, Attrs: attrs,
-	})
+	e.Seq = r.seq
+	if len(r.ring) < r.cap {
+		r.ring = append(r.ring, e)
+	} else {
+		r.ring[r.head] = e
+		r.head++
+		if r.head == len(r.ring) {
+			r.head = 0
+		}
+		r.dropped++
+	}
 	r.mu.Unlock()
 }
 
@@ -161,31 +233,108 @@ func (r *Recorder) Classes() []string {
 	return names
 }
 
-// Events returns a copy of the recorded event stream in Seq order.
+// Events returns a copy of the retained event stream in Seq order —
+// the full trace if the ring never wrapped, else the most recent
+// Cap() events.
 func (r *Recorder) Events() []Event {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.head:]...)
+	out = append(out, r.ring[:r.head]...)
 	return out
 }
 
-// EventCount returns the number of recorded events.
+// EventCount returns the number of retained events.
 func (r *Recorder) EventCount() int {
 	if r == nil {
 		return 0
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return len(r.events)
+	return len(r.ring)
 }
 
-// SpanEvents filters an event stream down to one RPC's span: the
-// events carrying the given (client, call) identity, in recorded
-// order.
+// Dropped returns how many events were overwritten by ring wraparound.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Cap returns the ring capacity.
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}
+
+// SpanIndex indexes an event stream by (client, call) identity so that
+// per-RPC span lookups are O(span) instead of a linear scan of the
+// whole trace — the difference between linear and quadratic when a
+// driver walks every span of a big trace.
+type SpanIndex struct {
+	events []Event
+	idx    map[uint64][]int32
+}
+
+func spanKey(client, call uint32) uint64 {
+	return uint64(client)<<32 | uint64(call)
+}
+
+// NewSpanIndex builds the index in one pass. The events slice is
+// retained (not copied).
+func NewSpanIndex(events []Event) *SpanIndex {
+	ix := &SpanIndex{events: events, idx: make(map[uint64][]int32)}
+	for i, e := range events {
+		if e.Client == 0 && e.Call == 0 {
+			continue // ambient events (crash, restart, failover) span nothing
+		}
+		k := spanKey(e.Client, e.Call)
+		ix.idx[k] = append(ix.idx[k], int32(i))
+	}
+	return ix
+}
+
+// Span returns one RPC's events — those carrying the given (client,
+// call) identity — in recorded order.
+func (ix *SpanIndex) Span(client, call uint32) []Event {
+	ids := ix.idx[spanKey(client, call)]
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Event, len(ids))
+	for i, j := range ids {
+		out[i] = ix.events[j]
+	}
+	return out
+}
+
+// Identities returns every (client, call) pair present, sorted — the
+// deterministic iteration order for whole-trace folds.
+func (ix *SpanIndex) Identities() [][2]uint32 {
+	keys := make([]uint64, 0, len(ix.idx))
+	for k := range ix.idx {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([][2]uint32, len(keys))
+	for i, k := range keys {
+		out[i] = [2]uint32{uint32(k >> 32), uint32(k)}
+	}
+	return out
+}
+
+// SpanEvents filters an event stream down to one RPC's span, in
+// recorded order. For a single lookup this is fine; a caller walking
+// many spans should build a SpanIndex once instead.
 func SpanEvents(events []Event, client, call uint32) []Event {
 	var out []Event
 	for _, e := range events {

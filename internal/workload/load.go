@@ -40,7 +40,40 @@ import (
 	"archos/internal/fsserver"
 	"archos/internal/ipc"
 	"archos/internal/ipc/wire"
+	"archos/internal/obs"
 )
+
+// Flight-recorder sizing and anomaly thresholds. The ring holds the
+// last flightRecorderCap events in bounded memory no matter how long
+// the run — a million-session soak retains its tail, not its history —
+// and the anomaly checks snapshot that tail the moment a closed curve
+// window shows the service misbehaving, so the dump holds the events
+// leading INTO the incident, not the quiet aftermath.
+const (
+	// flightRecorderCap is the ring size of the always-on recorder:
+	// 32Ki events, a few MB, regardless of run length.
+	flightRecorderCap = 1 << 15
+	// shedStormThreshold flags a window in which the server shed at
+	// least this many calls — the defended configuration's signature
+	// under a burst.
+	shedStormThreshold = 200
+	// collapseMinOffered guards the goodput-collapse trigger: a window
+	// must have offered at least this many fresh arrivals and completed
+	// none of them in time. Quiet windows never trip it.
+	collapseMinOffered = 50
+)
+
+// Anomaly is one tripped trigger: which rule fired, on which closed
+// curve window, and the window's vital signs. The first anomaly of a
+// run also snapshots the flight recorder's ring (LoadResult.AnomalyDump).
+type Anomaly struct {
+	Kind    string  `json:"kind"` // "shed_storm" | "goodput_collapse"
+	Window  int     `json:"window"`
+	TMicros float64 `json:"t_micros"`
+	Offered int     `json:"offered"`
+	Goodput int     `json:"goodput"`
+	Shed    int     `json:"shed"`
+}
 
 // LoadControls selects which overload defences the run arms. The zero
 // value is the undefended configuration: no deadline in the frame
@@ -195,6 +228,18 @@ type LoadResult struct {
 	AcceptedMkdirs []string `json:"accepted_mkdirs"`
 
 	ServerStats wire.Stats `json:"server_stats"`
+
+	// Flight-recorder outcome: every anomaly trigger that fired, how
+	// many events the bounded ring retained, and how many it overwrote.
+	// The event dumps themselves are not part of the JSON result (they
+	// are large); AnomalyDump is the ring as of the first trigger,
+	// TraceTail the ring at end of run.
+	Anomalies     []Anomaly `json:"anomalies,omitempty"`
+	TraceRetained int       `json:"trace_retained"`
+	TraceDropped  uint64    `json:"trace_dropped"`
+
+	AnomalyDump []obs.Event `json:"-"`
+	TraceTail   []obs.Event `json:"-"`
 }
 
 // ReplayAccepted re-runs every accepted mutation against mkdir — a
@@ -217,10 +262,15 @@ const (
 	opFailed
 )
 
-// pending is one frame waiting in the NIC queue.
+// pending is one frame waiting in the NIC queue, carrying its span
+// identity and enqueue time so the serve chain can attribute the FIFO
+// wait to the call that paid it.
 type pending struct {
-	ci    int
-	frame []byte
+	ci     int
+	frame  []byte
+	client uint32
+	call   uint32
+	enq    float64
 }
 
 // flight is one incarnation's transport record: which op and which of
@@ -295,10 +345,13 @@ func (h *eventHeap) Pop() interface{} {
 
 // loadRun is the live state of one simulation.
 type loadRun struct {
-	cfg    LoadConfig
-	link   *wire.Link
-	srv    *fsserver.Server
-	budget *wire.RetryBudget
+	cfg     LoadConfig
+	link    *wire.Link
+	srv     *fsserver.Server
+	budget  *wire.RetryBudget
+	rec     *obs.Recorder // always-on bounded flight recorder
+	curWin  int           // first curve window not yet closed by the clock
+	anomaly string        // kind of the ongoing incident, "" when healthy
 
 	// arrive drives the arrival process, behave everything the client
 	// does about failures — separate streams so the offered load is
@@ -363,6 +416,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 	r.zipf = rand.NewZipf(r.arrive, cfg.ZipfS, 1, uint64(cfg.Paths-1))
 
+	// The flight recorder is always on: a preallocated ring of the last
+	// flightRecorderCap events, shared by the link, the server, and the
+	// generator's own client-side emissions. Recording never touches the
+	// clock or either PRNG stream, so the run is byte-identical to an
+	// unrecorded one.
+	r.rec = obs.NewFlightRecorder(r.link, flightRecorderCap)
+	r.link.SetRecorder(r.rec)
+
 	fsys := fs.New(cfg.CacheBlocks)
 	r.srv = fsserver.NewServer(fsys, r.link, wire.B)
 	r.srv.Wire.SetServiceCharge(cfg.ServiceMicros)
@@ -377,6 +438,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	r.srv.Wire.ConfigureReplyCache(32, cfg.MaxInFlight/32+2)
 	if cfg.Controls.RetryBudgetRatio > 0 {
 		r.budget = wire.NewRetryBudget(cfg.Controls.RetryBudgetRatio, float64(cfg.Controls.RetryBudgetBurst))
+		r.budget.SetRecorder(r.rec)
 	}
 
 	r.connID = make([]uint32, cfg.MaxInFlight)
@@ -408,6 +470,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		case evServe:
 			r.serve()
 		}
+		r.closeWindows()
 	}
 	// Belt and braces: one final poll and a sweep of every pool queue.
 	// The serve chain answered every transmission before the heap could
@@ -496,6 +559,8 @@ func (r *loadRun) issue(op *lop) {
 	now := r.link.Clock()
 	if len(r.free) == 0 {
 		r.res.ClientDropped++
+		r.rec.Emit(obs.Event{Layer: "client", Name: "drop_local",
+			Val: float64(r.res.ClientDropped)})
 		r.fail(op, now, false)
 		return
 	}
@@ -506,6 +571,8 @@ func (r *loadRun) issue(op *lop) {
 	op.conn = ci
 	op.callID = r.nextCID[ci]
 	op.state = opInFlight
+	r.rec.Emit(obs.Event{Layer: "client", Name: "call_start",
+		Client: r.connID[ci], Call: op.callID, Proc: op.proc})
 	op.attempts = 1
 	op.backoff = r.cfg.RetransmitMicros
 	op.fl = &flight{op: op, gen: op.gen}
@@ -542,7 +609,11 @@ func (r *loadRun) issue(op *lop) {
 // chain if the server is idle.
 func (r *loadRun) send(op *lop) {
 	op.fl.sent++
-	r.sendQ = append(r.sendQ, pending{ci: op.conn, frame: op.frame})
+	r.sendQ = append(r.sendQ, pending{
+		ci: op.conn, frame: op.frame,
+		client: r.connID[op.conn], call: op.callID,
+		enq: r.link.Clock(),
+	})
 	if !r.serving {
 		r.serving = true
 		r.push(levent{t: r.link.Clock(), kind: evServe})
@@ -565,6 +636,12 @@ func (r *loadRun) serve() {
 	if r.sendHead == len(r.sendQ) {
 		r.sendQ = r.sendQ[:0]
 		r.sendHead = 0
+	}
+	if r.rec.Enabled() {
+		now := r.link.Clock()
+		r.rec.EmitAt(obs.Event{T: now, Layer: "queue", Name: "wait",
+			Client: p.client, Call: p.call,
+			Dur: now - p.enq, Val: float64(len(r.sendQ) - r.sendHead)})
 	}
 	r.link.Send(wire.A, p.frame)
 	r.srv.Wire.Poll()
@@ -604,6 +681,9 @@ func (r *loadRun) retx(op *lop, gen int) {
 	}
 	op.attempts++
 	r.res.Retransmits++
+	r.rec.Emit(obs.Event{Layer: "client", Name: "retransmit",
+		Client: r.connID[op.conn], Call: op.callID, Proc: op.proc,
+		Val: float64(op.attempts)})
 	r.send(op)
 	if op.backoff *= 2; op.backoff > 4*r.cfg.RetransmitMicros {
 		op.backoff = 4 * r.cfg.RetransmitMicros
@@ -630,8 +710,15 @@ func (r *loadRun) fail(op *lop, now float64, rejected bool) {
 	op.state = opFailed
 	r.res.Failed++
 	r.point(now).Failed++
+	status := "status=timeout"
 	if rejected {
 		r.res.Rejected++
+		status = "status=rejected"
+	}
+	if op.conn >= 0 {
+		r.rec.Emit(obs.Event{Layer: "client", Name: "call_end",
+			Client: r.connID[op.conn], Call: op.callID, Proc: op.proc,
+			Attrs: status})
 	}
 	r.release(op)
 	if op.reissues < r.cfg.ReissueMax {
@@ -696,10 +783,15 @@ func (r *loadRun) drain() {
 					lat := now - op.arrival
 					p := r.point(now)
 					p.Done++
+					attrs := "status=late"
 					if now <= op.deadline {
 						p.Goodput++
 						r.res.Goodput++
+						attrs = "status=ok"
 					}
+					r.rec.Emit(obs.Event{Layer: "client", Name: "call_end",
+						Client: h.ClientID, Call: h.CallID, Proc: op.proc,
+						Dur: lat, Attrs: attrs})
 					idx := r.winIdx(now)
 					r.lats[idx] = append(r.lats[idx], lat)
 				}
@@ -713,6 +805,59 @@ func (r *loadRun) drain() {
 				delete(r.flights, key)
 			}
 		}
+	}
+}
+
+// closeWindows fires the anomaly checks for every curve window the
+// virtual clock has fully passed. A window's counters are final once
+// the clock crosses its end (completions, sheds, and failures land at
+// the current clock; arrivals are never scheduled into the past), so
+// a closed window is safe to judge.
+func (r *loadRun) closeWindows() {
+	w := int(r.link.Clock() / r.cfg.WindowMicros)
+	for r.curWin < w {
+		r.checkAnomaly(r.curWin)
+		r.curWin++
+	}
+}
+
+// checkAnomaly judges one closed window against the trigger rules. An
+// incident is logged at its ONSET — the first triggering window after a
+// healthy one — not once per window it persists, so a two-second
+// collapse is one anomaly, not fourteen. The first trigger of the run
+// also snapshots the flight recorder's ring — the events leading into
+// the incident — before the drain tail scrolls them away.
+func (r *loadRun) checkAnomaly(idx int) {
+	if idx >= len(r.res.Curve) {
+		return
+	}
+	p := r.res.Curve[idx]
+	var kind string
+	switch {
+	case p.Shed >= shedStormThreshold:
+		kind = "shed_storm"
+	case p.Offered >= collapseMinOffered && p.Goodput == 0:
+		kind = "goodput_collapse"
+	default:
+		r.anomaly = ""
+		return
+	}
+	if kind == r.anomaly {
+		return // the incident logged at its onset is still running
+	}
+	r.anomaly = kind
+	r.rec.Emit(obs.Event{Layer: "anomaly", Name: kind,
+		Dur: r.cfg.WindowMicros, Val: float64(idx)})
+	r.res.Anomalies = append(r.res.Anomalies, Anomaly{
+		Kind:    kind,
+		Window:  idx,
+		TMicros: p.TMicros,
+		Offered: p.Offered,
+		Goodput: p.Goodput,
+		Shed:    p.Shed,
+	})
+	if r.res.AnomalyDump == nil {
+		r.res.AnomalyDump = r.rec.Events()
 	}
 }
 
@@ -731,6 +876,9 @@ func (r *loadRun) finish() {
 	for i := range res.Curve {
 		res.Curve[i].P99Micros = p99(r.lats[i])
 	}
+	res.TraceRetained = r.rec.EventCount()
+	res.TraceDropped = r.rec.Dropped()
+	res.TraceTail = r.rec.Events()
 }
 
 // p99 is the 99th-percentile of one window's completion latencies.

@@ -101,7 +101,7 @@ func TestOverloadCollapseAndRecovery(t *testing.T) {
 
 type soakSummary struct {
 	Offered, Reissues, Executed, Goodput, Failed, Rejected, Timeouts, Dropped int
-	Sessions, Served                                                         int
+	Sessions, Served                                                          int
 }
 
 func summarize(r *LoadResult) soakSummary {
