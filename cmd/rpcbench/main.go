@@ -16,6 +16,7 @@
 //	rpcbench -clients 4 -batch  # the same, with opportunistic frame batching on the link
 //	rpcbench -chaos -batch   # chaos soak with batching: containers drop and corrupt whole
 //	rpcbench -replicas 1 -seed 13  # failover soak: primary killed for good mid-run, a backup promotes
+//	rpcbench -replicas 2 -rejoin   # self-healing soak: transient backup kills, disk faults at rest, rejoin and anti-entropy repair
 //	rpcbench -chaos -trace out.json -jsonl out.jsonl  # export the virtual-time trace
 //	rpcbench -load -loadout BENCH_load.json  # paired overload soak: collapse without the controls, recovery with them
 package main
@@ -48,6 +49,7 @@ func main() {
 	seed := flag.Int64("seed", 1991, "fault-plane seed for -chaos")
 	clients := flag.Int("clients", 0, "run N concurrent clients against one shared decomposed file service")
 	replicas := flag.Int("replicas", 0, "replicate the file service across N backups and run the failover soak: chaos on the client–primary link, a kill-forever crash schedule on the primary, a backup promoting mid-run")
+	rejoin := flag.Bool("rejoin", false, "with -replicas, arm the self-healing plane: seeded transient-kill schedules on the backups, seeded disk faults at rest, deposed-primary rejoin, and the anti-entropy scrub")
 	batch := flag.Bool("batch", false, "enable opportunistic frame batching on the link: frames staged between receiver polls coalesce into one container transfer")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event file of the run (with -chaos or -clients)")
 	jsonlOut := flag.String("jsonl", "", "write the run's event stream as JSONL (with -chaos or -clients)")
@@ -69,7 +71,7 @@ func main() {
 		return
 	}
 	if *replicas > 0 {
-		printReplicas(*replicas, *seed, *traceOut, *jsonlOut)
+		printReplicas(*replicas, *seed, *rejoin, *traceOut, *jsonlOut)
 		return
 	}
 	if *clients > 0 {
@@ -214,9 +216,15 @@ func crashSummaryTable(cc faultplane.CrashCounts, st fsserver.Stats, recovery *o
 // chaos runs on the client–primary link, and a kill-forever crash
 // schedule recovers the primary twice and then kills it permanently
 // mid-run — a backup promotes itself, the client fails over, and the
-// final state must still equal the fault-free monolithic run. Same
-// seed, same output — down to the virtual clock.
-func printReplicas(backups int, seed int64, traceOut, jsonlOut string) {
+// final state must still equal the fault-free monolithic run. With
+// rejoin the self-healing plane is armed on top: every backup runs a
+// seeded transient-kill schedule, reviving nodes draw at-rest disk
+// faults (torn records, snapshot bit flips) that quarantine-and-refetch
+// must heal, the deposed primary demotes and rejoins as a backup, and
+// the anti-entropy scrub repairs silent divergence — so every node dies
+// at least once yet the run ends at full replication factor. Same seed,
+// same output — down to the virtual clock.
+func printReplicas(backups int, seed int64, rejoin bool, traceOut, jsonlOut string) {
 	cm := kernel.NewCostModel(arch.R3000)
 
 	clean := fs.New(256)
@@ -231,6 +239,20 @@ func printReplicas(backups int, seed int64, traceOut, jsonlOut string) {
 	cluster.PrimaryLink().SetFaultPlane(faultplane.New(faultplane.Chaos(seed)))
 	crash := faultplane.NewCrash(faultplane.ChaosKill(seed))
 	cluster.SetCrashPlane(crash)
+	var disk *faultplane.DiskPlane
+	if rejoin {
+		// The soak-scale healing policy: rejoin and scrub cadence sized to
+		// the virtual time a faulty andrew-mini replay actually accrues
+		// (retry backoff dominates the clock, so half a virtual second
+		// yields a handful of scrub passes per run).
+		cluster.EnableSelfHeal(fsserver.SelfHealPolicy{
+			RejoinDelayMicros: 5e5, ScrubIntervalMicros: 5e5, ScrubRanges: 16,
+		})
+		for i := 0; i < backups; i++ {
+			cluster.SetBackupKillPlane(i, faultplane.ChaosRejoin(seed+int64(i)+1))
+		}
+		disk = cluster.SetDiskPlane(faultplane.ChaosDisk(seed))
+	}
 	remote := cluster.NewClient()
 	rec := obs.NewRecorder(cluster.Clock())
 	remote.SetRecorder(rec)
@@ -247,17 +269,41 @@ func printReplicas(backups int, seed int64, traceOut, jsonlOut string) {
 		fmt.Println("failover soak failed:", err)
 		return
 	}
+	if rejoin {
+		// Drain to full replication factor before accounting: force the
+		// pending rejoin, ship until no peer lags, run a final scrub.
+		cluster.Quiesce()
+	}
 
 	cp := crash.Policy()
-	fmt.Printf("Failover soak: andrew-mini over the replicated file service (seed %d, %d backup(s))\n", seed, backups)
+	if rejoin {
+		fmt.Printf("Self-healing soak: andrew-mini over the replicated file service (seed %d, %d backup(s))\n", seed, backups)
+	} else {
+		fmt.Printf("Failover soak: andrew-mini over the replicated file service (seed %d, %d backup(s))\n", seed, backups)
+	}
 	fmt.Printf("kill schedule: recv %.1f%%, pre-apply %.1f%%, pre-reply %.1f%% per window; crash %d of %d is permanent\n",
 		100*cp.OnRecv, 100*cp.PreApply, 100*cp.PreReply, cp.FatalFrom, cp.MaxCrashes)
+	if rejoin {
+		kp := faultplane.ChaosRejoin(seed + 1)
+		fmt.Printf("backup kill schedule: recv %.1f%% per ship frame, outage %.0f µs, max %d kills per backup\n",
+			100*kp.OnRecv, kp.OutageMicros, kp.MaxKills)
+		dp := disk.Policy()
+		fmt.Printf("disk-fault schedule: torn record %.0f%%, snapshot bit flip %.0f%% per revival, max %d faults\n",
+			100*dp.TornRecord, 100*dp.SnapshotBitFlip, dp.MaxFaults)
+		for i := 0; i < backups; i++ {
+			kc := cluster.BackupKillCounts(i)
+			fmt.Printf("  backup %d: killed %d time(s), last at %.0f µs\n", i, kc.Kills, kc.LastKillAt)
+		}
+		dc := disk.Counts()
+		fmt.Printf("  disk faults drawn: %d tears, %d bit flips over %d revivals\n", dc.Tears, dc.Flips, dc.Decisions)
+	}
 
 	st := remote.Stats()
 	cst := cluster.Stats()
 	fmt.Printf("service ops: %d\n", ops)
 	fmt.Println(replicaSummaryTable(crash.Counts(), st, cst, reg.Snapshot()["repl.lag"],
-		rec.Histogram("server.promotion"), rec.Histogram("client.failover")))
+		rec.Histogram("server.promotion"), rec.Histogram("client.failover"),
+		rec.Histogram("repl.rejoin")))
 
 	if err := cluster.Audit(); err != nil {
 		fmt.Println("REPLICATION AUDIT FAILED:", err, "✗")
@@ -269,6 +315,20 @@ func printReplicas(backups int, seed int64, traceOut, jsonlOut string) {
 	} else {
 		fmt.Println("STATE DIVERGED: at-most-once violated across failover ✗")
 	}
+	if rejoin {
+		fps := cluster.NodeFingerprints()
+		converged := true
+		for _, f := range fps {
+			if f != clean.Fingerprint() {
+				converged = false
+			}
+		}
+		if converged {
+			fmt.Printf("full replication factor: all %d nodes hold the monolithic fingerprint ✓\n", len(fps))
+		} else {
+			fmt.Println("REPLICATION FACTOR NOT RESTORED: node fingerprints diverge ✗")
+		}
+	}
 	fmt.Printf("virtual time %.0f µs, %d trace events (bit-for-bit reproducible for seed %d)\n",
 		cluster.Clock().Clock(), rec.EventCount(), seed)
 	writeExports(rec, traceOut, jsonlOut)
@@ -276,10 +336,12 @@ func printReplicas(backups int, seed int64, traceOut, jsonlOut string) {
 
 // replicaSummaryTable renders the replication and failover accounting
 // of a soak: the kill schedule's crashes, the shipping counters, the
-// promotion, and how at-most-once held across the switch; split from
+// promotion, how at-most-once held across the switch, and the
+// self-healing counters (rejoins, state transfers, quarantine, scrub
+// repairs — all zero when the healing plane is unarmed); split from
 // the driving loop so the formatting is testable against a golden file.
 func replicaSummaryTable(cc faultplane.CrashCounts, st fsserver.Stats, cst fsserver.ClusterStats,
-	lag float64, promotion, failover *obs.Histogram) *trace.Table {
+	lag float64, promotion, failover, rejoin *obs.Histogram) *trace.Table {
 	t := trace.NewTable("Replication and failover under chaos",
 		"Metric", "Count")
 	add := func(name string, v interface{}) { t.AddRow(name, fmt.Sprintf("%v", v)) }
@@ -301,6 +363,17 @@ func replicaSummaryTable(cc faultplane.CrashCounts, st fsserver.Stats, cst fsser
 	add("stale replies fenced", st.Wire.FencedReplies)
 	add("promotion µs", obs.FormatMicros(promotion.Max()))
 	add("failover gap p50 µs", obs.FormatMicros(failover.P50()))
+	add("nodes rejoined", cst.Rejoins)
+	add("fenced ships (deposed primary)", cst.FencedShips)
+	add("ack cursors corrected", cst.CursorCorrections)
+	add("state transfers (snapshot installs)", cst.StateTransfers)
+	add("state-transfer chunks", cst.SnapChunks)
+	add("WAL records quarantined", cst.Quarantined)
+	add("speculative records discarded", cst.Discarded)
+	add("scrub passes", cst.ScrubPasses)
+	add("scrub repairs", cst.ScrubRepairs)
+	add("divergent ranges repaired", cst.RepairedRanges)
+	add("rejoin downtime µs", obs.FormatMicros(rejoin.Max()))
 	return t
 }
 

@@ -79,8 +79,9 @@ func TestCrashSummaryTableGolden(t *testing.T) {
 }
 
 // TestReplicaSummaryTableGolden pins the -replicas table format: the
-// kill-schedule accounting, the shipping counters, and the promotion
-// and failover-gap percentiles. Regenerate with
+// kill-schedule accounting, the shipping counters, the promotion and
+// failover-gap percentiles, and the self-healing rows (rejoins, state
+// transfers, quarantine, scrub repairs). Regenerate with
 // `go test ./cmd/rpcbench -update`.
 func TestReplicaSummaryTableGolden(t *testing.T) {
 	promotion := &obs.Histogram{}
@@ -89,23 +90,35 @@ func TestReplicaSummaryTableGolden(t *testing.T) {
 	for _, v := range []float64{812, 934, 1210} {
 		failover.Observe(v)
 	}
+	rejoin := &obs.Histogram{}
+	rejoin.Observe(501234)
 	cc := faultplane.CrashCounts{Points: 1800, Crashes: 3, OnRecv: 1, PreApply: 0, PreReply: 2}
 	st := fsserver.Stats{Recoveries: 2}
 	st.Wire.LogDuplicates = 2
 	st.Wire.Failovers = 1
 	st.Wire.FencedReplies = 1
 	cst := fsserver.ClusterStats{
-		Backups:       1,
-		Failovers:     1,
-		PromotedEpoch: 4,
-		PrimarySeq:    67,
-		BackupSeq:     67,
-		ShipCalls:     67,
-		ShipFailures:  2,
-		Reships:       2,
-		LagOps:        1,
+		Backups:           2,
+		Failovers:         1,
+		PromotedEpoch:     4,
+		PrimarySeq:        67,
+		BackupSeq:         67,
+		ShipCalls:         67,
+		ShipFailures:      2,
+		Reships:           2,
+		LagOps:            1,
+		Rejoins:           1,
+		FencedShips:       1,
+		CursorCorrections: 3,
+		StateTransfers:    1,
+		SnapChunks:        2,
+		Quarantined:       4,
+		Discarded:         2,
+		ScrubPasses:       5,
+		ScrubRepairs:      1,
+		RepairedRanges:    3,
 	}
-	got := replicaSummaryTable(cc, st, cst, 0, promotion, failover).String()
+	got := replicaSummaryTable(cc, st, cst, 0, promotion, failover, rejoin).String()
 
 	golden := filepath.Join("testdata", "replicas_table.golden")
 	if *update {

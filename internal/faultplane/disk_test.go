@@ -1,0 +1,111 @@
+package faultplane
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiskFaultPolicyValidate(t *testing.T) {
+	if err := ChaosDisk(1).Validate(); err != nil {
+		t.Fatalf("reference policy rejected: %v", err)
+	}
+	nan := 0.0
+	nan /= nan
+	bad := []struct {
+		name string
+		p    DiskFaultPolicy
+		want string
+	}{
+		{"NaN torn prob", DiskFaultPolicy{TornRecord: nan}, "TornRecord"},
+		{"torn prob above one", DiskFaultPolicy{TornRecord: 2}, "TornRecord"},
+		{"negative flip prob", DiskFaultPolicy{SnapshotBitFlip: -0.1}, "SnapshotBitFlip"},
+		{"negative max faults", DiskFaultPolicy{MaxFaults: -1}, "MaxFaults"},
+	}
+	for _, c := range bad {
+		err := c.p.Validate()
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: Validate() = %v, want error mentioning %q", c.name, err, c.want)
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewDisk did not panic", c.name)
+				}
+			}()
+			NewDisk(c.p)
+		}()
+	}
+}
+
+func TestDiskPlaneTearsAreStrictlyMidLog(t *testing.T) {
+	// The final-record tear belongs to the crash plane; this plane's
+	// signature is damage the medium itself introduced, which recovery
+	// must classify as corruption, not a crash. So every tear index
+	// lands strictly before the last tail record, and tails too short
+	// to hold a mid-log position escape even a certain tear.
+	d := NewDisk(DiskFaultPolicy{Seed: 7, TornRecord: 1})
+	for _, tailLen := range []int{0, 1} {
+		if f := d.Decide(tailLen); f.TearTailIndex != -1 {
+			t.Errorf("tail of %d produced a tear at %d, want none", tailLen, f.TearTailIndex)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		tailLen := 2 + i%30
+		f := d.Decide(tailLen)
+		if f.TearTailIndex < 0 || f.TearTailIndex > tailLen-2 {
+			t.Fatalf("tear at %d in a %d-record tail, want [0, %d]", f.TearTailIndex, tailLen, tailLen-2)
+		}
+	}
+}
+
+func TestDiskPlaneStreamAlignment(t *testing.T) {
+	// Exactly three PRNG values per Decide, verdict or no verdict: two
+	// same-seed planes fed different tail lengths stay aligned on every
+	// later decision, so a run's damage schedule is a function of the
+	// revival order alone.
+	a := NewDisk(DiskFaultPolicy{Seed: 42, TornRecord: 0.5, SnapshotBitFlip: 0.5})
+	b := NewDisk(DiskFaultPolicy{Seed: 42, TornRecord: 0.5, SnapshotBitFlip: 0.5})
+	a.Decide(0)  // no tear possible
+	b.Decide(50) // tear possible
+	for i := 0; i < 100; i++ {
+		fa, fb := a.Decide(10), b.Decide(10)
+		if fa != fb {
+			t.Fatalf("decision %d diverged after different first tails: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+func TestDiskPlaneMaxFaultsAndDeterminism(t *testing.T) {
+	run := func() (DiskCounts, []DiskFault) {
+		d := NewDisk(ChaosDisk(1991))
+		faults := make([]DiskFault, 0, 50)
+		for i := 0; i < 50; i++ {
+			faults = append(faults, d.Decide(8))
+		}
+		return d.Counts(), faults
+	}
+	c1, f1 := run()
+	c2, f2 := run()
+	if c1 != c2 {
+		t.Errorf("same seed produced different counts: %+v vs %+v", c1, c2)
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	if c1.Decisions != 50 {
+		t.Errorf("Decisions = %d, want 50", c1.Decisions)
+	}
+	if got, max := c1.Tears+c1.Flips, ChaosDisk(1991).MaxFaults; got > max {
+		t.Errorf("injected %d faults, want at most %d", got, max)
+	}
+	// With certain probabilities the cap binds exactly.
+	d := NewDisk(DiskFaultPolicy{Seed: 3, TornRecord: 1, SnapshotBitFlip: 1, MaxFaults: 3})
+	for i := 0; i < 20; i++ {
+		d.Decide(8)
+	}
+	if c := d.Counts(); c.Tears+c.Flips != 3 {
+		t.Errorf("certain faults injected %d, want the MaxFaults cap 3", c.Tears+c.Flips)
+	}
+}

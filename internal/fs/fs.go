@@ -10,9 +10,11 @@ package fs
 
 import (
 	"crypto/sha256"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 	"strings"
 )
@@ -420,6 +422,48 @@ func (f *FS) Fingerprint() string {
 	}
 	walk("", f.inodes[1])
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// RangeFingerprints digests the tree into n per-range fingerprints:
+// each path is assigned to a range by hashing the path alone, and
+// every entry in a range folds its path, kind, size, and content into
+// that range's running digest. Two replicas holding the same tree
+// produce the same n words; a divergent file perturbs exactly the
+// ranges it hashes into, so an anti-entropy scrub comparing the words
+// localises disagreement without exchanging the tree itself.
+func (f *FS) RangeFingerprints(n int) []uint64 {
+	if n <= 0 {
+		n = 1
+	}
+	out := make([]uint64, n)
+	var walk func(prefix string, node *inode)
+	walk = func(prefix string, node *inode) {
+		names := make([]string, 0, len(node.children))
+		for name := range node.children {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			c := f.inodes[node.children[name]]
+			path := prefix + "/" + name
+			ri := int(crc32.ChecksumIEEE([]byte(path))) % n
+			if ri < 0 {
+				ri += n
+			}
+			h := sha256.New()
+			fmt.Fprintf(h, "%s|%v|%d\n", path, c.kind, len(c.data))
+			if c.kind == KindDir {
+				walk(path, c)
+			} else {
+				h.Write(c.data)
+			}
+			var word [8]byte
+			copy(word[:], h.Sum(nil))
+			out[ri] ^= binary.BigEndian.Uint64(word[:])
+		}
+	}
+	walk("", f.inodes[1])
+	return out
 }
 
 // OpenFDs returns the number of live descriptors.

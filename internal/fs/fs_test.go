@@ -3,6 +3,8 @@ package fs
 import (
 	"bytes"
 	"errors"
+	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 )
@@ -288,5 +290,80 @@ func TestFingerprintTracksLogicalState(t *testing.T) {
 	hitsAfter, missesAfter := a.CacheStats()
 	if hitsBefore != hitsAfter || missesBefore != missesAfter || a.OpCounts()["read"] != opsBefore {
 		t.Error("Fingerprint perturbed cache or op counters")
+	}
+}
+
+func TestRangeFingerprintsLocaliseDivergence(t *testing.T) {
+	// The anti-entropy probe: equal trees produce equal range words; a
+	// single divergent file perturbs at least one range and never all of
+	// a wide table — the scrubber localises disagreement without
+	// exchanging the tree.
+	build := func() *FS {
+		f := New(64)
+		if err := f.Mkdir("/d"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			fd, err := f.Create(fmt.Sprintf("/d/f%d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := f.Write(fd, []byte(fmt.Sprintf("payload %d", i))); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Close(fd); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return f
+	}
+	a, b := build(), build()
+	const n = 16
+	fa, fb := a.RangeFingerprints(n), b.RangeFingerprints(n)
+	if len(fa) != n || !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("equal trees produced unequal range fingerprints:\n%v\n%v", fa, fb)
+	}
+	// Divergence: one file's content rots on b.
+	fd, err := b.Open("/d/f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(fd, []byte("rot")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	fb = b.RangeFingerprints(n)
+	diff := 0
+	for i := range fa {
+		if fa[i] != fb[i] {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("a divergent file left every range fingerprint unchanged")
+	}
+	if diff == n {
+		t.Error("a single divergent file perturbed every range")
+	}
+	// Range assignment is by path alone, so the untouched files' ranges
+	// hold steady: repairing /d/f3 alone restores agreement.
+	fd, err = b.Open("/d/f3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Write(fd, []byte("payload 3")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fa, b.RangeFingerprints(n)) {
+		t.Error("repairing the divergent file did not restore range agreement")
+	}
+	// Degenerate resolution: n=1 is the monolithic comparison.
+	if a.RangeFingerprints(1)[0] != b.RangeFingerprints(1)[0] {
+		t.Error("single-range fingerprints disagree on equal trees")
 	}
 }

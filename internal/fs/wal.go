@@ -155,11 +155,32 @@ type SessionRecord struct {
 
 // WALStats counts log activity.
 type WALStats struct {
-	Appends       int
-	Snapshots     int
-	SnapshotBytes int // size of the latest snapshot
-	Truncated     int // records dropped from the tail by snapshots
-	TornTruncated int // torn final records discarded by Recover
+	Appends              int
+	Snapshots            int
+	SnapshotBytes        int // size of the latest snapshot
+	Truncated            int // records dropped from the tail by snapshots
+	TornTruncated        int // torn final records discarded by Recover
+	Quarantined          int // corrupt records dropped by QuarantineFrom, awaiting re-fetch
+	SnapshotsQuarantined int // undecodable snapshots discarded whole
+	Discarded            int // speculative records a deposed primary discarded at demotion
+	Installed            int // snapshots installed whole from a peer (state transfer)
+}
+
+// ErrWALCorrupt reports a record that failed its integrity check
+// somewhere other than the final log position: the log itself is
+// damaged at rest — a torn mid-log record or bit rot — rather than
+// merely ending in the expected crash-mid-append tear. It carries the
+// damaged record's sequence number and tail offset so a repair path
+// can quarantine exactly the corrupt region and re-fetch it from a
+// healthy peer; callers distinguish it from I/O or decode failures
+// with errors.As.
+type ErrWALCorrupt struct {
+	Seq   uint64 // sequence number of the corrupt record
+	Index int    // offset of the record in the un-snapshotted tail
+}
+
+func (e *ErrWALCorrupt) Error() string {
+	return fmt.Sprintf("fs: torn record mid-log at seq %d (tail offset %d)", e.Seq, e.Index)
 }
 
 // WAL is the write-ahead op log: a snapshot of some past state plus
@@ -247,18 +268,43 @@ func (w *WAL) AppendShipped(r Record) error {
 
 // RecordsSince returns a copy of the retained records with sequence
 // numbers above seq, in order — the batch to ship to a backup whose
-// acknowledged cursor stands at seq. Only meaningful with shipping
-// enabled.
+// acknowledged cursor stands at seq. Records come from two retention
+// regimes that together cover the log contiguously: the ship buffer
+// holds unacknowledged records the snapshot may have folded away
+// (those at or below snapSeq), and the tail holds everything since the
+// snapshot. The two are disjoint by construction — tail records are
+// strictly above snapSeq — so the merge never duplicates and never
+// gaps as long as seq is at or above ShipFloor.
 func (w *WAL) RecordsSince(seq uint64) []Record {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	var out []Record
 	for _, r := range w.shipBuf {
+		if r.Seq > seq && r.Seq <= w.snapSeq {
+			out = append(out, r)
+		}
+	}
+	for _, r := range w.tail {
 		if r.Seq > seq {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// ShipFloor returns the lowest acknowledged cursor this log can serve
+// contiguously through RecordsSince. A peer whose cursor stands below
+// the floor has fallen behind the retained log — snapshot truncation
+// dropped records it still needs — and must be caught up by state
+// transfer (InstallSnapshot) instead of record shipping.
+func (w *WAL) ShipFloor() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	floor := w.snapSeq
+	if len(w.shipBuf) > 0 && w.shipBuf[0].Seq-1 < floor {
+		floor = w.shipBuf[0].Seq - 1
+	}
+	return floor
 }
 
 // AckShipped trims the ship buffer through seq: every backup has
@@ -305,6 +351,159 @@ func (w *WAL) TearFinalRecord() bool {
 	} else {
 		r.Sum ^= 0xdeadbeef
 	}
+	return true
+}
+
+// dropFrom removes every retained record with sequence number at or
+// above seq from both the tail and the ship buffer and rewinds nextSeq,
+// returning how many tail records were dropped. Caller holds w.mu.
+func (w *WAL) dropFrom(seq uint64) int {
+	n := 0
+	i := len(w.tail)
+	for i > 0 && w.tail[i-1].Seq >= seq {
+		i--
+		n++
+	}
+	w.tail = w.tail[:i]
+	j := len(w.shipBuf)
+	for j > 0 && w.shipBuf[j-1].Seq >= seq {
+		j--
+	}
+	w.shipBuf = w.shipBuf[:j]
+	if seq-1 < w.nextSeq {
+		w.nextSeq = seq - 1
+	}
+	return n
+}
+
+// QuarantineFrom drops every record at or above seq from the log — the
+// repair action for at-rest corruption. The records are gone but not
+// lost to the cluster: the node's ship cursor rewinds with them, so
+// the next ship from a healthy peer re-delivers the quarantined range,
+// checksummed. Returns how many tail records were quarantined.
+func (w *WAL) QuarantineFrom(seq uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.dropFrom(seq)
+	w.stats.Quarantined += n
+	return n
+}
+
+// DiscardFrom drops every record at or above seq from the log — the
+// demotion action for a deposed primary's speculative tail: records it
+// appended after losing the primacy it thought it held, which the new
+// primary's history supersedes. Same mechanics as QuarantineFrom,
+// separate counter, because "my disk rotted" and "I was fenced" are
+// different stories in the stats. Returns how many records were
+// discarded.
+func (w *WAL) DiscardFrom(seq uint64) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.dropFrom(seq)
+	w.stats.Discarded += n
+	return n
+}
+
+// QuarantineSnapshot abandons the entire log — snapshot, tail, ship
+// buffer, sessions — resetting it to genesis. The repair action when
+// the snapshot itself is undecodable: nothing below it can be trusted,
+// so the node falls back to full state transfer from a peer.
+func (w *WAL) QuarantineSnapshot() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats.Quarantined += len(w.tail)
+	w.stats.SnapshotsQuarantined++
+	w.snapshot = nil
+	w.snapSeq = 0
+	w.nextSeq = 0
+	w.tail = nil
+	w.shipBuf = nil
+	w.sessions = map[uint32]SessionRecord{}
+}
+
+// SnapshotBytes returns a copy of the current snapshot and the
+// sequence number it covers through — the payload a primary streams to
+// a peer too far behind for record shipping. Nil if no snapshot has
+// been taken.
+func (w *WAL) SnapshotBytes() ([]byte, uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.snapshot == nil {
+		return nil, 0
+	}
+	out := make([]byte, len(w.snapshot))
+	copy(out, w.snapshot)
+	return out, w.snapSeq
+}
+
+// SnapSeq returns the sequence number the snapshot covers through.
+func (w *WAL) SnapSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.snapSeq
+}
+
+// InstallSnapshot replaces the log wholesale with a snapshot received
+// from a peer: the state-transfer landing. The snapshot is
+// decode-validated before anything is discarded — a damaged transfer
+// leaves the log untouched. On success the log's history is exactly
+// the peer's through seq (empty tail, empty ship buffer, the
+// snapshot's session table) and the rebuilt file system is returned
+// for the caller to serve from.
+func (w *WAL) InstallSnapshot(data []byte, seq uint64) (*FS, []SessionRecord, error) {
+	f, snapSessions, err := restore(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fs: install snapshot: %w", err)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.snapshot = make([]byte, len(data))
+	copy(w.snapshot, data)
+	w.snapSeq = seq
+	w.nextSeq = seq
+	w.tail = nil
+	w.shipBuf = nil
+	w.sessions = make(map[uint32]SessionRecord, len(snapSessions))
+	for _, s := range snapSessions {
+		w.sessions[s.Client] = s
+	}
+	w.stats.Installed++
+	w.stats.SnapshotBytes = len(w.snapshot)
+	return f, snapSessions, nil
+}
+
+// CorruptTailRecord simulates at-rest damage to the tail record at the
+// given offset — the disk-fault plane's mid-log tear: payload loss for
+// a record with data, checksum rot otherwise. Reports the damaged
+// record's sequence number and whether the offset named a record.
+func (w *WAL) CorruptTailRecord(i int) (uint64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if i < 0 || i >= len(w.tail) {
+		return 0, false
+	}
+	r := &w.tail[i]
+	if len(r.Data) > 0 {
+		r.Data = r.Data[:len(r.Data)/2]
+	} else {
+		r.Sum ^= 0xdeadbeef
+	}
+	return r.Seq, true
+}
+
+// CorruptSnapshotByte simulates at-rest bit rot in the snapshot: one
+// bit flipped at the given offset (taken modulo the snapshot length).
+// Reports whether there was a snapshot to damage.
+func (w *WAL) CorruptSnapshotByte(off int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.snapshot) == 0 {
+		return false
+	}
+	if off < 0 {
+		off = -off
+	}
+	w.snapshot[off%len(w.snapshot)] ^= 0x40
 	return true
 }
 
@@ -512,7 +711,7 @@ func Recover(w *WAL) (*FS, []SessionRecord, int, error) {
 			continue
 		}
 		if i != len(w.tail)-1 {
-			return nil, nil, 0, fmt.Errorf("fs: torn record mid-log at seq %d", r.Seq)
+			return nil, nil, 0, &ErrWALCorrupt{Seq: r.Seq, Index: i}
 		}
 		w.tail = w.tail[:i]
 		w.nextSeq = r.Seq - 1

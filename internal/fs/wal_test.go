@@ -3,6 +3,7 @@ package fs
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -361,5 +362,303 @@ func TestRecordBatchCodecRoundTrips(t *testing.T) {
 	}
 	if _, err := DecodeRecords([]byte("not a batch")); err == nil {
 		t.Error("garbage decoded without error")
+	}
+}
+
+func TestTornRecordClassification(t *testing.T) {
+	// The two tears are different diseases: a torn FINAL record is the
+	// crash-mid-append signature (truncate and carry on), a torn mid-log
+	// record is at-rest damage (refuse, with a typed error naming the
+	// corrupt region so the repair path can quarantine exactly it).
+	const records = 5
+	cases := []struct {
+		name     string
+		tearAt   int // tail offset to damage
+		wantCorr bool
+	}{
+		{"final record tear is a crash signature", records - 1, false},
+		{"first record tear is log damage", 0, true},
+		{"middle record tear is log damage", 2, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := New(64)
+			w := NewWAL(64)
+			for i := 0; i < records; i++ {
+				logged(t, w, f, Record{Op: OpMkdir, Path: fmt.Sprintf("/d%d", i), Client: 1, Call: uint32(i + 1)})
+			}
+			seq, ok := w.CorruptTailRecord(c.tearAt)
+			if !ok {
+				t.Fatal("nothing to tear")
+			}
+			_, _, _, err := Recover(w)
+			var corrupt *ErrWALCorrupt
+			if got := errors.As(err, &corrupt); got != c.wantCorr {
+				t.Fatalf("Recover() = %v; classified as corruption: %v, want %v", err, got, c.wantCorr)
+			}
+			if !c.wantCorr {
+				if err != nil {
+					t.Fatalf("torn final record not truncated: %v", err)
+				}
+				if got := w.Stats().TornTruncated; got != 1 {
+					t.Errorf("TornTruncated = %d, want 1", got)
+				}
+				return
+			}
+			// The typed error names the damage precisely enough to
+			// quarantine it: sequence number and tail offset.
+			if corrupt.Seq != seq {
+				t.Errorf("ErrWALCorrupt.Seq = %d, want %d", corrupt.Seq, seq)
+			}
+			if corrupt.Index != c.tearAt {
+				t.Errorf("ErrWALCorrupt.Index = %d, want %d", corrupt.Index, c.tearAt)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("seq %d", seq)) {
+				t.Errorf("error %q does not name the corrupt sequence", err)
+			}
+		})
+	}
+}
+
+func TestQuarantineFromHealsMidLogTear(t *testing.T) {
+	// The repair path for a torn mid-log record: quarantine from the
+	// damage onward, recover the intact prefix, and leave the sequence
+	// counter rewound so a healthy peer's re-ship lands contiguously.
+	f := New(64)
+	w := NewWAL(64)
+	w.EnableShipping()
+	const records = 6
+	for i := 0; i < records; i++ {
+		logged(t, w, f, Record{Op: OpMkdir, Path: fmt.Sprintf("/d%d", i), Client: 1, Call: uint32(i + 1)})
+	}
+	seq, ok := w.CorruptTailRecord(3)
+	if !ok {
+		t.Fatal("nothing to tear")
+	}
+	_, _, _, err := Recover(w)
+	var corrupt *ErrWALCorrupt
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("Recover() = %v, want ErrWALCorrupt", err)
+	}
+	if n := w.QuarantineFrom(corrupt.Seq); n != records-3 {
+		t.Errorf("quarantined %d records, want %d (the corrupt suffix)", n, records-3)
+	}
+	g, _, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatalf("recovery after quarantine failed: %v", err)
+	}
+	if replayed != 3 || w.LastSeq() != seq-1 {
+		t.Errorf("replayed %d records to seq %d, want 3 records to seq %d", replayed, w.LastSeq(), seq-1)
+	}
+	// The quarantined range is gone from the ship cursor's view too, so
+	// a peer's re-ship of exactly seq appends contiguously.
+	if err := w.AppendShipped(Record{Seq: seq, Op: OpMkdir, Path: "/d3", Client: 1, Call: 4, Sum: recordSum(Record{Seq: seq, Op: OpMkdir, Path: "/d3", Client: 1, Call: 4})}); err != nil {
+		t.Errorf("re-shipped record at quarantine point rejected: %v", err)
+	}
+	if got := w.Stats().Quarantined; got != records-3 {
+		t.Errorf("Quarantined = %d, want %d", got, records-3)
+	}
+	// State equals a clean replay of the intact prefix.
+	clean := New(64)
+	for i := 0; i < 3; i++ {
+		if err := clean.Mkdir(fmt.Sprintf("/d%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Fingerprint() != clean.Fingerprint() {
+		t.Error("recovered state diverged from the intact prefix")
+	}
+}
+
+func TestShipFloorAndMergedRecordsSince(t *testing.T) {
+	// The ship-cursor audit, satellite of the rejoin work: RecordsSince
+	// must serve any cursor at or above ShipFloor with an exact,
+	// contiguous, duplicate-free suffix — across snapshots, which fold
+	// the tail for recovery but must neither re-ship nor skip records.
+	f := New(64)
+	w := NewWAL(64)
+	w.EnableShipping()
+	for i := 0; i < 4; i++ {
+		logged(t, w, f, Record{Op: OpMkdir, Path: fmt.Sprintf("/d%d", i), Client: 1, Call: uint32(i + 1)})
+	}
+	if err := w.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 6; i++ {
+		logged(t, w, f, Record{Op: OpMkdir, Path: fmt.Sprintf("/d%d", i), Client: 1, Call: uint32(i + 1)})
+	}
+	// Records 1–4 live only in the ship buffer (the snapshot folded
+	// them out of the tail); 5–6 live in both tail and ship buffer. The
+	// merged view must hand each out exactly once.
+	wantSuffix := func(cursor uint64) {
+		t.Helper()
+		batch := w.RecordsSince(cursor)
+		if len(batch) != int(6-cursor) {
+			t.Fatalf("RecordsSince(%d) returned %d records, want %d", cursor, len(batch), 6-cursor)
+		}
+		for i, r := range batch {
+			if r.Seq != cursor+uint64(i)+1 {
+				t.Fatalf("RecordsSince(%d)[%d].Seq = %d, want %d (contiguous, no dup, no skip)",
+					cursor, i, r.Seq, cursor+uint64(i)+1)
+			}
+		}
+	}
+	if got := w.ShipFloor(); got != 0 {
+		t.Fatalf("ShipFloor = %d with the whole log retained, want 0", got)
+	}
+	for cursor := uint64(0); cursor <= 6; cursor++ {
+		wantSuffix(cursor)
+	}
+	// Acking trims the ship buffer and raises the floor: cursors below
+	// it are no longer servable record-by-record (state transfer's job).
+	w.AckShipped(2)
+	if got := w.ShipFloor(); got != 2 {
+		t.Errorf("ShipFloor = %d after AckShipped(2), want 2", got)
+	}
+	for cursor := uint64(2); cursor <= 6; cursor++ {
+		wantSuffix(cursor)
+	}
+	// Full ack: only the post-snapshot tail remains; the floor is the
+	// snapshot boundary.
+	w.AckShipped(6)
+	if got := w.ShipFloor(); got != 4 {
+		t.Errorf("ShipFloor = %d after full ack, want 4 (the snapshot seq)", got)
+	}
+	for cursor := uint64(4); cursor <= 6; cursor++ {
+		wantSuffix(cursor)
+	}
+}
+
+func TestSnapshotMidShipNeverReshipsNorSkips(t *testing.T) {
+	// Regression for the cursor audit: a snapshot taken while a backup's
+	// cursor is mid-stream must not change what that backup receives.
+	// The backup's own contiguity check is the oracle — any skip or
+	// re-ship is an AppendShipped error.
+	src := New(64)
+	sw := NewWAL(64)
+	sw.EnableShipping()
+	bw := NewWAL(64)
+	delivered := 0
+	ship := func(recs []Record) {
+		t.Helper()
+		for _, r := range recs {
+			if err := bw.AppendShipped(r); err != nil {
+				t.Fatalf("shipped stream broke at seq %d: %v", r.Seq, err)
+			}
+			delivered++
+		}
+	}
+	workout(t, sw, src)
+	// Phase 1: the backup receives and acks a prefix; its cursor rests
+	// mid-stream.
+	ship(sw.RecordsSince(0)[:3])
+	sw.AckShipped(3)
+	// The snapshot lands while the cursor is parked at 3.
+	if err := sw.Snapshot(src); err != nil {
+		t.Fatal(err)
+	}
+	logged(t, sw, src, Record{Op: OpMkdir, Path: "/post", Client: 9, Call: 1})
+	// Phase 2: the cursor resumes from exactly where it stopped.
+	ship(sw.RecordsSince(3))
+	sw.AckShipped(sw.LastSeq())
+	if bw.LastSeq() != sw.LastSeq() {
+		t.Errorf("backup log at %d, primary at %d", bw.LastSeq(), sw.LastSeq())
+	}
+	if want := int(sw.LastSeq()); delivered != want {
+		t.Errorf("delivered %d records, want %d (each exactly once)", delivered, want)
+	}
+}
+
+func TestInstallSnapshotRoundTrip(t *testing.T) {
+	// State transfer's landing: a snapshot lifted from one log installs
+	// wholesale into another, rebuilding file system, sequence counter,
+	// and session table — and a damaged transfer is refused with the
+	// target log untouched.
+	src := New(64)
+	sw := NewWAL(64)
+	workout(t, sw, src)
+	if err := sw.Snapshot(src); err != nil {
+		t.Fatal(err)
+	}
+	data, snapSeq := sw.SnapshotBytes()
+	if data == nil || snapSeq != sw.LastSeq() {
+		t.Fatalf("SnapshotBytes = %d bytes through %d, want the full log %d", len(data), snapSeq, sw.LastSeq())
+	}
+
+	dst := NewWAL(64)
+	damaged := make([]byte, len(data))
+	copy(damaged, data)
+	damaged[len(damaged)/2] ^= 0x40
+	if _, _, err := dst.InstallSnapshot(damaged, snapSeq); err == nil {
+		t.Fatal("damaged snapshot installed without error")
+	}
+	if dst.LastSeq() != 0 || dst.Stats().Installed != 0 {
+		t.Fatal("failed install mutated the target log")
+	}
+
+	f, sessions, err := dst.InstallSnapshot(data, snapSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Fingerprint() != src.Fingerprint() {
+		t.Error("installed state diverged from the source")
+	}
+	if dst.LastSeq() != snapSeq {
+		t.Errorf("installed log at %d, want %d", dst.LastSeq(), snapSeq)
+	}
+	if len(sessions) != 1 || sessions[0].Client != 7 {
+		t.Errorf("sessions = %+v, want client 7's carried across", sessions)
+	}
+	if _, ok := dst.Session(7); !ok {
+		t.Error("session table not rebuilt: client 7's last call unanswerable")
+	}
+	if got := dst.Stats().Installed; got != 1 {
+		t.Errorf("Installed = %d, want 1", got)
+	}
+	// The installed log continues contiguously: the next shipped record
+	// is snapSeq+1, nothing else.
+	next := Record{Seq: snapSeq + 1, Op: OpMkdir, Path: "/cont", Client: 9, Call: 1}
+	next.Sum = recordSum(next)
+	if err := dst.AppendShipped(next); err != nil {
+		t.Errorf("successor of an installed snapshot rejected: %v", err)
+	}
+}
+
+func TestQuarantineSnapshotResetsToGenesis(t *testing.T) {
+	// When the snapshot itself is rotten nothing below it can be
+	// trusted: the whole log is abandoned and the node starts from
+	// genesis, counting the loss, ready for full state transfer.
+	f := New(64)
+	w := NewWAL(64)
+	workout(t, w, f)
+	if err := w.Snapshot(f); err != nil {
+		t.Fatal(err)
+	}
+	logged(t, w, f, Record{Op: OpMkdir, Path: "/post", Client: 9, Call: 1})
+	// A single flipped bit deep in the image may decode cleanly (that is
+	// the silent divergence the scrubber exists for); mangling the gob
+	// header is the deterministic way to make the snapshot undecodable.
+	for off := 0; off < 8; off++ {
+		if !w.CorruptSnapshotByte(off) {
+			t.Fatal("no snapshot to damage")
+		}
+	}
+	if _, _, _, err := Recover(w); err == nil {
+		t.Fatal("recovery decoded a mangled snapshot")
+	}
+	w.QuarantineSnapshot()
+	g, sessions, replayed, err := Recover(w)
+	if err != nil {
+		t.Fatalf("recovery from genesis failed: %v", err)
+	}
+	if replayed != 0 || len(sessions) != 0 || w.LastSeq() != 0 {
+		t.Errorf("genesis log replayed %d records, %d sessions, LastSeq %d", replayed, len(sessions), w.LastSeq())
+	}
+	if g.Fingerprint() != New(64).Fingerprint() {
+		t.Error("genesis recovery is not the empty file system")
+	}
+	st := w.Stats()
+	if st.SnapshotsQuarantined != 1 || st.Quarantined != 1 {
+		t.Errorf("stats = %+v, want 1 snapshot and 1 tail record quarantined", st)
 	}
 }

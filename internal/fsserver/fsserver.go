@@ -723,6 +723,13 @@ func (r *Remote) call(proc uint32, args ...interface{}) ([]interface{}, error) {
 	if r.breakerFastFail() {
 		return nil, ErrDegraded
 	}
+	if r.cluster != nil {
+		// The replicated call path doubles as the cluster's heartbeat:
+		// virtual-clock-paced maintenance (deposed-primary rejoin, the
+		// anti-entropy scrub) runs here, synchronously, so same-seed
+		// soaks stay byte-identical. A no-op until EnableSelfHeal.
+		r.cluster.Tick()
+	}
 	r.stats.Ops++
 	// "Each invocation of an operating system service via an RPC
 	// requires at least two system calls and two context switches."

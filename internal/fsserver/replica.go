@@ -1,7 +1,10 @@
 package fsserver
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"strconv"
 	"sync"
@@ -28,11 +31,35 @@ const (
 	// ProcShip carries a batch of WAL records: args are the primary's
 	// epoch (uint32) and the gob-encoded batch ([]byte); the reply is
 	// the backup's applied sequence number (uint64) — the ack cursor.
+	// A reply below the primary's cursor is a cursor correction: the
+	// backup lost records (revival, quarantine) and the primary must
+	// rewind and re-ship.
 	ProcShip uint32 = iota + 100
 	// ProcReplSeq queries the backup's applied sequence number — how a
-	// restarted primary re-learns its shipping cursor.
+	// restarted primary re-learns its shipping cursor. An optional
+	// epoch argument stamps the caller's primacy on the backup (the
+	// promoted primary's first act), fencing staler shippers. The
+	// reply is the applied sequence (uint64) and the backup's promoted
+	// epoch (uint32; 0 while it remains a backup).
 	ProcReplSeq
+	// ProcSnapInstall streams a whole snapshot to a peer too far behind
+	// for record shipping — state transfer. Args: epoch (uint32), the
+	// sequence the snapshot covers through (uint64), total snapshot
+	// length (uint64), crc32 over the whole snapshot (uint32), chunk
+	// offset (uint64), chunk bytes ([]byte). Chunks arrive in order;
+	// offset 0 resets the peer's staging buffer; the final chunk
+	// verifies the checksum and installs. Reply: applied sequence.
+	ProcSnapInstall
+	// ProcScrub asks a peer for its per-range state fingerprints — the
+	// anti-entropy probe. Args: epoch (uint32), range count (uint64).
+	// Reply: applied sequence (uint64) and the fingerprints as 8-byte
+	// big-endian words ([]byte).
+	ProcScrub
 )
+
+// snapChunkBytes bounds one state-transfer chunk well under the wire
+// frame's 64KB payload limit.
+const snapChunkBytes = 32 << 10
 
 // Promotion cost model: deterministic virtual-time charges analogous to
 // the recovery constants — a promotion is a recovery plus a role
@@ -97,10 +124,24 @@ func (c ReplicaConfig) Validate() error {
 
 // ReplStats counts the primary's shipping activity.
 type ReplStats struct {
-	ShipCalls    int // ship RPCs attempted
-	ShipFailures int // ship RPCs that exhausted their ack budget
-	ShipRecords  int // records acknowledged by backups
-	LagOps       int // ops acknowledged to the client while a backup lagged
+	ShipCalls         int // ship RPCs attempted
+	ShipFailures      int // ship RPCs that exhausted their ack budget
+	ShipRecords       int // records acknowledged by backups
+	LagOps            int // ops acknowledged to the client while a backup lagged
+	CursorCorrections int // ack cursors rewound to a revived backup's true position
+	StateTransfers    int // whole snapshots installed on a lagging peer
+	SnapChunks        int // state-transfer chunk RPCs sent
+}
+
+func (s ReplStats) add(o ReplStats) ReplStats {
+	s.ShipCalls += o.ShipCalls
+	s.ShipFailures += o.ShipFailures
+	s.ShipRecords += o.ShipRecords
+	s.LagOps += o.LagOps
+	s.CursorCorrections += o.CursorCorrections
+	s.StateTransfers += o.StateTransfers
+	s.SnapChunks += o.SnapChunks
+	return s
 }
 
 // replicator is the primary-side shipping machinery: one wire client
@@ -121,10 +162,18 @@ type replicator struct {
 // shipTo pushes records to backup i until its cursor reaches target or
 // the ack budget runs out, in bounded chunks. client/call identify the
 // op whose acknowledgement is waiting on this ship (0,0 for catch-up
-// traffic with no waiting op).
+// traffic with no waiting op). A cursor that has fallen behind the
+// log's retained floor — the backup lost too much to catch up record
+// by record — is healed by state transfer first.
 func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64, client, call uint32) {
 	rec := rp.link.Recorder()
 	for rp.acked[i] < target {
+		if rp.acked[i] < w.ShipFloor() {
+			if !rp.sendSnapshot(i, w, epoch) {
+				return
+			}
+			continue
+		}
 		batch := w.RecordsSince(rp.acked[i])
 		if len(batch) == 0 {
 			return
@@ -161,7 +210,20 @@ func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64, clie
 			return
 		}
 		seq := out[0].(uint64)
-		if seq <= rp.acked[i] {
+		if seq < rp.acked[i] {
+			// Cursor correction: the backup's true position is behind
+			// what we believed acknowledged — it revived from a kill and
+			// lost (or quarantined) records. Rewind and re-ship; the
+			// records are still retained or reachable by state transfer.
+			rp.stats.CursorCorrections++
+			rp.acked[i] = seq
+			if rec.Enabled() {
+				rec.Emit(obs.Event{Layer: "repl", Name: "cursor_rewind",
+					Client: client, Call: call, Val: float64(seq)})
+			}
+			continue
+		}
+		if seq == rp.acked[i] {
 			// The backup refused to advance (promoted, or a sequence
 			// check failed); retrying the same chunk would spin.
 			rp.stats.ShipFailures++
@@ -177,6 +239,52 @@ func (rp *replicator) shipTo(i int, w *fs.WAL, epoch uint32, target uint64, clie
 				Client: client, Call: call, Val: float64(seq)})
 		}
 	}
+}
+
+// sendSnapshot streams the log's snapshot to peer i in bounded chunks
+// — state transfer for a peer whose cursor fell below the retained
+// floor. On success the peer's cursor jumps to the snapshot's covered
+// sequence; the remaining gap (the tail) closes by record shipping.
+func (rp *replicator) sendSnapshot(i int, w *fs.WAL, epoch uint32) bool {
+	data, snapSeq := w.SnapshotBytes()
+	if data == nil {
+		rp.stats.ShipFailures++
+		return false
+	}
+	sum := crc32.ChecksumIEEE(data)
+	rec := rp.link.Recorder()
+	var t0 float64
+	if rec.Enabled() {
+		t0 = rp.link.Clock()
+	}
+	for off := 0; off < len(data); off += snapChunkBytes {
+		end := off + snapChunkBytes
+		if end > len(data) {
+			end = len(data)
+		}
+		rp.stats.SnapChunks++
+		out, err := rp.clients[i].Call(rp.peers[i], ProcSnapInstall,
+			epoch, snapSeq, uint64(len(data)), sum, uint64(off), data[off:end])
+		if err != nil {
+			rp.stats.ShipFailures++
+			return false
+		}
+		if end == len(data) {
+			seq := out[0].(uint64)
+			if seq < snapSeq {
+				rp.stats.ShipFailures++
+				return false
+			}
+			rp.acked[i] = seq
+		}
+	}
+	rp.stats.StateTransfers++
+	if rec.Enabled() {
+		now := rp.link.Clock()
+		rec.EmitAt(obs.Event{T: now, Layer: "repl", Name: "state_transfer",
+			Dur: now - t0, Val: float64(i)})
+	}
+	return true
 }
 
 // ship pushes every unacknowledged record to every backup and trims the
@@ -209,10 +317,12 @@ func (rp *replicator) ship(w *fs.WAL, epoch uint32, client, call uint32) {
 }
 
 // resync re-learns every backup's applied position — the cursor a
-// primary restart lost — and ships whatever the crash interrupted.
+// primary restart lost — stamps the caller's epoch on each peer so
+// staler shippers are fenced from here on, and ships whatever the
+// crash (or promotion) interrupted.
 func (rp *replicator) resync(w *fs.WAL, epoch uint32) {
 	for i := range rp.clients {
-		out, err := rp.clients[i].Call(rp.peers[i], ProcReplSeq)
+		out, err := rp.clients[i].Call(rp.peers[i], ProcReplSeq, epoch)
 		if err != nil {
 			rp.stats.ShipFailures++
 			continue
@@ -252,11 +362,31 @@ type Backup struct {
 	primaryEpoch uint32 // highest primary epoch witnessed in ship calls
 	promoted     bool
 
-	// Sequence audit: violations count gaps or checksum failures in the
-	// shipped stream (must be zero in a correct run); reships count
-	// records received twice and skipped (retransmitted ships — benign).
-	seqViolations int
-	reships       int
+	// promotedAtSeq records appliedSeq at the instant of promotion —
+	// the point up to which the old primary's history and the new
+	// primary's history are guaranteed identical. A deposed primary
+	// rejoining as a backup discards everything past it.
+	promotedAtSeq uint64
+
+	// Sequence audit: violations count checksum failures in the shipped
+	// stream (must be zero in a correct run); reships count records
+	// received twice and skipped (retransmitted ships — benign);
+	// cursorCorrections count ships rejected because the primary's
+	// cursor ran ahead of this backup's recovered position (benign —
+	// the reply rewinds the primary).
+	seqViolations     int
+	reships           int
+	cursorCorrections int
+
+	// State-transfer staging: snapshot chunks accumulate here until the
+	// final chunk's checksum verifies and the whole installs.
+	stage []byte
+
+	// Self-healing: the seeded at-rest damage schedule consulted when
+	// this node revives (nil = pristine storage), and the kill plane
+	// whose outage window paces revival (nil = never killed).
+	disk *faultplane.DiskPlane
+	kill *faultplane.KillPlane
 }
 
 // newBackup builds an idle backup: genesis-snapshotted WAL mirroring
@@ -280,7 +410,69 @@ func newBackup(blocks int, clientLink, replLink *wire.Link) *Backup {
 		},
 	}
 	b.registerRepl()
+	// A killed backup is not gone: its WAL is stable storage, so the
+	// restart hook recovers locally and the ship path re-delivers the
+	// rest. Without a kill plane the hook never fires.
+	b.Repl.OnRestart(b.rejoinNow)
 	return b
+}
+
+// rejoinNow is the backup's restart hook: the node comes back from a
+// transient kill, recovers what its own (possibly damaged) log can
+// prove, and re-enters the ack set at its true position — the primary's
+// next ship discovers that position via cursor correction and
+// re-delivers the rest. Runs on the reviving server's pump; purely
+// local, no peer calls (the primary pushes, the rejoiner never pulls).
+func (b *Backup) rejoinNow() {
+	b.Repl.Restart()
+	b.registerRepl()
+	b.mu.Lock()
+	b.recoverLocalLocked()
+	applied := b.appliedSeq
+	b.mu.Unlock()
+	rec := b.srv.link.Recorder()
+	if rec.Enabled() {
+		rec.Emit(obs.Event{Layer: "repl", Name: "rejoin", Val: float64(applied)})
+	}
+}
+
+// recoverLocalLocked rebuilds the node's file system from its WAL,
+// healing at-rest damage by quarantine: a torn mid-log record drops
+// the log from the damage onward (the suffix re-ships from a healthy
+// peer), an undecodable snapshot abandons the log wholesale (state
+// transfer rebuilds it). Caller holds b.mu.
+func (b *Backup) recoverLocalLocked() {
+	if b.disk != nil {
+		fault := b.disk.Decide(b.wal.SinceSnapshot())
+		if fault.TearTailIndex >= 0 {
+			b.wal.CorruptTailRecord(fault.TearTailIndex)
+		}
+		if fault.FlipSnapshot {
+			b.wal.CorruptSnapshotByte(fault.FlipOffset)
+		}
+	}
+	fsys, _, _, err := fs.Recover(b.wal)
+	if err != nil {
+		var corrupt *fs.ErrWALCorrupt
+		if errors.As(err, &corrupt) {
+			b.wal.QuarantineFrom(corrupt.Seq)
+			fsys, _, _, err = fs.Recover(b.wal)
+		}
+	}
+	if err != nil {
+		// The snapshot itself is rotten (or quarantine exposed more
+		// damage): nothing below is trustworthy. Reset to genesis and
+		// let state transfer rebuild the node from a healthy peer.
+		b.wal.QuarantineSnapshot()
+		fsys, _, _, err = fs.Recover(b.wal)
+		if err != nil {
+			panic(err) // recovery of an empty log cannot fail
+		}
+	}
+	b.srv.mu.Lock()
+	b.srv.FS = fsys
+	b.srv.mu.Unlock()
+	b.appliedSeq = b.wal.LastSeq()
 }
 
 // registerRepl binds the replication procedures on the backup's end of
@@ -300,9 +492,12 @@ func (b *Backup) registerRepl() {
 			// fencing.
 			return nil, fmt.Errorf("fsserver: backup promoted (epoch %d); ship rejected", b.srv.Wire.Epoch())
 		}
-		if epoch > b.primaryEpoch {
-			b.primaryEpoch = epoch
+		if epoch < b.primaryEpoch {
+			// A shipper at a lower epoch than any primacy this backup
+			// has witnessed is deposed and does not know it yet.
+			return nil, fmt.Errorf("fsserver: stale primary epoch %d (current %d); ship rejected", epoch, b.primaryEpoch)
 		}
+		b.primaryEpoch = epoch
 		// The backup's client-facing link carries the cluster recorder;
 		// apply events keyed on the shipped record's trace context stitch
 		// the backup half of the replication span onto the client op.
@@ -313,8 +508,13 @@ func (b *Backup) registerRepl() {
 				continue
 			}
 			if r.Seq != b.appliedSeq+1 {
-				b.seqViolations++
-				return nil, fmt.Errorf("fsserver: ship gap: got seq %d, applied through %d", r.Seq, b.appliedSeq)
+				// The primary's cursor ran ahead of this node's true
+				// position — it revived from a kill and lost (or
+				// quarantined) records the primary believed applied.
+				// Reply the true position; the primary rewinds and
+				// re-ships from there.
+				b.cursorCorrections++
+				return []interface{}{b.appliedSeq}, nil
 			}
 			if err := b.wal.AppendShipped(r); err != nil {
 				b.seqViolations++
@@ -345,7 +545,86 @@ func (b *Backup) registerRepl() {
 	b.Repl.Register(ProcReplSeq, func(a []interface{}) ([]interface{}, error) {
 		b.mu.Lock()
 		defer b.mu.Unlock()
+		if len(a) > 0 {
+			// A caller announcing its epoch is (re)claiming primacy:
+			// stamp it so staler shippers are fenced even before the
+			// first record arrives.
+			if epoch := a[0].(uint32); epoch > b.primaryEpoch {
+				b.primaryEpoch = epoch
+			}
+		}
+		var promotedEpoch uint32
+		if b.promoted {
+			promotedEpoch = b.srv.Wire.Epoch()
+		}
+		return []interface{}{b.appliedSeq, promotedEpoch}, nil
+	})
+	b.Repl.Register(ProcSnapInstall, func(a []interface{}) ([]interface{}, error) {
+		epoch := a[0].(uint32)
+		snapSeq := a[1].(uint64)
+		total := a[2].(uint64)
+		sum := a[3].(uint32)
+		offset := a[4].(uint64)
+		chunk := a[5].([]byte)
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.promoted {
+			return nil, fmt.Errorf("fsserver: backup promoted (epoch %d); snapshot rejected", b.srv.Wire.Epoch())
+		}
+		if epoch < b.primaryEpoch {
+			return nil, fmt.Errorf("fsserver: stale primary epoch %d (current %d); snapshot rejected", epoch, b.primaryEpoch)
+		}
+		b.primaryEpoch = epoch
+		if offset == 0 {
+			b.stage = b.stage[:0]
+		}
+		if offset != uint64(len(b.stage)) {
+			staged := len(b.stage)
+			b.stage = b.stage[:0]
+			return nil, fmt.Errorf("fsserver: snapshot chunk at offset %d, staged %d", offset, staged)
+		}
+		b.stage = append(b.stage, chunk...)
+		if uint64(len(b.stage)) < total {
+			return []interface{}{b.appliedSeq}, nil
+		}
+		if crc32.ChecksumIEEE(b.stage) != sum {
+			b.stage = b.stage[:0]
+			return nil, fmt.Errorf("fsserver: snapshot transfer fails checksum")
+		}
+		fsys, _, err := b.wal.InstallSnapshot(b.stage, snapSeq)
+		b.stage = b.stage[:0]
+		if err != nil {
+			return nil, err
+		}
+		b.srv.mu.Lock()
+		b.srv.FS = fsys
+		b.srv.mu.Unlock()
+		b.appliedSeq = snapSeq
+		if rec := b.srv.link.Recorder(); rec.Enabled() {
+			rec.Emit(obs.Event{Layer: "repl", Name: "install", Val: float64(snapSeq)})
+		}
 		return []interface{}{b.appliedSeq}, nil
+	})
+	b.Repl.Register(ProcScrub, func(a []interface{}) ([]interface{}, error) {
+		epoch := a[0].(uint32)
+		n := int(a[1].(uint64))
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if b.promoted {
+			return nil, fmt.Errorf("fsserver: backup promoted (epoch %d); scrub rejected", b.srv.Wire.Epoch())
+		}
+		if epoch < b.primaryEpoch {
+			return nil, fmt.Errorf("fsserver: stale primary epoch %d (current %d); scrub rejected", epoch, b.primaryEpoch)
+		}
+		b.primaryEpoch = epoch
+		b.srv.mu.Lock()
+		fps := b.srv.FS.RangeFingerprints(n)
+		b.srv.mu.Unlock()
+		buf := make([]byte, 8*len(fps))
+		for i, fp := range fps {
+			binary.BigEndian.PutUint64(buf[i*8:], fp)
+		}
+		return []interface{}{b.appliedSeq, buf}, nil
 	})
 }
 
@@ -391,6 +670,7 @@ func (b *Backup) promote() uint32 {
 	s.Wire.SetDedupAuthority(s.replayFor)
 	s.register()
 	b.promoted = true
+	b.promotedAtSeq = b.appliedSeq
 	micros := float64(promoteBaseMicros + promotePerOpMicros*replayed)
 	s.link.AdvanceClock(micros)
 	rec := s.link.Recorder()
@@ -411,9 +691,21 @@ type ClusterStats struct {
 	LagOps         int
 	Reships        int
 	SeqViolations  int
-	PrimarySeq     uint64 // records appended at the primary
+	PrimarySeq     uint64 // records appended at the active primary
 	BackupSeq      uint64 // highest applied sequence across backups
-	ReplicationLag uint64 // primary appends not yet applied by the slowest backup
+	ReplicationLag uint64 // active-primary appends not yet applied by the slowest peer
+
+	// Self-healing counters.
+	Rejoins           int // nodes that re-entered the ack set (deposed primary)
+	FencedShips       int // deposed-primary ships rejected by a promoted peer
+	CursorCorrections int // ack cursors rewound to a revived node's true position
+	StateTransfers    int // whole snapshots installed on lagging peers
+	SnapChunks        int // state-transfer chunk RPCs sent
+	Quarantined       int // corrupt WAL records dropped and re-fetched
+	Discarded         int // speculative records discarded at demotion
+	ScrubPasses       int // anti-entropy passes completed
+	ScrubRepairs      int // peers repaired by a scrub-triggered state transfer
+	RepairedRanges    int // divergent fingerprint ranges repaired
 }
 
 // Cluster wires a primary and N backups into one replicated file
@@ -436,6 +728,20 @@ type Cluster struct {
 	mu        sync.Mutex
 	active    int // 0 = primary, i+1 = backups[i]
 	failovers int
+
+	// Self-healing plane (nil heal = disabled; see selfheal.go).
+	heal        *SelfHealPolicy
+	disk        *faultplane.DiskPlane
+	demoted     *Backup    // the deposed primary after it rejoined as a receiver
+	demotedLink *wire.Link // its fresh replication link
+	failoverAt  float64    // virtual time of the failover (rejoin pacing)
+	nextScrubAt float64    // virtual time of the next anti-entropy pass
+
+	rejoins        int
+	fencedShips    int
+	scrubPasses    int
+	scrubRepairs   int
+	repairedRanges int
 }
 
 // NewCluster builds a replica set over fresh links sharing one virtual
@@ -531,9 +837,44 @@ func (c *Cluster) Failover() int {
 	epoch := c.backups[pick].promote()
 	c.active = pick + 1
 	c.failovers++
+	c.failoverAt = c.clock.Clock()
+	c.armShipping(pick, epoch)
 	c.primaryLink.Recorder().Event("cluster", "failover", 0, 0,
 		"to=backup"+strconv.Itoa(pick)+" epoch="+strconv.Itoa(int(epoch)))
 	return c.active
+}
+
+// armShipping turns the freshly promoted backup into a shipper: a
+// replicator with one wire client per remaining peer, riding the
+// existing replication links (a second client identity per link), its
+// WAL retaining from here on. The resync stamps the new epoch on every
+// peer — from this instant the deposed primary's ships are stale — and
+// closes whatever gap the peers have to the promotion point. Caller
+// holds c.mu.
+func (c *Cluster) armShipping(pick int, epoch uint32) {
+	np := c.backups[pick].srv
+	np.mu.Lock()
+	defer np.mu.Unlock()
+	if np.repl != nil {
+		return
+	}
+	np.wal.EnableShipping()
+	rp := &replicator{link: c.backupLinks[pick]}
+	for j, ob := range c.backups {
+		if j == pick {
+			continue
+		}
+		ship := wire.NewClient(c.replLinks[j], wire.A)
+		ship.MaxRetries = c.cfg.AckRetries
+		ship.DeadlineMicros = c.cfg.AckTimeoutMicros
+		rp.clients = append(rp.clients, ship)
+		rp.peers = append(rp.peers, ob.Repl)
+		rp.acked = append(rp.acked, 0)
+	}
+	np.repl = rp
+	if len(rp.clients) > 0 {
+		rp.resync(np.wal, epoch)
+	}
 }
 
 // Primary returns the original primary server.
@@ -608,29 +949,101 @@ func (c *Cluster) KillPrimaryForever() {
 	c.primary.Crash()
 }
 
-// Stats snapshots the replica set's counters.
+// activeServer returns the server currently holding primacy. Caller
+// must not hold c.mu.
+func (c *Cluster) activeServer() *Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.activeServerLocked()
+}
+
+// activeServerLocked is activeServer with c.mu already held.
+func (c *Cluster) activeServerLocked() *Server {
+	if c.active == 0 {
+		return c.primary
+	}
+	return c.backups[c.active-1].srv
+}
+
+// receivers returns every node currently in the receiving role: the
+// backups (minus the promoted one) plus the demoted old primary once
+// it has rejoined. Caller must not hold c.mu.
+func (c *Cluster) receivers() []*Backup {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Backup, 0, len(c.backups)+1)
+	for i, b := range c.backups {
+		if i+1 == c.active {
+			continue
+		}
+		out = append(out, b)
+	}
+	if c.demoted != nil {
+		out = append(out, c.demoted)
+	}
+	return out
+}
+
+// Stats snapshots the replica set's counters. Shipping counters merge
+// the original primary's replicator with the promoted backup's (each
+// ships during its own reign); sequence and lag read the node that
+// currently holds primacy.
 func (c *Cluster) Stats() ClusterStats {
 	c.mu.Lock()
 	active := c.active
 	failovers := c.failovers
-	c.mu.Unlock()
+	demoted := c.demoted
 	st := ClusterStats{
-		Backups:   len(c.backups),
-		Failovers: failovers,
+		Backups:        len(c.backups),
+		Failovers:      failovers,
+		Rejoins:        c.rejoins,
+		FencedShips:    c.fencedShips,
+		ScrubPasses:    c.scrubPasses,
+		ScrubRepairs:   c.scrubRepairs,
+		RepairedRanges: c.repairedRanges,
 	}
+	c.mu.Unlock()
 	if active > 0 {
 		st.PromotedEpoch = c.backups[active-1].srv.Wire.Epoch()
 	}
-	c.primary.mu.Lock()
-	rp := c.primary.repl
-	st.ShipCalls = rp.stats.ShipCalls
-	st.ShipFailures = rp.stats.ShipFailures
-	st.ShipRecords = rp.stats.ShipRecords
-	st.LagOps = rp.stats.LagOps
-	st.PrimarySeq = c.primary.wal.LastSeq()
-	st.ReplicationLag = rp.lag(c.primary.wal)
-	c.primary.mu.Unlock()
+	var rs ReplStats
+	nodes := []*Server{c.primary}
 	for _, b := range c.backups {
+		nodes = append(nodes, b.srv)
+	}
+	for _, s := range nodes {
+		s.mu.Lock()
+		if s.repl != nil {
+			rs = rs.add(s.repl.stats)
+		}
+		ws := s.wal.Stats()
+		st.Quarantined += ws.Quarantined
+		st.Discarded += ws.Discarded
+		s.mu.Unlock()
+	}
+	st.ShipCalls = rs.ShipCalls
+	st.ShipFailures = rs.ShipFailures
+	st.ShipRecords = rs.ShipRecords
+	st.LagOps = rs.LagOps
+	st.StateTransfers = rs.StateTransfers
+	st.SnapChunks = rs.SnapChunks
+	st.CursorCorrections = rs.CursorCorrections
+	act := c.primary
+	if active > 0 {
+		act = c.backups[active-1].srv
+	}
+	act.mu.Lock()
+	st.PrimarySeq = act.wal.LastSeq()
+	if act.repl != nil {
+		st.ReplicationLag = act.repl.lag(act.wal)
+	}
+	act.mu.Unlock()
+	peers := make([]*Backup, 0, len(c.backups)+1)
+	peers = append(peers, c.backups...)
+	if demoted != nil {
+		peers = append(peers, demoted)
+	}
+	for _, b := range peers {
 		b.mu.Lock()
 		if b.appliedSeq > st.BackupSeq {
 			st.BackupSeq = b.appliedSeq
@@ -642,28 +1055,46 @@ func (c *Cluster) Stats() ClusterStats {
 	return st
 }
 
-// ReplicationLag returns how many primary appends the slowest backup
-// has yet to apply — the gauge the metrics registry exposes.
+// ReplicationLag returns how many active-primary appends the slowest
+// receiving peer has yet to apply — the gauge the metrics registry
+// exposes.
 func (c *Cluster) ReplicationLag() float64 {
-	c.primary.mu.Lock()
-	defer c.primary.mu.Unlock()
-	return float64(c.primary.repl.lag(c.primary.wal))
+	act := c.activeServer()
+	act.mu.Lock()
+	defer act.mu.Unlock()
+	if act.repl == nil {
+		return 0
+	}
+	return float64(act.repl.lag(act.wal))
 }
 
 // Audit checks the replicated log discipline after a run: the shipped
-// stream must have applied strictly in sequence on every backup (no
-// gaps, no checksum failures, no record applied twice — retransmitted
-// ships are skipped and counted, not re-applied).
+// stream must have applied with no checksum failures on every node (no
+// record applied twice — retransmitted ships are skipped and counted,
+// not re-applied), and no receiving node may stand ahead of the log
+// that currently holds primacy.
 func (c *Cluster) Audit() error {
-	for i, b := range c.backups {
+	act := c.activeServer()
+	act.mu.Lock()
+	last := act.wal.LastSeq()
+	act.mu.Unlock()
+	c.mu.Lock()
+	demoted := c.demoted
+	c.mu.Unlock()
+	nodes := make([]*Backup, 0, len(c.backups)+1)
+	nodes = append(nodes, c.backups...)
+	if demoted != nil {
+		nodes = append(nodes, demoted)
+	}
+	for i, b := range nodes {
 		b.mu.Lock()
-		violations, applied := b.seqViolations, b.appliedSeq
+		violations, applied, promoted := b.seqViolations, b.appliedSeq, b.promoted
 		b.mu.Unlock()
 		if violations > 0 {
-			return fmt.Errorf("fsserver: backup %d: %d sequence violations", i, violations)
+			return fmt.Errorf("fsserver: replica %d: %d sequence violations", i, violations)
 		}
-		if applied > c.primary.wal.LastSeq() && !b.Promoted() {
-			return fmt.Errorf("fsserver: backup %d applied %d past primary log %d", i, applied, c.primary.wal.LastSeq())
+		if applied > last && !promoted {
+			return fmt.Errorf("fsserver: replica %d applied %d past active log %d", i, applied, last)
 		}
 	}
 	return nil
